@@ -1,0 +1,122 @@
+// Ablation — AIMD parameter sweep on the irregular HACC workload.
+//
+// Sweeps the additive step, multiplicative decrease factor, and rolling
+// window of the complex AIMD controller to show where the paper's
+// defaults sit on the cost/accuracy frontier (DESIGN.md §6).
+#include "adaptive/entropy_controller.h"
+#include "adaptive/interval_controller.h"
+#include "bench/bench_util.h"
+#include "cluster/workloads.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+struct Outcome {
+  double cost;
+  double accuracy;
+};
+
+// Closed-form replay: drive a controller over the trace without the full
+// service (fast; isolates the controller itself).
+Outcome Replay(const CapacityTrace& trace, TimeNs duration,
+               IntervalController& controller) {
+  std::vector<std::pair<TimeNs, double>> observations;
+  TimeNs t = 0;
+  while (t <= duration) {
+    const double value = trace.ValueAt(t);
+    observations.emplace_back(t, value);
+    const TimeNs interval = controller.OnSample(value);
+    t += interval;
+  }
+  int matched = 0, total = 0;
+  std::size_t cursor = 0;
+  for (TimeNs grid = 0; grid <= duration; grid += Seconds(1)) {
+    while (cursor + 1 < observations.size() &&
+           observations[cursor + 1].first <= grid) {
+      ++cursor;
+    }
+    if (observations[cursor].second == trace.ValueAt(grid)) ++matched;
+    ++total;
+  }
+  Outcome outcome;
+  outcome.cost = static_cast<double>(observations.size()) /
+                 static_cast<double>(duration / Seconds(1) + 1);
+  outcome.accuracy = static_cast<double>(matched) / total;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  HaccTraceConfig trace_config;
+  trace_config.irregular = true;
+  trace_config.duration = Seconds(1800);
+  const CapacityTrace trace = MakeHaccCapacityTrace(trace_config);
+
+  AimdConfig base;
+  base.initial_interval = Seconds(1);
+  base.min_interval = Seconds(1);
+  base.additive_step = Seconds(1);
+  base.max_interval = Seconds(30);
+  base.decrease_factor = 0.5;
+  base.change_threshold = 9500.0;
+
+  PrintHeader("Ablation — AIMD additive step (complex, window 10)",
+              "irregular HACC, 30 virtual minutes");
+  PrintRow({"step(s)", "cost", "accuracy"});
+  for (double step : {0.5, 1.0, 2.0, 5.0}) {
+    AimdConfig config = base;
+    config.additive_step = Seconds(step);
+    ComplexAimd controller(config, 10);
+    const Outcome o = Replay(trace, trace_config.duration, controller);
+    PrintRow({Fmt("%.1f", step), Fmt("%.3f", o.cost),
+              Fmt("%.3f", o.accuracy)});
+  }
+
+  PrintHeader("Ablation — AIMD decrease factor (complex, window 10)", "");
+  PrintRow({"factor", "cost", "accuracy"});
+  for (double factor : {0.25, 0.5, 0.75, 0.9}) {
+    AimdConfig config = base;
+    config.decrease_factor = factor;
+    ComplexAimd controller(config, 10);
+    const Outcome o = Replay(trace, trace_config.duration, controller);
+    PrintRow({Fmt("%.2f", factor), Fmt("%.3f", o.cost),
+              Fmt("%.3f", o.accuracy)});
+  }
+
+  PrintHeader("Ablation — rolling window size (complex AIMD)", "");
+  PrintRow({"window", "cost", "accuracy"});
+  for (std::size_t window : {1u, 5u, 10u, 20u, 50u}) {
+    ComplexAimd controller(base, window);
+    const Outcome o = Replay(trace, trace_config.duration, controller);
+    PrintRow({std::to_string(window), Fmt("%.3f", o.cost),
+              Fmt("%.3f", o.accuracy)});
+  }
+
+  PrintHeader("Reference — simple AIMD and fixed intervals", "");
+  PrintRow({"model", "cost", "accuracy"});
+  {
+    SimpleAimd simple(base);
+    const Outcome o = Replay(trace, trace_config.duration, simple);
+    PrintRow({"simple_aimd", Fmt("%.3f", o.cost), Fmt("%.3f", o.accuracy)});
+  }
+  for (double fixed_s : {1.0, 5.0, 15.0}) {
+    FixedInterval fixed(Seconds(fixed_s));
+    const Outcome o = Replay(trace, trace_config.duration, fixed);
+    PrintRow({"fixed " + Fmt("%.0f", fixed_s) + "s", Fmt("%.3f", o.cost),
+              Fmt("%.3f", o.accuracy)});
+  }
+  {
+    // The paper's future-work heuristic: permutation-entropy-driven
+    // intervals.
+    EntropyAimdConfig entropy_config;
+    entropy_config.min_interval = Seconds(1);
+    entropy_config.max_interval = Seconds(30);
+    EntropyAimd entropy(entropy_config);
+    const Outcome o = Replay(trace, trace_config.duration, entropy);
+    PrintRow({"entropy_aimd", Fmt("%.3f", o.cost), Fmt("%.3f", o.accuracy)});
+  }
+  return 0;
+}

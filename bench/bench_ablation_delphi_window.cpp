@@ -1,0 +1,52 @@
+// Ablation — Delphi accuracy and cost vs window size.
+//
+// The paper fixes the window at 5; this sweep shows the accuracy/cost
+// trade-off that choice sits on (DESIGN.md §6).
+#include "bench/bench_util.h"
+#include "delphi/delphi_model.h"
+#include "timeseries/stats.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+using namespace apollo::delphi;
+
+int main() {
+  PrintHeader("Ablation — Delphi window size",
+              "held-out composite RMSE and inference cost per window size "
+              "(paper uses window=5)");
+  PrintRow({"window", "params", "trainable", "rmse", "ns/inference",
+            "train_s"});
+
+  for (std::size_t window : {2u, 3u, 5u, 8u, 12u}) {
+    DelphiConfig config;
+    config.feature_config.window = window;
+    config.feature_config.train_length = 2048;
+    config.feature_config.epochs = 40;
+    config.combiner_epochs = 60;
+    config.composite_length = 2048;
+    DelphiModel model = DelphiModel::Train(config);
+
+    GeneratorConfig test_config;
+    test_config.length = 2048;
+    test_config.seed = 123123;
+    const Series test = GenerateCompositeAll(test_config);
+    const WindowedDataset ds = MakeWindows(test, window);
+
+    std::vector<double> pred, truth;
+    Stopwatch watch;
+    for (std::size_t i = 0; i < ds.Size(); ++i) {
+      pred.push_back(model.Predict(ds.inputs[i]));
+    }
+    const double ns = static_cast<double>(watch.ElapsedNs()) /
+                      static_cast<double>(ds.Size());
+    for (std::size_t i = 0; i < ds.Size(); ++i) {
+      truth.push_back(ds.targets[i]);
+    }
+
+    PrintRow({std::to_string(window), std::to_string(model.ParamCount()),
+              std::to_string(model.TrainableParamCount()),
+              Fmt("%.4f", RootMeanSquaredError(truth, pred)),
+              Fmt("%.0f", ns), Fmt("%.2f", model.train_seconds())});
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation — SCoRe's lock-free queues vs a mutex-guarded deque.
+//
+// Justifies the concurrent-queue choice inside SCoRe vertices
+// (DESIGN.md §6). Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "concurrent/mpmc_queue.h"
+#include "concurrent/spsc_queue.h"
+
+namespace apollo {
+namespace {
+
+// Mutex-based comparator with the same API surface.
+template <typename T>
+class MutexQueue {
+ public:
+  explicit MutexQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool TryPush(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+template <typename Queue>
+void PingPong(Queue& queue, benchmark::State& state) {
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    queue.TryPush(ops);
+    benchmark::DoNotOptimize(queue.TryPop());
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+
+void BM_SpscPingPong(benchmark::State& state) {
+  SpscQueue<std::int64_t> queue(1024);
+  PingPong(queue, state);
+}
+BENCHMARK(BM_SpscPingPong);
+
+void BM_MpmcPingPong(benchmark::State& state) {
+  MpmcQueue<std::int64_t> queue(1024);
+  PingPong(queue, state);
+}
+BENCHMARK(BM_MpmcPingPong);
+
+void BM_MutexPingPong(benchmark::State& state) {
+  MutexQueue<std::int64_t> queue(1024);
+  PingPong(queue, state);
+}
+BENCHMARK(BM_MutexPingPong);
+
+// Contended multi-threaded throughput: each thread pushes and pops.
+void BM_MpmcContended(benchmark::State& state) {
+  static MpmcQueue<std::int64_t>* queue = nullptr;
+  if (state.thread_index() == 0) {
+    queue = new MpmcQueue<std::int64_t>(1 << 16);
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    queue->TryPush(ops);
+    benchmark::DoNotOptimize(queue->TryPop());
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  if (state.thread_index() == 0) {
+    delete queue;
+    queue = nullptr;
+  }
+}
+BENCHMARK(BM_MpmcContended)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_MutexContended(benchmark::State& state) {
+  static MutexQueue<std::int64_t>* queue = nullptr;
+  if (state.thread_index() == 0) {
+    queue = new MutexQueue<std::int64_t>(1 << 16);
+  }
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    queue->TryPush(ops);
+    benchmark::DoNotOptimize(queue->TryPop());
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  if (state.thread_index() == 0) {
+    delete queue;
+    queue = nullptr;
+  }
+}
+BENCHMARK(BM_MutexContended)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace apollo
+
+BENCHMARK_MAIN();

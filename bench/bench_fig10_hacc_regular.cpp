@@ -1,0 +1,7 @@
+// Figure 10 — Apollo on regular HACC-IO workloads.
+#include "bench/hacc_delphi_common.h"
+
+int main() {
+  apollo::bench::RunHaccFigure("Figure 10", /*irregular=*/false);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 8 — cost and accuracy of fixed and AIMD-based adaptivity models.
+//
+// Replays 30 minutes (virtual) of the HACC capacity workload — regular
+// (38000B every 5s) and irregular (19000-38000B every 5-20s) — through a
+// Fact Curator with a synthetic monitoring hook under three interval
+// policies: fixed 5s, simple AIMD, complex AIMD (rolling window 10).
+//
+// Accuracy = fraction of 1-second grid points where the monitored view
+// matches the 1s-reference trace; cost = hook calls relative to 1s
+// polling. Paper shape: fixed-5s wins on the regular workload (5s is the
+// exact write period); complex AIMD is the most accurate on the irregular
+// workload at a higher cost; simple AIMD is cheap and reasonable.
+#include <cmath>
+
+#include "apollo/apollo_service.h"
+#include "bench/bench_util.h"
+#include "cluster/workloads.h"
+#include "score/monitor_hook.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+struct Outcome {
+  double cost;      // hook calls / 1s-equivalent calls
+  double accuracy;  // matched 1s grid points / total
+};
+
+Outcome RunPolicy(const CapacityTrace& trace, TimeNs duration,
+                  const std::string& controller) {
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  ApolloService apollo(options);
+
+  FactDeployment deployment;
+  deployment.controller = controller;
+  deployment.fixed_interval = Seconds(5);
+  deployment.aimd.initial_interval = Seconds(1);
+  deployment.aimd.min_interval = Seconds(1);
+  deployment.aimd.additive_step = Seconds(1);
+  deployment.aimd.max_interval = Seconds(30);
+  // Threshold in bytes of capacity change: half the smallest HACC write,
+  // so every real write counts as "changed".
+  deployment.aimd.change_threshold = 9500.0;
+  deployment.topic = "hacc";
+  deployment.publish_only_on_change = false;
+  auto vertex =
+      apollo.DeployFact(TraceReplayHook(trace, "hacc", 0), deployment);
+  apollo.RunFor(duration);
+
+  auto stream = apollo.broker().GetTopic("hacc").value();
+  int matched = 0, total = 0;
+  for (TimeNs t = 0; t <= duration; t += Seconds(1)) {
+    const double truth = trace.ValueAt(t);
+    auto entry = stream->LatestAtOrBefore(t);
+    if (entry.has_value() && entry->value.value == truth) ++matched;
+    ++total;
+  }
+  Outcome outcome;
+  outcome.cost = static_cast<double>((*vertex)->stats().hook_calls) /
+                 static_cast<double>(duration / Seconds(1) + 1);
+  outcome.accuracy = static_cast<double>(matched) / total;
+  return outcome;
+}
+
+void RunWorkload(const char* label, bool irregular) {
+  HaccTraceConfig config;
+  config.irregular = irregular;
+  config.duration = Seconds(1800);  // the paper's 30 minutes
+  const CapacityTrace trace = MakeHaccCapacityTrace(config);
+
+  PrintHeader(std::string("Figure 8 — ") + label + " HACC workload",
+              "cost (vs 1s polling) and accuracy per adaptivity model");
+  PrintRow({"model", "cost", "accuracy"});
+  for (const char* controller : {"fixed", "simple_aimd", "complex_aimd"}) {
+    const Outcome outcome = RunPolicy(trace, config.duration, controller);
+    PrintRow({controller, Fmt("%.3f", outcome.cost),
+              Fmt("%.3f", outcome.accuracy)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunWorkload("regular", /*irregular=*/false);
+  RunWorkload("irregular", /*irregular=*/true);
+  std::printf(
+      "\npaper shape: fixed-5s ~optimal on the regular workload; complex "
+      "AIMD most accurate on the irregular workload at higher cost; simple "
+      "AIMD cheapest\n");
+  return 0;
+}

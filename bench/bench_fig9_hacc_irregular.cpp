@@ -1,0 +1,7 @@
+// Figure 9 — Apollo on irregular HACC-IO workloads.
+#include "bench/hacc_delphi_common.h"
+
+int main() {
+  apollo::bench::RunHaccFigure("Figure 9", /*irregular=*/true);
+  return 0;
+}

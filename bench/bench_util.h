@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apollo::bench {
+
+// Wall-clock stopwatch (nanoseconds).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  std::int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& description) {
+  std::printf("\n===== %s =====\n%s\n\n", figure.c_str(),
+              description.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) std::printf("%-22s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace apollo::bench

@@ -1,0 +1,157 @@
+// apollo_shell: a scriptable console over a monitored simulated cluster.
+//
+// Reads commands from stdin (one per line) and executes them against an
+// ApolloService running the standard deployment plan in simulated time:
+//
+//   run <seconds>         advance virtual time
+//   query <sql>           execute an AQE query and print the rows
+//   latest <topic>        print a topic's newest value
+//   topics                list broker topics
+//   stats                 print service self-telemetry
+//   write <device> <MB>   issue a write against a device (e.g. compute0.nvme)
+//   fail <node> / heal <node>   toggle a node offline/online
+//   dot                   print the SCoRe DAG in Graphviz format
+//   help / quit
+//
+// Try:
+//   printf 'run 10\nstats\nquit\n' | ./build/examples/apollo_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "apollo/apollo_service.h"
+#include "apollo/deployment_plan.h"
+#include "cluster/cluster.h"
+
+using namespace apollo;
+
+namespace {
+
+void PrintResult(const aqe::ResultSet& rs) {
+  std::printf("%-32s", "source");
+  for (const std::string& column : rs.columns) {
+    std::printf("%-24s", column.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rs.rows) {
+    std::printf("%-32s", row.source.c_str());
+    for (double v : row.values) std::printf("%-24.6g", v);
+    std::printf("\n");
+  }
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: run <sec> | query <sql> | latest <topic> | topics | "
+      "stats | write <device> <MB> | fail <node> | heal <node> | dot | "
+      "help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig cluster_config;
+  cluster_config.compute_nodes = 2;
+  cluster_config.storage_nodes = 2;
+  auto cluster = Cluster::MakeAresLike(cluster_config);
+
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  ApolloService apollo(options);
+  auto plan = DeployStandardMonitoring(apollo, *cluster);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 plan.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("apollo_shell: %zu facts + %zu insights deployed over %zu "
+              "nodes. 'help' lists commands.\n",
+              plan->fact_topics.size(), plan->insight_topics.size(),
+              cluster->NumNodes());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    if (!(input >> command)) continue;
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "run") {
+      double seconds = 1.0;
+      input >> seconds;
+      apollo.RunFor(Seconds(seconds));
+      std::printf("t=%.1fs\n", ToSeconds(apollo.clock().Now()));
+    } else if (command == "query") {
+      std::string sql;
+      std::getline(input, sql);
+      auto rs = apollo.Query(sql);
+      if (rs.ok()) {
+        PrintResult(*rs);
+      } else {
+        std::printf("error: %s\n", rs.error().ToString().c_str());
+      }
+    } else if (command == "latest") {
+      std::string topic;
+      input >> topic;
+      auto value = apollo.LatestValue(topic);
+      if (value.ok()) {
+        std::printf("%s = %.6g\n", topic.c_str(), *value);
+      } else {
+        std::printf("error: %s\n", value.error().ToString().c_str());
+      }
+    } else if (command == "topics") {
+      for (const TopicInfo& info : apollo.broker().ListTopics()) {
+        std::printf("%s (node %d)\n", info.name.c_str(), info.home_node);
+      }
+    } else if (command == "stats") {
+      const auto stats = apollo.Stats();
+      std::printf("facts=%llu insights=%llu hook_calls=%llu "
+                  "published=%llu suppressed=%llu (%.1f%%) "
+                  "predictions=%llu\n",
+                  static_cast<unsigned long long>(stats.fact_vertices),
+                  static_cast<unsigned long long>(stats.insight_vertices),
+                  static_cast<unsigned long long>(stats.hook_calls),
+                  static_cast<unsigned long long>(stats.published),
+                  static_cast<unsigned long long>(stats.suppressed),
+                  100.0 * stats.SuppressionRatio(),
+                  static_cast<unsigned long long>(stats.predictions));
+    } else if (command == "write") {
+      std::string device_name;
+      double mb = 1.0;
+      input >> device_name >> mb;
+      auto device = cluster->FindDevice(device_name);
+      if (!device.ok()) {
+        std::printf("error: %s\n", device.error().ToString().c_str());
+        continue;
+      }
+      auto result = (*device)->Write(
+          static_cast<std::uint64_t>(mb * (1 << 20)), apollo.clock().Now());
+      if (result.ok()) {
+        std::printf("wrote %.1f MB to %s (done at t=%.3fs)\n", mb,
+                    device_name.c_str(), ToSeconds(result->end));
+      } else {
+        std::printf("error: %s\n", result.error().ToString().c_str());
+      }
+    } else if (command == "fail" || command == "heal") {
+      std::string node_name;
+      input >> node_name;
+      auto node = cluster->FindNode(node_name);
+      if (!node.ok()) {
+        std::printf("error: %s\n", node.error().ToString().c_str());
+        continue;
+      }
+      (*node)->SetOnline(command == "heal");
+      std::printf("%s is now %s\n", node_name.c_str(),
+                  command == "heal" ? "online" : "offline");
+    } else if (command == "dot") {
+      std::fputs(apollo.graph().ToDot().c_str(), stdout);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+  }
+  return 0;
+}

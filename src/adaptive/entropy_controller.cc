@@ -1,0 +1,68 @@
+#include "adaptive/entropy_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace apollo {
+
+double PermutationEntropy(const std::vector<double>& values, int m) {
+  if (m < 2) m = 2;
+  const std::size_t n = values.size();
+  if (n < static_cast<std::size_t>(m)) return 0.0;
+
+  // Count ordinal patterns. Encode each pattern as a permutation index.
+  std::map<std::vector<int>, int> counts;
+  const std::size_t tuples = n - static_cast<std::size_t>(m) + 1;
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (std::size_t start = 0; start < tuples; ++start) {
+    for (int k = 0; k < m; ++k) order[static_cast<std::size_t>(k)] = k;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return values[start + static_cast<std::size_t>(a)] <
+             values[start + static_cast<std::size_t>(b)];
+    });
+    ++counts[order];
+  }
+
+  double entropy = 0.0;
+  for (const auto& [pattern, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(tuples);
+    entropy -= p * std::log(p);
+  }
+  // Normalize by log(m!).
+  double log_m_factorial = 0.0;
+  for (int k = 2; k <= m; ++k) log_m_factorial += std::log(k);
+  if (log_m_factorial <= 0.0) return 0.0;
+  return entropy / log_m_factorial;
+}
+
+EntropyAimd::EntropyAimd(const EntropyAimdConfig& config)
+    : config_(config), interval_(config.initial_interval) {}
+
+TimeNs EntropyAimd::OnSample(double value) {
+  window_.push_back(value);
+  while (window_.size() > config_.window) window_.pop_front();
+
+  if (window_.size() < static_cast<std::size_t>(config_.embedding)) {
+    return interval_;
+  }
+  entropy_ = PermutationEntropy(
+      std::vector<double>(window_.begin(), window_.end()),
+      config_.embedding);
+
+  const double factor = entropy_ <= config_.target_entropy
+                            ? config_.relax_factor
+                            : config_.tighten_factor;
+  interval_ = static_cast<TimeNs>(static_cast<double>(interval_) * factor);
+  interval_ = std::max(config_.min_interval,
+                       std::min(config_.max_interval, interval_));
+  return interval_;
+}
+
+void EntropyAimd::Reset() {
+  interval_ = config_.initial_interval;
+  window_.clear();
+  entropy_ = 0.0;
+}
+
+}  // namespace apollo

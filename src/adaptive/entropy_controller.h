@@ -1,0 +1,57 @@
+// Permutation-entropy-based adaptive interval — the paper's future-work
+// heuristic ("a more intricate heuristic metric inspired by entropy
+// changes in physics", §6, citing Cao et al.'s permutation entropy).
+//
+// The controller embeds the recent value window into ordinal patterns of
+// dimension m and computes the normalized permutation entropy H in [0, 1]:
+// low H = the series is ordinally predictable (monotone/constant/strictly
+// periodic) and polling can relax; high H = the dynamics are changing and
+// polling must tighten. The interval is driven multiplicatively by the
+// distance between H and a target entropy.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "adaptive/interval_controller.h"
+
+namespace apollo {
+
+// Normalized permutation entropy of `values` with embedding dimension m
+// (2..5). Returns 0 for fewer than m values. Ties are broken by position
+// (stable), following the usual convention.
+double PermutationEntropy(const std::vector<double>& values, int m);
+
+struct EntropyAimdConfig {
+  TimeNs initial_interval = Seconds(1);
+  TimeNs min_interval = Seconds(1);
+  TimeNs max_interval = Seconds(30);
+  std::size_t window = 16;     // samples kept for the entropy estimate
+  int embedding = 3;           // ordinal pattern length m
+  double target_entropy = 0.4; // H below target -> relax, above -> tighten
+  double relax_factor = 1.25;  // interval *= relax_factor when predictable
+  double tighten_factor = 0.5; // interval *= tighten_factor when chaotic
+};
+
+class EntropyAimd final : public IntervalController {
+ public:
+  explicit EntropyAimd(const EntropyAimdConfig& config);
+
+  TimeNs OnSample(double value) override;
+  TimeNs CurrentInterval() const override { return interval_; }
+  const char* Name() const override { return "entropy_aimd"; }
+  void Reset() override;
+
+  // Most recent entropy estimate (0 until the window has `embedding`
+  // samples).
+  double CurrentEntropy() const { return entropy_; }
+
+ private:
+  EntropyAimdConfig config_;
+  TimeNs interval_;
+  std::deque<double> window_;
+  double entropy_ = 0.0;
+};
+
+}  // namespace apollo

@@ -1,0 +1,92 @@
+#include "adaptive/interval_controller.h"
+
+#include <cmath>
+
+#include "adaptive/entropy_controller.h"
+
+namespace apollo {
+
+namespace {
+TimeNs Clamp(TimeNs value, TimeNs lo, TimeNs hi) {
+  return std::max(lo, std::min(hi, value));
+}
+}  // namespace
+
+SimpleAimd::SimpleAimd(const AimdConfig& config)
+    : config_(config), interval_(config.initial_interval) {}
+
+TimeNs SimpleAimd::OnSample(double value) {
+  if (!has_prev_) {
+    has_prev_ = true;
+    prev_value_ = value;
+    return interval_;
+  }
+  const double change = std::fabs(value - prev_value_);
+  prev_value_ = value;
+  if (change <= config_.change_threshold) {
+    interval_ += config_.additive_step;
+  } else {
+    interval_ = static_cast<TimeNs>(static_cast<double>(interval_) *
+                                    config_.decrease_factor);
+  }
+  interval_ = Clamp(interval_, config_.min_interval, config_.max_interval);
+  return interval_;
+}
+
+void SimpleAimd::Reset() {
+  interval_ = config_.initial_interval;
+  has_prev_ = false;
+  prev_value_ = 0.0;
+}
+
+ComplexAimd::ComplexAimd(const AimdConfig& config, std::size_t window)
+    : config_(config), interval_(config.initial_interval), rolling_(window) {}
+
+TimeNs ComplexAimd::OnSample(double value) {
+  if (!has_prev_) {
+    has_prev_ = true;
+    prev_value_ = value;
+    return interval_;
+  }
+  const double change = std::fabs(value - prev_value_);
+  prev_value_ = value;
+  // Deviation from the expected (rolling average) change, not from the
+  // previous value — this is what lets discrete bouncing metrics settle.
+  const double expected = rolling_.Value();
+  const double deviation = std::fabs(change - expected);
+  rolling_.Add(change);
+  if (deviation <= config_.change_threshold) {
+    interval_ += config_.additive_step;
+  } else {
+    interval_ = static_cast<TimeNs>(static_cast<double>(interval_) *
+                                    config_.decrease_factor);
+  }
+  interval_ = Clamp(interval_, config_.min_interval, config_.max_interval);
+  return interval_;
+}
+
+void ComplexAimd::Reset() {
+  interval_ = config_.initial_interval;
+  has_prev_ = false;
+  prev_value_ = 0.0;
+  rolling_.Reset();
+}
+
+std::unique_ptr<IntervalController> MakeController(const std::string& kind,
+                                                   const AimdConfig& config,
+                                                   TimeNs fixed_interval) {
+  if (kind == "fixed") return std::make_unique<FixedInterval>(fixed_interval);
+  if (kind == "simple_aimd") return std::make_unique<SimpleAimd>(config);
+  if (kind == "complex_aimd") return std::make_unique<ComplexAimd>(config);
+  if (kind == "entropy_aimd") {
+    EntropyAimdConfig entropy_config;
+    entropy_config.initial_interval = config.initial_interval;
+    entropy_config.min_interval = config.min_interval;
+    entropy_config.max_interval = config.max_interval;
+    entropy_config.tighten_factor = config.decrease_factor;
+    return std::make_unique<EntropyAimd>(entropy_config);
+  }
+  return nullptr;
+}
+
+}  // namespace apollo

@@ -1,0 +1,106 @@
+// Adaptive & dynamic monitoring interval controllers (§3.4.1).
+//
+// After every poll the Monitor Hook reports the observed value; the
+// controller answers "how long until the next poll". Three policies:
+//
+//  - FixedInterval: the static baseline (what Ganglia/LDMS do).
+//  - SimpleAimd: Additive-Increase/Multiplicative-Decrease on the raw
+//    change. Change within threshold -> interval += add_step; otherwise
+//    interval *= decrease_factor.
+//  - ComplexAimd (adaptive parameterized): compares each change against a
+//    rolling average of recent changes (window 10 in the paper), which
+//    tolerates metrics that bounce between discrete value groupings.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "timeseries/stats.h"
+
+namespace apollo {
+
+class IntervalController {
+ public:
+  virtual ~IntervalController() = default;
+
+  // Reports a freshly polled value; returns the interval until the next
+  // poll.
+  virtual TimeNs OnSample(double value) = 0;
+
+  // Interval that would be used right now without new information.
+  virtual TimeNs CurrentInterval() const = 0;
+
+  virtual const char* Name() const = 0;
+  virtual void Reset() = 0;
+};
+
+class FixedInterval final : public IntervalController {
+ public:
+  explicit FixedInterval(TimeNs interval) : interval_(interval) {}
+
+  TimeNs OnSample(double /*value*/) override { return interval_; }
+  TimeNs CurrentInterval() const override { return interval_; }
+  const char* Name() const override { return "fixed"; }
+  void Reset() override {}
+
+ private:
+  TimeNs interval_;
+};
+
+struct AimdConfig {
+  TimeNs initial_interval = Seconds(1);
+  TimeNs min_interval = Millis(100);
+  TimeNs max_interval = Seconds(30);
+  TimeNs additive_step = Seconds(1);   // added when the metric is stable
+  double decrease_factor = 0.5;        // multiplied when it is changing
+  double change_threshold = 0.0;       // |change| (or deviation) <= threshold
+                                       //   counts as "stable"
+};
+
+class SimpleAimd final : public IntervalController {
+ public:
+  explicit SimpleAimd(const AimdConfig& config);
+
+  TimeNs OnSample(double value) override;
+  TimeNs CurrentInterval() const override { return interval_; }
+  const char* Name() const override { return "simple_aimd"; }
+  void Reset() override;
+
+  const AimdConfig& config() const { return config_; }
+
+ private:
+  AimdConfig config_;
+  TimeNs interval_;
+  bool has_prev_ = false;
+  double prev_value_ = 0.0;
+};
+
+class ComplexAimd final : public IntervalController {
+ public:
+  // `window` is the rolling-average length over past changes (paper: 10).
+  ComplexAimd(const AimdConfig& config, std::size_t window = 10);
+
+  TimeNs OnSample(double value) override;
+  TimeNs CurrentInterval() const override { return interval_; }
+  const char* Name() const override { return "complex_aimd"; }
+  void Reset() override;
+
+  std::size_t window() const { return rolling_.Window(); }
+
+ private:
+  AimdConfig config_;
+  TimeNs interval_;
+  bool has_prev_ = false;
+  double prev_value_ = 0.0;
+  RollingMean rolling_;
+};
+
+// Factory helpers.
+std::unique_ptr<IntervalController> MakeController(const std::string& kind,
+                                                   const AimdConfig& config,
+                                                   TimeNs fixed_interval);
+
+}  // namespace apollo

@@ -1,0 +1,232 @@
+#include "apollo/apollo_service.h"
+
+#include "common/logging.h"
+
+namespace apollo {
+
+ApolloService::ApolloService(ApolloOptions options)
+    : options_(std::move(options)) {
+  if (options_.mode == ApolloOptions::Mode::kSimulated) {
+    sim_clock_ = std::make_unique<SimClock>();
+    clock_ = sim_clock_.get();
+    loop_ = std::make_unique<EventLoop>(*clock_, /*auto_advance=*/true,
+                                        sim_clock_.get());
+  } else {
+    clock_ = &RealClock::Instance();
+    loop_ = std::make_unique<EventLoop>(*clock_);
+  }
+  broker_ = std::make_unique<Broker>(*clock_, options_.network);
+  graph_ = std::make_unique<ScoreGraph>(*broker_);
+  if (options_.query_threads > 0 &&
+      options_.mode == ApolloOptions::Mode::kRealTime) {
+    pool_ = std::make_unique<ThreadPool>(options_.query_threads);
+  }
+  executor_ = std::make_unique<aqe::Executor>(
+      *broker_, pool_.get(), aqe::ExecutorOptions{options_.client_node});
+}
+
+ApolloService::~ApolloService() {
+  Stop();
+  // Vertices must be undeployed (their timers cancelled) before the loop is
+  // destroyed.
+  graph_->UndeployAll();
+}
+
+Expected<FactVertex*> ApolloService::DeployFact(
+    MonitorHook hook, const FactDeployment& deployment) {
+  auto controller =
+      MakeController(deployment.controller, deployment.aimd,
+                     deployment.fixed_interval);
+  if (controller == nullptr) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unknown controller kind: " + deployment.controller);
+  }
+  FactVertexConfig config;
+  config.topic = deployment.topic.empty() ? hook.metric_name
+                                          : deployment.topic;
+  config.node = deployment.node;
+  config.queue_capacity = deployment.queue_capacity;
+  config.publish_only_on_change = deployment.publish_only_on_change;
+  const delphi::DelphiModel* model = nullptr;
+  if (deployment.use_delphi) {
+    if (delphi_ == nullptr) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "use_delphi requested but no Delphi model is set");
+    }
+    model = delphi_.get();
+    config.prediction_granularity = deployment.prediction_granularity;
+  }
+  Archiver<Sample>* archiver = nullptr;
+  switch (deployment.archive) {
+    case FactDeployment::Archive::kNone:
+      break;
+    case FactDeployment::Archive::kMemory:
+      archivers_.push_back(std::make_unique<Archiver<Sample>>());
+      archiver = archivers_.back().get();
+      break;
+    case FactDeployment::Archive::kInherit:
+      if (!options_.archive_dir.empty()) {
+        archivers_.push_back(std::make_unique<Archiver<Sample>>(
+            options_.archive_dir + "/" + config.topic + ".log"));
+        archiver = archivers_.back().get();
+      }
+      break;
+  }
+  auto vertex = std::make_unique<FactVertex>(
+      *broker_, std::move(hook), std::move(controller), std::move(config),
+      model, archiver);
+  return graph_->AddFact(std::move(vertex), loop_.get());
+}
+
+Expected<InsightVertex*> ApolloService::DeployInsight(
+    InsightVertexConfig config, InsightFn fn, bool use_delphi) {
+  const delphi::DelphiModel* model = nullptr;
+  if (use_delphi) {
+    if (delphi_ == nullptr) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "use_delphi requested but no Delphi model is set");
+    }
+    model = delphi_.get();
+    if (config.prediction_granularity == 0) {
+      config.prediction_granularity = Seconds(1);
+    }
+  }
+  auto vertex = std::make_unique<InsightVertex>(*broker_, std::move(fn),
+                                                std::move(config), model);
+  return graph_->AddInsight(std::move(vertex), loop_.get());
+}
+
+Status ApolloService::Undeploy(const std::string& topic) {
+  return graph_->Remove(topic);
+}
+
+void ApolloService::SetDelphiModel(delphi::DelphiModel model) {
+  delphi_ = std::make_unique<delphi::DelphiModel>(std::move(model));
+}
+
+Status ApolloService::Start() {
+  if (options_.mode != ApolloOptions::Mode::kRealTime) {
+    return Status::Ok();  // simulated mode is driven by RunFor/RunUntil
+  }
+  if (running_) {
+    return Status(ErrorCode::kFailedPrecondition, "already started");
+  }
+  running_ = true;
+  loop_->ClearStop();  // before the thread starts: no race with Stop()
+  loop_thread_ = std::thread([this] {
+    loop_->Run(std::numeric_limits<TimeNs>::max(),
+               /*stop_when_idle=*/false);
+  });
+  return Status::Ok();
+}
+
+void ApolloService::Stop() {
+  if (!running_) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_ = false;
+}
+
+Status ApolloService::RunFor(TimeNs duration) {
+  return RunUntil(clock_->Now() + duration);
+}
+
+Status ApolloService::RunUntil(TimeNs end_time) {
+  if (options_.mode != ApolloOptions::Mode::kSimulated) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "RunUntil is only valid in simulated mode");
+  }
+  loop_->ClearStop();
+  loop_->Run(end_time, /*stop_when_idle=*/true);
+  // Land exactly on end_time so back-to-back RunFor calls tile the
+  // timeline.
+  sim_clock_->AdvanceTo(end_time);
+  return Status::Ok();
+}
+
+Expected<aqe::ResultSet> ApolloService::Query(const std::string& query_text) {
+  return executor_->Execute(query_text);
+}
+
+ApolloService::SubscriptionId ApolloService::Subscribe(
+    const std::string& topic, TimeNs poll_interval,
+    SampleCallback callback) {
+  const NodeId client = options_.client_node;
+  // The cursor lives in the timer closure; kUnset means "not attached to
+  // the topic yet" (topic may be created later).
+  auto cursor = std::make_shared<std::optional<std::uint64_t>>();
+  Broker* broker = broker_.get();
+  const TimerId timer = loop_->AddTimer(
+      0, [broker, topic, client, cursor,
+          callback = std::move(callback), poll_interval](TimeNs) -> TimeNs {
+        auto stream = broker->GetTopic(topic);
+        if (!stream.ok()) return poll_interval;  // wait for creation
+        if (!cursor->has_value()) *cursor = 0;
+        std::uint64_t position = **cursor;
+        auto entries = broker->Fetch(topic, client, position);
+        if (entries.ok()) {
+          for (const auto& entry : *entries) callback(topic, entry);
+          *cursor = position;
+        }
+        return poll_interval;
+      });
+
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  const SubscriptionId id = next_subscription_++;
+  subscriptions_.emplace(id, SubscriptionState{timer});
+  return id;
+}
+
+Status ApolloService::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  "no subscription " + std::to_string(id));
+  }
+  loop_->CancelTimer(it->second.timer);
+  subscriptions_.erase(it);
+  return Status::Ok();
+}
+
+std::size_t ApolloService::SubscriptionCount() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subscriptions_.size();
+}
+
+ApolloService::ServiceStats ApolloService::Stats() const {
+  ServiceStats stats;
+  for (const std::string& topic : graph_->FactTopics()) {
+    auto vertex = graph_->FindFact(topic);
+    if (!vertex.ok()) continue;
+    const VertexStats& vs = (*vertex)->stats();
+    ++stats.fact_vertices;
+    stats.hook_calls += vs.hook_calls;
+    stats.published += vs.published;
+    stats.suppressed += vs.suppressed;
+    stats.predictions += vs.predictions;
+    stats.hook_time_ns += vs.hook_time_ns;
+    stats.publish_time_ns += vs.publish_time_ns;
+    stats.predict_time_ns += vs.predict_time_ns;
+  }
+  for (const std::string& topic : graph_->InsightTopics()) {
+    auto vertex = graph_->FindInsight(topic);
+    if (!vertex.ok()) continue;
+    const VertexStats& vs = (*vertex)->stats();
+    ++stats.insight_vertices;
+    stats.published += vs.published;
+    stats.suppressed += vs.suppressed;
+    stats.predictions += vs.predictions;
+    stats.publish_time_ns += vs.publish_time_ns;
+    stats.predict_time_ns += vs.predict_time_ns;
+  }
+  return stats;
+}
+
+Expected<double> ApolloService::LatestValue(const std::string& topic) {
+  auto latest = broker_->LatestValue(topic, options_.client_node);
+  if (!latest.ok()) return latest.error();
+  return latest->value;
+}
+
+}  // namespace apollo

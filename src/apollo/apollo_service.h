@@ -1,0 +1,179 @@
+// ApolloService — the public facade wiring every subsystem together.
+//
+// Owns the pub-sub broker, the SCoRe graph, the event loop that drives
+// vertices, the query thread pool, and (optionally) a trained Delphi model
+// shared by all vertices. Two operating modes:
+//
+//  - kRealTime: the event loop runs on a background thread against the
+//    monotonic clock. Used by latency/throughput experiments and by any
+//    real deployment of the library.
+//  - kSimulated: the service owns a SimClock and the caller advances
+//    virtual time with RunFor()/RunUntil(); 30 minutes of monitoring
+//    complete in milliseconds. Used by workload-replay experiments.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   ApolloService apollo(ApolloOptions{});
+//   apollo.DeployFact(CapacityRemainingHook(device),
+//                     FactDeployment{.controller = "complex_aimd"});
+//   apollo.DeployInsight({.topic = "tier_capacity",
+//                         .upstream = {...}}, SumInsight());
+//   apollo.Start();
+//   auto rs = apollo.Query("SELECT MAX(Timestamp), metric FROM ...");
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adaptive/interval_controller.h"
+#include "aqe/executor.h"
+#include "common/clock.h"
+#include "common/expected.h"
+#include "concurrent/thread_pool.h"
+#include "delphi/delphi_model.h"
+#include "eventloop/event_loop.h"
+#include "pubsub/broker.h"
+#include "score/score_graph.h"
+
+namespace apollo {
+
+struct ApolloOptions {
+  enum class Mode { kRealTime, kSimulated };
+  Mode mode = Mode::kRealTime;
+  std::shared_ptr<const NetworkModel> network;  // null = free network
+  std::size_t query_threads = 4;  // 0 = sequential query resolution
+  NodeId client_node = kLocalNode;
+  // When set, every deployed vertex gets a file-backed Archiver at
+  // <archive_dir>/<topic>.log; entries evicted from the in-memory window
+  // persist there and remain reachable by AQE timestamp-range queries.
+  // Empty = in-memory archives only when a vertex requests one.
+  std::string archive_dir;
+};
+
+// Per-fact deployment knobs (wraps FactVertexConfig + controller choice).
+struct FactDeployment {
+  std::string controller = "fixed";  // fixed | simple_aimd | complex_aimd
+  TimeNs fixed_interval = Seconds(1);
+  AimdConfig aimd;
+  std::string topic;  // default: hook metric name
+  NodeId node = kLocalNode;
+  std::size_t queue_capacity = 4096;
+  bool publish_only_on_change = true;
+  bool use_delphi = false;
+  TimeNs prediction_granularity = Seconds(1);
+  // Attach an archiver for evicted entries: "inherit" follows the service
+  // option (file-backed when archive_dir is set), "memory" forces an
+  // in-memory archive, "none" drops evicted entries.
+  enum class Archive { kInherit, kMemory, kNone };
+  Archive archive = Archive::kInherit;
+};
+
+class ApolloService {
+ public:
+  explicit ApolloService(ApolloOptions options = {});
+  ~ApolloService();
+
+  ApolloService(const ApolloService&) = delete;
+  ApolloService& operator=(const ApolloService&) = delete;
+
+  // --- deployment ---
+  Expected<FactVertex*> DeployFact(MonitorHook hook,
+                                   const FactDeployment& deployment = {});
+  Expected<InsightVertex*> DeployInsight(InsightVertexConfig config,
+                                         InsightFn fn,
+                                         bool use_delphi = false);
+  Status Undeploy(const std::string& topic);
+
+  // Makes a trained Delphi model available to subsequent deployments with
+  // use_delphi/prediction enabled.
+  void SetDelphiModel(delphi::DelphiModel model);
+  bool HasDelphiModel() const { return delphi_ != nullptr; }
+  const delphi::DelphiModel* delphi_model() const { return delphi_.get(); }
+
+  // --- lifecycle ---
+  // Real-time mode: starts the event loop thread. Simulated mode: no-op.
+  Status Start();
+  void Stop();
+
+  // Simulated mode: advances virtual time, firing every due timer.
+  Status RunFor(TimeNs duration);
+  Status RunUntil(TimeNs end_time);
+
+  // --- query surface ---
+  Expected<aqe::ResultSet> Query(const std::string& query_text);
+  Expected<double> LatestValue(const std::string& topic);
+
+  // --- push-style subscriptions ---
+  // Delivers every new entry of `topic` to `callback`, polled from the
+  // event loop every `poll_interval` (the pull-based subscribe of §3.1;
+  // callbacks run on the loop thread in real-time mode). The topic need
+  // not exist yet — delivery starts once it does.
+  using SubscriptionId = std::uint64_t;
+  using SampleCallback = std::function<void(
+      const std::string& topic, const StreamEntry<Sample>& entry)>;
+  SubscriptionId Subscribe(const std::string& topic, TimeNs poll_interval,
+                           SampleCallback callback);
+  Status Unsubscribe(SubscriptionId id);
+  std::size_t SubscriptionCount() const;
+
+  // --- service self-telemetry ---
+  // Aggregate of every deployed vertex's counters: the monitoring
+  // service's own cost surface (what Figure 5 samples externally).
+  struct ServiceStats {
+    std::uint64_t fact_vertices = 0;
+    std::uint64_t insight_vertices = 0;
+    std::uint64_t hook_calls = 0;
+    std::uint64_t published = 0;
+    std::uint64_t suppressed = 0;
+    std::uint64_t predictions = 0;
+    std::int64_t hook_time_ns = 0;
+    std::int64_t publish_time_ns = 0;
+    std::int64_t predict_time_ns = 0;
+
+    // Fraction of would-be publishes avoided by change suppression.
+    double SuppressionRatio() const {
+      const std::uint64_t total = published + suppressed;
+      return total == 0 ? 0.0
+                        : static_cast<double>(suppressed) /
+                              static_cast<double>(total);
+    }
+  };
+  ServiceStats Stats() const;
+
+  // --- accessors ---
+  Broker& broker() { return *broker_; }
+  ScoreGraph& graph() { return *graph_; }
+  EventLoop& loop() { return *loop_; }
+  Clock& clock() { return *clock_; }
+  SimClock* sim_clock() { return sim_clock_.get(); }
+  const ApolloOptions& options() const { return options_; }
+
+ private:
+  ApolloOptions options_;
+  std::unique_ptr<SimClock> sim_clock_;  // only in simulated mode
+  Clock* clock_ = nullptr;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<ScoreGraph> graph_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<aqe::Executor> executor_;
+  std::unique_ptr<delphi::DelphiModel> delphi_;
+  std::vector<std::unique_ptr<Archiver<Sample>>> archivers_;
+
+  std::thread loop_thread_;
+  bool running_ = false;
+
+  struct SubscriptionState {
+    TimerId timer;
+  };
+  mutable std::mutex subs_mu_;
+  std::map<SubscriptionId, SubscriptionState> subscriptions_;
+  SubscriptionId next_subscription_ = 1;
+};
+
+}  // namespace apollo

@@ -1,0 +1,148 @@
+#include "apollo/deployment_plan.h"
+
+#include "insights/curations.h"
+#include "score/monitor_hook.h"
+
+namespace apollo {
+
+std::string DeviceTopic(const Device& device, const std::string& metric) {
+  return device.name() + "." + metric;
+}
+
+std::string NodeTopic(const Node& node, const std::string& metric) {
+  return node.name() + "." + metric;
+}
+
+std::string TierTopic(DeviceType tier) {
+  return std::string("tier.") + DeviceTypeName(tier) + ".remaining";
+}
+
+namespace {
+
+FactDeployment BaseFactDeployment(const DeploymentPlanOptions& options,
+                                  NodeId node) {
+  FactDeployment deployment;
+  deployment.controller = options.controller;
+  deployment.aimd = options.aimd;
+  deployment.fixed_interval = options.fixed_interval;
+  deployment.node = node;
+  deployment.use_delphi = options.use_delphi;
+  deployment.prediction_granularity = options.prediction_granularity;
+  return deployment;
+}
+
+}  // namespace
+
+Expected<DeploymentPlan> DeployStandardMonitoring(
+    ApolloService& service, Cluster& cluster,
+    const DeploymentPlanOptions& options) {
+  DeploymentPlan plan;
+
+  auto deploy_fact = [&](MonitorHook hook, NodeId node,
+                         const std::string& topic) -> Status {
+    FactDeployment deployment = BaseFactDeployment(options, node);
+    deployment.topic = topic;
+    auto result = service.DeployFact(std::move(hook), deployment);
+    if (!result.ok()) {
+      return Status(result.error().code(), result.error().message());
+    }
+    plan.fact_topics.push_back(topic);
+    return Status::Ok();
+  };
+
+  // Per-device facts.
+  for (const auto& node : cluster.nodes()) {
+    for (const auto& device : node->devices()) {
+      if (options.capacity) {
+        Status s = deploy_fact(
+            CapacityRemainingHook(*device, options.hook_cost), node->id(),
+            DeviceTopic(*device, "capacity_remaining"));
+        if (!s.ok()) return Error(s.code(), s.message());
+      }
+      if (options.utilization) {
+        Status s = deploy_fact(UtilizationHook(*device, options.hook_cost),
+                               node->id(),
+                               DeviceTopic(*device, "utilization"));
+        if (!s.ok()) return Error(s.code(), s.message());
+      }
+      if (options.queue_depth) {
+        Status s = deploy_fact(QueueDepthHook(*device, options.hook_cost),
+                               node->id(),
+                               DeviceTopic(*device, "queue_depth"));
+        if (!s.ok()) return Error(s.code(), s.message());
+      }
+      if (options.bandwidth) {
+        Status s = deploy_fact(RealBandwidthHook(*device, options.hook_cost),
+                               node->id(), DeviceTopic(*device, "real_bw"));
+        if (!s.ok()) return Error(s.code(), s.message());
+      }
+    }
+    if (options.cpu_load) {
+      Status s = deploy_fact(CpuLoadHook(*node, options.hook_cost),
+                             node->id(), NodeTopic(*node, "cpu_load"));
+      if (!s.ok()) return Error(s.code(), s.message());
+    }
+    if (options.power) {
+      Status s = deploy_fact(PowerHook(*node, options.hook_cost), node->id(),
+                             NodeTopic(*node, "power_watts"));
+      if (!s.ok()) return Error(s.code(), s.message());
+    }
+  }
+
+  if (options.availability) {
+    Status s = deploy_fact(
+        insights::AvailableNodeCountHook(cluster, options.hook_cost),
+        kLocalNode, "cluster.available_nodes");
+    if (!s.ok()) return Error(s.code(), s.message());
+  }
+
+  auto deploy_insight = [&](InsightVertexConfig config,
+                            InsightFn fn) -> Status {
+    const std::string topic = config.topic;
+    auto result = service.DeployInsight(std::move(config), std::move(fn));
+    if (!result.ok()) {
+      return Status(result.error().code(), result.error().message());
+    }
+    plan.insight_topics.push_back(topic);
+    return Status::Ok();
+  };
+
+  // Per-node total-capacity insights over the device capacity facts.
+  if (options.node_insights && options.capacity) {
+    for (const auto& node : cluster.nodes()) {
+      InsightVertexConfig config;
+      config.topic = NodeTopic(*node, "total_capacity");
+      config.node = node->id();
+      config.pull_interval = options.insight_pull_interval;
+      for (const auto& device : node->devices()) {
+        config.upstream.push_back(
+            DeviceTopic(*device, "capacity_remaining"));
+      }
+      if (config.upstream.empty()) continue;
+      Status s = deploy_insight(std::move(config), SumInsight());
+      if (!s.ok()) return Error(s.code(), s.message());
+    }
+  }
+
+  // Per-tier remaining-capacity insights.
+  if (options.tier_insights && options.capacity) {
+    for (DeviceType tier : {DeviceType::kRam, DeviceType::kNvme,
+                            DeviceType::kSsd, DeviceType::kHdd}) {
+      const auto devices = cluster.DevicesOfType(tier);
+      if (devices.empty()) continue;
+      InsightVertexConfig config;
+      config.topic = TierTopic(tier);
+      config.pull_interval = options.insight_pull_interval;
+      for (Device* device : devices) {
+        config.upstream.push_back(
+            DeviceTopic(*device, "capacity_remaining"));
+      }
+      Status s = deploy_insight(std::move(config), SumInsight());
+      if (!s.ok()) return Error(s.code(), s.message());
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace apollo

@@ -1,0 +1,61 @@
+// StandardDeployment: one-call monitoring coverage for a simulated cluster.
+//
+// Deploys the monitoring suite a storage-focused site would want (the
+// paper's Figure 2 layout generalized): per-device capacity/utilization/
+// queue-depth/bandwidth facts, per-node CPU/power facts, per-node and
+// per-tier capacity insights, and a cluster availability fact — each with
+// the chosen interval controller. Returns the created topic names so
+// clients can query them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apollo/apollo_service.h"
+#include "cluster/cluster.h"
+
+namespace apollo {
+
+struct DeploymentPlanOptions {
+  std::string controller = "complex_aimd";
+  AimdConfig aimd;
+  TimeNs fixed_interval = Seconds(1);
+  TimeNs insight_pull_interval = Seconds(2);
+  TimeNs hook_cost = 0;
+  bool use_delphi = false;
+  TimeNs prediction_granularity = Seconds(1);
+  // Metric families to deploy per device.
+  bool capacity = true;
+  bool utilization = true;
+  bool queue_depth = false;
+  bool bandwidth = false;
+  // Per-node facts.
+  bool cpu_load = true;
+  bool power = false;
+  // Cluster-level extras.
+  bool availability = true;
+  bool tier_insights = true;
+  bool node_insights = true;
+};
+
+struct DeploymentPlan {
+  std::vector<std::string> fact_topics;
+  std::vector<std::string> insight_topics;
+
+  std::size_t TotalVertices() const {
+    return fact_topics.size() + insight_topics.size();
+  }
+};
+
+// Deploys the plan onto `service`. The cluster must outlive the service's
+// vertices. Fails fast on the first deployment error.
+Expected<DeploymentPlan> DeployStandardMonitoring(
+    ApolloService& service, Cluster& cluster,
+    const DeploymentPlanOptions& options = {});
+
+// Topic-name conventions used by the standard deployment.
+std::string DeviceTopic(const Device& device, const std::string& metric);
+std::string NodeTopic(const Node& node, const std::string& metric);
+std::string TierTopic(DeviceType tier);
+
+}  // namespace apollo

@@ -1,0 +1,67 @@
+// AST for the Apollo Query Engine's query dialect.
+//
+// The dialect covers the paper's resource queries (§4.4.1):
+//   SELECT MAX(Timestamp), metric FROM pfs_capacity
+//   UNION
+//   SELECT MAX(Timestamp), metric FROM node_1_memory_capacity ...;
+//
+// plus aggregates, WHERE on timestamp/metric/provenance, ORDER BY and
+// LIMIT. Tables are SCoRe topics; columns are the Information tuple fields
+// (timestamp, metric, predicted).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apollo::aqe {
+
+enum class Aggregate {
+  kNone,   // plain column reference
+  kMax,
+  kMin,
+  kAvg,
+  kSum,
+  kCount,
+  kLast,   // value of the row with the max timestamp
+};
+
+enum class Column { kTimestamp, kMetric, kPredicted, kStar };
+
+struct SelectItem {
+  Aggregate aggregate = Aggregate::kNone;
+  Column column = Column::kMetric;
+};
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+struct Condition {
+  Column column = Column::kTimestamp;
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;
+};
+
+struct OrderBy {
+  Column column = Column::kTimestamp;
+  bool descending = false;
+};
+
+struct Select {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Condition> where;  // implicitly ANDed
+  std::optional<OrderBy> order_by;
+  std::optional<std::uint64_t> limit;
+};
+
+struct Query {
+  // UNION of per-table selects — each resolves independently (and in
+  // parallel) against its vertex.
+  std::vector<Select> selects;
+};
+
+const char* AggregateName(Aggregate agg);
+const char* ColumnName(Column col);
+
+}  // namespace apollo::aqe

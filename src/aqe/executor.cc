@@ -1,0 +1,298 @@
+#include "aqe/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+
+namespace apollo::aqe {
+
+namespace {
+
+double CellOf(Column column, const StreamEntry<Sample>& entry) {
+  switch (column) {
+    case Column::kTimestamp:
+      return static_cast<double>(entry.value.timestamp);
+    case Column::kMetric:
+      return entry.value.value;
+    case Column::kPredicted:
+      return entry.value.provenance == Provenance::kPredicted ? 1.0 : 0.0;
+    case Column::kStar:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool Matches(const Condition& cond, const StreamEntry<Sample>& entry) {
+  const double lhs = CellOf(cond.column, entry);
+  switch (cond.op) {
+    case CompareOp::kLt:
+      return lhs < cond.value;
+    case CompareOp::kLe:
+      return lhs <= cond.value;
+    case CompareOp::kGt:
+      return lhs > cond.value;
+    case CompareOp::kGe:
+      return lhs >= cond.value;
+    case CompareOp::kEq:
+      return lhs == cond.value;
+    case CompareOp::kNe:
+      return lhs != cond.value;
+  }
+  return false;
+}
+
+std::string LabelOf(const SelectItem& item) {
+  if (item.aggregate == Aggregate::kNone) return ColumnName(item.column);
+  return std::string(AggregateName(item.aggregate)) + "(" +
+         ColumnName(item.column) + ")";
+}
+
+}  // namespace
+
+Executor::Executor(Broker& broker, ThreadPool* pool, ExecutorOptions options)
+    : broker_(broker), pool_(pool), options_(options) {}
+
+Expected<ResultSet> Executor::Execute(const std::string& query_text) {
+  auto query = Parse(query_text);
+  if (!query.ok()) return query.error();
+  return ExecuteQuery(*query);
+}
+
+Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
+  if (query.selects.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty query");
+  }
+  ResultSet result;
+  for (const SelectItem& item : query.selects.front().items) {
+    result.columns.push_back(LabelOf(item));
+  }
+
+  if (pool_ != nullptr && query.selects.size() > 1) {
+    std::vector<std::future<Expected<std::vector<ResultRow>>>> futures;
+    futures.reserve(query.selects.size());
+    for (const Select& select : query.selects) {
+      futures.push_back(
+          pool_->Submit([this, &select] { return ExecuteSelect(select); }));
+    }
+    for (auto& future : futures) {
+      auto rows = future.get();
+      if (!rows.ok()) return rows.error();
+      for (auto& row : *rows) result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  for (const Select& select : query.selects) {
+    auto rows = ExecuteSelect(select);
+    if (!rows.ok()) return rows.error();
+    for (auto& row : *rows) result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
+    const Select& select) const {
+  auto topic = broker_.GetTopic(select.table);
+  if (!topic.ok()) return topic.error();
+  TelemetryStream* stream = *topic;
+
+  // Charge the client->vertex network hop once per table access.
+  const NodeId home = broker_.HomeNode(select.table);
+  if (options_.client_node != home) {
+    // Reuse the broker's latency model via a zero-length fetch.
+    std::uint64_t probe_cursor = stream->NextId();
+    (void)broker_.Fetch(select.table, options_.client_node, probe_cursor, 0);
+  }
+
+  // Fast path for the latest-value idiom (SELECT MAX(Timestamp), metric
+  // FROM t with no predicates): the answer is the stream's newest entry —
+  // no window scan, no archive. This is the query middleware issues per
+  // placement decision, so it gets O(1) treatment.
+  if (select.where.empty() && !select.items.empty()) {
+    const bool latest_only = std::all_of(
+        select.items.begin(), select.items.end(),
+        [](const SelectItem& item) {
+          return item.aggregate == Aggregate::kLast ||
+                 item.aggregate == Aggregate::kNone ||
+                 (item.aggregate == Aggregate::kMax &&
+                  item.column == Column::kTimestamp);
+        });
+    const bool has_aggregate_item = std::any_of(
+        select.items.begin(), select.items.end(),
+        [](const SelectItem& item) {
+          return item.aggregate != Aggregate::kNone;
+        });
+    if (latest_only && has_aggregate_item) {
+      auto latest = stream->Latest();
+      ResultRow row;
+      row.source = select.table;
+      for (const SelectItem& item : select.items) {
+        row.values.push_back(
+            latest.has_value()
+                ? CellOf(item.column, *latest)
+                : std::numeric_limits<double>::quiet_NaN());
+      }
+      return std::vector<ResultRow>{std::move(row)};
+    }
+  }
+
+  // Determine the candidate window: default = full in-memory window;
+  // timestamp predicates narrow it (and may reach into the archive).
+  TimeNs from_ts = std::numeric_limits<TimeNs>::min();
+  TimeNs to_ts = std::numeric_limits<TimeNs>::max();
+  for (const Condition& cond : select.where) {
+    if (cond.column != Column::kTimestamp) continue;
+    const TimeNs v = static_cast<TimeNs>(cond.value);
+    switch (cond.op) {
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        from_ts = std::max(from_ts, v);
+        break;
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        to_ts = std::min(to_ts, v);
+        break;
+      case CompareOp::kEq:
+        from_ts = std::max(from_ts, v);
+        to_ts = std::min(to_ts, v);
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+  }
+
+  std::vector<StreamEntry<Sample>> entries =
+      stream->RangeByTime(from_ts, to_ts);
+
+  // Archive fallback: if the query's lower bound precedes the in-memory
+  // window, pull older rows from the archiver.
+  Archiver<Sample>* archiver = stream->archiver();
+  if (archiver != nullptr) {
+    // Archive rows strictly older than the in-memory ones; when the window
+    // had no match at all, the whole range comes from the archive.
+    const TimeNs archive_to =
+        entries.empty() ? to_ts : entries.front().timestamp - 1;
+    if (from_ts <= archive_to && archiver->Count() > 0) {
+      auto archived = archiver->ReadRange(from_ts, archive_to);
+      if (archived.ok()) {
+        std::vector<StreamEntry<Sample>> merged;
+        merged.reserve(archived->size() + entries.size());
+        for (const auto& rec : *archived) {
+          merged.push_back(
+              StreamEntry<Sample>{rec.id, rec.timestamp, rec.payload});
+        }
+        merged.insert(merged.end(), entries.begin(), entries.end());
+        entries = std::move(merged);
+      }
+    }
+  }
+
+  // Apply remaining (non-timestamp-range) predicates.
+  std::vector<const StreamEntry<Sample>*> filtered;
+  filtered.reserve(entries.size());
+  for (const auto& entry : entries) {
+    bool keep = true;
+    for (const Condition& cond : select.where) {
+      if (!Matches(cond, entry)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(&entry);
+  }
+
+  const bool has_aggregate =
+      std::any_of(select.items.begin(), select.items.end(),
+                  [](const SelectItem& item) {
+                    return item.aggregate != Aggregate::kNone;
+                  });
+
+  std::vector<ResultRow> rows;
+
+  if (has_aggregate) {
+    // One row; bare columns in an aggregate select resolve against the
+    // latest matching entry (the paper's MAX(Timestamp), metric idiom).
+    const StreamEntry<Sample>* latest = nullptr;
+    for (const auto* entry : filtered) {
+      if (latest == nullptr || entry->value.timestamp >= latest->value.timestamp) {
+        latest = entry;
+      }
+    }
+    ResultRow row;
+    row.source = select.table;
+    for (const SelectItem& item : select.items) {
+      double cell = std::numeric_limits<double>::quiet_NaN();
+      switch (item.aggregate) {
+        case Aggregate::kNone:
+        case Aggregate::kLast:
+          if (latest != nullptr) cell = CellOf(item.column, *latest);
+          break;
+        case Aggregate::kCount:
+          cell = static_cast<double>(filtered.size());
+          break;
+        case Aggregate::kMax: {
+          double best = -std::numeric_limits<double>::infinity();
+          for (const auto* entry : filtered) {
+            best = std::max(best, CellOf(item.column, *entry));
+          }
+          if (!filtered.empty()) cell = best;
+          break;
+        }
+        case Aggregate::kMin: {
+          double best = std::numeric_limits<double>::infinity();
+          for (const auto* entry : filtered) {
+            best = std::min(best, CellOf(item.column, *entry));
+          }
+          if (!filtered.empty()) cell = best;
+          break;
+        }
+        case Aggregate::kAvg:
+        case Aggregate::kSum: {
+          double sum = 0.0;
+          for (const auto* entry : filtered) {
+            sum += CellOf(item.column, *entry);
+          }
+          if (!filtered.empty()) {
+            cell = item.aggregate == Aggregate::kSum
+                       ? sum
+                       : sum / static_cast<double>(filtered.size());
+          }
+          break;
+        }
+      }
+      row.values.push_back(cell);
+    }
+    rows.push_back(std::move(row));
+    return rows;
+  }
+
+  // Row-per-entry select.
+  std::vector<const StreamEntry<Sample>*> ordered = filtered;
+  if (select.order_by.has_value()) {
+    const OrderBy order = *select.order_by;
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [order](const StreamEntry<Sample>* a,
+                             const StreamEntry<Sample>* b) {
+                       const double av = CellOf(order.column, *a);
+                       const double bv = CellOf(order.column, *b);
+                       return order.descending ? av > bv : av < bv;
+                     });
+  }
+  std::size_t limit = ordered.size();
+  if (select.limit.has_value()) {
+    limit = std::min<std::size_t>(limit, *select.limit);
+  }
+  rows.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    ResultRow row;
+    row.source = select.table;
+    for (const SelectItem& item : select.items) {
+      row.values.push_back(CellOf(item.column, *ordered[i]));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace apollo::aqe

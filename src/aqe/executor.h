@@ -1,0 +1,62 @@
+// AQE executor: resolves a parsed query into parallel per-vertex stream
+// accesses (§3.1: "converts a client query into multiple Information
+// access calls which are served by the Query Executor of that Vertex").
+//
+// Each UNION branch targets one topic and is executed as an independent
+// task on a thread pool — the embarrassingly parallel resolution the paper
+// credits for its query-complexity scaling (Figure 12(b)). Rows come from
+// the in-memory stream window; WHERE clauses whose timestamp range reaches
+// below the window fall back to the vertex's Archiver.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aqe/ast.h"
+#include "aqe/parser.h"
+#include "common/expected.h"
+#include "concurrent/thread_pool.h"
+#include "pubsub/broker.h"
+
+namespace apollo::aqe {
+
+struct ResultRow {
+  std::string source;  // topic the row came from
+  std::vector<double> values;
+};
+
+struct ResultSet {
+  std::vector<std::string> columns;  // labels of the first SELECT's items
+  std::vector<ResultRow> rows;
+
+  std::size_t NumRows() const { return rows.size(); }
+};
+
+struct ExecutorOptions {
+  // Perspective node for network-latency charging on remote topic access.
+  NodeId client_node = kLocalNode;
+};
+
+class Executor {
+ public:
+  // `pool` may be null: queries then resolve sequentially on the calling
+  // thread (useful under a SimClock where worker threads would deadlock).
+  Executor(Broker& broker, ThreadPool* pool,
+           ExecutorOptions options = {});
+
+  // Parses and executes.
+  Expected<ResultSet> Execute(const std::string& query_text);
+
+  // Executes a pre-parsed query.
+  Expected<ResultSet> ExecuteQuery(const Query& query);
+
+ private:
+  Expected<std::vector<ResultRow>> ExecuteSelect(const Select& select) const;
+
+  Broker& broker_;
+  ThreadPool* pool_;
+  ExecutorOptions options_;
+};
+
+}  // namespace apollo::aqe

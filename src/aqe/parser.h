@@ -1,0 +1,15 @@
+// Recursive-descent parser for the AQE query dialect (see ast.h).
+#pragma once
+
+#include <string>
+
+#include "aqe/ast.h"
+#include "common/expected.h"
+
+namespace apollo::aqe {
+
+// Parses a query string. Keywords are case-insensitive; identifiers
+// (table names) are case-sensitive. A trailing semicolon is optional.
+Expected<Query> Parse(const std::string& text);
+
+}  // namespace apollo::aqe

@@ -1,0 +1,103 @@
+// Fluent builder for AQE queries — clients compose ASTs directly instead
+// of concatenating SQL strings.
+//
+//   Query q = QueryBuilder()
+//                 .Select(Aggregate::kMax, Column::kTimestamp)
+//                 .Select(Column::kMetric)
+//                 .From("pfs_capacity")
+//                 .Union()
+//                 .Select(Aggregate::kMax, Column::kTimestamp)
+//                 .Select(Column::kMetric)
+//                 .From("node_1_memory_capacity")
+//                 .Build();
+//
+// LatestValueQuery(topics) produces the paper's resource query (§4.4.1)
+// for a set of tables in one call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aqe/ast.h"
+#include "common/clock.h"
+
+namespace apollo::aqe {
+
+class QueryBuilder {
+ public:
+  QueryBuilder() { StartSelect(); }
+
+  QueryBuilder& Select(Column column) {
+    current_.items.push_back(SelectItem{Aggregate::kNone, column});
+    return *this;
+  }
+  QueryBuilder& Select(Aggregate aggregate, Column column) {
+    current_.items.push_back(SelectItem{aggregate, column});
+    return *this;
+  }
+
+  QueryBuilder& From(const std::string& table) {
+    current_.table = table;
+    return *this;
+  }
+
+  QueryBuilder& Where(Column column, CompareOp op, double value) {
+    current_.where.push_back(Condition{column, op, value});
+    return *this;
+  }
+
+  // Timestamp range shortcut: from <= timestamp <= to.
+  QueryBuilder& WhereTimeRange(TimeNs from, TimeNs to) {
+    Where(Column::kTimestamp, CompareOp::kGe, static_cast<double>(from));
+    Where(Column::kTimestamp, CompareOp::kLe, static_cast<double>(to));
+    return *this;
+  }
+
+  // Provenance shortcut.
+  QueryBuilder& WhereMeasuredOnly() {
+    return Where(Column::kPredicted, CompareOp::kEq, 0.0);
+  }
+
+  QueryBuilder& OrderByColumn(Column column, bool descending = false) {
+    current_.order_by = OrderBy{column, descending};
+    return *this;
+  }
+
+  QueryBuilder& Limit(std::uint64_t n) {
+    current_.limit = n;
+    return *this;
+  }
+
+  // Finishes the current SELECT and starts a new UNION branch.
+  QueryBuilder& Union() {
+    Flush();
+    StartSelect();
+    return *this;
+  }
+
+  Query Build() {
+    Flush();
+    return std::move(query_);
+  }
+
+ private:
+  void StartSelect() { current_ = aqe::Select{}; }
+  void Flush() {
+    if (!current_.items.empty() || !current_.table.empty()) {
+      query_.selects.push_back(std::move(current_));
+    }
+    current_ = aqe::Select{};
+  }
+
+  Query query_;
+  aqe::Select current_;
+};
+
+// The paper's resource query: latest (timestamp, value) of each table.
+Query LatestValueQuery(const std::vector<std::string>& tables);
+
+// Serializes a query back to its textual form (round-trips through
+// Parse()). Useful for logging and tests.
+std::string ToString(const Query& query);
+
+}  // namespace apollo::aqe

@@ -1,0 +1,86 @@
+#include "baselines/flat_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace apollo::baselines {
+
+std::string FlatFileStore::FormatLine(TimeNs timestamp, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%lld,%.17g",
+                static_cast<long long>(timestamp), value);
+  return std::string(buf);
+}
+
+std::optional<StoredSample> FlatFileStore::ParseLine(
+    const std::string& line) {
+  const char* text = line.c_str();
+  char* end = nullptr;
+  const long long ts = std::strtoll(text, &end, 10);
+  if (end == text || *end != ',') return std::nullopt;
+  const char* value_text = end + 1;
+  const double value = std::strtod(value_text, &end);
+  if (end == value_text) return std::nullopt;
+  return StoredSample{static_cast<TimeNs>(ts), value};
+}
+
+void FlatFileStore::Append(const std::string& table, TimeNs timestamp,
+                           double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[table].push_back(FormatLine(timestamp, value));
+}
+
+Expected<StoredSample> FlatFileStore::QueryLatest(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Error(ErrorCode::kNotFound, "no table: " + table);
+  }
+  std::optional<StoredSample> best;
+  for (const std::string& line : it->second) {
+    auto sample = ParseLine(line);
+    if (!sample.has_value()) continue;
+    if (!best.has_value() || sample->timestamp >= best->timestamp) {
+      best = sample;
+    }
+  }
+  if (!best.has_value()) {
+    return Error(ErrorCode::kUnavailable, "table empty: " + table);
+  }
+  return *best;
+}
+
+Expected<std::vector<StoredSample>> FlatFileStore::QueryRange(
+    const std::string& table, TimeNs from, TimeNs to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Error(ErrorCode::kNotFound, "no table: " + table);
+  }
+  std::vector<StoredSample> out;
+  for (const std::string& line : it->second) {
+    auto sample = ParseLine(line);
+    if (!sample.has_value()) continue;
+    if (sample->timestamp >= from && sample->timestamp <= to) {
+      out.push_back(*sample);
+    }
+  }
+  return out;
+}
+
+std::size_t FlatFileStore::TableRows(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> FlatFileStore::Tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, rows] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace apollo::baselines

@@ -1,0 +1,58 @@
+// FlatFileStore: the centralized telemetry store used by the LDMS-like
+// baseline.
+//
+// LDMS persists samples to MySQL or flat files and answers queries by
+// scanning them. We reproduce the performance-relevant properties without
+// a real DBMS:
+//  - one centralized store behind a single mutex (ingestion and queries
+//    serialize, unlike SCoRe's per-vertex queues);
+//  - rows are stored as formatted text lines and parsed back on every
+//    query — the real serialization cost a flat-file/DB round trip pays,
+//    not an artificial sleep.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+
+namespace apollo::baselines {
+
+struct StoredSample {
+  TimeNs timestamp;
+  double value;
+};
+
+class FlatFileStore {
+ public:
+  FlatFileStore() = default;
+
+  // Appends one formatted line to a table.
+  void Append(const std::string& table, TimeNs timestamp, double value);
+
+  // Latest sample: scans and parses the whole table (flat files have no
+  // index).
+  Expected<StoredSample> QueryLatest(const std::string& table) const;
+
+  // All samples in a timestamp range (full scan + parse).
+  Expected<std::vector<StoredSample>> QueryRange(const std::string& table,
+                                                 TimeNs from,
+                                                 TimeNs to) const;
+
+  std::size_t TableRows(const std::string& table) const;
+  std::vector<std::string> Tables() const;
+
+ private:
+  static std::string FormatLine(TimeNs timestamp, double value);
+  static std::optional<StoredSample> ParseLine(const std::string& line);
+
+  mutable std::mutex mu_;  // single centralized lock, by design
+  std::unordered_map<std::string, std::vector<std::string>> tables_;
+};
+
+}  // namespace apollo::baselines

@@ -1,0 +1,52 @@
+#include "baselines/ldms_like.h"
+
+namespace apollo::baselines {
+
+LdmsLikeMonitor::LdmsLikeMonitor(EventLoop& loop, TimeNs sample_interval)
+    : loop_(loop), interval_(sample_interval) {}
+
+LdmsLikeMonitor::~LdmsLikeMonitor() { StopAll(); }
+
+Status LdmsLikeMonitor::AddSampler(MonitorHook hook) {
+  hooks_.push_back(std::make_unique<MonitorHook>(std::move(hook)));
+  MonitorHook* owned = hooks_.back().get();
+  const TimerId id = loop_.AddTimer(0, [this, owned](TimeNs) -> TimeNs {
+    double value;
+    {
+      ScopedTimer timer(stats_.hook_time_ns);
+      value = owned->Invoke(loop_.clock());
+      ++stats_.hook_calls;
+    }
+    {
+      ScopedTimer timer(stats_.publish_time_ns);
+      store_.Append(owned->metric_name, loop_.clock().Now(), value);
+      ++stats_.published;
+    }
+    return interval_;  // fixed interval, by definition
+  });
+  timers_.push_back(id);
+  return Status::Ok();
+}
+
+Expected<std::vector<LdmsQueryRow>> LdmsLikeMonitor::QueryLatest(
+    const std::vector<std::string>& tables) const {
+  std::vector<LdmsQueryRow> rows;
+  rows.reserve(tables.size());
+  for (const std::string& table : tables) {
+    auto latest = store_.QueryLatest(table);
+    if (!latest.ok()) return latest.error();
+    rows.push_back(LdmsQueryRow{table, latest->timestamp, latest->value});
+  }
+  return rows;
+}
+
+std::uint64_t LdmsLikeMonitor::TotalSamples() const {
+  return stats_.published;
+}
+
+void LdmsLikeMonitor::StopAll() {
+  for (TimerId id : timers_) loop_.CancelTimer(id);
+  timers_.clear();
+}
+
+}  // namespace apollo::baselines

@@ -1,0 +1,64 @@
+// LdmsLikeMonitor: the state-of-the-art comparator of §4.4.
+//
+// Faithful to the properties the paper contrasts Apollo against:
+//  - fixed, user-defined sampling interval (no adaptivity, no prediction);
+//  - samples land in a centralized flat-file store;
+//  - queries aggregate by sequentially scanning each requested table at
+//    the central store (LDMS aggregators pull sampler sets; resolution is
+//    not parallel per-vertex).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/flat_store.h"
+#include "common/clock.h"
+#include "common/expected.h"
+#include "eventloop/event_loop.h"
+#include "score/monitor_hook.h"
+#include "score/vertex_stats.h"
+
+namespace apollo::baselines {
+
+struct LdmsQueryRow {
+  std::string table;
+  TimeNs timestamp;
+  double value;
+};
+
+class LdmsLikeMonitor {
+ public:
+  // `loop` drives the samplers (same loop infrastructure as Apollo so both
+  // systems pay identical scheduling costs).
+  LdmsLikeMonitor(EventLoop& loop, TimeNs sample_interval);
+  ~LdmsLikeMonitor();
+
+  LdmsLikeMonitor(const LdmsLikeMonitor&) = delete;
+  LdmsLikeMonitor& operator=(const LdmsLikeMonitor&) = delete;
+
+  // Registers a sampler for `hook`; table name = hook metric name.
+  Status AddSampler(MonitorHook hook);
+
+  // Latest value of each requested table — the baseline equivalent of the
+  // paper's resource query. Sequential scans.
+  Expected<std::vector<LdmsQueryRow>> QueryLatest(
+      const std::vector<std::string>& tables) const;
+
+  const FlatFileStore& store() const { return store_; }
+  FlatFileStore& mutable_store() { return store_; }
+  std::uint64_t TotalSamples() const;
+  const VertexStats& stats() const { return stats_; }
+
+  void StopAll();
+
+ private:
+  EventLoop& loop_;
+  TimeNs interval_;
+  FlatFileStore store_;
+  std::vector<TimerId> timers_;
+  std::vector<std::unique_ptr<MonitorHook>> hooks_;
+  VertexStats stats_;
+};
+
+}  // namespace apollo::baselines

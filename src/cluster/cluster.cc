@@ -1,0 +1,107 @@
+#include "cluster/cluster.h"
+
+namespace apollo {
+
+TimeNs JitteredNetwork::Latency(NodeId from, NodeId to) const {
+  if (from == to || from == kLocalNode || to == kLocalNode) return 0;
+  // Deterministic per-pair jitter from a hash of the (unordered) pair.
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(from, to));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(from, to));
+  SplitMix64 hash(seed_ ^ (lo * 0x1f3ULL) ^ (hi << 20));
+  const double unit =
+      static_cast<double>(hash.Next() >> 11) * 0x1.0p-53;  // [0,1)
+  const double factor = 1.0 + jitter_frac_ * (2.0 * unit - 1.0);
+  return static_cast<TimeNs>(static_cast<double>(base_) * factor);
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      network_(std::make_shared<JitteredNetwork>(
+          config.base_network_latency, config.network_jitter_frac,
+          config.seed)) {}
+
+std::unique_ptr<Cluster> Cluster::MakeAresLike(const ClusterConfig& config) {
+  auto cluster = std::make_unique<Cluster>(config);
+  for (int i = 0; i < config.compute_nodes; ++i) {
+    Node& node = cluster->AddNode("compute" + std::to_string(i),
+                                  NodeSpec::AresCompute());
+    node.AddDevice("ram", DeviceSpec::Ram());
+    node.AddDevice("nvme", DeviceSpec::Nvme());
+  }
+  for (int i = 0; i < config.storage_nodes; ++i) {
+    Node& node = cluster->AddNode("storage" + std::to_string(i),
+                                  NodeSpec::AresStorage());
+    node.AddDevice("ssd", DeviceSpec::Ssd());
+    node.AddDevice("hdd", DeviceSpec::Hdd());
+  }
+  return cluster;
+}
+
+Node& Cluster::AddNode(const std::string& name, NodeSpec spec) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, name, spec));
+  return *nodes_.back();
+}
+
+Expected<Node*> Cluster::FindNode(const std::string& name) const {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return Error(ErrorCode::kNotFound, "no node named " + name);
+}
+
+Expected<Node*> Cluster::FindNode(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    return Error(ErrorCode::kNotFound,
+                 "no node with id " + std::to_string(id));
+  }
+  return nodes_[static_cast<std::size_t>(id)].get();
+}
+
+Expected<Device*> Cluster::FindDevice(
+    const std::string& qualified_name) const {
+  const auto dot = qualified_name.find('.');
+  if (dot == std::string::npos) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "device name must be node.device: " + qualified_name);
+  }
+  auto node = FindNode(qualified_name.substr(0, dot));
+  if (!node.ok()) return node.error();
+  return (*node)->FindDevice(qualified_name.substr(dot + 1));
+}
+
+std::vector<Device*> Cluster::DevicesOfType(DeviceType type) const {
+  std::vector<Device*> out;
+  for (const auto& node : nodes_) {
+    for (const auto& device : node->devices()) {
+      if (device->spec().type == type) out.push_back(device.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Node*> Cluster::ComputeNodes() const {
+  std::vector<Node*> out;
+  for (const auto& node : nodes_) {
+    if (node->spec().kind == NodeKind::kCompute) out.push_back(node.get());
+  }
+  return out;
+}
+
+std::vector<Node*> Cluster::StorageNodes() const {
+  std::vector<Node*> out;
+  for (const auto& node : nodes_) {
+    if (node->spec().kind == NodeKind::kStorage) out.push_back(node.get());
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::OnlineNodes() const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_) {
+    if (node->Online()) out.push_back(node->id());
+  }
+  return out;
+}
+
+}  // namespace apollo

@@ -1,0 +1,272 @@
+#include "cluster/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo {
+
+const char* DeviceTypeName(DeviceType type) {
+  switch (type) {
+    case DeviceType::kRam:
+      return "ram";
+    case DeviceType::kNvme:
+      return "nvme";
+    case DeviceType::kSsd:
+      return "ssd";
+    case DeviceType::kHdd:
+      return "hdd";
+  }
+  return "?";
+}
+
+int TierRank(DeviceType type) {
+  switch (type) {
+    case DeviceType::kRam:
+      return 0;
+    case DeviceType::kNvme:
+      return 1;
+    case DeviceType::kSsd:
+      return 2;
+    case DeviceType::kHdd:
+      return 3;
+  }
+  return 4;
+}
+
+DeviceSpec DeviceSpec::Ram() {
+  DeviceSpec spec;
+  spec.type = DeviceType::kRam;
+  spec.capacity_bytes = 96ULL << 30;
+  spec.max_read_bw = 10e9;
+  spec.max_write_bw = 10e9;
+  spec.base_latency_s = 100e-9;
+  spec.max_concurrency = 64;
+  spec.watts_active = 15.0;
+  spec.watts_idle = 5.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::Nvme() {
+  DeviceSpec spec;
+  spec.type = DeviceType::kNvme;
+  spec.capacity_bytes = 250ULL << 30;
+  spec.max_read_bw = 2.0e9;
+  spec.max_write_bw = 1.2e9;
+  spec.base_latency_s = 20e-6;
+  spec.max_concurrency = 32;
+  spec.watts_active = 8.0;
+  spec.watts_idle = 2.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::Ssd() {
+  DeviceSpec spec;
+  spec.type = DeviceType::kSsd;
+  spec.capacity_bytes = 150ULL << 30;
+  spec.max_read_bw = 520e6;
+  spec.max_write_bw = 480e6;
+  spec.base_latency_s = 80e-6;
+  spec.max_concurrency = 16;
+  spec.watts_active = 5.0;
+  spec.watts_idle = 1.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::Hdd() {
+  DeviceSpec spec;
+  spec.type = DeviceType::kHdd;
+  spec.capacity_bytes = 1ULL << 40;
+  spec.max_read_bw = 160e6;
+  spec.max_write_bw = 140e6;
+  spec.base_latency_s = 8e-3;
+  spec.max_concurrency = 4;
+  spec.watts_active = 9.0;
+  spec.watts_idle = 4.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::OfType(DeviceType type) {
+  switch (type) {
+    case DeviceType::kRam:
+      return Ram();
+    case DeviceType::kNvme:
+      return Nvme();
+    case DeviceType::kSsd:
+      return Ssd();
+    case DeviceType::kHdd:
+      return Hdd();
+  }
+  return Hdd();
+}
+
+Device::Device(std::string name, DeviceSpec spec)
+    : name_(std::move(name)), spec_(spec) {}
+
+Expected<IoResult> Device::Write(std::uint64_t bytes, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_bytes_ + bytes > spec_.capacity_bytes) {
+    return Error(ErrorCode::kResourceExhausted,
+                 name_ + ": write of " + std::to_string(bytes) +
+                     " bytes exceeds remaining capacity");
+  }
+  auto result = SubmitLocked(bytes, now, /*is_write=*/true);
+  if (result.ok()) {
+    used_bytes_ += bytes;
+    blocks_written_ += (bytes + spec_.block_size - 1) / spec_.block_size;
+  }
+  return result;
+}
+
+Expected<IoResult> Device::Read(std::uint64_t bytes, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto result = SubmitLocked(bytes, now, /*is_write=*/false);
+  if (result.ok()) {
+    blocks_read_ += (bytes + spec_.block_size - 1) / spec_.block_size;
+  }
+  return result;
+}
+
+Expected<IoResult> Device::SubmitLocked(std::uint64_t bytes, TimeNs now,
+                                        bool is_write) {
+  const double bw = is_write ? spec_.max_write_bw : spec_.max_read_bw;
+  const TimeNs start = std::max(now, busy_until_);
+  const double service_s =
+      spec_.base_latency_s + static_cast<double>(bytes) / bw;
+  const TimeNs end = start + static_cast<TimeNs>(service_s * 1e9);
+  busy_until_ = end;
+  history_.push_back(TransferRecord{start, end, bytes, is_write});
+  PruneHistoryLocked(now);
+  return IoResult{start, end, bytes};
+}
+
+Status Device::Reserve(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_bytes_ + bytes > spec_.capacity_bytes) {
+    return Status(ErrorCode::kResourceExhausted,
+                  name_ + ": reservation exceeds remaining capacity");
+  }
+  used_bytes_ += bytes;
+  return Status::Ok();
+}
+
+Status Device::Free(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > used_bytes_) {
+    return Status(ErrorCode::kInvalidArgument,
+                  name_ + ": freeing more than used");
+  }
+  used_bytes_ -= bytes;
+  return Status::Ok();
+}
+
+void Device::PruneHistoryLocked(TimeNs now) const {
+  const TimeNs horizon = now - Seconds(5);
+  while (!history_.empty() && history_.front().end < horizon) {
+    history_.pop_front();
+  }
+}
+
+std::uint64_t Device::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+std::uint64_t Device::RemainingBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_.capacity_bytes - used_bytes_;
+}
+
+double Device::UtilizationFraction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(used_bytes_) /
+         static_cast<double>(spec_.capacity_bytes);
+}
+
+int Device::QueueDepth(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int depth = 0;
+  for (const auto& rec : history_) {
+    if (rec.end > now && rec.start <= now) ++depth;
+    if (rec.start > now) ++depth;  // queued behind busy_until_
+  }
+  return depth;
+}
+
+double Device::RealBandwidth(TimeNs now, TimeNs window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimeNs from = now - window;
+  double bytes = 0.0;
+  for (const auto& rec : history_) {
+    // Overlap of [rec.start, rec.end] with [from, now], proportional bytes.
+    const TimeNs lo = std::max(rec.start, from);
+    const TimeNs hi = std::min(rec.end, now);
+    if (hi <= lo) continue;
+    const TimeNs span = rec.end - rec.start;
+    if (span <= 0) {
+      bytes += static_cast<double>(rec.bytes);
+    } else {
+      bytes += static_cast<double>(rec.bytes) *
+               static_cast<double>(hi - lo) / static_cast<double>(span);
+    }
+  }
+  return bytes / ToSeconds(window);
+}
+
+std::uint64_t Device::TotalBlocksRead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_read_;
+}
+
+std::uint64_t Device::TotalBlocksWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_written_;
+}
+
+std::uint64_t Device::BadBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bad_blocks_;
+}
+
+std::uint64_t Device::TotalBlocks() const {
+  return spec_.capacity_bytes / spec_.block_size;
+}
+
+double Device::Health() const {
+  const double total = static_cast<double>(TotalBlocks());
+  if (total <= 0.0) return 1.0;
+  return 1.0 - static_cast<double>(BadBlocks()) / total;
+}
+
+double Device::DegradationRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double lifetime_blocks =
+      static_cast<double>(blocks_read_ + blocks_written_);
+  if (lifetime_blocks <= 0.0) return 0.0;
+  const double total = static_cast<double>(TotalBlocks());
+  const double health =
+      total > 0.0 ? 1.0 - static_cast<double>(bad_blocks_) / total : 1.0;
+  return (1.0 - health) / lifetime_blocks;
+}
+
+double Device::PowerWatts(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool active = busy_until_ > now;
+  return active ? spec_.watts_active : spec_.watts_idle;
+}
+
+double Device::TransfersPerSec(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimeNs from = now - Seconds(1);
+  int count = 0;
+  for (const auto& rec : history_) {
+    if (rec.end >= from && rec.end <= now) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+void Device::InjectBadBlocks(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bad_blocks_ += count;
+}
+
+}  // namespace apollo

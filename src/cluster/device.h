@@ -1,0 +1,132 @@
+// Storage device model.
+//
+// Substitutes for the Ares cluster's real hardware: each device has a
+// capacity and bandwidth envelope; I/O requests occupy the device for an
+// analytically computed duration, so concurrent requests queue and
+// interference becomes measurable — exactly the low-level metrics the
+// paper's Fact Vertices poll (remaining capacity, queue size, real
+// bandwidth, device health, ...).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/expected.h"
+
+namespace apollo {
+
+enum class DeviceType { kRam, kNvme, kSsd, kHdd };
+
+const char* DeviceTypeName(DeviceType type);
+
+// Tier ordering used by hierarchical middleware: lower value = faster tier.
+int TierRank(DeviceType type);
+
+struct DeviceSpec {
+  DeviceType type = DeviceType::kHdd;
+  std::uint64_t capacity_bytes = 0;
+  double max_read_bw = 0.0;   // bytes/sec
+  double max_write_bw = 0.0;  // bytes/sec
+  double base_latency_s = 0.0;  // per-request fixed cost
+  int max_concurrency = 1;      // DevC in the MSCA curation
+  double watts_active = 0.0;
+  double watts_idle = 0.0;
+  int replication_level = 1;
+  std::uint64_t block_size = 4096;
+
+  // Ares-inspired default specs.
+  static DeviceSpec Ram();    // 96 GB, ~10 GB/s
+  static DeviceSpec Nvme();   // 250 GB, ~2 GB/s
+  static DeviceSpec Ssd();    // 150 GB, ~500 MB/s
+  static DeviceSpec Hdd();    // 1 TB, ~150 MB/s
+  static DeviceSpec OfType(DeviceType type);
+};
+
+// Completed-transfer record kept in a sliding window for bandwidth/load
+// accounting.
+struct TransferRecord {
+  TimeNs start;
+  TimeNs end;
+  std::uint64_t bytes;
+  bool is_write;
+};
+
+struct IoResult {
+  TimeNs start;      // when the device began servicing the request
+  TimeNs end;        // completion time
+  std::uint64_t bytes;
+};
+
+class Device {
+ public:
+  Device(std::string name, DeviceSpec spec);
+
+  // Thread-safe. Submits a write of `bytes` at time `now`; allocates
+  // capacity. Fails with kResourceExhausted when the device is full.
+  Expected<IoResult> Write(std::uint64_t bytes, TimeNs now);
+
+  // Thread-safe. Reads `bytes` (no capacity change).
+  Expected<IoResult> Read(std::uint64_t bytes, TimeNs now);
+
+  // Releases previously written capacity (flush/evict/delete).
+  Status Free(std::uint64_t bytes);
+
+  // Consumes capacity without modeling any transfer time — for staging
+  // pre-existing data in experiment setups (capacity-only fill).
+  Status Reserve(std::uint64_t bytes);
+
+  // --- metric surface (all thread-safe) ---
+  std::uint64_t CapacityBytes() const { return spec_.capacity_bytes; }
+  std::uint64_t UsedBytes() const;
+  std::uint64_t RemainingBytes() const;
+  double UtilizationFraction() const;
+
+  // Requests whose completion time is still in the future at `now`.
+  int QueueDepth(TimeNs now) const;
+
+  // Achieved bandwidth (bytes/s) over the trailing `window` ending at `now`.
+  double RealBandwidth(TimeNs now, TimeNs window = Seconds(1)) const;
+  double MaxBandwidth() const { return spec_.max_write_bw; }
+
+  // Table-1 curation ingredients.
+  std::uint64_t TotalBlocksRead() const;
+  std::uint64_t TotalBlocksWritten() const;
+  std::uint64_t BadBlocks() const;
+  std::uint64_t TotalBlocks() const;
+  double Health() const;  // 1 - bad/total
+  double DegradationRate() const;
+  int NumRequests(TimeNs now) const { return QueueDepth(now); }
+
+  // Power draw at `now` (active when servicing, else idle).
+  double PowerWatts(TimeNs now) const;
+  // Completed transfers in the trailing second.
+  double TransfersPerSec(TimeNs now) const;
+
+  // Fault injection for tests: marks blocks bad, degrading Health().
+  void InjectBadBlocks(std::uint64_t count);
+
+  const DeviceSpec& spec() const { return spec_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Expected<IoResult> SubmitLocked(std::uint64_t bytes, TimeNs now,
+                                  bool is_write);
+  void PruneHistoryLocked(TimeNs now) const;
+
+  const std::string name_;
+  const DeviceSpec spec_;
+
+  mutable std::mutex mu_;
+  std::uint64_t used_bytes_ = 0;
+  TimeNs busy_until_ = 0;
+  std::uint64_t blocks_read_ = 0;
+  std::uint64_t blocks_written_ = 0;
+  std::uint64_t bad_blocks_ = 0;
+  // Sliding history of recent transfers (pruned past ~5s of device time).
+  mutable std::deque<TransferRecord> history_;
+};
+
+}  // namespace apollo

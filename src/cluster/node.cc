@@ -1,0 +1,56 @@
+#include "cluster/node.h"
+
+namespace apollo {
+
+NodeSpec NodeSpec::AresCompute() {
+  NodeSpec spec;
+  spec.kind = NodeKind::kCompute;
+  spec.cpu_cores = 40;
+  spec.ram_bytes = 96ULL << 30;
+  return spec;
+}
+
+NodeSpec NodeSpec::AresStorage() {
+  NodeSpec spec;
+  spec.kind = NodeKind::kStorage;
+  spec.cpu_cores = 8;
+  spec.ram_bytes = 32ULL << 30;
+  spec.cpu_idle_watts = 40.0;
+  spec.cpu_max_watts = 110.0;
+  return spec;
+}
+
+Node::Node(NodeId id, std::string name, NodeSpec spec)
+    : id_(id), name_(std::move(name)), spec_(spec) {}
+
+Device& Node::AddDevice(const std::string& short_name, DeviceSpec spec) {
+  devices_.push_back(
+      std::make_unique<Device>(name_ + "." + short_name, spec));
+  return *devices_.back();
+}
+
+Expected<Device*> Node::FindDevice(const std::string& short_name) const {
+  const std::string qualified = name_ + "." + short_name;
+  for (const auto& device : devices_) {
+    if (device->name() == qualified || device->name() == short_name) {
+      return device.get();
+    }
+  }
+  return Error(ErrorCode::kNotFound,
+               "no device " + short_name + " on " + name_);
+}
+
+double Node::PowerWatts(TimeNs now) const {
+  double watts = spec_.cpu_idle_watts +
+                 CpuLoad() * (spec_.cpu_max_watts - spec_.cpu_idle_watts);
+  for (const auto& device : devices_) watts += device->PowerWatts(now);
+  return watts;
+}
+
+double Node::TransfersPerSec(TimeNs now) const {
+  double total = 0.0;
+  for (const auto& device : devices_) total += device->TransfersPerSec(now);
+  return total;
+}
+
+}  // namespace apollo

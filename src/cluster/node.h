@@ -1,0 +1,70 @@
+// Cluster node model: a named host owning storage devices plus CPU/memory
+// state that Fact Vertices can poll.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/device.h"
+#include "common/clock.h"
+#include "common/expected.h"
+#include "pubsub/broker.h"
+
+namespace apollo {
+
+enum class NodeKind { kCompute, kStorage };
+
+struct NodeSpec {
+  NodeKind kind = NodeKind::kCompute;
+  int cpu_cores = 40;           // Ares compute: dual Xeon Silver 4114
+  std::uint64_t ram_bytes = 96ULL << 30;
+  double cpu_idle_watts = 60.0;
+  double cpu_max_watts = 170.0;
+
+  static NodeSpec AresCompute();  // 40 cores, 96GB RAM, NVMe
+  static NodeSpec AresStorage();  // 8 cores, 32GB RAM, SSD+HDD
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, NodeSpec spec);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  // Device management. Names are qualified as "<node>.<device>".
+  Device& AddDevice(const std::string& short_name, DeviceSpec spec);
+  Expected<Device*> FindDevice(const std::string& short_name) const;
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  // --- pollable node metrics ---
+  double CpuLoad() const { return cpu_load_.load(); }     // 0..1
+  void SetCpuLoad(double load) { cpu_load_.store(load); }
+  std::uint64_t MemUsedBytes() const { return mem_used_.load(); }
+  void SetMemUsed(std::uint64_t bytes) { mem_used_.store(bytes); }
+  std::uint64_t MemTotalBytes() const { return spec_.ram_bytes; }
+
+  bool Online() const { return online_.load(); }
+  void SetOnline(bool online) { online_.store(online); }
+
+  // Node power = CPU (load-proportional) + all devices.
+  double PowerWatts(TimeNs now) const;
+  // Completed device transfers/sec summed over local devices.
+  double TransfersPerSec(TimeNs now) const;
+
+ private:
+  const NodeId id_;
+  const std::string name_;
+  const NodeSpec spec_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::atomic<double> cpu_load_{0.0};
+  std::atomic<std::uint64_t> mem_used_{0};
+  std::atomic<bool> online_{true};
+};
+
+}  // namespace apollo

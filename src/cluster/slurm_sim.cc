@@ -1,0 +1,105 @@
+#include "cluster/slurm_sim.h"
+
+#include <algorithm>
+
+namespace apollo {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+JobId SlurmSim::Submit(const std::string& name, std::vector<NodeId> nodes,
+                       int procs_per_node, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const JobId id = next_id_++;
+  JobInfo job;
+  job.id = id;
+  job.name = name;
+  job.state = JobState::kRunning;
+  job.nodes = std::move(nodes);
+  job.procs_per_node = procs_per_node;
+  job.submit_time = now;
+  job.start_time = now;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+Status SlurmSim::Complete(JobId id, TimeNs now, bool failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status(ErrorCode::kNotFound, "no job " + std::to_string(id));
+  }
+  if (it->second.state != JobState::kRunning) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "job " + std::to_string(id) + " is not running");
+  }
+  it->second.state = failed ? JobState::kFailed : JobState::kCompleted;
+  it->second.end_time = now;
+  return Status::Ok();
+}
+
+Status SlurmSim::RecordIo(JobId id, std::uint64_t bytes_read,
+                          std::uint64_t bytes_written) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status(ErrorCode::kNotFound, "no job " + std::to_string(id));
+  }
+  it->second.bytes_read += bytes_read;
+  it->second.bytes_written += bytes_written;
+  return Status::Ok();
+}
+
+Expected<JobInfo> SlurmSim::Query(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Error(ErrorCode::kNotFound, "no job " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<JobInfo> SlurmSim::RunningJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning) out.push_back(job);
+  }
+  return out;
+}
+
+std::vector<JobInfo> SlurmSim::AllJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+std::vector<NodeId> SlurmSim::BusyNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    for (NodeId node : job.nodes) {
+      if (std::find(out.begin(), out.end(), node) == out.end()) {
+        out.push_back(node);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace apollo

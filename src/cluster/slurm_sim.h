@@ -1,0 +1,71 @@
+// Slurm-like job/allocation table.
+//
+// The Allocation Characteristics curation (Table 1, row 15) reads job info
+// "provided by Slurm"; this simulated scheduler exposes the same query
+// surface: per-job node counts, process distribution, and I/O byte
+// counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "pubsub/broker.h"
+
+namespace apollo {
+
+using JobId = std::uint64_t;
+
+enum class JobState { kPending, kRunning, kCompleted, kFailed };
+
+const char* JobStateName(JobState state);
+
+struct JobInfo {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kPending;
+  std::vector<NodeId> nodes;
+  int procs_per_node = 1;
+  TimeNs submit_time = 0;
+  TimeNs start_time = 0;
+  TimeNs end_time = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  int TotalProcs() const {
+    return procs_per_node * static_cast<int>(nodes.size());
+  }
+};
+
+class SlurmSim {
+ public:
+  SlurmSim() = default;
+
+  // Submits and immediately starts a job on the given nodes.
+  JobId Submit(const std::string& name, std::vector<NodeId> nodes,
+               int procs_per_node, TimeNs now);
+
+  Status Complete(JobId id, TimeNs now, bool failed = false);
+
+  // Accumulates I/O counters for a running job.
+  Status RecordIo(JobId id, std::uint64_t bytes_read,
+                  std::uint64_t bytes_written);
+
+  Expected<JobInfo> Query(JobId id) const;       // like `scontrol show job`
+  std::vector<JobInfo> RunningJobs() const;      // like `squeue`
+  std::vector<JobInfo> AllJobs() const;          // like `sacct`
+
+  // Nodes allocated to at least one running job.
+  std::vector<NodeId> BusyNodes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<JobId, JobInfo> jobs_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace apollo

@@ -1,0 +1,137 @@
+#include "cluster/trace_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace apollo {
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<Series>& columns, double t_step) {
+  if (names.size() != columns.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "names/columns size mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) return Status(ErrorCode::kIoError, "cannot open " + path);
+
+  out << "t";
+  for (const std::string& name : names) out << "," << name;
+  out << "\n";
+
+  std::size_t rows = 0;
+  for (const Series& column : columns) {
+    rows = std::max(rows, column.size());
+  }
+  out.precision(17);
+  for (std::size_t r = 0; r < rows; ++r) {
+    out << static_cast<double>(r) * t_step;
+    for (const Series& column : columns) {
+      out << ",";
+      if (r < column.size()) out << column[r];
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status(ErrorCode::kIoError, "write failed: " + path);
+}
+
+namespace {
+
+Expected<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+}  // namespace
+
+Expected<Series> ReadSeriesCsvColumn(const std::string& path,
+                                     const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Error(ErrorCode::kParseError, "empty csv: " + path);
+  }
+  auto cells = SplitCsvLine(header);
+  if (!cells.ok()) return cells.error();
+  for (std::size_t c = 0; c < cells->size(); ++c) {
+    if ((*cells)[c] == name) {
+      in.close();
+      return ReadSeriesCsvColumn(path, c);
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no column '" + name + "' in " + path);
+}
+
+Expected<Series> ReadSeriesCsvColumn(const std::string& path,
+                                     std::size_t column_index) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Error(ErrorCode::kParseError, "empty csv: " + path);
+  }
+  Series out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = SplitCsvLine(line);
+    if (!cells.ok()) return cells.error();
+    if (column_index >= cells->size()) {
+      return Error(ErrorCode::kParseError,
+                   "row with too few columns in " + path);
+    }
+    const std::string& cell = (*cells)[column_index];
+    if (cell.empty()) continue;  // padded tail of a shorter series
+    out.push_back(std::strtod(cell.c_str(), nullptr));
+  }
+  return out;
+}
+
+Status WriteCapacityTraceCsv(const std::string& path,
+                             const CapacityTrace& trace) {
+  std::ofstream out(path);
+  if (!out) return Status(ErrorCode::kIoError, "cannot open " + path);
+  out << "t_ns,value\n";
+  out.precision(17);
+  for (const auto& [t, v] : trace.points()) {
+    out << t << "," << v << "\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status(ErrorCode::kIoError, "write failed: " + path);
+}
+
+Expected<CapacityTrace> ReadCapacityTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("t_ns", 0) != 0) {
+    return Error(ErrorCode::kParseError, "bad trace header in " + path);
+  }
+  CapacityTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    const long long t = std::strtoll(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != ',') {
+      return Error(ErrorCode::kParseError, "bad trace row: " + line);
+    }
+    const double v = std::strtod(end + 1, nullptr);
+    trace.Append(static_cast<TimeNs>(t), v);
+  }
+  return trace;
+}
+
+std::string CsvDirFromEnv() {
+  const char* dir = std::getenv("APOLLO_CSV_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace apollo

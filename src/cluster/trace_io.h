@@ -1,0 +1,41 @@
+// CSV import/export for series and capacity traces.
+//
+// The figure benches can dump ground truth, monitored, and predicted
+// series as CSV (set APOLLO_CSV_DIR) so the paper's plots regenerate with
+// any plotting tool; traces captured elsewhere can be replayed through a
+// TraceReplayHook by loading them here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/workloads.h"
+#include "common/expected.h"
+#include "timeseries/series.h"
+
+namespace apollo {
+
+// Writes columns side by side: "t,<name1>,<name2>,..." with one row per
+// index. Series shorter than the longest are padded with empty cells.
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<std::string>& names,
+                      const std::vector<Series>& columns,
+                      double t_step = 1.0);
+
+// Reads a single-column or multi-column CSV written by WriteSeriesCsv;
+// returns the named column (or column index via the second overload).
+Expected<Series> ReadSeriesCsvColumn(const std::string& path,
+                                     const std::string& name);
+Expected<Series> ReadSeriesCsvColumn(const std::string& path,
+                                     std::size_t column_index);
+
+// Capacity traces: "t_ns,value" rows, one per step point.
+Status WriteCapacityTraceCsv(const std::string& path,
+                             const CapacityTrace& trace);
+Expected<CapacityTrace> ReadCapacityTraceCsv(const std::string& path);
+
+// Directory from the APOLLO_CSV_DIR environment variable, or empty when
+// unset (benches skip CSV output then).
+std::string CsvDirFromEnv();
+
+}  // namespace apollo

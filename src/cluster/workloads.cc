@@ -1,0 +1,225 @@
+#include "cluster/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apollo {
+
+void CapacityTrace::Append(TimeNs t, double value) {
+  assert(points_.empty() || t >= points_.back().first);
+  points_.emplace_back(t, value);
+}
+
+double CapacityTrace::ValueAt(TimeNs t) const {
+  if (points_.empty()) return 0.0;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimeNs target, const std::pair<TimeNs, double>& p) {
+        return target < p.first;
+      });
+  if (it == points_.begin()) return points_.front().second;
+  return std::prev(it)->second;
+}
+
+Series CapacityTrace::SampleEvery(TimeNs dt, TimeNs end) const {
+  Series out;
+  if (dt <= 0) return out;
+  for (TimeNs t = 0; t <= end; t += dt) out.push_back(ValueAt(t));
+  return out;
+}
+
+TimeNs CapacityTrace::Duration() const {
+  return points_.empty() ? 0 : points_.back().first;
+}
+
+CapacityTrace MakeHaccCapacityTrace(const HaccTraceConfig& config) {
+  CapacityTrace trace;
+  Rng rng(config.seed);
+  double capacity = config.initial_capacity;
+  trace.Append(0, capacity);
+  TimeNs t = 0;
+  while (t < config.duration) {
+    TimeNs period;
+    std::uint64_t bytes;
+    if (config.irregular) {
+      period = static_cast<TimeNs>(rng.UniformInt(config.min_period,
+                                                  config.max_period));
+      bytes = static_cast<std::uint64_t>(rng.UniformInt(
+          static_cast<std::int64_t>(config.min_bytes),
+          static_cast<std::int64_t>(config.max_bytes)));
+    } else {
+      period = config.regular_period;
+      bytes = config.regular_bytes;
+    }
+    t += period;
+    if (t > config.duration) break;
+    capacity -= static_cast<double>(bytes);
+    if (capacity < 0.0) capacity = config.initial_capacity;  // drain/reset
+    trace.Append(t, capacity);
+  }
+  return trace;
+}
+
+const char* SarMetricName(SarMetric metric) {
+  switch (metric) {
+    case SarMetric::kTps:
+      return "tps";
+    case SarMetric::kReadKbPerSec:
+      return "rkB/s";
+    case SarMetric::kWriteKbPerSec:
+      return "wkB/s";
+    case SarMetric::kAvgQueueSize:
+      return "aqu-sz";
+    case SarMetric::kAwaitMs:
+      return "await";
+    case SarMetric::kUtilPercent:
+      return "%util";
+  }
+  return "?";
+}
+
+std::vector<SarMetric> AllSarMetrics() {
+  return {SarMetric::kTps,          SarMetric::kReadKbPerSec,
+          SarMetric::kWriteKbPerSec, SarMetric::kAvgQueueSize,
+          SarMetric::kAwaitMs,      SarMetric::kUtilPercent};
+}
+
+Series MakeSarMetricTrace(SarMetric metric, const SarTraceConfig& config) {
+  // Phase-based FIO-like driver: cycles through write-burst, read-burst,
+  // mixed, and idle phases with randomized lengths/intensities, sampling
+  // the requested metric once per virtual second.
+  Rng rng(config.seed ^
+          (static_cast<std::uint64_t>(config.device) << 8) ^
+          static_cast<std::uint64_t>(metric));
+  Device device("trace", DeviceSpec::OfType(config.device));
+
+  enum Phase { kWriteBurst, kReadBurst, kMixed, kIdle };
+  Phase phase = kWriteBurst;
+  std::size_t phase_left = 20;
+
+  Series out;
+  out.reserve(config.length);
+
+  double read_bytes_this_sec = 0.0;
+  double write_bytes_this_sec = 0.0;
+  double await_sum_s = 0.0;
+  int completed = 0;
+
+  for (std::size_t second = 0; second < config.length; ++second) {
+    const TimeNs now = Seconds(static_cast<double>(second));
+    if (phase_left == 0) {
+      phase = static_cast<Phase>(rng.NextBounded(4));
+      phase_left = 10 + rng.NextBounded(50);
+    }
+    --phase_left;
+
+    read_bytes_this_sec = 0.0;
+    write_bytes_this_sec = 0.0;
+    await_sum_s = 0.0;
+    completed = 0;
+
+    int ops = 0;
+    switch (phase) {
+      case kWriteBurst:
+        ops = 8 + static_cast<int>(rng.NextBounded(24));
+        break;
+      case kReadBurst:
+        ops = 8 + static_cast<int>(rng.NextBounded(24));
+        break;
+      case kMixed:
+        ops = 4 + static_cast<int>(rng.NextBounded(16));
+        break;
+      case kIdle:
+        ops = rng.Bernoulli(0.2) ? 1 : 0;
+        break;
+    }
+
+    for (int op = 0; op < ops; ++op) {
+      const std::uint64_t bytes =
+          (64 + rng.NextBounded(1024)) * 1024ULL;  // 64KB..~1MB
+      const bool is_read =
+          phase == kReadBurst || (phase == kMixed && rng.Bernoulli(0.5));
+      const TimeNs op_time =
+          now + static_cast<TimeNs>(rng.NextBounded(kNsPerSec));
+      if (is_read) {
+        auto result = device.Read(bytes, op_time);
+        if (result.ok()) {
+          read_bytes_this_sec += static_cast<double>(bytes);
+          await_sum_s += ToSeconds(result->end - op_time);
+          ++completed;
+        }
+      } else {
+        auto result = device.Write(bytes, op_time);
+        if (result.ok()) {
+          write_bytes_this_sec += static_cast<double>(bytes);
+          await_sum_s += ToSeconds(result->end - op_time);
+          ++completed;
+        } else {
+          // Full: recycle the device's space and retry next op.
+          device.Free(device.UsedBytes() / 2);
+        }
+      }
+    }
+
+    double value = 0.0;
+    const TimeNs sample_at = now + Seconds(1);
+    switch (metric) {
+      case SarMetric::kTps:
+        value = device.TransfersPerSec(sample_at);
+        break;
+      case SarMetric::kReadKbPerSec:
+        value = read_bytes_this_sec / 1024.0;
+        break;
+      case SarMetric::kWriteKbPerSec:
+        value = write_bytes_this_sec / 1024.0;
+        break;
+      case SarMetric::kAvgQueueSize:
+        value = static_cast<double>(device.QueueDepth(sample_at));
+        break;
+      case SarMetric::kAwaitMs:
+        value = completed > 0
+                    ? 1000.0 * await_sum_s / static_cast<double>(completed)
+                    : 0.0;
+        break;
+      case SarMetric::kUtilPercent:
+        value = 100.0 *
+                std::min(1.0, device.RealBandwidth(sample_at, Seconds(1)) /
+                                  device.MaxBandwidth());
+        break;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+IorStats RunIorLike(Device& device, Clock& clock, TimeNs duration,
+                    std::uint64_t transfer_bytes) {
+  // Closed-loop driver: like IOR, each op waits for the previous one to
+  // complete, so throughput is bounded by the device model, not the CPU.
+  IorStats stats;
+  const TimeNs end = clock.Now() + duration;
+  bool write_phase = true;
+  while (clock.Now() < end) {
+    const TimeNs now = clock.Now();
+    Expected<IoResult> result(Error(ErrorCode::kInternal, ""));
+    if (write_phase) {
+      result = device.Write(transfer_bytes, now);
+      if (!result.ok()) {
+        device.Free(device.UsedBytes());
+        continue;
+      }
+    } else {
+      result = device.Read(transfer_bytes, now);
+      if (!result.ok()) continue;
+    }
+    write_phase = !write_phase;
+    ++stats.ops;
+    stats.bytes += transfer_bytes;
+    if (result->end > clock.Now()) {
+      clock.SleepUntil(std::min(result->end, end));
+    }
+  }
+  return stats;
+}
+
+}  // namespace apollo

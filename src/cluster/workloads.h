@@ -1,0 +1,101 @@
+// Workload generators and trace replay.
+//
+// The paper's adaptivity/Delphi experiments (Figures 8-10) replay a captured
+// HACC-IO capacity trace "with an emulation, so that there would be minimal
+// issues with time drift or interference between runs" — we generate the
+// equivalent traces synthetically:
+//   regular:  38000 bytes written to the NVMe every 5 seconds;
+//   irregular: 19000-38000 bytes every 5-20 seconds (uniform random).
+//
+// Figure 11 needs per-device SAR-style metric series collected while FIO
+// runs; MakeSarMetricTrace drives a phase-based FIO-like workload against a
+// Device model in virtual time and samples the requested metric every
+// second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/device.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "timeseries/series.h"
+
+namespace apollo {
+
+// Piecewise-constant metric-over-time trace (capacity after each write).
+class CapacityTrace {
+ public:
+  // Points must be appended in increasing time order.
+  void Append(TimeNs t, double value);
+
+  // Value of the step function at time t (value of the latest point at or
+  // before t; the first point's value before that).
+  double ValueAt(TimeNs t) const;
+
+  // Uniform sampling every `dt` in [0, end] inclusive of 0.
+  Series SampleEvery(TimeNs dt, TimeNs end) const;
+
+  TimeNs Duration() const;
+  std::size_t NumPoints() const { return points_.size(); }
+  const std::vector<std::pair<TimeNs, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<TimeNs, double>> points_;
+};
+
+struct HaccTraceConfig {
+  bool irregular = false;
+  TimeNs duration = Seconds(1800);  // the paper replays 30 minutes
+  double initial_capacity = 250e9;  // NVMe capacity in bytes
+  // Regular pattern.
+  std::uint64_t regular_bytes = 38000;
+  TimeNs regular_period = Seconds(5);
+  // Irregular pattern.
+  std::uint64_t min_bytes = 19000;
+  std::uint64_t max_bytes = 38000;
+  TimeNs min_period = Seconds(5);
+  TimeNs max_period = Seconds(20);
+  std::uint64_t seed = 7;
+};
+
+CapacityTrace MakeHaccCapacityTrace(const HaccTraceConfig& config);
+
+// SAR "-d" style per-device metrics (what the paper collects per drive and
+// partition with "-dbp -P ALL 1").
+enum class SarMetric {
+  kTps,            // transfers per second
+  kReadKbPerSec,
+  kWriteKbPerSec,
+  kAvgQueueSize,
+  kAwaitMs,        // average request service time
+  kUtilPercent,
+};
+
+const char* SarMetricName(SarMetric metric);
+std::vector<SarMetric> AllSarMetrics();
+
+struct SarTraceConfig {
+  DeviceType device = DeviceType::kNvme;
+  std::size_t length = 70000;  // paper: 10K train + 60K test points
+  std::uint64_t seed = 99;
+};
+
+// One sample per (virtual) second of a FIO-like phase workload.
+Series MakeSarMetricTrace(SarMetric metric, const SarTraceConfig& config);
+
+// IOR-like closed-loop I/O driver for overhead experiments (Figure 5):
+// issues fixed-size writes/reads against a device as fast as the (real)
+// clock allows for `duration`, from the calling thread.
+struct IorStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+};
+IorStats RunIorLike(Device& device, Clock& clock, TimeNs duration,
+                    std::uint64_t transfer_bytes = 1 << 20);
+
+}  // namespace apollo

@@ -1,0 +1,66 @@
+#include "common/clock.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace apollo {
+
+namespace {
+TimeNs MonotonicNowRaw() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : epoch_(MonotonicNowRaw()) {}
+
+TimeNs RealClock::Now() const { return MonotonicNowRaw() - epoch_; }
+
+void RealClock::SleepUntil(TimeNs deadline) {
+  const TimeNs now = Now();
+  if (deadline <= now) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(deadline - now));
+}
+
+RealClock& RealClock::Instance() {
+  static RealClock clock;
+  return clock;
+}
+
+void SimClock::SleepUntil(TimeNs deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (now_.load(std::memory_order_acquire) >= deadline) return;
+  ++sleepers_;
+  deadlines_.push_back(deadline);
+  cv_.wait(lock, [&] {
+    return now_.load(std::memory_order_acquire) >= deadline;
+  });
+  --sleepers_;
+  auto it = std::find(deadlines_.begin(), deadlines_.end(), deadline);
+  if (it != deadlines_.end()) deadlines_.erase(it);
+  cv_.notify_all();
+}
+
+void SimClock::AdvanceTo(TimeNs t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TimeNs cur = now_.load(std::memory_order_acquire);
+    if (t <= cur) return;
+    now_.store(t, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+int SimClock::SleeperCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleepers_;
+}
+
+TimeNs SimClock::NextDeadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deadlines_.empty()) return -1;
+  return *std::min_element(deadlines_.begin(), deadlines_.end());
+}
+
+}  // namespace apollo

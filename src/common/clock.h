@@ -1,0 +1,105 @@
+// Clock abstraction used throughout Apollo.
+//
+// Latency/throughput experiments run against the real monotonic clock;
+// workload-replay experiments (HACC capacity traces, middleware runs) run
+// against a virtual SimClock so that "30 minutes" of simulated monitoring
+// completes in milliseconds of wall time while preserving event ordering.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace apollo {
+
+// Nanoseconds since an arbitrary epoch. All Apollo timestamps use this unit.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs Seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNsPerSec));
+}
+constexpr TimeNs Millis(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr double ToSeconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+// Interface implemented by RealClock and SimClock. Thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in nanoseconds since the clock's epoch.
+  virtual TimeNs Now() const = 0;
+
+  // Blocks (really or virtually) until Now() >= deadline.
+  virtual void SleepUntil(TimeNs deadline) = 0;
+
+  void SleepFor(TimeNs duration) { SleepUntil(Now() + duration); }
+
+  // Accounts `duration` of elapsed time for an operation the caller just
+  // performed. On the real clock this sleeps; on a SimClock it advances
+  // virtual time directly, so single-threaded simulations can charge
+  // operation costs (monitor-hook probes, network hops) without blocking
+  // the thread that drives the clock.
+  virtual void Charge(TimeNs duration) { SleepFor(duration); }
+};
+
+// Monotonic wall clock.
+class RealClock final : public Clock {
+ public:
+  TimeNs Now() const override;
+  void SleepUntil(TimeNs deadline) override;
+
+  // Process-wide instance; epoch is the first call in the process.
+  static RealClock& Instance();
+
+ private:
+  RealClock();
+  TimeNs epoch_;
+};
+
+// Manually advanced virtual clock. Sleepers block on a condition variable
+// until another thread advances the clock past their deadline. AdvanceTo /
+// AdvanceBy wake all satisfied sleepers.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs Now() const override { return now_.load(std::memory_order_acquire); }
+
+  void SleepUntil(TimeNs deadline) override;
+
+  // Charging costs advances virtual time (see Clock::Charge).
+  void Charge(TimeNs duration) override { AdvanceBy(duration); }
+
+  // Moves time forward to `t` (no-op when t <= Now()) and wakes sleepers.
+  void AdvanceTo(TimeNs t);
+  void AdvanceBy(TimeNs dt) { AdvanceTo(Now() + dt); }
+
+  // Number of threads currently blocked in SleepUntil. Lets a driver thread
+  // advance time only once all workers are quiescent.
+  int SleeperCount() const;
+
+  // Earliest deadline among blocked sleepers, or -1 when none. Drivers use
+  // this to advance exactly to the next event.
+  TimeNs NextDeadline() const;
+
+ private:
+  std::atomic<TimeNs> now_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int sleepers_ = 0;
+  // Multiset semantics kept simple: deadlines of current sleepers.
+  std::vector<TimeNs> deadlines_;
+};
+
+}  // namespace apollo

@@ -1,0 +1,33 @@
+#include "common/expected.h"
+
+namespace apollo {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace apollo

@@ -1,0 +1,111 @@
+// Lightweight result type for recoverable errors.
+//
+// Apollo avoids exceptions on hot paths; fallible operations return
+// Expected<T> (or Status for void results) carrying an error code + message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace apollo {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kParseError,
+  kIoError,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Status: success or an Error.
+class Status {
+ public:
+  Status() : error_(ErrorCode::kOk, "") {}
+  Status(ErrorCode code, std::string message)  // NOLINT(google-explicit-constructor)
+      : error_(code, std::move(message)) {}
+  Status(Error e) : error_(std::move(e)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return error_.code() == ErrorCode::kOk; }
+  ErrorCode code() const { return error_.code(); }
+  const std::string& message() const { return error_.message(); }
+  std::string ToString() const {
+    return ok() ? "OK" : error_.ToString();
+  }
+
+  static Status Ok() { return Status(); }
+
+ private:
+  Error error_;
+};
+
+// Expected<T>: either a T or an Error.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}       // NOLINT
+  Expected(Error error) : data_(std::move(error)) {}   // NOLINT
+  Expected(ErrorCode code, std::string message)
+      : data_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return Status(error().code(), error().message());
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace apollo

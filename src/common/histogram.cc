@@ -1,0 +1,34 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace apollo {
+
+namespace {
+std::string FormatNs(double ns) {
+  char buf[48];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string LatencyHistogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "mean=%s p50=%s p99=%s max=%s (n=%llu)",
+                FormatNs(MeanNs()).c_str(),
+                FormatNs(static_cast<double>(PercentileNs(50))).c_str(),
+                FormatNs(static_cast<double>(PercentileNs(99))).c_str(),
+                FormatNs(static_cast<double>(MaxNs())).c_str(),
+                static_cast<unsigned long long>(Count()));
+  return buf;
+}
+
+}  // namespace apollo

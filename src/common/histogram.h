@@ -1,0 +1,101 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Used by the benchmark harnesses to report p50/p95/p99 query latencies
+// (the paper reports averages; percentiles expose the tail the averages
+// hide). Thread-compatible: callers serialize access or keep one per
+// thread and Merge().
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apollo {
+
+class LatencyHistogram {
+ public:
+  // Buckets are log-spaced: value v lands in bucket floor(log2(v)+1)
+  // (bucket 0 holds v <= 1). Covers [1ns, ~584y] in 64 buckets.
+  LatencyHistogram() : buckets_(64, 0) {}
+
+  void Record(std::int64_t value_ns) {
+    if (value_ns < 1) value_ns = 1;
+    int bucket = 0;
+    std::uint64_t v = static_cast<std::uint64_t>(value_ns);
+    while (v > 1) {
+      v >>= 1;
+      ++bucket;
+    }
+    if (bucket >= static_cast<int>(buckets_.size())) {
+      bucket = static_cast<int>(buckets_.size()) - 1;
+    }
+    ++buckets_[static_cast<std::size_t>(bucket)];
+    ++count_;
+    sum_ns_ += value_ns;
+    if (value_ns > max_ns_) max_ns_ = value_ns;
+    if (value_ns < min_ns_ || count_ == 1) min_ns_ = value_ns;
+  }
+
+  std::uint64_t Count() const { return count_; }
+  std::int64_t MinNs() const { return count_ == 0 ? 0 : min_ns_; }
+  std::int64_t MaxNs() const { return max_ns_; }
+  double MeanNs() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+
+  // Percentile in [0, 100]. Returns the upper bound of the bucket holding
+  // the p-th sample (log-bucket resolution: within 2x of the true value).
+  std::int64_t PercentileNs(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 100) p = 100;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen >= rank && buckets_[b] > 0) {
+        return static_cast<std::int64_t>(1ULL << b);
+      }
+    }
+    return max_ns_;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    if (other.count_ > 0) {
+      if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+      if (count_ == other.count_ || other.min_ns_ < min_ns_) {
+        min_ns_ = other.min_ns_;
+      }
+    }
+  }
+
+  void Reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ns_ = 0;
+    min_ns_ = 0;
+    max_ns_ = 0;
+  }
+
+  // "mean=12.3us p50=8.2us p99=130us max=1.2ms (n=1000)"
+  std::string Summary() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ns_ = 0;
+  std::int64_t min_ns_ = 0;
+  std::int64_t max_ns_ = 0;
+};
+
+}  // namespace apollo

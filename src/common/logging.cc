@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace apollo::logging {
+
+namespace {
+std::atomic<Level> g_min_level{Level::kInfo};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void SetMinLevel(Level level) { g_min_level.store(level); }
+Level MinLevel() { return g_min_level.load(); }
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogMessage::LogMessage(Level level, const char* file, int line)
+    : enabled_(level >= MinLevel() && level != Level::kOff), level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace apollo::logging

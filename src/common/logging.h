@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage: APOLLO_LOG(INFO) << "deployed " << n << " vertices";
+// The level can be raised globally (e.g. to WARN during benchmarks) via
+// logging::SetMinLevel.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace apollo::logging {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetMinLevel(Level level);
+Level MinLevel();
+
+const char* LevelName(Level level);
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace apollo::logging
+
+#define APOLLO_LOG_DEBUG \
+  ::apollo::logging::LogMessage(::apollo::logging::Level::kDebug, __FILE__, __LINE__)
+#define APOLLO_LOG_INFO \
+  ::apollo::logging::LogMessage(::apollo::logging::Level::kInfo, __FILE__, __LINE__)
+#define APOLLO_LOG_WARN \
+  ::apollo::logging::LogMessage(::apollo::logging::Level::kWarn, __FILE__, __LINE__)
+#define APOLLO_LOG_ERROR \
+  ::apollo::logging::LogMessage(::apollo::logging::Level::kError, __FILE__, __LINE__)
+
+#define APOLLO_LOG(severity) APOLLO_LOG_##severity

@@ -1,0 +1,82 @@
+#include "common/proc_stats.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace apollo {
+
+namespace {
+double NowWallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ProcSample SampleSelf() {
+  ProcSample sample;
+  sample.wall_seconds = NowWallSeconds();
+
+  std::FILE* stat = std::fopen("/proc/self/stat", "r");
+  if (stat != nullptr) {
+    // Fields 14 (utime) and 15 (stime), in clock ticks. Field 2 (comm) can
+    // contain spaces but is parenthesized; skip past the closing paren.
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, stat);
+    std::fclose(stat);
+    buf[n] = '\0';
+    const char* p = std::strrchr(buf, ')');
+    if (p != nullptr) {
+      long utime = 0, stime = 0;
+      // After ')': field 3 onwards. utime is field 14, stime 15 => the 12th
+      // and 13th whitespace-separated tokens after the state char.
+      int field = 2;  // we are at end of field 2
+      const char* cursor = p + 1;
+      const char* utime_tok = nullptr;
+      const char* stime_tok = nullptr;
+      while (*cursor != '\0') {
+        while (*cursor == ' ') ++cursor;
+        if (*cursor == '\0') break;
+        ++field;
+        if (field == 14) utime_tok = cursor;
+        if (field == 15) {
+          stime_tok = cursor;
+          break;
+        }
+        while (*cursor != ' ' && *cursor != '\0') ++cursor;
+      }
+      if (utime_tok != nullptr && stime_tok != nullptr) {
+        utime = std::strtol(utime_tok, nullptr, 10);
+        stime = std::strtol(stime_tok, nullptr, 10);
+        const double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+        sample.cpu_seconds = static_cast<double>(utime + stime) / ticks;
+      }
+    }
+  }
+
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      if (std::strncmp(line, "VmRSS:", 6) == 0) {
+        long kb = 0;
+        std::sscanf(line + 6, "%ld", &kb);
+        sample.rss_bytes = static_cast<std::uint64_t>(kb) * 1024ULL;
+        break;
+      }
+    }
+    std::fclose(status);
+  }
+  return sample;
+}
+
+double CpuUtilBetween(const ProcSample& begin, const ProcSample& end) {
+  const double wall = end.wall_seconds - begin.wall_seconds;
+  if (wall <= 0.0) return 0.0;
+  return (end.cpu_seconds - begin.cpu_seconds) / wall;
+}
+
+}  // namespace apollo

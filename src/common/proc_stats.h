@@ -1,0 +1,28 @@
+// Process resource accounting via /proc (Linux).
+//
+// Substitutes for the paper's PAT/SAR measurement harness: benches sample
+// CPU time and resident set size of this process to report monitoring
+// overhead (Figures 5 and 12(c)).
+#pragma once
+
+#include <cstdint>
+
+namespace apollo {
+
+struct ProcSample {
+  // Cumulative user + system CPU time consumed by the process, seconds.
+  double cpu_seconds = 0.0;
+  // Resident set size, bytes.
+  std::uint64_t rss_bytes = 0;
+  // Wall time of the sample (monotonic), seconds.
+  double wall_seconds = 0.0;
+};
+
+// Reads /proc/self/stat and /proc/self/status. Returns zeros on failure
+// (non-Linux or restricted /proc).
+ProcSample SampleSelf();
+
+// CPU utilization (0..n_cores) between two samples.
+double CpuUtilBetween(const ProcSample& begin, const ProcSample& end);
+
+}  // namespace apollo

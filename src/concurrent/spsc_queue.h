@@ -1,0 +1,69 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// Used inside SCoRe vertices where exactly one builder thread publishes and
+// one queue-drain thread consumes (the common fast path in the paper's
+// Fact/Insight vertex design).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace apollo {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Returns false when full.
+  bool TryPush(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    buffer_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  std::size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+  std::size_t Capacity() const { return mask_ + 1; }
+
+ private:
+  // 64 bytes covers current x86/ARM cache lines; the standard constant
+  // emits -Winterference-size and is ABI-unstable, so we fix it.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace apollo

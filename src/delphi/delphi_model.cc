@@ -1,0 +1,166 @@
+#include "delphi/delphi_model.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+
+#include "nn/dense.h"
+
+namespace apollo::delphi {
+
+DelphiModel DelphiModel::Train(const DelphiConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  DelphiModel model;
+  model.window_ = config.feature_config.window;
+  model.features_ = TrainFeatureModels(config.feature_config);
+
+  // Build the combiner training set from a composite series mixing all
+  // features: input = [feature predictions | raw window], target = next
+  // value.
+  GeneratorConfig gen;
+  gen.length = config.composite_length;
+  gen.noise_stddev = config.feature_config.noise_stddev;
+  gen.seed = config.seed;
+  const Series composite = GenerateCompositeAll(gen);
+  const WindowedDataset ds = MakeWindows(composite, model.window_);
+
+  const std::size_t in_dim = model.features_.size() + model.window_;
+  nn::Matrix x(ds.Size(), in_dim);
+  nn::Matrix y(ds.Size(), 1);
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    const std::vector<double>& window = ds.inputs[i];
+    for (std::size_t f = 0; f < model.features_.size(); ++f) {
+      x(i, f) = model.features_[f].model.PredictScalar(window);
+    }
+    for (std::size_t j = 0; j < model.window_; ++j) {
+      x(i, model.features_.size() + j) = window[j];
+    }
+    y(i, 0) = ds.targets[i];
+  }
+
+  Rng rng(config.seed ^ 0xabcdULL);
+  model.combiner_.Add(std::make_unique<nn::Dense>(
+      in_dim, 1, nn::Activation::kIdentity, rng));
+  nn::Adam adam(config.combiner_lr);
+  model.combiner_loss_ = model.combiner_.Fit(
+      x, y, adam, config.combiner_epochs, config.combiner_batch, rng);
+
+  model.train_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return model;
+}
+
+std::vector<double> DelphiModel::CombinerInput(
+    const std::vector<double>& window) {
+  assert(window.size() == window_);
+  std::vector<double> input;
+  input.reserve(features_.size() + window_);
+  for (auto& fm : features_) {
+    input.push_back(fm.model.PredictScalar(window));
+  }
+  input.insert(input.end(), window.begin(), window.end());
+  return input;
+}
+
+double DelphiModel::Predict(const std::vector<double>& window) {
+  return combiner_.PredictScalar(CombinerInput(window));
+}
+
+double DelphiModel::FeaturePrediction(std::size_t index,
+                                      const std::vector<double>& window) {
+  assert(index < features_.size());
+  return features_[index].model.PredictScalar(window);
+}
+
+std::size_t DelphiModel::ParamCount() const {
+  std::size_t total = combiner_.ParamCount();
+  for (const auto& fm : features_) total += fm.model.ParamCount();
+  return total;
+}
+
+std::size_t DelphiModel::TrainableParamCount() const {
+  return combiner_.TrainableParamCount();
+}
+
+namespace {
+constexpr std::uint32_t kDelphiMagic = 0x44504831;  // "DPH1"
+}
+
+Status DelphiModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status(ErrorCode::kIoError, "cannot open " + path);
+  const std::uint32_t magic = kDelphiMagic;
+  const std::uint32_t window = static_cast<std::uint32_t>(window_);
+  const std::uint32_t features = static_cast<std::uint32_t>(features_.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&window), sizeof(window));
+  out.write(reinterpret_cast<const char*>(&features), sizeof(features));
+  for (const FeatureModel& fm : features_) {
+    const std::int32_t id = static_cast<std::int32_t>(fm.feature);
+    out.write(reinterpret_cast<const char*>(&id), sizeof(id));
+    fm.model.layer(0).SaveParams(out);
+  }
+  combiner_.layer(0).SaveParams(out);
+  return out.good() ? Status::Ok()
+                    : Status(ErrorCode::kIoError, "write failed: " + path);
+}
+
+Expected<DelphiModel> DelphiModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::uint32_t magic = 0, window = 0, features = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&window), sizeof(window));
+  in.read(reinterpret_cast<char*>(&features), sizeof(features));
+  if (!in || magic != kDelphiMagic) {
+    return Error(ErrorCode::kParseError, "not a Delphi model file: " + path);
+  }
+  if (window == 0 || window > 256 || features == 0 || features > 64) {
+    return Error(ErrorCode::kParseError, "implausible Delphi header");
+  }
+  DelphiModel model;
+  model.window_ = window;
+  Rng rng(0);  // weights are overwritten by LoadParams
+  try {
+    for (std::uint32_t f = 0; f < features; ++f) {
+      std::int32_t id = 0;
+      in.read(reinterpret_cast<char*>(&id), sizeof(id));
+      if (!in) throw std::runtime_error("truncated feature header");
+      FeatureModel fm;
+      fm.feature = static_cast<TsFeature>(id);
+      fm.model.Add(std::make_unique<nn::Dense>(
+          window, 1, nn::Activation::kIdentity, rng));
+      fm.model.layer(0).LoadParams(in);
+      fm.model.FreezeAll();
+      model.features_.push_back(std::move(fm));
+    }
+    model.combiner_.Add(std::make_unique<nn::Dense>(
+        features + window, 1, nn::Activation::kIdentity, rng));
+    model.combiner_.layer(0).LoadParams(in);
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kParseError, e.what());
+  }
+  return model;
+}
+
+DelphiModel DelphiModel::Clone() const {
+  DelphiModel copy;
+  copy.window_ = window_;
+  copy.features_.reserve(features_.size());
+  for (const auto& fm : features_) {
+    FeatureModel cloned;
+    cloned.feature = fm.feature;
+    cloned.model = fm.model.Clone();
+    cloned.train_loss = fm.train_loss;
+    copy.features_.push_back(std::move(cloned));
+  }
+  copy.combiner_ = combiner_.Clone();
+  copy.combiner_loss_ = combiner_loss_;
+  copy.train_seconds_ = train_seconds_;
+  return copy;
+}
+
+}  // namespace apollo::delphi

@@ -1,0 +1,77 @@
+// Delphi: the stacked predictive model (§3.4.2, Figure 3).
+//
+// Architecture: a window of 5 recent values feeds eight frozen one-Dense
+// feature models in parallel; their eight scalar predictions, concatenated
+// with the raw window, feed one trainable Dense combiner that learns how to
+// weight the experts (and model residual noise). Only the combiner trains —
+// 14 trainable parameters (13 weights + 1 bias), mirroring the paper's
+// "14 trainable" count. The combiner is trained on a synthetic composite of
+// all eight features, never on the target metric, which is exactly what the
+// paper's generality claim (Figures 3(c) and 11) tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "delphi/feature_models.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "timeseries/series.h"
+
+namespace apollo::delphi {
+
+struct DelphiConfig {
+  FeatureModelConfig feature_config;
+  std::size_t combiner_epochs = 80;
+  std::size_t combiner_batch = 32;
+  double combiner_lr = 0.01;
+  std::size_t composite_length = 4096;
+  std::uint64_t seed = 4321;
+};
+
+class DelphiModel {
+ public:
+  // Builds and trains the full stack (feature models + combiner) on
+  // synthetic data. Deterministic for a fixed config.
+  static DelphiModel Train(const DelphiConfig& config = {});
+
+  // Predicts the next value from a window of `Window()` recent values
+  // (values are expected in the normalized [0,1] domain; see
+  // StreamingPredictor for raw metric handling).
+  double Predict(const std::vector<double>& window);
+
+  std::size_t Window() const { return window_; }
+  std::size_t ParamCount() const;           // total (frozen + trainable)
+  std::size_t TrainableParamCount() const;  // combiner only
+  std::size_t NumFeatureModels() const { return features_.size(); }
+
+  // Per-feature-model prediction (exposed for Figure 3 style analysis).
+  double FeaturePrediction(std::size_t index,
+                           const std::vector<double>& window);
+
+  // Training diagnostics.
+  double combiner_loss() const { return combiner_loss_; }
+  double train_seconds() const { return train_seconds_; }
+
+  DelphiModel Clone() const;
+
+  // Persists / restores the full stack (window size, feature-model
+  // weights, combiner weights). Training once and shipping the weights is
+  // the expected deployment flow (the paper trains Delphi offline).
+  Status SaveToFile(const std::string& path) const;
+  static Expected<DelphiModel> LoadFromFile(const std::string& path);
+
+ private:
+  DelphiModel() = default;
+
+  std::vector<double> CombinerInput(const std::vector<double>& window);
+
+  std::size_t window_ = kDelphiWindow;
+  std::vector<FeatureModel> features_;
+  nn::Sequential combiner_;
+  double combiner_loss_ = 0.0;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace apollo::delphi

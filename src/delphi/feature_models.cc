@@ -1,0 +1,60 @@
+#include "delphi/feature_models.h"
+
+#include "nn/dense.h"
+#include "timeseries/series.h"
+
+namespace apollo::delphi {
+
+namespace {
+
+// Packs a windowed dataset into matrices for Sequential::Fit.
+void ToMatrices(const WindowedDataset& ds, nn::Matrix& x, nn::Matrix& y) {
+  const std::size_t n = ds.Size();
+  const std::size_t w = n == 0 ? 0 : ds.inputs.front().size();
+  x = nn::Matrix(n, w);
+  y = nn::Matrix(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < w; ++j) x(i, j) = ds.inputs[i][j];
+    y(i, 0) = ds.targets[i];
+  }
+}
+
+}  // namespace
+
+FeatureModel TrainOneFeatureModel(TsFeature feature,
+                                  const FeatureModelConfig& config) {
+  GeneratorConfig gen;
+  gen.length = config.train_length;
+  gen.noise_stddev = config.noise_stddev;
+  gen.seed = config.seed ^ (0xfeedULL + static_cast<std::uint64_t>(feature));
+  const Series series = GenerateFeature(feature, gen);
+  const WindowedDataset ds = MakeWindows(series, config.window);
+
+  nn::Matrix x, y;
+  ToMatrices(ds, x, y);
+
+  Rng rng(config.seed + static_cast<std::uint64_t>(feature) * 97ULL);
+  FeatureModel fm;
+  fm.feature = feature;
+  fm.model.Add(std::make_unique<nn::Dense>(config.window, 1,
+                                           nn::Activation::kIdentity, rng));
+  nn::Adam adam(config.learning_rate);
+  fm.train_loss =
+      fm.model.Fit(x, y, adam, config.epochs, config.batch_size, rng);
+  return fm;
+}
+
+std::vector<FeatureModel> TrainFeatureModels(
+    const FeatureModelConfig& config) {
+  std::vector<FeatureModel> models;
+  models.reserve(kNumTsFeatures);
+  for (TsFeature feature : AllTsFeatures()) {
+    FeatureModel fm = TrainOneFeatureModel(feature, config);
+    fm.model.FreezeAll();  // "set these pre-trained feature models to be
+                           // untrainable" (§3.4.2)
+    models.push_back(std::move(fm));
+  }
+  return models;
+}
+
+}  // namespace apollo::delphi

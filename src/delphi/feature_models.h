@@ -1,0 +1,43 @@
+// Pre-trained per-feature models — stage one of Delphi.
+//
+// For each of the eight time-series feature archetypes (§3.4.2) we train a
+// one-Dense-layer network with window size 5 on synthetic data exhibiting
+// only that feature, then freeze it. The stacked Delphi model combines
+// their predictions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "timeseries/generators.h"
+
+namespace apollo::delphi {
+
+inline constexpr std::size_t kDelphiWindow = 5;  // the paper's window size
+
+struct FeatureModelConfig {
+  std::size_t window = kDelphiWindow;
+  std::size_t train_length = 4096;  // synthetic series length per feature
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.01;
+  // White noise mixed into the synthetic training series.
+  double noise_stddev = 0.01;
+  std::uint64_t seed = 1234;
+};
+
+struct FeatureModel {
+  TsFeature feature;
+  nn::Sequential model;  // Dense(window -> 1), frozen after training
+  double train_loss = 0.0;
+};
+
+// Trains one model per feature archetype and freezes it.
+std::vector<FeatureModel> TrainFeatureModels(const FeatureModelConfig& config);
+
+// Trains a single feature model (not frozen); exposed for tests/ablation.
+FeatureModel TrainOneFeatureModel(TsFeature feature,
+                                  const FeatureModelConfig& config);
+
+}  // namespace apollo::delphi

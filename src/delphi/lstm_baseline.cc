@@ -1,0 +1,49 @@
+#include "delphi/lstm_baseline.h"
+
+#include <chrono>
+#include <memory>
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+
+namespace apollo::delphi {
+
+nn::Sequential MakeLstmRegressor(const LstmBaselineConfig& config) {
+  Rng rng(config.seed);
+  nn::Sequential model;
+  model.Add(std::make_unique<nn::Lstm>(/*input_size=*/1, config.hidden,
+                                       /*seq_len=*/config.window, rng));
+  model.Add(std::make_unique<nn::Dense>(config.hidden, 1,
+                                        nn::Activation::kIdentity, rng));
+  return model;
+}
+
+LstmBaseline TrainLstmBaseline(const Series& normalized_series,
+                               const LstmBaselineConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+
+  LstmBaseline baseline;
+  baseline.model = MakeLstmRegressor(config);
+  baseline.param_count = baseline.model.ParamCount();
+
+  const WindowedDataset ds = MakeWindows(normalized_series, config.window);
+  nn::Matrix x(ds.Size(), config.window);
+  nn::Matrix y(ds.Size(), 1);
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    for (std::size_t j = 0; j < config.window; ++j) {
+      x(i, j) = ds.inputs[i][j];
+    }
+    y(i, 0) = ds.targets[i];
+  }
+
+  Rng rng(config.seed ^ 0x5151ULL);
+  nn::Adam adam(config.learning_rate);
+  baseline.train_loss = baseline.model.Fit(x, y, adam, config.epochs,
+                                           config.batch_size, rng);
+  baseline.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return baseline;
+}
+
+}  // namespace apollo::delphi

@@ -1,0 +1,40 @@
+// Per-metric LSTM baseline (Figure 11's comparator).
+//
+// The paper trains one LSTM per collected metric (71,851 parameters, all
+// trainable, 3-5 hours on their testbed) and shows it only infers well on
+// the metric it was trained for. We build LSTM(hidden) + Dense(hidden -> 1)
+// over the same window of 5; hidden defaults to 128 which lands in the same
+// parameter regime (~67k).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.h"
+#include "timeseries/series.h"
+
+namespace apollo::delphi {
+
+struct LstmBaselineConfig {
+  std::size_t window = 5;
+  std::size_t hidden = 128;
+  std::size_t epochs = 4;
+  std::size_t batch_size = 64;
+  double learning_rate = 0.003;
+  std::uint64_t seed = 77;
+};
+
+struct LstmBaseline {
+  nn::Sequential model;
+  double train_loss = 0.0;
+  double train_seconds = 0.0;
+  std::size_t param_count = 0;
+};
+
+// Builds an untrained LSTM+Dense regressor.
+nn::Sequential MakeLstmRegressor(const LstmBaselineConfig& config);
+
+// Trains the baseline on one metric's (normalized) series.
+LstmBaseline TrainLstmBaseline(const Series& normalized_series,
+                               const LstmBaselineConfig& config);
+
+}  // namespace apollo::delphi

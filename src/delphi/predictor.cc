@@ -1,0 +1,48 @@
+#include "delphi/predictor.h"
+
+#include <algorithm>
+
+namespace apollo::delphi {
+
+void StreamingPredictor::Observe(double value) {
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+  Push(value);
+  ++observations_;
+}
+
+void StreamingPredictor::ObservePredicted(double value) { Push(value); }
+
+void StreamingPredictor::Push(double value) {
+  window_.push_back(value);
+  while (window_.size() > model_.Window()) window_.pop_front();
+}
+
+double StreamingPredictor::NormScale() const {
+  const double range = max_seen_ - min_seen_;
+  return range > 0.0 ? range : 1.0;
+}
+
+std::optional<double> StreamingPredictor::PredictNext() {
+  if (!Ready()) return std::nullopt;
+  const double scale = NormScale();
+  std::vector<double> normalized;
+  normalized.reserve(window_.size());
+  for (double v : window_) normalized.push_back((v - min_seen_) / scale);
+  double pred = model_.Predict(normalized);
+  if (bias_correction_) {
+    const double anchor = normalized.back();
+    const std::vector<double> flat(normalized.size(), anchor);
+    pred += anchor - model_.Predict(flat);
+  }
+  return pred * scale + min_seen_;
+}
+
+void StreamingPredictor::Reset() {
+  window_.clear();
+  min_seen_ = std::numeric_limits<double>::infinity();
+  max_seen_ = -std::numeric_limits<double>::infinity();
+  observations_ = 0;
+}
+
+}  // namespace apollo::delphi

@@ -1,0 +1,64 @@
+// StreamingPredictor: online adapter from raw metric samples to Delphi.
+//
+// Monitor Hooks feed raw measured values (arbitrary units, e.g. bytes of
+// NVMe capacity); the predictor maintains the sliding window and a running
+// min/max normalization so Delphi — trained on [0,1] synthetic data — can
+// produce predictions in the metric's native units between polls.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "delphi/delphi_model.h"
+
+namespace apollo::delphi {
+
+class StreamingPredictor {
+ public:
+  // `model` is shared: feature models and combiner are only read during
+  // inference through this adapter's own cloned stack, so each predictor
+  // clones the model to keep layer caches private.
+  explicit StreamingPredictor(const DelphiModel& model)
+      : model_(model.Clone()) {}
+
+  // Feeds a measured value; expands the normalization range as needed.
+  void Observe(double value);
+
+  // True once a full window of observations exists.
+  bool Ready() const { return window_.size() >= model_.Window(); }
+
+  // Predicts the next value in the metric's native units. Returns nullopt
+  // until Ready(). Chains: predictions can be fed back via ObservePredicted
+  // to forecast several steps ahead.
+  std::optional<double> PredictNext();
+
+  // Appends a prediction to the window (multi-step forecasting between two
+  // real polls) without widening the normalization range.
+  void ObservePredicted(double value);
+
+  void Reset();
+
+  std::size_t ObservationCount() const { return observations_; }
+
+  // Inference-time calibration (default on): subtracts the model's response
+  // to a constant window at the last value, so a flat history predicts
+  // exactly "no change". Removes the training-distribution mean bias that
+  // otherwise accumulates linearly over chained multi-step forecasts.
+  void SetBiasCorrection(bool enabled) { bias_correction_ = enabled; }
+
+ private:
+  void Push(double value);
+  double NormScale() const;
+
+  DelphiModel model_;
+  std::deque<double> window_;
+  double min_seen_ = std::numeric_limits<double>::infinity();
+  double max_seen_ = -std::numeric_limits<double>::infinity();
+  std::size_t observations_ = 0;
+  bool bias_correction_ = true;
+};
+
+}  // namespace apollo::delphi

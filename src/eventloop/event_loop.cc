@@ -1,0 +1,123 @@
+#include "eventloop/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apollo {
+
+EventLoop::EventLoop(Clock& clock, bool auto_advance, SimClock* sim)
+    : clock_(clock), sim_(sim), auto_advance_(auto_advance) {
+  if (auto_advance_) {
+    assert(sim_ != nullptr && "auto_advance requires a SimClock");
+  }
+}
+
+TimerId EventLoop::AddTimer(TimeNs initial_delay, TimerCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimerId id = next_id_++;
+  timers_.emplace(id, std::move(callback));
+  heap_.push(TimerEntry{clock_.Now() + initial_delay, next_seq_++, id});
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timers_.erase(id);
+}
+
+void EventLoop::Post(Task task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(std::move(task));
+}
+
+void EventLoop::Run(TimeNs end_time, bool stop_when_idle) {
+  for (;;) {
+    // Drain posted tasks first.
+    std::vector<Task> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending.swap(tasks_);
+    }
+    for (auto& task : pending) task();
+
+    TimerEntry entry;
+    TimerCallback callback;
+    bool have_timer = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) return;
+      // Pop cancelled entries.
+      while (!heap_.empty() &&
+             timers_.find(heap_.top().id) == timers_.end()) {
+        heap_.pop();
+      }
+      if (heap_.empty()) {
+        if (stop_when_idle && tasks_.empty()) return;
+      } else if (heap_.top().deadline > end_time) {
+        return;
+      } else {
+        entry = heap_.top();
+        if (entry.deadline <= clock_.Now()) {
+          heap_.pop();
+          callback = timers_.at(entry.id);
+          have_timer = true;
+        }
+      }
+    }
+
+    if (have_timer) {
+      const TimeNs next_delay = callback(clock_.Now());
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = timers_.find(entry.id);
+      if (it != timers_.end()) {
+        if (next_delay == kStopTimer) {
+          timers_.erase(it);
+        } else {
+          heap_.push(
+              TimerEntry{clock_.Now() + next_delay, next_seq_++, entry.id});
+        }
+      }
+      continue;
+    }
+
+    // Not due yet: wait (or fast-forward virtual time).
+    TimeNs next_deadline;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (heap_.empty()) {
+        if (stop_when_idle) return;
+        next_deadline = clock_.Now() + kNsPerMs;
+      } else {
+        next_deadline = heap_.top().deadline;
+      }
+    }
+    if (next_deadline > end_time) return;
+    if (auto_advance_) {
+      sim_->AdvanceTo(next_deadline);
+    } else {
+      // Sleep in bounded chunks so Stop() from another thread is honored
+      // promptly even when the next timer is far away.
+      constexpr TimeNs kMaxSleepChunk = 50 * kNsPerMs;
+      const TimeNs chunk_end =
+          std::min(next_deadline, clock_.Now() + kMaxSleepChunk);
+      clock_.SleepUntil(chunk_end);
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_requested_ = true;
+}
+
+void EventLoop::ClearStop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_requested_ = false;
+}
+
+std::size_t EventLoop::TimerCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_.size();
+}
+
+}  // namespace apollo

@@ -1,0 +1,99 @@
+// Timer-driven event loop — the libuv substitute.
+//
+// SCoRe's Monitor Hooks re-arm themselves with a new interval after every
+// poll (adaptive AIMD intervals), so timer callbacks here return the delay
+// until their next firing, or kStopTimer to cancel.
+//
+// The loop runs against any Clock. When constructed with auto_advance=true
+// over a SimClock, the loop fast-forwards virtual time to the next deadline
+// instead of sleeping, which lets a 30-minute monitoring replay finish in
+// milliseconds (Figures 8-10).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace apollo {
+
+using TimerId = std::uint64_t;
+
+// Return value of a timer callback: delay until the next firing (>=0), or
+// kStopTimer to cancel the timer.
+constexpr TimeNs kStopTimer = -1;
+
+class EventLoop {
+ public:
+  using TimerCallback = std::function<TimeNs(TimeNs now)>;
+  using Task = std::function<void()>;
+
+  // `clock` must outlive the loop. When `auto_advance` is true, `clock` must
+  // be a SimClock and the loop advances it to each next deadline.
+  explicit EventLoop(Clock& clock, bool auto_advance = false,
+                     SimClock* sim = nullptr);
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers a timer that first fires at Now() + initial_delay.
+  TimerId AddTimer(TimeNs initial_delay, TimerCallback callback);
+
+  // Cancels a timer. Safe to call from inside a callback or another thread.
+  void CancelTimer(TimerId id);
+
+  // Enqueues a task to run before the next timer dispatch.
+  void Post(Task task);
+
+  // Runs the loop on the calling thread until Stop() or, when
+  // stop_when_idle, until no timers/tasks remain. `end_time` bounds the
+  // clock time processed (timers due after end_time do not fire).
+  void Run(TimeNs end_time = std::numeric_limits<TimeNs>::max(),
+           bool stop_when_idle = true);
+
+  // Requests Run() to return as soon as possible. Thread-safe. The stop
+  // request persists across Run() calls; callers that restart the loop must
+  // ClearStop() before the next Run() (done by ApolloService::Start).
+  void Stop();
+
+  // Clears a pending stop request. Call from the owning thread before
+  // re-running a previously stopped loop.
+  void ClearStop();
+
+  // Number of live timers.
+  std::size_t TimerCount() const;
+
+  Clock& clock() { return clock_; }
+
+ private:
+  struct TimerEntry {
+    TimeNs deadline;
+    std::uint64_t sequence;  // tie-break: FIFO among equal deadlines
+    TimerId id;
+    bool operator>(const TimerEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return sequence > other.sequence;
+    }
+  };
+
+  Clock& clock_;
+  SimClock* sim_;
+  bool auto_advance_;
+
+  mutable std::mutex mu_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      heap_;
+  std::map<TimerId, TimerCallback> timers_;  // erased entries = cancelled
+  std::vector<Task> tasks_;
+  TimerId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace apollo

@@ -1,0 +1,214 @@
+#include "insights/curations.h"
+
+#include <algorithm>
+
+namespace apollo::insights {
+
+double Msca(const Device& device, TimeNs now) {
+  const double num_reqs = static_cast<double>(device.QueueDepth(now));
+  const double dev_c = static_cast<double>(device.spec().max_concurrency);
+  const double max_bw = device.MaxBandwidth();
+  if (dev_c <= 0.0 || max_bw <= 0.0) return 0.0;
+  const double real_bw = std::min(device.RealBandwidth(now), max_bw);
+  return (num_reqs / dev_c) * (max_bw - real_bw) / max_bw;
+}
+
+double InterferenceFactor(const Device& device, TimeNs now) {
+  const double max_bw = device.MaxBandwidth();
+  if (max_bw <= 0.0) return 0.0;
+  return std::min(1.0, device.RealBandwidth(now) / max_bw);
+}
+
+FsPerformance FsPerformanceOfTier(const Cluster& cluster, DeviceType tier) {
+  FsPerformance perf;
+  for (Device* device : cluster.DevicesOfType(tier)) {
+    ++perf.num_devices;
+    perf.max_bw += device->MaxBandwidth();
+    perf.block_size = device->spec().block_size;
+  }
+  // Tier conventions in the simulated cluster: the HDD tier is a RAID-6
+  // parallel filesystem; flash tiers are RAID-0 stripes.
+  perf.raid_level = tier == DeviceType::kHdd ? 6 : 0;
+  perf.compression = tier == DeviceType::kHdd ? "lz4" : "none";
+  return perf;
+}
+
+void BlockHotnessTracker::RecordAccess(std::uint64_t block_id) {
+  ++counts_[block_id];
+}
+
+std::uint64_t BlockHotnessTracker::Frequency(std::uint64_t block_id) const {
+  auto it = counts_.find(block_id);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::pair<std::uint64_t, std::uint64_t> BlockHotnessTracker::Hottest() const {
+  std::pair<std::uint64_t, std::uint64_t> best{0, 0};
+  for (const auto& [block, freq] : counts_) {
+    if (freq > best.second) best = {block, freq};
+  }
+  return best;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> BlockHotnessTracker::TopK(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> all(counts_.begin(),
+                                                           counts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::size_t BlockHotnessTracker::DistinctBlocks() const {
+  return counts_.size();
+}
+
+double DeviceHealth(const Device& device) { return device.Health(); }
+
+TimeNs NetworkHealth(const Cluster& cluster, NodeId a, NodeId b) {
+  return cluster.PingTime(a, b);
+}
+
+double DeviceFaultTolerance(const Device& device) {
+  return static_cast<double>(device.spec().replication_level) *
+         device.Health();
+}
+
+double DeviceDegradationRate(const Device& device) {
+  return device.DegradationRate();
+}
+
+NodeAvailability NodeAvailabilityList(const Cluster& cluster, TimeNs now) {
+  return NodeAvailability{now, cluster.OnlineNodes()};
+}
+
+double TierRemainingCapacity(const Cluster& cluster, DeviceType tier) {
+  double total = 0.0;
+  for (Device* device : cluster.DevicesOfType(tier)) {
+    total += static_cast<double>(device->RemainingBytes());
+  }
+  return total;
+}
+
+double EnergyPerTransfer(const Device& device, TimeNs now) {
+  const double transfers = device.TransfersPerSec(now);
+  const double watts = device.PowerWatts(now);
+  return watts / std::max(transfers, 1.0);
+}
+
+double NodeEnergyPerTransfer(const Node& node, TimeNs now) {
+  const double transfers = node.TransfersPerSec(now);
+  return node.PowerWatts(now) / std::max(transfers, 1.0);
+}
+
+SystemTime SystemTimeOf(const Node& node, TimeNs now, TimeNs drift) {
+  return SystemTime{node.id(), now + drift};
+}
+
+double DeviceLoad(const Device& device, TimeNs now) {
+  const double lifetime_blocks = static_cast<double>(
+      device.TotalBlocksRead() + device.TotalBlocksWritten());
+  if (lifetime_blocks <= 0.0) return 0.0;
+  const double recent_blocks_per_sec =
+      device.RealBandwidth(now) /
+      static_cast<double>(device.spec().block_size);
+  return recent_blocks_per_sec / lifetime_blocks;
+}
+
+Expected<AllocationCharacteristics> AllocationInfo(const SlurmSim& slurm,
+                                                   JobId job, TimeNs now) {
+  auto info = slurm.Query(job);
+  if (!info.ok()) return info.error();
+  AllocationCharacteristics out;
+  out.timestamp = now;
+  out.job = job;
+  out.num_nodes = static_cast<int>(info->nodes.size());
+  out.procs_per_node = info->procs_per_node;
+  out.bytes_read = info->bytes_read;
+  out.bytes_written = info->bytes_written;
+  return out;
+}
+
+MonitorHook MscaHook(Device& device, TimeNs cost) {
+  return MonitorHook{device.name() + ".msca",
+                     [&device](TimeNs now) { return Msca(device, now); },
+                     cost};
+}
+
+MonitorHook InterferenceHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".interference",
+      [&device](TimeNs now) { return InterferenceFactor(device, now); },
+      cost};
+}
+
+MonitorHook FaultToleranceHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".fault_tolerance",
+      [&device](TimeNs) { return DeviceFaultTolerance(device); }, cost};
+}
+
+MonitorHook DegradationHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".degradation_rate",
+      [&device](TimeNs) { return DeviceDegradationRate(device); }, cost};
+}
+
+MonitorHook AvailableNodeCountHook(const Cluster& cluster, TimeNs cost) {
+  return MonitorHook{"cluster.available_nodes",
+                     [&cluster](TimeNs) {
+                       return static_cast<double>(
+                           cluster.OnlineNodes().size());
+                     },
+                     cost};
+}
+
+MonitorHook TierCapacityHook(const Cluster& cluster, DeviceType tier,
+                             TimeNs cost) {
+  return MonitorHook{
+      std::string("tier.") + DeviceTypeName(tier) + ".remaining",
+      [&cluster, tier](TimeNs) {
+        return TierRemainingCapacity(cluster, tier);
+      },
+      cost};
+}
+
+MonitorHook EnergyPerTransferHook(Node& node, TimeNs cost) {
+  return MonitorHook{
+      node.name() + ".energy_per_transfer",
+      [&node](TimeNs now) { return NodeEnergyPerTransfer(node, now); },
+      cost};
+}
+
+MonitorHook DeviceLoadHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".load",
+      [&device](TimeNs now) { return DeviceLoad(device, now); }, cost};
+}
+
+MonitorHook NetworkHealthHook(const Cluster& cluster, NodeId a, NodeId b,
+                              TimeNs cost) {
+  return MonitorHook{"net." + std::to_string(a) + "-" + std::to_string(b) +
+                         ".ping_ns",
+                     [&cluster, a, b](TimeNs) {
+                       return static_cast<double>(NetworkHealth(cluster, a, b));
+                     },
+                     cost};
+}
+
+MonitorHook RunningProcsHook(const SlurmSim& slurm, TimeNs cost) {
+  return MonitorHook{"slurm.running_procs",
+                     [&slurm](TimeNs) {
+                       double procs = 0.0;
+                       for (const JobInfo& job : slurm.RunningJobs()) {
+                         procs += job.TotalProcs();
+                       }
+                       return procs;
+                     },
+                     cost};
+}
+
+}  // namespace apollo::insights

@@ -1,0 +1,129 @@
+// I/O Insight curations — the fifteen rows of Table 1 (§3.3).
+//
+// Each curation is available two ways:
+//  1. a direct compute function over the simulated cluster (for clients and
+//     tests that want the value now);
+//  2. a MonitorHook factory so the curation can be deployed as a SCoRe
+//     vertex and flow through the pub-sub fabric like any other metric.
+//
+// Curations with structured results (availability lists, FS performance,
+// allocation characteristics) also expose a typed accessor; their scalar
+// stream value is the natural summary (count, MaxBW, total procs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/slurm_sim.h"
+#include "score/monitor_hook.h"
+
+namespace apollo::insights {
+
+// 1. Medium Sensitivity to Concurrent Access:
+//    (NumReqs / DevC) * (MaxBW - RealBW) / MaxBW.
+double Msca(const Device& device, TimeNs now);
+
+// 2. Current Device Interference value: RealBW / MaxBW. 0 = idle device,
+//    1 = fully interfered.
+double InterferenceFactor(const Device& device, TimeNs now);
+
+// 3. FS Performance: the performance tuple of a filesystem/tier.
+struct FsPerformance {
+  std::string compression = "none";
+  std::uint64_t block_size = 4096;
+  int raid_level = 0;
+  int num_devices = 0;
+  double max_bw = 0.0;  // aggregate bytes/s
+};
+FsPerformance FsPerformanceOfTier(const Cluster& cluster, DeviceType tier);
+
+// 4. Block hotness: access frequency per block, tracked incrementally.
+class BlockHotnessTracker {
+ public:
+  void RecordAccess(std::uint64_t block_id);
+  std::uint64_t Frequency(std::uint64_t block_id) const;
+  // Highest (block, frequency) pair; frequency 0 when nothing was recorded.
+  std::pair<std::uint64_t, std::uint64_t> Hottest() const;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> TopK(
+      std::size_t k) const;
+  std::size_t DistinctBlocks() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+// 5. Device Health: 1 - NumBadBlocks / TotalNumBlocks.
+double DeviceHealth(const Device& device);
+
+// 6. Network Health: ping time between two nodes (nanoseconds).
+TimeNs NetworkHealth(const Cluster& cluster, NodeId a, NodeId b);
+
+// 7. Device Fault Tolerance. Table 1 prints ReplicationLevel/DeviceHealth,
+//    but its use case ("place important data on more fault-tolerant
+//    devices") requires the value to grow with health, so we compute
+//    ReplicationLevel * DeviceHealth. Documented in DESIGN.md.
+double DeviceFaultTolerance(const Device& device);
+
+// 8. Device Degradation Rate: health lost per block read/written over the
+//    device lifetime.
+double DeviceDegradationRate(const Device& device);
+
+// 9. Node Availability List: ordered list of online nodes.
+struct NodeAvailability {
+  TimeNs timestamp;
+  std::vector<NodeId> available;
+};
+NodeAvailability NodeAvailabilityList(const Cluster& cluster, TimeNs now);
+
+// 10. Tier Remaining Capacity: sum of (capacity - used) across the tier.
+double TierRemainingCapacity(const Cluster& cluster, DeviceType tier);
+
+// 11./14. Energy Consumption per Transfer: watts / transfers-per-sec.
+//     Device- and node-level variants (the table lists both granularities).
+double EnergyPerTransfer(const Device& device, TimeNs now);
+double NodeEnergyPerTransfer(const Node& node, TimeNs now);
+
+// 12. System Time: (NodeID, system time) — in simulation the clock of the
+//     node, with an optional per-node drift to exercise drift-aware users.
+struct SystemTime {
+  NodeId node;
+  TimeNs time;
+};
+SystemTime SystemTimeOf(const Node& node, TimeNs now, TimeNs drift = 0);
+
+// 13. Device Load: recent block throughput relative to lifetime blocks.
+double DeviceLoad(const Device& device, TimeNs now);
+
+// 15. Allocation Characteristics: per-job resource info from the Slurm
+//     simulator.
+struct AllocationCharacteristics {
+  TimeNs timestamp;
+  JobId job;
+  int num_nodes;
+  int procs_per_node;
+  std::uint64_t bytes_read;
+  std::uint64_t bytes_written;
+};
+Expected<AllocationCharacteristics> AllocationInfo(const SlurmSim& slurm,
+                                                   JobId job, TimeNs now);
+
+// --- MonitorHook adapters for SCoRe deployment ---
+MonitorHook MscaHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook InterferenceHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook FaultToleranceHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook DegradationHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook AvailableNodeCountHook(const Cluster& cluster,
+                                   TimeNs cost = Millis(1));
+MonitorHook TierCapacityHook(const Cluster& cluster, DeviceType tier,
+                             TimeNs cost = Millis(1));
+MonitorHook EnergyPerTransferHook(Node& node, TimeNs cost = Millis(1));
+MonitorHook DeviceLoadHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook NetworkHealthHook(const Cluster& cluster, NodeId a, NodeId b,
+                              TimeNs cost = Millis(1));
+MonitorHook RunningProcsHook(const SlurmSim& slurm, TimeNs cost = Millis(1));
+
+}  // namespace apollo::insights

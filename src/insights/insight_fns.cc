@@ -1,0 +1,101 @@
+#include "insights/insight_fns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace apollo::insights {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+bool AnyNan(const std::vector<double>& values) {
+  for (double v : values) {
+    if (std::isnan(v)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+InsightFn MscaFromFacts(double max_concurrency, double max_bandwidth) {
+  return [max_concurrency, max_bandwidth](const std::vector<double>& latest,
+                                          TimeNs) {
+    if (latest.size() < 2 || AnyNan(latest)) return kNan;
+    if (max_concurrency <= 0.0 || max_bandwidth <= 0.0) return 0.0;
+    const double num_reqs = latest[0];
+    const double real_bw = std::min(latest[1], max_bandwidth);
+    return (num_reqs / max_concurrency) * (max_bandwidth - real_bw) /
+           max_bandwidth;
+  };
+}
+
+InsightFn InterferenceFromFacts(double max_bandwidth) {
+  return [max_bandwidth](const std::vector<double>& latest, TimeNs) {
+    if (latest.empty() || AnyNan(latest)) return kNan;
+    if (max_bandwidth <= 0.0) return 0.0;
+    return std::min(1.0, latest[0] / max_bandwidth);
+  };
+}
+
+InsightFn HealthFromFacts(double total_blocks) {
+  return [total_blocks](const std::vector<double>& latest, TimeNs) {
+    if (latest.empty() || AnyNan(latest)) return kNan;
+    if (total_blocks <= 0.0) return 1.0;
+    return 1.0 - latest[0] / total_blocks;
+  };
+}
+
+InsightFn FaultToleranceFromFacts(double total_blocks,
+                                  int replication_level) {
+  return [total_blocks, replication_level](const std::vector<double>& latest,
+                                           TimeNs) {
+    if (latest.empty() || AnyNan(latest)) return kNan;
+    const double health =
+        total_blocks > 0.0 ? 1.0 - latest[0] / total_blocks : 1.0;
+    return static_cast<double>(replication_level) * health;
+  };
+}
+
+InsightFn EnergyPerTransferFromFacts() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    if (latest.size() < 2 || AnyNan(latest)) return kNan;
+    return latest[0] / std::max(latest[1], 1.0);
+  };
+}
+
+InsightFn TierRemainingFractionFromFacts(double tier_capacity) {
+  return [tier_capacity](const std::vector<double>& latest, TimeNs) {
+    if (latest.empty() || AnyNan(latest)) return kNan;
+    if (tier_capacity <= 0.0) return 0.0;
+    double remaining = 0.0;
+    for (double v : latest) remaining += v;
+    return remaining / tier_capacity;
+  };
+}
+
+InsightFn WeightedMeanInsight(std::vector<double> weights) {
+  return [weights = std::move(weights)](const std::vector<double>& latest,
+                                        TimeNs) {
+    if (latest.empty() || AnyNan(latest) ||
+        weights.size() != latest.size()) {
+      return kNan;
+    }
+    double numerator = 0.0, denominator = 0.0;
+    for (std::size_t i = 0; i < latest.size(); ++i) {
+      numerator += weights[i] * latest[i];
+      denominator += weights[i];
+    }
+    if (denominator == 0.0) return kNan;
+    return numerator / denominator;
+  };
+}
+
+InsightFn RangeInsight() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    if (latest.empty() || AnyNan(latest)) return kNan;
+    const auto [lo, hi] = std::minmax_element(latest.begin(), latest.end());
+    return *hi - *lo;
+  };
+}
+
+}  // namespace apollo::insights

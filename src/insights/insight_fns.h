@@ -1,0 +1,46 @@
+// InsightFn factories that compute Table-1 curations *inside SCoRe* from
+// upstream fact topics, instead of probing devices directly.
+//
+// This is the deployment style Figure 1 describes: Fact Vertices extract
+// the low-level metrics (queue depth, real bandwidth, bad blocks, ...) and
+// Insight Vertices combine them. Each factory documents the upstream
+// topic order its InsightFn expects.
+#pragma once
+
+#include "score/insight_vertex.h"
+
+namespace apollo::insights {
+
+// MSCA from facts. Upstream order: [queue_depth, real_bw].
+// (NumReqs / DevC) * (MaxBW - RealBW) / MaxBW with DevC and MaxBW fixed
+// per device spec.
+InsightFn MscaFromFacts(double max_concurrency, double max_bandwidth);
+
+// Interference factor from facts. Upstream order: [real_bw].
+InsightFn InterferenceFromFacts(double max_bandwidth);
+
+// Device health from facts. Upstream order: [bad_blocks]; total blocks
+// fixed per device.
+InsightFn HealthFromFacts(double total_blocks);
+
+// Fault tolerance from facts. Upstream order: [bad_blocks].
+InsightFn FaultToleranceFromFacts(double total_blocks,
+                                  int replication_level);
+
+// Energy per transfer from facts. Upstream order:
+// [power_watts, transfers_per_sec].
+InsightFn EnergyPerTransferFromFacts();
+
+// Remaining-capacity fraction of a tier from facts. Upstream order: one
+// capacity_remaining topic per device; `tier_capacity` is the tier's total
+// byte capacity.
+InsightFn TierRemainingFractionFromFacts(double tier_capacity);
+
+// Weighted mean: value = sum(w_i * x_i) / sum(w_i). `weights` must match
+// the upstream count.
+InsightFn WeightedMeanInsight(std::vector<double> weights);
+
+// Range (max - min) across upstreams — a load-imbalance indicator.
+InsightFn RangeInsight();
+
+}  // namespace apollo::insights

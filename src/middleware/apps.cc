@@ -1,0 +1,96 @@
+#include "middleware/apps.h"
+
+#include <algorithm>
+
+namespace apollo::middleware {
+
+AppReport RunVpicIo(Hdpe& engine, const AppConfig& config, TimeNs start) {
+  AppReport report;
+  TimeNs now = start;
+  for (int step = 0; step < config.steps; ++step) {
+    TimeNs step_end = now;
+    for (int proc = 0; proc < config.procs; ++proc) {
+      auto end = engine.Write(config.bytes_per_proc, now);
+      if (!end.ok()) {
+        ++report.errors;
+        continue;
+      }
+      step_end = std::max(step_end, *end);
+    }
+    now = step_end;
+  }
+  report.io_time = now - start;
+  report.engine = engine.stats();
+  return report;
+}
+
+AppReport RunMontage(Hdfe& engine, const AppConfig& config, TimeNs start) {
+  AppReport report;
+  TimeNs now = start;
+  TimeNs compute_total = 0;
+  std::uint64_t next_block = 0;
+  for (int step = 0; step < config.steps; ++step) {
+    TimeNs step_end = now;
+    for (int proc = 0; proc < config.procs; ++proc) {
+      auto end = engine.ReadBlock(next_block++, now);
+      if (!end.ok()) {
+        ++report.errors;
+        continue;
+      }
+      step_end = std::max(step_end, *end);
+    }
+    now = step_end;
+    if (config.compute_per_step > 0 && step + 1 < config.steps) {
+      // Compute phase: the prefetcher stages the upcoming blocks while the
+      // application crunches (devices drain their queues meanwhile).
+      engine.StageAhead(next_block, config.procs, now);
+      now += config.compute_per_step;
+      compute_total += config.compute_per_step;
+    }
+  }
+  report.io_time = now - start - compute_total;
+  report.engine = engine.stats();
+  return report;
+}
+
+AppReport RunVpicThenBdcats(Hdre& engine, const AppConfig& config,
+                            AppReport* read_report, TimeNs start) {
+  AppReport write_report;
+  TimeNs now = start;
+  const NodeId writer = 0;
+  for (int step = 0; step < config.steps; ++step) {
+    TimeNs step_end = now;
+    for (int proc = 0; proc < config.procs; ++proc) {
+      auto end = engine.Write(config.bytes_per_proc, writer, now);
+      if (!end.ok()) {
+        ++write_report.errors;
+        continue;
+      }
+      step_end = std::max(step_end, *end);
+    }
+    now = step_end;
+  }
+  write_report.io_time = now - start;
+  write_report.engine = engine.stats();
+
+  if (read_report != nullptr) {
+    const TimeNs read_start = now;
+    for (int step = 0; step < config.steps; ++step) {
+      TimeNs step_end = now;
+      for (int proc = 0; proc < config.procs; ++proc) {
+        auto end = engine.Read(config.bytes_per_proc, writer, now);
+        if (!end.ok()) {
+          ++read_report->errors;
+          continue;
+        }
+        step_end = std::max(step_end, *end);
+      }
+      now = step_end;
+    }
+    read_report->io_time = now - read_start;
+    read_report->engine = engine.stats();
+  }
+  return write_report;
+}
+
+}  // namespace apollo::middleware

@@ -1,0 +1,49 @@
+// Application I/O kernels (§4.4.2).
+//
+//  - VPIC-IO: particle simulation writer — 32MB per process per time step,
+//    16 steps.
+//  - Montage: astronomical mosaic engine — reads 10MB per process per step,
+//    16 steps.
+//  - BD-CATS: clustering — reads back the data VPIC produced.
+//
+// Processes within a step issue concurrently (requests submitted at the
+// step's start; device occupancy serializes them); steps are bulk-
+// synchronous. All times are virtual.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "middleware/hdfe.h"
+#include "middleware/hdpe.h"
+#include "middleware/hdre.h"
+
+namespace apollo::middleware {
+
+struct AppConfig {
+  int procs = 2560;
+  std::uint64_t bytes_per_proc = 32ULL << 20;
+  int steps = 16;
+  // Compute phase between I/O steps. Prefetching engines stage the next
+  // step's data during this window; it is excluded from reported io_time.
+  TimeNs compute_per_step = 0;
+};
+
+struct AppReport {
+  TimeNs io_time = 0;       // end-to-end I/O wall time across all steps
+  std::uint64_t errors = 0;
+  EngineStats engine;
+};
+
+// VPIC-IO writes through a placement engine.
+AppReport RunVpicIo(Hdpe& engine, const AppConfig& config, TimeNs start = 0);
+
+// Montage reads sequential blocks through a prefetching engine.
+AppReport RunMontage(Hdfe& engine, const AppConfig& config, TimeNs start = 0);
+
+// VPIC writes + BD-CATS reads through a replication engine. Returns the
+// write report; `read_report` receives the BD-CATS phase.
+AppReport RunVpicThenBdcats(Hdre& engine, const AppConfig& config,
+                            AppReport* read_report, TimeNs start = 0);
+
+}  // namespace apollo::middleware

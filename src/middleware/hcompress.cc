@@ -1,0 +1,125 @@
+#include "middleware/hcompress.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace apollo::middleware {
+
+std::vector<CompressionLevel> DefaultCompressionLevels() {
+  return {
+      {"none", 1.00, 0.0},     // ratio 1, free
+      {"lz4", 0.60, 700e6},    // light & fast
+      {"zstd", 0.45, 250e6},   // balanced
+      {"bzip2", 0.35, 15e6},   // heavy & slow
+  };
+}
+
+const char* CompressionPolicyName(CompressionPolicy policy) {
+  switch (policy) {
+    case CompressionPolicy::kNone:
+      return "none";
+    case CompressionPolicy::kStatic:
+      return "static";
+    case CompressionPolicy::kApolloAware:
+      return "apollo_aware";
+  }
+  return "?";
+}
+
+Hcompress::Hcompress(std::vector<TierSet> tiers, CompressionPolicy policy,
+                     CapacityFn capacity, BandwidthFn bandwidth,
+                     std::vector<CompressionLevel> levels,
+                     std::size_t static_level)
+    : tiers_(std::move(tiers)),
+      policy_(policy),
+      capacity_(std::move(capacity)),
+      bandwidth_(std::move(bandwidth)),
+      levels_(std::move(levels)),
+      static_level_(std::min(static_level, levels_.size() - 1)),
+      rr_cursor_(tiers_.size(), 0) {}
+
+std::size_t Hcompress::ChooseLevel(const BufferingTarget& target,
+                                   std::uint64_t bytes) const {
+  if (policy_ == CompressionPolicy::kNone) return 0;
+  if (policy_ == CompressionPolicy::kStatic) return static_level_;
+
+  // Apollo-aware: minimize cpu_time + transfer_time using the monitored
+  // bandwidth of the target device.
+  const std::optional<double> monitored =
+      bandwidth_ ? bandwidth_(target) : std::nullopt;
+  // The relevant figure is the bandwidth this write will see: the device's
+  // ceiling minus the load others put on it (monitored real bandwidth).
+  const double ceiling = target.device->MaxBandwidth();
+  double available = ceiling;
+  if (monitored.has_value()) {
+    available = std::max(ceiling - *monitored, ceiling * 0.05);
+  }
+
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const CompressionLevel& cl = levels_[level];
+    const double cpu_s =
+        cl.cpu_bytes_per_s > 0.0
+            ? static_cast<double>(bytes) / cl.cpu_bytes_per_s
+            : 0.0;
+    const double io_s =
+        static_cast<double>(bytes) * cl.ratio / available;
+    const double cost = cpu_s + io_s;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = level;
+    }
+  }
+  return best;
+}
+
+Expected<TimeNs> Hcompress::Write(std::uint64_t bytes, TimeNs now) {
+  ++stats_.requests;
+  stats_.raw_bytes += bytes;
+
+  // Greedy tier selection (skip memory tier), capacity-filtered round
+  // robin like the HDPE.
+  for (std::size_t t = 1; t < tiers_.size(); ++t) {
+    TierSet& tier = tiers_[t];
+    if (tier.empty()) continue;
+    std::size_t& cursor = rr_cursor_[t];
+    BufferingTarget* chosen = nullptr;
+    for (std::size_t probe = 0; probe < tier.targets.size(); ++probe) {
+      BufferingTarget& target =
+          tier.targets[(cursor + probe) % tier.targets.size()];
+      const std::optional<double> remaining =
+          capacity_ ? capacity_(target)
+                    : std::optional<double>(static_cast<double>(
+                          target.device->RemainingBytes()));
+      if (remaining.value_or(0.0) >= static_cast<double>(bytes)) {
+        chosen = &target;
+        cursor = (cursor + probe + 1) % tier.targets.size();
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;
+
+    const std::size_t level = ChooseLevel(*chosen, bytes);
+    const CompressionLevel& cl = levels_[level];
+    const std::uint64_t stored = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * cl.ratio);
+    const TimeNs cpu =
+        cl.cpu_bytes_per_s > 0.0
+            ? static_cast<TimeNs>(static_cast<double>(bytes) /
+                                  cl.cpu_bytes_per_s * 1e9)
+            : 0;
+
+    auto written = chosen->device->Write(std::max<std::uint64_t>(stored, 1),
+                                         now + cpu);
+    if (!written.ok()) continue;  // stale view: try the next tier
+    stats_.stored_bytes += stored;
+    stats_.cpu_time += cpu;
+    stats_.io_time += written->end - now;
+    return written->end;
+  }
+  return Error(ErrorCode::kResourceExhausted,
+               "no tier can absorb the compressed write");
+}
+
+}  // namespace apollo::middleware

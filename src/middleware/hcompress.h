@@ -1,0 +1,93 @@
+// HCompress-style hierarchical compression engine.
+//
+// §4.4.1 uses "an HCompress middleware library use-case which requires I/O
+// information" as the client of both monitoring services. HCompress
+// (Devarajan et al., IPDPS'20) selects a compression library per storage
+// tier: fast-but-light compression for fast tiers, heavy compression for
+// slow tiers, trading CPU time against transfer volume.
+//
+// This engine reproduces that decision problem: each write picks a target
+// tier (greedy by capacity, like the HDPE) and then a compression level
+// whose CPU cost + compressed transfer time minimizes the total, using the
+// device's *monitored* bandwidth and capacity. A static policy always uses
+// one level; the Apollo-aware policy re-optimizes from live telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "middleware/hdpe.h"
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+
+struct CompressionLevel {
+  std::string name;
+  double ratio;           // output_bytes = bytes * ratio (<= 1)
+  double cpu_bytes_per_s; // compression throughput on one core
+};
+
+// A small library of levels modeled on the lz4/zstd/bzip2 spectrum.
+std::vector<CompressionLevel> DefaultCompressionLevels();
+
+enum class CompressionPolicy {
+  kNone,        // store raw
+  kStatic,      // always the same level (HCompress default w/o telemetry)
+  kApolloAware, // choose the level minimizing cpu + transfer per write
+};
+
+const char* CompressionPolicyName(CompressionPolicy policy);
+
+// Provides the monitored (possibly slightly stale) bandwidth estimate for
+// a target; nullopt falls back to the device spec's max bandwidth.
+using BandwidthFn =
+    std::function<std::optional<double>(const BufferingTarget& target)>;
+
+struct HcompressStats {
+  std::uint64_t requests = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  TimeNs cpu_time = 0;
+  TimeNs io_time = 0;
+
+  double CompressionRatio() const {
+    return requests == 0 ? 1.0
+                         : static_cast<double>(stored_bytes) /
+                               static_cast<double>(raw_bytes);
+  }
+};
+
+class Hcompress {
+ public:
+  Hcompress(std::vector<TierSet> tiers, CompressionPolicy policy,
+            CapacityFn capacity = {}, BandwidthFn bandwidth = {},
+            std::vector<CompressionLevel> levels =
+                DefaultCompressionLevels(),
+            std::size_t static_level = 0);
+
+  // Compresses (per policy) and stores one buffer; returns completion time
+  // including compression CPU time.
+  Expected<TimeNs> Write(std::uint64_t bytes, TimeNs now);
+
+  const HcompressStats& stats() const { return stats_; }
+  CompressionPolicy policy() const { return policy_; }
+
+  // Exposed for tests: the level the policy would pick for a target now.
+  std::size_t ChooseLevel(const BufferingTarget& target,
+                          std::uint64_t bytes) const;
+
+ private:
+  std::vector<TierSet> tiers_;
+  CompressionPolicy policy_;
+  CapacityFn capacity_;
+  BandwidthFn bandwidth_;
+  std::vector<CompressionLevel> levels_;
+  std::size_t static_level_;
+  std::vector<std::size_t> rr_cursor_;
+  HcompressStats stats_;
+};
+
+}  // namespace apollo::middleware

@@ -1,0 +1,133 @@
+#include "middleware/hdfe.h"
+
+namespace apollo::middleware {
+
+const char* PrefetchPolicyName(PrefetchPolicy policy) {
+  switch (policy) {
+    case PrefetchPolicy::kNoPrefetch:
+      return "pfs_only";
+    case PrefetchPolicy::kRoundRobin:
+      return "round_robin";
+    case PrefetchPolicy::kCapacityAware:
+      return "apollo_capacity_aware";
+  }
+  return "?";
+}
+
+Hdfe::Hdfe(std::vector<BufferingTarget> caches,
+           std::vector<BufferingTarget> pfs, PrefetchPolicy policy,
+           std::uint64_t block_bytes, CapacityFn capacity, int prefetch_depth)
+    : pfs_(std::move(pfs)),
+      policy_(policy),
+      block_bytes_(block_bytes),
+      capacity_(std::move(capacity)),
+      prefetch_depth_(prefetch_depth) {
+  caches_.reserve(caches.size());
+  for (auto& target : caches) {
+    caches_.push_back(CacheState{std::move(target), {}});
+  }
+}
+
+Hdfe::CacheState* Hdfe::FindHolder(std::uint64_t block_id) {
+  for (CacheState& cache : caches_) {
+    if (cache.blocks.count(block_id) > 0) return &cache;
+  }
+  return nullptr;
+}
+
+Expected<TimeNs> Hdfe::ReadBlock(std::uint64_t block_id, TimeNs now) {
+  ++stats_.requests;
+  stats_.bytes += block_bytes_;
+
+  if (policy_ != PrefetchPolicy::kNoPrefetch) {
+    if (CacheState* holder = FindHolder(block_id)) {
+      ++hits_;
+      auto read = holder->target.device->Read(block_bytes_, now);
+      if (!read.ok()) return read.error();
+      // Streaming consumption: a prefetched block is read once, then its
+      // cache slot is recycled.
+      holder->blocks.erase(block_id);
+      holder->target.device->Free(block_bytes_);
+      stats_.io_time += read->end - now;
+      return read->end;
+    }
+    ++misses_;
+    ++stats_.stalls;  // data stall: the block was not resident
+  }
+
+  // Read from PFS.
+  BufferingTarget& backing = pfs_[pfs_cursor_ % pfs_.size()];
+  ++pfs_cursor_;
+  auto read = backing.device->Read(block_bytes_, now);
+  if (!read.ok()) return read.error();
+  stats_.io_time += read->end - now;
+
+  if (policy_ != PrefetchPolicy::kNoPrefetch) {
+    for (int d = 1; d <= prefetch_depth_; ++d) {
+      PrefetchBlock(block_id + static_cast<std::uint64_t>(d), read->end);
+    }
+  }
+  return read->end;
+}
+
+void Hdfe::StageAhead(std::uint64_t first_block, int count, TimeNs now) {
+  if (policy_ == PrefetchPolicy::kNoPrefetch) return;
+  for (int i = 0; i < count; ++i) {
+    PrefetchBlock(first_block + static_cast<std::uint64_t>(i), now);
+  }
+}
+
+Hdfe::CacheState* Hdfe::PickCache(std::uint64_t bytes) {
+  if (caches_.empty()) return nullptr;
+  if (policy_ == PrefetchPolicy::kRoundRobin) {
+    CacheState* cache = &caches_[rr_cursor_ % caches_.size()];
+    ++rr_cursor_;
+    return cache;
+  }
+  // Capacity-aware: round-robin over caches, skipping those whose
+  // monitored remaining capacity cannot hold the block.
+  for (std::size_t probe = 0; probe < caches_.size(); ++probe) {
+    CacheState& cache = caches_[(rr_cursor_ + probe) % caches_.size()];
+    ++stats_.capacity_queries;
+    const std::optional<double> remaining =
+        capacity_ ? capacity_(cache.target)
+                  : std::optional<double>(static_cast<double>(
+                        cache.target.device->RemainingBytes()));
+    if (!remaining.has_value()) continue;
+    if (*remaining >= static_cast<double>(bytes)) {
+      rr_cursor_ = (rr_cursor_ + probe + 1) % caches_.size();
+      return &cache;
+    }
+  }
+  return nullptr;  // every cache (believed) full -> skip prefetch
+}
+
+void Hdfe::PrefetchBlock(std::uint64_t block_id, TimeNs now) {
+  if (FindHolder(block_id) != nullptr) return;  // already resident
+  CacheState* cache = PickCache(block_bytes_);
+  if (cache == nullptr) return;
+
+  if (cache->target.device->RemainingBytes() < block_bytes_) {
+    // Unnecessary eviction: round-robin landed on a full cache. Evict one
+    // resident block to make room (it may be re-read later -> future
+    // stall).
+    if (!cache->blocks.empty()) {
+      const std::uint64_t victim = *cache->blocks.begin();
+      cache->blocks.erase(victim);
+      cache->target.device->Free(block_bytes_);
+      ++stats_.evictions;
+    } else {
+      return;  // full of foreign data; nothing to evict
+    }
+  }
+
+  // Stage PFS -> cache (cost accrues to the devices, not the reader).
+  BufferingTarget& backing = pfs_[pfs_cursor_ % pfs_.size()];
+  ++pfs_cursor_;
+  auto read = backing.device->Read(block_bytes_, now);
+  const TimeNs staged = read.ok() ? read->end : now;
+  auto write = cache->target.device->Write(block_bytes_, staged);
+  if (write.ok()) cache->blocks.insert(block_id);
+}
+
+}  // namespace apollo::middleware

@@ -1,0 +1,71 @@
+// Hierarchical Data Prefetching Engine (HDFE) — §4.4.2.
+//
+// Serves block reads. A hit in a prefetching cache reads from the fast
+// device; a miss reads from the PFS and triggers prefetching of the next
+// `prefetch_depth` blocks into a cache target. The Hermes-default
+// round-robin policy can pick a full cache, forcing evictions that later
+// cause data stalls; the Apollo-informed policy picks caches with enough
+// monitored remaining capacity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "middleware/hdpe.h"
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+
+enum class PrefetchPolicy { kNoPrefetch, kRoundRobin, kCapacityAware };
+
+const char* PrefetchPolicyName(PrefetchPolicy policy);
+
+class Hdfe {
+ public:
+  // `caches`: fast targets used as prefetching caches (e.g. NVMe tier).
+  // `pfs`: the backing store every miss reads from.
+  Hdfe(std::vector<BufferingTarget> caches, std::vector<BufferingTarget> pfs,
+       PrefetchPolicy policy, std::uint64_t block_bytes,
+       CapacityFn capacity = {}, int prefetch_depth = 4);
+
+  // Reads one block; returns completion time.
+  Expected<TimeNs> ReadBlock(std::uint64_t block_id, TimeNs now);
+
+  // Stages `count` blocks starting at `first_block` into the caches (the
+  // sequential-prefetch hint issued during an application's compute
+  // phase). No-op for kNoPrefetch.
+  void StageAhead(std::uint64_t first_block, int count, TimeNs now);
+
+  const EngineStats& stats() const { return stats_; }
+  std::uint64_t CacheHits() const { return hits_; }
+  std::uint64_t CacheMisses() const { return misses_; }
+
+ private:
+  struct CacheState {
+    BufferingTarget target;
+    std::unordered_set<std::uint64_t> blocks;
+  };
+
+  // Inserts a block into a cache chosen by policy; may evict.
+  void PrefetchBlock(std::uint64_t block_id, TimeNs now);
+  CacheState* PickCache(std::uint64_t bytes);
+  CacheState* FindHolder(std::uint64_t block_id);
+
+  std::vector<CacheState> caches_;
+  std::vector<BufferingTarget> pfs_;
+  PrefetchPolicy policy_;
+  std::uint64_t block_bytes_;
+  CapacityFn capacity_;
+  int prefetch_depth_;
+  std::size_t rr_cursor_ = 0;
+  std::size_t pfs_cursor_ = 0;
+  EngineStats stats_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace apollo::middleware

@@ -1,0 +1,146 @@
+#include "middleware/hdpe.h"
+
+#include <algorithm>
+
+namespace apollo::middleware {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kPfsOnly:
+      return "pfs_only";
+    case PlacementPolicy::kRoundRobin:
+      return "round_robin";
+    case PlacementPolicy::kCapacityAware:
+      return "apollo_capacity_aware";
+  }
+  return "?";
+}
+
+Hdpe::Hdpe(std::vector<TierSet> tiers, PlacementPolicy policy,
+           CapacityFn capacity)
+    : tiers_(std::move(tiers)),
+      policy_(policy),
+      capacity_(std::move(capacity)),
+      rr_cursor_(tiers_.size(), 0) {}
+
+Expected<TimeNs> Hdpe::Write(std::uint64_t bytes, TimeNs now) {
+  ++stats_.requests;
+  stats_.bytes += bytes;
+
+  if (policy_ == PlacementPolicy::kPfsOnly) {
+    TierSet& pfs = tiers_.back();
+    std::size_t& cursor = rr_cursor_.back();
+    BufferingTarget& target = pfs.targets[cursor % pfs.targets.size()];
+    ++cursor;
+    return WriteToTarget(target, bytes, now, tiers_.size() - 1);
+  }
+
+  // Greedy: fastest tier first (skip the memory tier for durability —
+  // Hermes buffers in NVMe and below for these workloads).
+  for (std::size_t t = 1; t < tiers_.size(); ++t) {
+    TierSet& tier = tiers_[t];
+    if (tier.empty()) continue;
+
+    if (policy_ == PlacementPolicy::kRoundRobin) {
+      std::size_t& cursor = rr_cursor_[t];
+      BufferingTarget& target = tier.targets[cursor % tier.targets.size()];
+      ++cursor;
+      // Round-robin writes blindly; a full target costs a flush + stall,
+      // then the write proceeds on the drained target.
+      auto first_try = target.device->RemainingBytes();
+      if (first_try < bytes) {
+        if (t + 1 < tiers_.size()) {
+          const TimeNs flush_end = Flush(target, t, now);
+          ++stats_.flushes;
+          ++stats_.stalls;
+          stats_.stall_time += flush_end - now;
+          return WriteToTarget(target, bytes, flush_end, t);
+        }
+        continue;  // last tier full: fall through (wraps to PFS next loop)
+      }
+      return WriteToTarget(target, bytes, now, t);
+    }
+
+    // Capacity-aware: round-robin over the tier but skip targets whose
+    // *monitored* remaining capacity cannot fit the request — keeping the
+    // parallelism of round-robin while avoiding the flushes ("data is
+    // placed into buffering targets that have enough capacity", §4.4.2).
+    BufferingTarget* best = nullptr;
+    std::size_t& cursor = rr_cursor_[t];
+    for (std::size_t probe = 0; probe < tier.targets.size(); ++probe) {
+      BufferingTarget& target =
+          tier.targets[(cursor + probe) % tier.targets.size()];
+      ++stats_.capacity_queries;
+      const std::optional<double> remaining =
+          capacity_ ? capacity_(target)
+                    : std::optional<double>(
+                          static_cast<double>(target.device->RemainingBytes()));
+      if (!remaining.has_value()) continue;
+      if (*remaining >= static_cast<double>(bytes)) {
+        best = &target;
+        cursor = (cursor + probe + 1) % tier.targets.size();
+        break;
+      }
+    }
+    if (best == nullptr) continue;  // tier (believed) full -> next tier
+    auto result = WriteToTarget(*best, bytes, now, t);
+    if (result.ok()) return result;
+    // Monitored value was stale and the target was actually full: pay a
+    // stall and retry on the next tier.
+    ++stats_.stalls;
+  }
+
+  return Error(ErrorCode::kResourceExhausted,
+               "no tier can absorb the request");
+}
+
+Expected<TimeNs> Hdpe::WriteToTarget(BufferingTarget& target,
+                                     std::uint64_t bytes, TimeNs now,
+                                     std::size_t tier_index) {
+  auto result = target.device->Write(bytes, now);
+  if (!result.ok()) {
+    // Actual capacity miss (stale knowledge): flush then retry once.
+    if (tier_index + 1 < tiers_.size()) {
+      const TimeNs flush_end = Flush(target, tier_index, now);
+      ++stats_.flushes;
+      stats_.stall_time += flush_end - now;
+      auto retry = target.device->Write(bytes, flush_end);
+      if (!retry.ok()) return retry.error();
+      stats_.io_time += retry->end - now;
+      return retry->end;
+    }
+    return result.error();
+  }
+  stats_.io_time += result->end - now;
+  return result->end;
+}
+
+TimeNs Hdpe::Flush(BufferingTarget& target, std::size_t tier_index,
+                   TimeNs now) {
+  // Drain a bounded flush unit (Hermes flushes buffered blobs in chunks,
+  // not whole devices) into one target of the next tier.
+  constexpr std::uint64_t kFlushUnit = 256ULL << 20;
+  const std::uint64_t drain_bytes =
+      std::min<std::uint64_t>(target.device->UsedBytes() / 2, kFlushUnit);
+  if (drain_bytes == 0) return now;
+  TimeNs end = now;
+  if (tier_index + 1 < tiers_.size() && !tiers_[tier_index + 1].empty()) {
+    TierSet& next = tiers_[tier_index + 1];
+    std::size_t& cursor = rr_cursor_[tier_index + 1];
+    BufferingTarget& sink = next.targets[cursor % next.targets.size()];
+    ++cursor;
+    auto read = target.device->Read(drain_bytes, now);
+    if (read.ok()) end = read->end;
+    auto write = sink.device->Write(drain_bytes, end);
+    if (write.ok()) {
+      end = write->end;
+    } else {
+      // Next tier also full: drop to modeling just the read-out cost.
+      sink.device->Free(sink.device->UsedBytes() / 2);
+    }
+  }
+  target.device->Free(drain_bytes);
+  return end;
+}
+
+}  // namespace apollo::middleware

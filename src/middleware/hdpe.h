@@ -1,0 +1,63 @@
+// Hierarchical Data Placement Engine (HDPE) — §4.4.2.
+//
+// Accepts write requests and greedily places data in the fastest non-full
+// tier. Within a tier:
+//  - round-robin (the Hermes default) cycles targets blindly; a full target
+//    forces a flush (drain half the target into the next tier, paying its
+//    bandwidth) plus a data stall;
+//  - capacity-aware (Apollo-informed) consults the monitored remaining
+//    capacity and picks the emptiest target with room, avoiding flushes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+
+enum class PlacementPolicy { kPfsOnly, kRoundRobin, kCapacityAware };
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t evictions = 0;
+  TimeNs io_time = 0;       // summed request service time
+  TimeNs stall_time = 0;    // extra time lost to flushes/evictions
+  std::uint64_t capacity_queries = 0;
+};
+
+class Hdpe {
+ public:
+  // `capacity` may be empty for kPfsOnly/kRoundRobin.
+  Hdpe(std::vector<TierSet> tiers, PlacementPolicy policy,
+       CapacityFn capacity = {});
+
+  // Places a write; returns its completion time. `now` is virtual time.
+  Expected<TimeNs> Write(std::uint64_t bytes, TimeNs now);
+
+  const EngineStats& stats() const { return stats_; }
+  PlacementPolicy policy() const { return policy_; }
+  const std::vector<TierSet>& tiers() const { return tiers_; }
+
+ private:
+  Expected<TimeNs> WriteToTarget(BufferingTarget& target,
+                                 std::uint64_t bytes, TimeNs now,
+                                 std::size_t tier_index);
+  // Drains half of `target` into the next tier; returns the drain end time.
+  TimeNs Flush(BufferingTarget& target, std::size_t tier_index, TimeNs now);
+
+  std::vector<TierSet> tiers_;
+  PlacementPolicy policy_;
+  CapacityFn capacity_;
+  std::vector<std::size_t> rr_cursor_;  // per tier
+  EngineStats stats_;
+};
+
+}  // namespace apollo::middleware

@@ -1,0 +1,132 @@
+#include "middleware/hdre.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace apollo::middleware {
+
+const char* ReplicationPolicyName(ReplicationPolicy policy) {
+  switch (policy) {
+    case ReplicationPolicy::kRoundRobin:
+      return "round_robin";
+    case ReplicationPolicy::kApolloAware:
+      return "apollo_aware";
+  }
+  return "?";
+}
+
+Hdre::Hdre(std::vector<ReplicationSet> sets, ReplicationPolicy policy,
+           int replication_factor, CapacityFn capacity, LatencyFn latency)
+    : sets_(std::move(sets)),
+      policy_(policy),
+      replication_factor_(replication_factor),
+      capacity_(std::move(capacity)),
+      latency_(std::move(latency)) {}
+
+std::size_t Hdre::PickSet(std::uint64_t bytes, NodeId writer) {
+  if (policy_ == ReplicationPolicy::kRoundRobin) {
+    const std::size_t pick = rr_cursor_ % sets_.size();
+    ++rr_cursor_;
+    return pick;
+  }
+  // Apollo-aware: cycle the sets like round-robin (preserving write
+  // parallelism) but skip sets whose monitored remaining capacity cannot
+  // hold the replicas; among the fitting candidates at this cursor
+  // position, prefer lower network latency to the writer.
+  std::optional<std::size_t> best;
+  TimeNs best_latency = std::numeric_limits<TimeNs>::max();
+  for (std::size_t probe = 0; probe < sets_.size(); ++probe) {
+    const std::size_t s = (rr_cursor_ + probe) % sets_.size();
+    double min_remaining = std::numeric_limits<double>::infinity();
+    TimeNs total_latency = 0;
+    for (const BufferingTarget& target : sets_[s].targets) {
+      ++stats_.capacity_queries;
+      const std::optional<double> remaining =
+          capacity_ ? capacity_(target)
+                    : std::optional<double>(static_cast<double>(
+                          target.device->RemainingBytes()));
+      min_remaining = std::min(min_remaining, remaining.value_or(0.0));
+      if (latency_) total_latency += latency_(writer, target.node);
+    }
+    if (min_remaining < static_cast<double>(bytes)) continue;
+    if (!best.has_value()) {
+      best = s;
+      best_latency = total_latency;
+      if (!latency_) break;  // no latency signal: plain capacity filter
+    } else if (total_latency * 2 < best_latency) {
+      // Divert from cursor order only for a dramatically closer set
+      // (a set "too remote from the source", §4.4.2).
+      best = s;
+      best_latency = total_latency;
+    }
+  }
+  if (!best.has_value()) {
+    // Nothing (believed) fits; fall back to round-robin.
+    const std::size_t pick = rr_cursor_ % sets_.size();
+    ++rr_cursor_;
+    return pick;
+  }
+  ++rr_cursor_;
+  return *best;
+}
+
+Expected<TimeNs> Hdre::Write(std::uint64_t bytes, NodeId writer, TimeNs now) {
+  ++stats_.requests;
+  stats_.bytes += bytes * static_cast<std::uint64_t>(replication_factor_);
+
+  const std::size_t set_index = PickSet(bytes, writer);
+  ReplicationSet& set = sets_[set_index];
+  TimeNs last_end = now;
+  int placed = 0;
+  for (std::size_t i = 0;
+       i < set.targets.size() && placed < replication_factor_; ++i) {
+    BufferingTarget& target = set.targets[i];
+    auto write = target.device->Write(bytes, now);
+    if (!write.ok()) {
+      // Set out of space: data stall, drain the target and retry once.
+      ++stats_.stalls;
+      const std::uint64_t drain = target.device->UsedBytes() / 2;
+      if (drain > 0) {
+        target.device->Free(drain);
+        const TimeNs penalty =
+            static_cast<TimeNs>(static_cast<double>(drain) /
+                                target.device->MaxBandwidth() * 1e9);
+        stats_.stall_time += penalty;
+        write = target.device->Write(bytes, now + penalty);
+      }
+      if (!write.ok()) continue;
+    }
+    last_end = std::max(last_end, write->end);
+    ++placed;
+  }
+  if (placed == 0) {
+    return Error(ErrorCode::kResourceExhausted,
+                 "replication set cannot hold any replica");
+  }
+  stats_.io_time += last_end - now;
+  return last_end;
+}
+
+Expected<TimeNs> Hdre::Read(std::uint64_t bytes, NodeId reader, TimeNs now) {
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  // Spread reads over replicas: with R replicas the per-device queueing is
+  // 1/R of the single-copy case. Cycle replica holders.
+  std::size_t set_index = read_cursor_ % sets_.size();
+  ReplicationSet& set = sets_[set_index];
+  const std::size_t target_index =
+      (read_cursor_ / sets_.size()) %
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   set.targets.size(),
+                                   static_cast<std::size_t>(
+                                       replication_factor_)));
+  ++read_cursor_;
+  BufferingTarget& target = set.targets[target_index];
+  auto read = target.device->Read(bytes, now);
+  if (!read.ok()) return read.error();
+  stats_.io_time += read->end - now;
+  (void)reader;
+  return read->end;
+}
+
+}  // namespace apollo::middleware

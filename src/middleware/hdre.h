@@ -1,0 +1,61 @@
+// Hierarchical Data Replication Engine (HDRE) — §4.4.2.
+//
+// Writes place `replication_factor` replicas into a replication set (a
+// group of buffering targets). The Hermes-default round-robin policy can
+// pick sets without room or with poor network proximity, causing data
+// stalls; the Apollo-informed policy ranks sets by monitored remaining
+// capacity and network latency to the writer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "middleware/hdpe.h"
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+
+enum class ReplicationPolicy { kRoundRobin, kApolloAware };
+
+const char* ReplicationPolicyName(ReplicationPolicy policy);
+
+struct ReplicationSet {
+  std::vector<BufferingTarget> targets;
+};
+
+// Latency oracle from the writer's node to a target's node (ns). Used by
+// the Apollo-aware policy (Network Health curation).
+using LatencyFn = std::function<TimeNs(NodeId writer, NodeId target)>;
+
+class Hdre {
+ public:
+  Hdre(std::vector<ReplicationSet> sets, ReplicationPolicy policy,
+       int replication_factor, CapacityFn capacity = {},
+       LatencyFn latency = {});
+
+  // Writes one object with full replication; returns when the last replica
+  // lands.
+  Expected<TimeNs> Write(std::uint64_t bytes, NodeId writer, TimeNs now);
+
+  // Reads one object: picks the fastest replica holder. Replication makes
+  // reads cheaper by spreading load.
+  Expected<TimeNs> Read(std::uint64_t bytes, NodeId reader, TimeNs now);
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  std::size_t PickSet(std::uint64_t bytes, NodeId writer);
+
+  std::vector<ReplicationSet> sets_;
+  ReplicationPolicy policy_;
+  int replication_factor_;
+  CapacityFn capacity_;
+  LatencyFn latency_;
+  std::size_t rr_cursor_ = 0;
+  std::size_t read_cursor_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace apollo::middleware

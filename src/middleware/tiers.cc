@@ -1,0 +1,47 @@
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+
+std::vector<TierSet> BuildHermesTiers(const Cluster& cluster) {
+  std::vector<TierSet> tiers(4);
+  tiers[0].name = "memory";
+  tiers[0].rank = 0;
+  tiers[1].name = "nvme";
+  tiers[1].rank = 1;
+  tiers[2].name = "burst_buffer";
+  tiers[2].rank = 2;
+  tiers[3].name = "pfs";
+  tiers[3].rank = 3;
+
+  for (Node* node : cluster.ComputeNodes()) {
+    for (const auto& device : node->devices()) {
+      if (device->spec().type == DeviceType::kRam) {
+        tiers[0].targets.push_back(
+            BufferingTarget{device.get(), node->id(), device->name()});
+      } else if (device->spec().type == DeviceType::kNvme) {
+        tiers[1].targets.push_back(
+            BufferingTarget{device.get(), node->id(), device->name()});
+      }
+    }
+  }
+  for (Node* node : cluster.StorageNodes()) {
+    for (const auto& device : node->devices()) {
+      if (device->spec().type == DeviceType::kSsd) {
+        tiers[2].targets.push_back(
+            BufferingTarget{device.get(), node->id(), device->name()});
+      } else if (device->spec().type == DeviceType::kHdd) {
+        tiers[3].targets.push_back(
+            BufferingTarget{device.get(), node->id(), device->name()});
+      }
+    }
+  }
+  return tiers;
+}
+
+CapacityFn DirectCapacityFn() {
+  return [](const BufferingTarget& target) -> std::optional<double> {
+    return static_cast<double>(target.device->RemainingBytes());
+  };
+}
+
+}  // namespace apollo::middleware

@@ -1,0 +1,46 @@
+// Storage-tier views for hierarchical middleware engines.
+//
+// Mirrors the §4.4 test setup: four layers — local memory, local NVMe, a
+// shared Burst Buffer over SSDs, and a Parallel File System over HDDs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace apollo::middleware {
+
+struct BufferingTarget {
+  Device* device = nullptr;
+  NodeId node = kLocalNode;
+  std::string name;
+};
+
+struct TierSet {
+  std::string name;
+  int rank = 0;  // 0 = fastest
+  std::vector<BufferingTarget> targets;
+
+  bool empty() const { return targets.empty(); }
+};
+
+// Builds the four-layer hierarchy from an Ares-like cluster:
+//   rank 0: compute-node RAM, rank 1: compute-node NVMe,
+//   rank 2: storage-node SSD (burst buffer), rank 3: storage-node HDD (PFS).
+std::vector<TierSet> BuildHermesTiers(const Cluster& cluster);
+
+// How an engine learns a target's remaining capacity:
+//  - a null function models the default round-robin engines (no capacity
+//    knowledge: they write blindly and pay for failures);
+//  - an Apollo-backed function returns the monitored value, which is as
+//    fresh as the adaptive interval allows.
+using CapacityFn =
+    std::function<std::optional<double>(const BufferingTarget& target)>;
+
+// Capacity function that reads the device directly (oracle; used in tests).
+CapacityFn DirectCapacityFn();
+
+}  // namespace apollo::middleware

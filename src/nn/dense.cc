@@ -1,0 +1,116 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+namespace apollo::nn {
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+namespace {
+
+double Activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+// Derivative expressed in terms of the activation output y.
+double ActivateGradFromOutput(Activation a, double y) {
+  switch (a) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - y * y;
+    case Activation::kSigmoid:
+      return y * (1.0 - y);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             Activation activation, Rng& rng)
+    : weights_(Matrix::Xavier(out_features, in_features, rng)),
+      bias_(1, out_features, 0.0),
+      grad_weights_(out_features, in_features, 0.0),
+      grad_bias_(1, out_features, 0.0),
+      activation_(activation) {}
+
+Matrix Dense::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input.MatMulTransposed(weights_);
+  out.AddRowBroadcast(bias_);
+  for (double& x : out.raw()) x = Activate(activation_, x);
+  cached_activation_ = out;
+  return out;
+}
+
+Matrix Dense::Backward(const Matrix& grad_output) {
+  // dL/dz = dL/dy * act'(z), expressed via the cached activation output.
+  Matrix grad_z = grad_output;
+  for (std::size_t i = 0; i < grad_z.raw().size(); ++i) {
+    grad_z.raw()[i] *=
+        ActivateGradFromOutput(activation_, cached_activation_.raw()[i]);
+  }
+  if (trainable_) {
+    // dL/dW = grad_z^T * input ; dL/db = colsum(grad_z).
+    grad_weights_.AddInPlace(grad_z.TransposedMatMul(cached_input_));
+    grad_bias_.AddInPlace(grad_z.ColSums());
+  }
+  // dL/dinput = grad_z * W.
+  return grad_z.MatMul(weights_);
+}
+
+std::vector<Param> Dense::Params() {
+  if (!trainable_) return {};
+  return {Param{&weights_, &grad_weights_, "dense.W"},
+          Param{&bias_, &grad_bias_, "dense.b"}};
+}
+
+void Dense::SaveParams(std::ostream& out) const {
+  WriteMatrix(out, weights_);
+  WriteMatrix(out, bias_);
+}
+
+void Dense::LoadParams(std::istream& in) {
+  weights_ = ReadMatrix(in);
+  bias_ = ReadMatrix(in);
+  grad_weights_ = Matrix(weights_.rows(), weights_.cols());
+  grad_bias_ = Matrix(1, bias_.cols());
+}
+
+std::unique_ptr<Layer> Dense::Clone() const {
+  auto copy = std::unique_ptr<Dense>(new Dense());
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  copy->grad_weights_ = Matrix(weights_.rows(), weights_.cols());
+  copy->grad_bias_ = Matrix(1, bias_.cols());
+  copy->activation_ = activation_;
+  copy->trainable_ = trainable_;
+  return copy;
+}
+
+}  // namespace apollo::nn

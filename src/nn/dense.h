@@ -1,0 +1,55 @@
+// Fully connected layer with optional fused activation.
+//
+// Delphi's architecture is built entirely out of these: eight frozen
+// one-Dense feature models plus one trainable Dense combiner.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace apollo::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+const char* ActivationName(Activation a);
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features,
+        Activation activation, Rng& rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Param> Params() override;
+  std::size_t ParamCount() const override {
+    return weights_.size() + bias_.size();
+  }
+  std::size_t InputSize() const override { return weights_.cols(); }
+  std::size_t OutputSize() const override { return weights_.rows(); }
+  const char* Kind() const override { return "dense"; }
+
+  void SaveParams(std::ostream& out) const override;
+  void LoadParams(std::istream& in) override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  Activation activation() const { return activation_; }
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& mutable_weights() { return weights_; }
+  Matrix& mutable_bias() { return bias_; }
+
+ private:
+  Dense() = default;  // for Clone
+
+  Matrix weights_;       // (out, in)
+  Matrix bias_;          // (1, out)
+  Matrix grad_weights_;  // accumulated
+  Matrix grad_bias_;
+  Activation activation_ = Activation::kIdentity;
+
+  Matrix cached_input_;       // pre-activation inputs
+  Matrix cached_activation_;  // post-activation outputs
+};
+
+}  // namespace apollo::nn

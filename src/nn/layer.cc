@@ -1,0 +1,30 @@
+#include "nn/layer.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace apollo::nn {
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  const std::uint64_t r = m.rows(), c = m.cols();
+  out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  out.write(reinterpret_cast<const char*>(&c), sizeof(c));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix ReadMatrix(std::istream& in) {
+  std::uint64_t r = 0, c = 0;
+  in.read(reinterpret_cast<char*>(&r), sizeof(r));
+  in.read(reinterpret_cast<char*>(&c), sizeof(c));
+  if (!in) throw std::runtime_error("ReadMatrix: truncated header");
+  Matrix m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("ReadMatrix: truncated payload");
+  return m;
+}
+
+}  // namespace apollo::nn

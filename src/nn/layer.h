@@ -1,0 +1,69 @@
+// Layer abstraction for the from-scratch NN library.
+//
+// Layers cache forward activations and are therefore NOT reentrant: one
+// Forward/Backward pair at a time per layer instance. Delphi clones models
+// per vertex, so inference never shares layer state across threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace apollo::nn {
+
+// A trainable parameter: value plus accumulated gradient, both owned by the
+// layer. Optimizers mutate `value` in place.
+struct Param {
+  Matrix* value;
+  Matrix* grad;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // input: (batch, in_features) -> (batch, out_features).
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  // grad_output: (batch, out_features) -> grad_input (batch, in_features).
+  // Accumulates parameter gradients when the layer is trainable.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  // All parameters (empty when the layer is frozen — frozen layers neither
+  // expose params to the optimizer nor accumulate gradients).
+  virtual std::vector<Param> Params() = 0;
+
+  // Total parameter count regardless of trainability.
+  virtual std::size_t ParamCount() const = 0;
+
+  virtual std::size_t InputSize() const = 0;
+  virtual std::size_t OutputSize() const = 0;
+
+  virtual const char* Kind() const = 0;
+
+  // Freezing corresponds to the paper's "set pre-trained feature models to
+  // be untrainable" step when stacking Delphi.
+  void SetTrainable(bool trainable) { trainable_ = trainable; }
+  bool trainable() const { return trainable_; }
+
+  // Binary (de)serialization of parameter values only; topology is rebuilt
+  // by the caller.
+  virtual void SaveParams(std::ostream& out) const = 0;
+  virtual void LoadParams(std::istream& in) = 0;
+
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+ protected:
+  bool trainable_ = true;
+};
+
+// Helpers shared by layer implementations.
+void WriteMatrix(std::ostream& out, const Matrix& m);
+Matrix ReadMatrix(std::istream& in);
+
+}  // namespace apollo::nn

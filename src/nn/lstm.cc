@@ -1,0 +1,226 @@
+#include "nn/lstm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace apollo::nn {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Concatenates [h | x] row-wise: (batch, hidden + input).
+Matrix ConcatCols(const Matrix& h, const Matrix& x) {
+  Matrix out(h.rows(), h.cols() + x.cols());
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    for (std::size_t c = 0; c < h.cols(); ++c) out(r, c) = h(r, c);
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, h.cols() + c) = x(r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size,
+           std::size_t seq_len, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size), seq_len_(seq_len) {
+  InitGate(wi_, rng);
+  InitGate(wf_, rng);
+  InitGate(wg_, rng);
+  InitGate(wo_, rng);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  wf_.b.Fill(1.0);
+}
+
+void Lstm::InitGate(Gate& gate, Rng& rng) {
+  gate.w = Matrix::Xavier(hidden_size_, hidden_size_ + input_size_, rng);
+  gate.b = Matrix(1, hidden_size_, 0.0);
+  gate.grad_w = Matrix(hidden_size_, hidden_size_ + input_size_, 0.0);
+  gate.grad_b = Matrix(1, hidden_size_, 0.0);
+}
+
+void Lstm::ZeroGrad(Gate& gate) {
+  gate.grad_w.Zero();
+  gate.grad_b.Zero();
+}
+
+Matrix Lstm::Forward(const Matrix& input) {
+  assert(input.cols() == input_size_ * seq_len_);
+  const std::size_t batch = input.rows();
+  cache_.assign(seq_len_, StepCache{});
+
+  Matrix h(batch, hidden_size_, 0.0);
+  Matrix c(batch, hidden_size_, 0.0);
+
+  for (std::size_t t = 0; t < seq_len_; ++t) {
+    StepCache& step = cache_[t];
+    step.x = Matrix(batch, input_size_);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t k = 0; k < input_size_; ++k) {
+        step.x(r, k) = input(r, t * input_size_ + k);
+      }
+    }
+    step.h_prev = h;
+    step.c_prev = c;
+
+    const Matrix z = ConcatCols(h, step.x);
+    auto gate_out = [&](const Gate& gate) {
+      Matrix pre = z.MatMulTransposed(gate.w);
+      pre.AddRowBroadcast(gate.b);
+      return pre;
+    };
+    step.i = gate_out(wi_);
+    step.f = gate_out(wf_);
+    step.g = gate_out(wg_);
+    step.o = gate_out(wo_);
+    for (double& v : step.i.raw()) v = Sigmoid(v);
+    for (double& v : step.f.raw()) v = Sigmoid(v);
+    for (double& v : step.g.raw()) v = std::tanh(v);
+    for (double& v : step.o.raw()) v = Sigmoid(v);
+
+    c = step.f;
+    c.HadamardInPlace(step.c_prev);
+    Matrix ig = step.i;
+    ig.HadamardInPlace(step.g);
+    c.AddInPlace(ig);
+    step.c = c;
+
+    step.tanh_c = c;
+    for (double& v : step.tanh_c.raw()) v = std::tanh(v);
+    h = step.o;
+    h.HadamardInPlace(step.tanh_c);
+  }
+  return h;
+}
+
+Matrix Lstm::Backward(const Matrix& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  Matrix grad_input(batch, input_size_ * seq_len_, 0.0);
+
+  Matrix dh = grad_output;                       // dL/dh_t
+  Matrix dc(batch, hidden_size_, 0.0);           // dL/dc_t (from future)
+
+  for (std::size_t tt = seq_len_; tt-- > 0;) {
+    const StepCache& step = cache_[tt];
+
+    // h = o * tanh(c)
+    Matrix do_ = dh;
+    do_.HadamardInPlace(step.tanh_c);
+    Matrix dtanh_c = dh;
+    dtanh_c.HadamardInPlace(step.o);
+    // dc += dtanh_c * (1 - tanh(c)^2)
+    for (std::size_t idx = 0; idx < dc.raw().size(); ++idx) {
+      const double tc = step.tanh_c.raw()[idx];
+      dc.raw()[idx] += dtanh_c.raw()[idx] * (1.0 - tc * tc);
+    }
+
+    // c = f*c_prev + i*g
+    Matrix df = dc;
+    df.HadamardInPlace(step.c_prev);
+    Matrix di = dc;
+    di.HadamardInPlace(step.g);
+    Matrix dg = dc;
+    dg.HadamardInPlace(step.i);
+    Matrix dc_prev = dc;
+    dc_prev.HadamardInPlace(step.f);
+
+    // Gate pre-activation gradients.
+    for (std::size_t idx = 0; idx < di.raw().size(); ++idx) {
+      const double iv = step.i.raw()[idx];
+      const double fv = step.f.raw()[idx];
+      const double gv = step.g.raw()[idx];
+      const double ov = step.o.raw()[idx];
+      di.raw()[idx] *= iv * (1.0 - iv);
+      df.raw()[idx] *= fv * (1.0 - fv);
+      dg.raw()[idx] *= 1.0 - gv * gv;
+      do_.raw()[idx] *= ov * (1.0 - ov);
+    }
+
+    const Matrix z = ConcatCols(step.h_prev, step.x);
+
+    Matrix dz(batch, hidden_size_ + input_size_, 0.0);
+    auto accumulate_gate = [&](Gate& gate, const Matrix& dgate) {
+      if (trainable_) {
+        gate.grad_w.AddInPlace(dgate.TransposedMatMul(z));
+        gate.grad_b.AddInPlace(dgate.ColSums());
+      }
+      dz.AddInPlace(dgate.MatMul(gate.w));
+    };
+    accumulate_gate(wi_, di);
+    accumulate_gate(wf_, df);
+    accumulate_gate(wg_, dg);
+    accumulate_gate(wo_, do_);
+
+    // Split dz back into dh_prev and dx.
+    Matrix dh_prev(batch, hidden_size_);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t k = 0; k < hidden_size_; ++k) {
+        dh_prev(r, k) = dz(r, k);
+      }
+      for (std::size_t k = 0; k < input_size_; ++k) {
+        grad_input(r, tt * input_size_ + k) = dz(r, hidden_size_ + k);
+      }
+    }
+
+    dh = dh_prev;
+    dc = dc_prev;
+  }
+  return grad_input;
+}
+
+std::vector<Param> Lstm::Params() {
+  if (!trainable_) return {};
+  return {
+      Param{&wi_.w, &wi_.grad_w, "lstm.Wi"},
+      Param{&wi_.b, &wi_.grad_b, "lstm.bi"},
+      Param{&wf_.w, &wf_.grad_w, "lstm.Wf"},
+      Param{&wf_.b, &wf_.grad_b, "lstm.bf"},
+      Param{&wg_.w, &wg_.grad_w, "lstm.Wg"},
+      Param{&wg_.b, &wg_.grad_b, "lstm.bg"},
+      Param{&wo_.w, &wo_.grad_w, "lstm.Wo"},
+      Param{&wo_.b, &wo_.grad_b, "lstm.bo"},
+  };
+}
+
+std::size_t Lstm::ParamCount() const {
+  return 4 * (wi_.w.size() + wi_.b.size());
+}
+
+void Lstm::SaveParams(std::ostream& out) const {
+  for (const Gate* gate : {&wi_, &wf_, &wg_, &wo_}) {
+    WriteMatrix(out, gate->w);
+    WriteMatrix(out, gate->b);
+  }
+}
+
+void Lstm::LoadParams(std::istream& in) {
+  for (Gate* gate : {&wi_, &wf_, &wg_, &wo_}) {
+    gate->w = ReadMatrix(in);
+    gate->b = ReadMatrix(in);
+    gate->grad_w = Matrix(gate->w.rows(), gate->w.cols());
+    gate->grad_b = Matrix(1, gate->b.cols());
+  }
+}
+
+std::unique_ptr<Layer> Lstm::Clone() const {
+  auto copy = std::unique_ptr<Lstm>(new Lstm());
+  copy->input_size_ = input_size_;
+  copy->hidden_size_ = hidden_size_;
+  copy->seq_len_ = seq_len_;
+  auto clone_gate = [](const Gate& src) {
+    Gate g;
+    g.w = src.w;
+    g.b = src.b;
+    g.grad_w = Matrix(src.w.rows(), src.w.cols());
+    g.grad_b = Matrix(1, src.b.cols());
+    return g;
+  };
+  copy->wi_ = clone_gate(wi_);
+  copy->wf_ = clone_gate(wf_);
+  copy->wg_ = clone_gate(wg_);
+  copy->wo_ = clone_gate(wo_);
+  copy->trainable_ = trainable_;
+  return copy;
+}
+
+}  // namespace apollo::nn

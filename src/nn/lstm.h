@@ -1,0 +1,66 @@
+// LSTM layer (single direction, last-hidden-state output).
+//
+// This exists to reproduce the paper's baseline: a per-metric LSTM model
+// (~71k parameters, hours to train) that Delphi (50 parameters, minutes)
+// is compared against in Figure 11.
+//
+// Input is a flattened sequence: (batch, seq_len * input_size); output is
+// the final hidden state (batch, hidden_size). Pair with a Dense head for
+// regression.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace apollo::nn {
+
+class Lstm final : public Layer {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, std::size_t seq_len,
+       Rng& rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Param> Params() override;
+  std::size_t ParamCount() const override;
+  std::size_t InputSize() const override { return input_size_ * seq_len_; }
+  std::size_t OutputSize() const override { return hidden_size_; }
+  const char* Kind() const override { return "lstm"; }
+
+  void SaveParams(std::ostream& out) const override;
+  void LoadParams(std::istream& in) override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  std::size_t hidden_size() const { return hidden_size_; }
+  std::size_t seq_len() const { return seq_len_; }
+
+ private:
+  Lstm() = default;  // for Clone
+
+  // Gate weight layout: W (hidden, hidden+input), b (1, hidden) per gate.
+  struct Gate {
+    Matrix w, b, grad_w, grad_b;
+  };
+
+  struct StepCache {
+    Matrix x;       // (batch, input)
+    Matrix h_prev;  // (batch, hidden)
+    Matrix c_prev;  // (batch, hidden)
+    Matrix i, f, g, o;  // gate activations (batch, hidden)
+    Matrix c;           // cell state (batch, hidden)
+    Matrix tanh_c;      // tanh(c)
+  };
+
+  void InitGate(Gate& gate, Rng& rng);
+  static void ZeroGrad(Gate& gate);
+
+  std::size_t input_size_ = 0;
+  std::size_t hidden_size_ = 0;
+  std::size_t seq_len_ = 0;
+
+  Gate wi_, wf_, wg_, wo_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace apollo::nn

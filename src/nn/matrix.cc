@@ -1,0 +1,134 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace apollo::nn {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    assert(row.size() == c);
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  for (std::size_t j = 0; j < values.size(); ++j) m(0, j) = values[j];
+  return m;
+}
+
+Matrix Matrix::Xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& x : m.data_) x = rng.Uniform(-limit, limit);
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = other.data_.data() + j * other.cols_;
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += arow[k] * brow[k];
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = data_.data() + k * cols_;
+    const double* brow = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(double factor) {
+  for (double& x : data_) x *= factor;
+  return *this;
+}
+
+Matrix& Matrix::HadamardInPlace(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& bias) {
+  assert(bias.rows_ == 1 && bias.cols_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* row = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) row[j] += bias.data_[j];
+  }
+  return *this;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += row[j];
+  }
+  return out;
+}
+
+}  // namespace apollo::nn

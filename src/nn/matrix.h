@@ -1,0 +1,83 @@
+// Dense row-major matrix of doubles — the tensor type of Apollo's from-
+// scratch NN library (TensorFlow C API substitute).
+//
+// Sizes here are tiny (Delphi: 50 parameters; baseline LSTM: ~70k), so a
+// straightforward cache-friendly implementation is ample.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace apollo::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix FromRows(std::initializer_list<std::initializer_list<double>> rows);
+
+  // Row vector from a std::vector.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  // Xavier/Glorot-uniform initialization.
+  static Matrix Xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  void Fill(double value);
+  void Zero() { Fill(0.0); }
+
+  // this * other.
+  Matrix MatMul(const Matrix& other) const;
+  // this * other^T  (most common shape in Dense layers).
+  Matrix MatMulTransposed(const Matrix& other) const;
+  // this^T * other.
+  Matrix TransposedMatMul(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& ScaleInPlace(double factor);
+  Matrix& HadamardInPlace(const Matrix& other);
+
+  // Adds a row vector `bias` (1 x cols) to every row.
+  Matrix& AddRowBroadcast(const Matrix& bias);
+
+  // Column-wise sum into a 1 x cols row vector.
+  Matrix ColSums() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace apollo::nn

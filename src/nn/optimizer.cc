@@ -1,0 +1,40 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace apollo::nn {
+
+void Sgd::Step(const std::vector<Param>& params) {
+  for (const Param& p : params) {
+    for (std::size_t i = 0; i < p.value->raw().size(); ++i) {
+      p.value->raw()[i] -= lr_ * p.grad->raw()[i];
+    }
+    p.grad->Zero();
+  }
+}
+
+void Adam::Step(const std::vector<Param>& params) {
+  for (const Param& p : params) {
+    Moments& mom = state_[p.value];
+    const std::size_t n = p.value->raw().size();
+    if (mom.m.size() != n) {
+      mom.m.assign(n, 0.0);
+      mom.v.assign(n, 0.0);
+      mom.t = 0;
+    }
+    ++mom.t;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(mom.t));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(mom.t));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = p.grad->raw()[i];
+      mom.m[i] = beta1_ * mom.m[i] + (1.0 - beta1_) * g;
+      mom.v[i] = beta2_ * mom.v[i] + (1.0 - beta2_) * g * g;
+      const double m_hat = mom.m[i] / bias1;
+      const double v_hat = mom.v[i] / bias2;
+      p.value->raw()[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+    p.grad->Zero();
+  }
+}
+
+}  // namespace apollo::nn

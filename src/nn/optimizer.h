@@ -1,0 +1,50 @@
+// Gradient-descent optimizers (SGD, Adam).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace apollo::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies accumulated gradients to parameter values, then zeroes the
+  // gradients.
+  virtual void Step(const std::vector<Param>& params) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate) : lr_(learning_rate) {}
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  void Step(const std::vector<Param>& params) override;
+
+ private:
+  struct Moments {
+    std::vector<double> m, v;
+    std::size_t t = 0;
+  };
+
+  double lr_, beta1_, beta2_, eps_;
+  // State keyed by the parameter's value matrix address; stable because
+  // layers own their matrices for their lifetime.
+  std::unordered_map<const Matrix*, Moments> state_;
+};
+
+}  // namespace apollo::nn

@@ -1,0 +1,131 @@
+#include "nn/sequential.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+namespace apollo::nn {
+
+Matrix Sequential::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+double Sequential::TrainBatch(const Matrix& inputs, const Matrix& targets,
+                              Optimizer& optimizer) {
+  const Matrix output = Forward(inputs);
+  // MSE loss: L = mean((y - t)^2); dL/dy = 2*(y - t)/N.
+  const double n = static_cast<double>(output.size());
+  Matrix grad = output;
+  grad.SubInPlace(targets);
+  double loss = 0.0;
+  for (double d : grad.raw()) loss += d * d;
+  loss /= n;
+  grad.ScaleInPlace(2.0 / n);
+
+  Matrix g = grad;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g);
+  }
+  optimizer.Step(CollectParams());
+  return loss;
+}
+
+double Sequential::Fit(const Matrix& inputs, const Matrix& targets,
+                       Optimizer& optimizer, std::size_t epochs,
+                       std::size_t batch_size, Rng& rng) {
+  const std::size_t n = inputs.rows();
+  if (n == 0) return 0.0;
+  if (batch_size == 0) batch_size = n;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = rng.NextBounded(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += batch_size) {
+      const std::size_t count = std::min(batch_size, n - start);
+      Matrix bx(count, inputs.cols());
+      Matrix by(count, targets.cols());
+      for (std::size_t r = 0; r < count; ++r) {
+        const std::size_t src = order[start + r];
+        for (std::size_t c = 0; c < inputs.cols(); ++c) {
+          bx(r, c) = inputs(src, c);
+        }
+        for (std::size_t c = 0; c < targets.cols(); ++c) {
+          by(r, c) = targets(src, c);
+        }
+      }
+      epoch_loss += TrainBatch(bx, by, optimizer);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= static_cast<double>(batches);
+  }
+  return epoch_loss;
+}
+
+double Sequential::PredictScalar(const std::vector<double>& features) {
+  const Matrix out = Forward(Matrix::RowVector(features));
+  return out(0, 0);
+}
+
+std::size_t Sequential::ParamCount() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->ParamCount();
+  return total;
+}
+
+std::size_t Sequential::TrainableParamCount() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    if (layer->trainable()) total += layer->ParamCount();
+  }
+  return total;
+}
+
+void Sequential::FreezeAll() {
+  for (auto& layer : layers_) layer->SetTrainable(false);
+}
+
+Sequential Sequential::Clone() const {
+  Sequential copy;
+  for (const auto& layer : layers_) copy.Add(layer->Clone());
+  return copy;
+}
+
+Status Sequential::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status(ErrorCode::kIoError, "cannot open " + path);
+  for (const auto& layer : layers_) layer->SaveParams(out);
+  return out.good() ? Status::Ok()
+                    : Status(ErrorCode::kIoError, "write failed: " + path);
+}
+
+Status Sequential::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(ErrorCode::kIoError, "cannot open " + path);
+  try {
+    for (auto& layer : layers_) layer->LoadParams(in);
+  } catch (const std::exception& e) {
+    return Status(ErrorCode::kParseError, e.what());
+  }
+  return Status::Ok();
+}
+
+std::vector<Param> Sequential::CollectParams() {
+  std::vector<Param> params;
+  for (auto& layer : layers_) {
+    for (Param& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace apollo::nn

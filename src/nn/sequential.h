@@ -1,0 +1,61 @@
+// Sequential container of layers with MSE training.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "nn/layer.h"
+#include "nn/optimizer.h"
+
+namespace apollo::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Matrix Forward(const Matrix& input);
+
+  // One gradient step on a batch with MSE loss. Returns the batch loss
+  // (mean over batch and outputs) before the update.
+  double TrainBatch(const Matrix& inputs, const Matrix& targets,
+                    Optimizer& optimizer);
+
+  // Full-dataset epochs of minibatch training; returns final epoch loss.
+  double Fit(const Matrix& inputs, const Matrix& targets, Optimizer& optimizer,
+             std::size_t epochs, std::size_t batch_size, Rng& rng);
+
+  // Single-sample convenience: predicts a scalar from a feature vector.
+  double PredictScalar(const std::vector<double>& features);
+
+  std::size_t ParamCount() const;
+  std::size_t TrainableParamCount() const;
+  std::size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  // Marks every layer untrainable (the paper's freeze step).
+  void FreezeAll();
+
+  Sequential Clone() const;
+
+  // Parameter-only serialization. The caller must load into a model with
+  // identical topology.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<Param> CollectParams();
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace apollo::nn

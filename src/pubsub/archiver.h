@@ -1,0 +1,110 @@
+// Archiver: file-backed append-only log for entries evicted from an
+// in-memory stream.
+//
+// Each SCoRe vertex holds a dedicated in-memory queue plus an Archiver that
+// persists evicted entries; the Query Executor falls back to the archive for
+// historical reads (timestamp ranges older than the in-memory window).
+//
+// Record layout (binary, little-endian, fixed size):
+//   u64 id | i64 timestamp | T payload (trivially copyable)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+
+namespace apollo {
+
+template <typename T>
+class Archiver {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Archiver requires a trivially copyable payload");
+
+ public:
+  struct Record {
+    std::uint64_t id;
+    TimeNs timestamp;
+    T payload;
+  };
+
+  // Opens (creates/truncates) the archive file. An empty path keeps the
+  // archive purely in memory — convenient for tests and sim runs.
+  explicit Archiver(std::string path = "") : path_(std::move(path)) {
+    if (!path_.empty()) {
+      file_ = std::fopen(path_.c_str(), "wb+");
+    }
+  }
+
+  ~Archiver() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Archiver(const Archiver&) = delete;
+  Archiver& operator=(const Archiver&) = delete;
+
+  Status Append(std::uint64_t id, TimeNs timestamp, const T& payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ != nullptr) {
+      Record rec{id, timestamp, payload};
+      if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) {
+        return Status(ErrorCode::kIoError, "archive write failed: " + path_);
+      }
+      ++count_;
+      return Status::Ok();
+    }
+    memory_.push_back(Record{id, timestamp, payload});
+    ++count_;
+    return Status::Ok();
+  }
+
+  // Reads every archived record with timestamp in [from_ts, to_ts].
+  // Sequential scan — archives are cold storage, latency is acceptable.
+  Expected<std::vector<Record>> ReadRange(TimeNs from_ts, TimeNs to_ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Record> out;
+    if (file_ != nullptr) {
+      std::fflush(file_);
+      std::FILE* reader = std::fopen(path_.c_str(), "rb");
+      if (reader == nullptr) {
+        return Error(ErrorCode::kIoError, "archive open failed: " + path_);
+      }
+      Record rec;
+      while (std::fread(&rec, sizeof(rec), 1, reader) == 1) {
+        if (rec.timestamp >= from_ts && rec.timestamp <= to_ts) {
+          out.push_back(rec);
+        }
+      }
+      std::fclose(reader);
+      return out;
+    }
+    for (const Record& rec : memory_) {
+      if (rec.timestamp >= from_ts && rec.timestamp <= to_ts) {
+        out.push_back(rec);
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  const std::string& path() const { return path_; }
+  bool InMemory() const { return file_ == nullptr; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<Record> memory_;
+  std::uint64_t count_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace apollo

@@ -1,0 +1,118 @@
+#include "pubsub/broker.h"
+
+namespace apollo {
+
+Expected<TelemetryStream*> Broker::CreateTopic(const std::string& name,
+                                               NodeId home_node,
+                                               std::size_t capacity,
+                                               Archiver<Sample>* archiver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = topics_.try_emplace(name);
+  if (!inserted) {
+    return Error(ErrorCode::kAlreadyExists, "topic exists: " + name);
+  }
+  it->second.info = TopicInfo{name, home_node};
+  it->second.stream = std::make_unique<TelemetryStream>(capacity, archiver);
+  return it->second.stream.get();
+}
+
+Expected<TelemetryStream*> Broker::GetTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    return Error(ErrorCode::kNotFound, "no such topic: " + name);
+  }
+  return it->second.stream.get();
+}
+
+Status Broker::RemoveTopic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.erase(name) == 0) {
+    return Status(ErrorCode::kNotFound, "no such topic: " + name);
+  }
+  return Status::Ok();
+}
+
+bool Broker::HasTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(name) > 0;
+}
+
+std::vector<TopicInfo> Broker::ListTopics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TopicInfo> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) out.push_back(topic.info);
+  return out;
+}
+
+Expected<std::uint64_t> Broker::Publish(const std::string& topic,
+                                        NodeId from_node, TimeNs timestamp,
+                                        const Sample& sample) {
+  TelemetryStream* stream = nullptr;
+  NodeId home = kLocalNode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) {
+      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
+    }
+    stream = it->second.stream.get();
+    home = it->second.info.home_node;
+  }
+  ChargeLatency(from_node, home);
+  return stream->Append(timestamp, sample);
+}
+
+Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
+    const std::string& topic, NodeId to_node, std::uint64_t& cursor,
+    std::size_t max_entries) {
+  TelemetryStream* stream = nullptr;
+  NodeId home = kLocalNode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) {
+      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
+    }
+    stream = it->second.stream.get();
+    home = it->second.info.home_node;
+  }
+  ChargeLatency(home, to_node);
+  return stream->Read(cursor, max_entries);
+}
+
+Expected<Sample> Broker::LatestValue(const std::string& topic,
+                                     NodeId to_node) {
+  TelemetryStream* stream = nullptr;
+  NodeId home = kLocalNode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) {
+      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
+    }
+    stream = it->second.stream.get();
+    home = it->second.info.home_node;
+  }
+  ChargeLatency(home, to_node);
+  auto latest = stream->Latest();
+  if (!latest.has_value()) {
+    return Error(ErrorCode::kUnavailable, "topic empty: " + topic);
+  }
+  return latest->value;
+}
+
+NodeId Broker::HomeNode(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? kLocalNode : it->second.info.home_node;
+}
+
+void Broker::ChargeLatency(NodeId a, NodeId b) {
+  if (network_ == nullptr) return;
+  const TimeNs latency = network_->Latency(a, b);
+  if (latency > 0) clock_.Charge(latency);
+}
+
+}  // namespace apollo

@@ -1,0 +1,113 @@
+// Broker: named-stream registry plus a simple network cost model.
+//
+// SCoRe vertices on different (simulated) nodes communicate through broker
+// streams. A publish or fetch that crosses nodes pays the configured per-hop
+// latency, which is what makes the degree/Hamming-distance effects of
+// Figure 7 observable in a single process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "pubsub/stream.h"
+
+namespace apollo {
+
+using NodeId = std::int32_t;
+constexpr NodeId kLocalNode = -1;
+
+// Models the cluster interconnect. Latency(a, b) returns the one-way message
+// latency between nodes a and b in nanoseconds.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+  virtual TimeNs Latency(NodeId from, NodeId to) const = 0;
+};
+
+// Uniform latency for any remote hop; zero for local delivery.
+class UniformNetwork final : public NetworkModel {
+ public:
+  explicit UniformNetwork(TimeNs hop_latency) : hop_latency_(hop_latency) {}
+  TimeNs Latency(NodeId from, NodeId to) const override {
+    return (from == to || from == kLocalNode || to == kLocalNode)
+               ? 0
+               : hop_latency_;
+  }
+
+ private:
+  TimeNs hop_latency_;
+};
+
+struct TopicInfo {
+  std::string name;
+  NodeId home_node = kLocalNode;  // node hosting the stream
+};
+
+class Broker {
+ public:
+  // `clock` is used to charge simulated network latency (SleepFor). A null
+  // network model makes every hop free.
+  explicit Broker(Clock& clock,
+                  std::shared_ptr<const NetworkModel> network = nullptr)
+      : clock_(clock), network_(std::move(network)) {}
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // Creates a telemetry stream hosted on `home_node`. Fails if the topic
+  // already exists.
+  Expected<TelemetryStream*> CreateTopic(const std::string& name,
+                                         NodeId home_node = kLocalNode,
+                                         std::size_t capacity = 4096,
+                                         Archiver<Sample>* archiver = nullptr);
+
+  // Looks up an existing topic's stream.
+  Expected<TelemetryStream*> GetTopic(const std::string& name) const;
+
+  // Removes a topic. The stream is destroyed; outstanding pointers dangle,
+  // so callers coordinate teardown (vertices unregister before removal).
+  Status RemoveTopic(const std::string& name);
+
+  bool HasTopic(const std::string& name) const;
+  std::vector<TopicInfo> ListTopics() const;
+
+  // Publishes to a topic from `from_node`, charging network latency when the
+  // topic lives on a different node. Returns the assigned entry id.
+  Expected<std::uint64_t> Publish(const std::string& topic, NodeId from_node,
+                                  TimeNs timestamp, const Sample& sample);
+
+  // Fetches entries past `cursor` from `to_node`'s perspective, charging
+  // network latency for remote topics. Advances cursor.
+  Expected<std::vector<TelemetryStream::Entry>> Fetch(
+      const std::string& topic, NodeId to_node, std::uint64_t& cursor,
+      std::size_t max_entries = SIZE_MAX);
+
+  // Latest entry of a topic as seen from `to_node` (charges latency).
+  Expected<Sample> LatestValue(const std::string& topic, NodeId to_node);
+
+  NodeId HomeNode(const std::string& topic) const;
+
+  Clock& clock() { return clock_; }
+
+ private:
+  struct Topic {
+    TopicInfo info;
+    std::unique_ptr<TelemetryStream> stream;
+  };
+
+  void ChargeLatency(NodeId a, NodeId b);
+
+  Clock& clock_;
+  std::shared_ptr<const NetworkModel> network_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Topic> topics_;
+};
+
+}  // namespace apollo

@@ -1,0 +1,125 @@
+#include "score/fact_vertex.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace apollo {
+
+FactVertex::FactVertex(Broker& broker, MonitorHook hook,
+                       std::unique_ptr<IntervalController> controller,
+                       FactVertexConfig config,
+                       const delphi::DelphiModel* delphi,
+                       Archiver<Sample>* archiver)
+    : broker_(broker),
+      hook_(std::move(hook)),
+      controller_(std::move(controller)),
+      config_(std::move(config)),
+      archiver_(archiver) {
+  if (config_.topic.empty()) config_.topic = hook_.metric_name;
+  if (delphi != nullptr && config_.prediction_granularity > 0) {
+    predictor_ = std::make_unique<delphi::StreamingPredictor>(*delphi);
+  }
+}
+
+FactVertex::~FactVertex() { Undeploy(); }
+
+Status FactVertex::Deploy(EventLoop& loop) {
+  if (deployed_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "vertex already deployed: " + config_.topic);
+  }
+  if (!broker_.HasTopic(config_.topic)) {
+    auto created = broker_.CreateTopic(config_.topic, config_.node,
+                                       config_.queue_capacity, archiver_);
+    if (!created.ok()) return created.status();
+  }
+  loop_ = &loop;
+  next_poll_time_ = loop.clock().Now();
+  timer_ = loop.AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
+  deployed_ = true;
+  return Status::Ok();
+}
+
+void FactVertex::Undeploy() {
+  if (!deployed_) return;
+  loop_->CancelTimer(timer_);
+  deployed_ = false;
+  loop_ = nullptr;
+}
+
+TimeNs FactVertex::OnTimer(TimeNs now) {
+  if (now >= next_poll_time_) {
+    const TimeNs interval = DoRealPoll(now);
+    next_poll_time_ = now + interval;
+    if (predictor_ != nullptr && config_.prediction_granularity > 0 &&
+        config_.prediction_granularity < interval) {
+      return config_.prediction_granularity;
+    }
+    return interval;
+  }
+  // Between polls: emit a predicted sample.
+  DoPrediction(now);
+  const TimeNs until_poll = next_poll_time_ - now;
+  return std::min(config_.prediction_granularity, until_poll);
+}
+
+TimeNs FactVertex::DoRealPoll(TimeNs /*now*/) {
+  double value;
+  {
+    ScopedTimer timer(stats_.hook_time_ns);
+    value = hook_.Invoke(broker_.clock());
+    ++stats_.hook_calls;
+  }
+  {
+    // The Fact Builder step: convert the Metric into a Fact (tuple build).
+    ScopedTimer timer(stats_.build_time_ns);
+    if (predictor_ != nullptr) predictor_->Observe(value);
+  }
+  PublishSample(broker_.clock().Now(), value, Provenance::kMeasured);
+
+  TimeNs interval;
+  {
+    ScopedTimer timer(stats_.other_time_ns);
+    interval = controller_->OnSample(value);
+  }
+  return interval;
+}
+
+void FactVertex::DoPrediction(TimeNs now) {
+  if (predictor_ == nullptr) return;
+  (void)now;  // kept for symmetry; publish stamps the clock's Now()
+  std::optional<double> predicted;
+  {
+    ScopedTimer timer(stats_.predict_time_ns);
+    predicted = predictor_->PredictNext();
+    if (predicted.has_value()) {
+      predictor_->ObservePredicted(*predicted);
+      ++stats_.predictions;
+    }
+  }
+  if (predicted.has_value()) {
+    PublishSample(now, *predicted, Provenance::kPredicted);
+  }
+}
+
+void FactVertex::PublishSample(TimeNs now, double value,
+                               Provenance provenance) {
+  if (config_.publish_only_on_change && last_published_.has_value() &&
+      *last_published_ == value) {
+    ++stats_.suppressed;
+    return;
+  }
+  ScopedTimer timer(stats_.publish_time_ns);
+  auto published = broker_.Publish(config_.topic, config_.node, now,
+                                   Sample{now, value, provenance});
+  if (!published.ok()) {
+    APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "
+                      << published.error().ToString();
+    return;
+  }
+  last_published_ = value;
+  ++stats_.published;
+}
+
+}  // namespace apollo

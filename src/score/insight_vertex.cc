@@ -1,0 +1,186 @@
+#include "score/insight_vertex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace apollo {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+InsightFn SumInsight() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    double sum = 0.0;
+    for (double v : latest) {
+      if (std::isnan(v)) return kNan;
+      sum += v;
+    }
+    return sum;
+  };
+}
+
+InsightFn MeanInsight() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    if (latest.empty()) return kNan;
+    double sum = 0.0;
+    for (double v : latest) {
+      if (std::isnan(v)) return kNan;
+      sum += v;
+    }
+    return sum / static_cast<double>(latest.size());
+  };
+}
+
+InsightFn MinInsight() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    double best = std::numeric_limits<double>::infinity();
+    for (double v : latest) {
+      if (std::isnan(v)) return kNan;
+      best = std::min(best, v);
+    }
+    return latest.empty() ? kNan : best;
+  };
+}
+
+InsightFn MaxInsight() {
+  return [](const std::vector<double>& latest, TimeNs) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (double v : latest) {
+      if (std::isnan(v)) return kNan;
+      best = std::max(best, v);
+    }
+    return latest.empty() ? kNan : best;
+  };
+}
+
+InsightVertex::InsightVertex(Broker& broker, InsightFn fn,
+                             InsightVertexConfig config,
+                             const delphi::DelphiModel* delphi,
+                             Archiver<Sample>* archiver)
+    : broker_(broker),
+      fn_(std::move(fn)),
+      config_(std::move(config)),
+      archiver_(archiver),
+      latest_(config_.upstream.size(), kNan) {
+  if (delphi != nullptr && config_.prediction_granularity > 0) {
+    predictor_ = std::make_unique<delphi::StreamingPredictor>(*delphi);
+  }
+}
+
+InsightVertex::~InsightVertex() { Undeploy(); }
+
+Status InsightVertex::Deploy(EventLoop& loop) {
+  if (deployed_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "vertex already deployed: " + config_.topic);
+  }
+  if (config_.upstream.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "insight vertex needs at least one upstream: " +
+                      config_.topic);
+  }
+  if (!broker_.HasTopic(config_.topic)) {
+    auto created = broker_.CreateTopic(config_.topic, config_.node,
+                                       config_.queue_capacity, archiver_);
+    if (!created.ok()) return created.status();
+  }
+  // Start cursors at 0 so any pre-existing upstream history is consumed.
+  for (const std::string& topic : config_.upstream) cursors_[topic] = 0;
+
+  loop_ = &loop;
+  next_pull_time_ = loop.clock().Now();
+  timer_ = loop.AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
+  deployed_ = true;
+  return Status::Ok();
+}
+
+void InsightVertex::Undeploy() {
+  if (!deployed_) return;
+  loop_->CancelTimer(timer_);
+  deployed_ = false;
+  loop_ = nullptr;
+}
+
+TimeNs InsightVertex::OnTimer(TimeNs now) {
+  if (now >= next_pull_time_) {
+    DoPull(now);
+    next_pull_time_ = now + config_.pull_interval;
+    if (predictor_ != nullptr &&
+        config_.prediction_granularity < config_.pull_interval) {
+      return config_.prediction_granularity;
+    }
+    return config_.pull_interval;
+  }
+  DoPrediction(now);
+  return std::min(config_.prediction_granularity, next_pull_time_ - now);
+}
+
+void InsightVertex::DoPull(TimeNs now) {
+  bool any_update = false;
+  {
+    ScopedTimer timer(stats_.consume_time_ns);
+    for (std::size_t i = 0; i < config_.upstream.size(); ++i) {
+      const std::string& topic = config_.upstream[i];
+      auto entries = broker_.Fetch(topic, config_.node, cursors_[topic]);
+      if (!entries.ok()) continue;  // upstream not created yet
+      if (!entries->empty()) {
+        latest_[i] = entries->back().value.value;
+        any_update = true;
+      }
+    }
+  }
+  double value;
+  {
+    ScopedTimer timer(stats_.build_time_ns);
+    value = fn_(latest_, now);
+    if (predictor_ != nullptr && !std::isnan(value)) {
+      predictor_->Observe(value);
+    }
+  }
+  if (std::isnan(value)) return;
+  // Publish even without upstream updates on the first computation; after
+  // that, only when something changed (change suppression handles it).
+  (void)any_update;
+  PublishSample(broker_.clock().Now(), value, Provenance::kMeasured);
+}
+
+void InsightVertex::DoPrediction(TimeNs now) {
+  if (predictor_ == nullptr) return;
+  std::optional<double> predicted;
+  {
+    ScopedTimer timer(stats_.predict_time_ns);
+    predicted = predictor_->PredictNext();
+    if (predicted.has_value()) {
+      predictor_->ObservePredicted(*predicted);
+      ++stats_.predictions;
+    }
+  }
+  if (predicted.has_value()) {
+    PublishSample(now, *predicted, Provenance::kPredicted);
+  }
+}
+
+void InsightVertex::PublishSample(TimeNs now, double value,
+                                  Provenance provenance) {
+  if (config_.publish_only_on_change && last_published_.has_value() &&
+      *last_published_ == value) {
+    ++stats_.suppressed;
+    return;
+  }
+  ScopedTimer timer(stats_.publish_time_ns);
+  auto published = broker_.Publish(config_.topic, config_.node, now,
+                                   Sample{now, value, provenance});
+  if (!published.ok()) {
+    APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "
+                      << published.error().ToString();
+    return;
+  }
+  last_published_ = value;
+  ++stats_.published;
+}
+
+}  // namespace apollo

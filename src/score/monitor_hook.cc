@@ -1,0 +1,60 @@
+#include "score/monitor_hook.h"
+
+namespace apollo {
+
+MonitorHook CapacityRemainingHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".capacity_remaining",
+      [&device](TimeNs) { return static_cast<double>(device.RemainingBytes()); },
+      cost};
+}
+
+MonitorHook UtilizationHook(Device& device, TimeNs cost) {
+  return MonitorHook{device.name() + ".utilization",
+                     [&device](TimeNs) { return device.UtilizationFraction(); },
+                     cost};
+}
+
+MonitorHook QueueDepthHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".queue_depth",
+      [&device](TimeNs now) { return static_cast<double>(device.QueueDepth(now)); },
+      cost};
+}
+
+MonitorHook RealBandwidthHook(Device& device, TimeNs cost) {
+  return MonitorHook{
+      device.name() + ".real_bw",
+      [&device](TimeNs now) { return device.RealBandwidth(now); }, cost};
+}
+
+MonitorHook DeviceHealthHook(Device& device, TimeNs cost) {
+  return MonitorHook{device.name() + ".health",
+                     [&device](TimeNs) { return device.Health(); }, cost};
+}
+
+MonitorHook PowerHook(Node& node, TimeNs cost) {
+  return MonitorHook{node.name() + ".power_watts",
+                     [&node](TimeNs now) { return node.PowerWatts(now); },
+                     cost};
+}
+
+MonitorHook CpuLoadHook(Node& node, TimeNs cost) {
+  return MonitorHook{node.name() + ".cpu_load",
+                     [&node](TimeNs) { return node.CpuLoad(); }, cost};
+}
+
+MonitorHook NodeOnlineHook(Node& node, TimeNs cost) {
+  return MonitorHook{node.name() + ".online",
+                     [&node](TimeNs) { return node.Online() ? 1.0 : 0.0; },
+                     cost};
+}
+
+MonitorHook TraceReplayHook(const CapacityTrace& trace, std::string name,
+                            TimeNs cost) {
+  return MonitorHook{std::move(name),
+                     [&trace](TimeNs now) { return trace.ValueAt(now); },
+                     cost};
+}
+
+}  // namespace apollo

@@ -1,0 +1,46 @@
+// Monitor Hooks: the functions Fact Vertices call to extract a Metric from
+// a cluster resource (§3.1 step 1).
+//
+// A hook returns the metric's current value; `cost` models the time the
+// real probe takes (reading /sys counters, SMART queries, ...) and is
+// charged to the clock so that hook cost dominates vertex time exactly as
+// in Figure 4.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "cluster/workloads.h"
+#include "common/clock.h"
+
+namespace apollo {
+
+struct MonitorHook {
+  std::string metric_name;
+  std::function<double(TimeNs now)> read;
+  TimeNs cost = Millis(1);  // simulated probe duration
+
+  double Invoke(Clock& clock) const {
+    if (cost > 0) clock.Charge(cost);
+    return read(clock.Now());
+  }
+};
+
+// --- hook library over the simulated cluster ---
+
+MonitorHook CapacityRemainingHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook UtilizationHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook QueueDepthHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook RealBandwidthHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook DeviceHealthHook(Device& device, TimeNs cost = Millis(1));
+MonitorHook PowerHook(Node& node, TimeNs cost = Millis(1));
+MonitorHook CpuLoadHook(Node& node, TimeNs cost = Millis(1));
+MonitorHook NodeOnlineHook(Node& node, TimeNs cost = Millis(1));
+
+// Replays a capacity trace: the synthetic monitoring hook of §4.3.1.
+MonitorHook TraceReplayHook(const CapacityTrace& trace, std::string name,
+                            TimeNs cost = Millis(1));
+
+}  // namespace apollo

@@ -1,0 +1,192 @@
+#include "score/score_graph.h"
+
+#include <algorithm>
+
+namespace apollo {
+
+Expected<FactVertex*> ScoreGraph::AddFact(std::unique_ptr<FactVertex> vertex,
+                                          EventLoop* deploy_on) {
+  const std::string topic = vertex->topic();
+  if (Has(topic)) {
+    return Error(ErrorCode::kAlreadyExists, "vertex exists: " + topic);
+  }
+  FactVertex* raw = vertex.get();
+  if (deploy_on != nullptr) {
+    Status status = raw->Deploy(*deploy_on);
+    if (!status.ok()) return Error(status.code(), status.message());
+  }
+  facts_.emplace(topic, std::move(vertex));
+  return raw;
+}
+
+Expected<InsightVertex*> ScoreGraph::AddInsight(
+    std::unique_ptr<InsightVertex> vertex, EventLoop* deploy_on) {
+  const std::string topic = vertex->topic();
+  if (Has(topic)) {
+    return Error(ErrorCode::kAlreadyExists, "vertex exists: " + topic);
+  }
+  if (WouldCreateCycle(topic, vertex->upstream())) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "registering " + topic + " would create a cycle");
+  }
+  InsightVertex* raw = vertex.get();
+  if (deploy_on != nullptr) {
+    Status status = raw->Deploy(*deploy_on);
+    if (!status.ok()) return Error(status.code(), status.message());
+  }
+  insights_.emplace(topic, std::move(vertex));
+  return raw;
+}
+
+Status ScoreGraph::Remove(const std::string& topic) {
+  if (auto it = facts_.find(topic); it != facts_.end()) {
+    it->second->Undeploy();
+    facts_.erase(it);
+    return Status::Ok();
+  }
+  if (auto it = insights_.find(topic); it != insights_.end()) {
+    it->second->Undeploy();
+    insights_.erase(it);
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kNotFound, "no vertex: " + topic);
+}
+
+Expected<FactVertex*> ScoreGraph::FindFact(const std::string& topic) const {
+  auto it = facts_.find(topic);
+  if (it == facts_.end()) {
+    return Error(ErrorCode::kNotFound, "no fact vertex: " + topic);
+  }
+  return it->second.get();
+}
+
+Expected<InsightVertex*> ScoreGraph::FindInsight(
+    const std::string& topic) const {
+  auto it = insights_.find(topic);
+  if (it == insights_.end()) {
+    return Error(ErrorCode::kNotFound, "no insight vertex: " + topic);
+  }
+  return it->second.get();
+}
+
+bool ScoreGraph::Has(const std::string& topic) const {
+  return facts_.count(topic) > 0 || insights_.count(topic) > 0;
+}
+
+std::vector<std::string> ScoreGraph::FactTopics() const {
+  std::vector<std::string> out;
+  out.reserve(facts_.size());
+  for (const auto& [topic, vertex] : facts_) out.push_back(topic);
+  return out;
+}
+
+std::vector<std::string> ScoreGraph::InsightTopics() const {
+  std::vector<std::string> out;
+  out.reserve(insights_.size());
+  for (const auto& [topic, vertex] : insights_) out.push_back(topic);
+  return out;
+}
+
+std::size_t ScoreGraph::NumVertices() const {
+  return facts_.size() + insights_.size();
+}
+
+Status ScoreGraph::DeployAll(EventLoop& loop) {
+  for (auto& [topic, vertex] : facts_) {
+    Status status = vertex->Deploy(loop);
+    if (!status.ok()) return status;
+  }
+  for (auto& [topic, vertex] : insights_) {
+    Status status = vertex->Deploy(loop);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+void ScoreGraph::UndeployAll() {
+  for (auto& [topic, vertex] : facts_) vertex->Undeploy();
+  for (auto& [topic, vertex] : insights_) vertex->Undeploy();
+}
+
+bool ScoreGraph::WouldCreateCycle(
+    const std::string& topic, const std::vector<std::string>& upstream) const {
+  // DFS from each upstream following existing insight edges; a path back to
+  // `topic` means the new vertex closes a cycle. (Facts have no upstream.)
+  std::vector<std::string> stack(upstream.begin(), upstream.end());
+  std::vector<std::string> visited;
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    if (current == topic) return true;
+    if (std::find(visited.begin(), visited.end(), current) != visited.end()) {
+      continue;
+    }
+    visited.push_back(current);
+    auto it = insights_.find(current);
+    if (it != insights_.end()) {
+      for (const std::string& up : it->second->upstream()) {
+        stack.push_back(up);
+      }
+    }
+  }
+  return false;
+}
+
+Expected<int> ScoreGraph::DistanceInternal(const std::string& topic,
+                                           std::map<std::string, int>& memo,
+                                           int depth) const {
+  if (depth > static_cast<int>(NumVertices()) + 1) {
+    return Error(ErrorCode::kInternal, "cycle detected at " + topic);
+  }
+  if (auto it = memo.find(topic); it != memo.end()) return it->second;
+  if (facts_.count(topic) > 0) {
+    memo[topic] = 0;
+    return 0;
+  }
+  auto it = insights_.find(topic);
+  if (it == insights_.end()) {
+    return Error(ErrorCode::kNotFound, "no vertex: " + topic);
+  }
+  int best = 0;
+  for (const std::string& up : it->second->upstream()) {
+    auto d = DistanceInternal(up, memo, depth + 1);
+    // Upstream topics that are not SCoRe vertices (external streams) count
+    // as distance 0 sources.
+    const int upstream_distance = d.ok() ? *d : 0;
+    best = std::max(best, upstream_distance);
+  }
+  memo[topic] = best + 1;
+  return best + 1;
+}
+
+Expected<int> ScoreGraph::HammingDistance(const std::string& topic) const {
+  std::map<std::string, int> memo;
+  return DistanceInternal(topic, memo, 0);
+}
+
+std::string ScoreGraph::ToDot() const {
+  std::string out = "digraph score {\n  rankdir=LR;\n";
+  for (const auto& [topic, vertex] : facts_) {
+    out += "  \"" + topic + "\" [shape=box];\n";
+  }
+  for (const auto& [topic, vertex] : insights_) {
+    out += "  \"" + topic + "\" [shape=ellipse];\n";
+    for (const std::string& up : vertex->upstream()) {
+      out += "  \"" + up + "\" -> \"" + topic + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+int ScoreGraph::Height() const {
+  int height = 0;
+  std::map<std::string, int> memo;
+  for (const auto& [topic, vertex] : insights_) {
+    auto d = DistanceInternal(topic, memo, 0);
+    if (d.ok()) height = std::max(height, *d);
+  }
+  return height;
+}
+
+}  // namespace apollo

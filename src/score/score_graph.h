@@ -1,0 +1,78 @@
+// ScoreGraph: the SCoRe DAG registry.
+//
+// Owns Fact and Insight vertices, validates acyclicity when insight
+// vertices are registered, computes graph properties (height h, Hamming
+// distance from sources — the paper's §3.2 complexity model O(p*h)), and
+// deploys/undeploys vertices on an EventLoop at runtime (§3.1: "users can
+// register/unregister custom Fact and Insight vertices during the runtime
+// of their application").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "eventloop/event_loop.h"
+#include "score/fact_vertex.h"
+#include "score/insight_vertex.h"
+
+namespace apollo {
+
+class ScoreGraph {
+ public:
+  explicit ScoreGraph(Broker& broker) : broker_(broker) {}
+
+  ScoreGraph(const ScoreGraph&) = delete;
+  ScoreGraph& operator=(const ScoreGraph&) = delete;
+
+  // Registers (and optionally deploys) vertices. Topic names must be
+  // unique across both kinds. Insight registration fails if it would close
+  // a cycle.
+  Expected<FactVertex*> AddFact(std::unique_ptr<FactVertex> vertex,
+                                EventLoop* deploy_on = nullptr);
+  Expected<InsightVertex*> AddInsight(std::unique_ptr<InsightVertex> vertex,
+                                      EventLoop* deploy_on = nullptr);
+
+  // Undeploys and removes a vertex (runtime unregister).
+  Status Remove(const std::string& topic);
+
+  Expected<FactVertex*> FindFact(const std::string& topic) const;
+  Expected<InsightVertex*> FindInsight(const std::string& topic) const;
+  bool Has(const std::string& topic) const;
+
+  std::vector<std::string> FactTopics() const;
+  std::vector<std::string> InsightTopics() const;
+  std::size_t NumVertices() const;
+
+  // Deploys every registered vertex on `loop`; undeploys all.
+  Status DeployAll(EventLoop& loop);
+  void UndeployAll();
+
+  // Longest upstream path from any Fact source to `topic` (0 for facts) —
+  // the Hamming distance of §3.2. Unknown topic -> error.
+  Expected<int> HammingDistance(const std::string& topic) const;
+
+  // Height h of the DAG: max Hamming distance over all vertices.
+  int Height() const;
+
+  // Graphviz export of the SCoRe topology (facts as boxes, insights as
+  // ellipses, edges following information flow) for debugging/ops.
+  std::string ToDot() const;
+
+  Broker& broker() { return broker_; }
+
+ private:
+  bool WouldCreateCycle(const std::string& topic,
+                        const std::vector<std::string>& upstream) const;
+  Expected<int> DistanceInternal(const std::string& topic,
+                                 std::map<std::string, int>& memo,
+                                 int depth) const;
+
+  Broker& broker_;
+  std::map<std::string, std::unique_ptr<FactVertex>> facts_;
+  std::map<std::string, std::unique_ptr<InsightVertex>> insights_;
+};
+
+}  // namespace apollo

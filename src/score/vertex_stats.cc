@@ -1,0 +1,13 @@
+#include "score/vertex_stats.h"
+
+#include <chrono>
+
+namespace apollo {
+
+std::int64_t ScopedTimer::NowRaw() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace apollo

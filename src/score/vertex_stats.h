@@ -1,0 +1,62 @@
+// Per-vertex operation accounting, reproducing Figure 4's anatomy of
+// time spent in each internal component of a Fact/Insight vertex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace apollo {
+
+struct VertexStats {
+  // Wall time spent per internal operation (nanoseconds, real clock).
+  std::atomic<std::int64_t> hook_time_ns{0};      // Monitor Hook
+  std::atomic<std::int64_t> build_time_ns{0};     // Fact/Insight Builder
+  std::atomic<std::int64_t> publish_time_ns{0};   // queue publish
+  std::atomic<std::int64_t> consume_time_ns{0};   // upstream fetch (insight)
+  std::atomic<std::int64_t> predict_time_ns{0};   // Delphi inference
+  std::atomic<std::int64_t> other_time_ns{0};     // scheduling etc.
+
+  std::atomic<std::uint64_t> hook_calls{0};
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<std::uint64_t> suppressed{0};   // unchanged values not queued
+  std::atomic<std::uint64_t> predictions{0};
+
+  std::int64_t TotalTimeNs() const {
+    return hook_time_ns + build_time_ns + publish_time_ns + consume_time_ns +
+           predict_time_ns + other_time_ns;
+  }
+
+  void Reset() {
+    hook_time_ns = 0;
+    build_time_ns = 0;
+    publish_time_ns = 0;
+    consume_time_ns = 0;
+    predict_time_ns = 0;
+    other_time_ns = 0;
+    hook_calls = 0;
+    published = 0;
+    suppressed = 0;
+    predictions = 0;
+  }
+};
+
+// Scoped real-time stopwatch accumulating into an atomic counter.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::atomic<std::int64_t>& sink)
+      : sink_(sink), start_(NowRaw()) {}
+  ~ScopedTimer() { sink_ += NowRaw() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  static std::int64_t NowRaw();
+
+  std::atomic<std::int64_t>& sink_;
+  std::int64_t start_;
+};
+
+}  // namespace apollo

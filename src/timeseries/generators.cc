@@ -1,0 +1,243 @@
+#include "timeseries/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo {
+
+const char* TsFeatureName(TsFeature feature) {
+  switch (feature) {
+    case TsFeature::kTrend:
+      return "trend";
+    case TsFeature::kSeasonal:
+      return "seasonal";
+    case TsFeature::kCyclic:
+      return "cyclic";
+    case TsFeature::kLevelShift:
+      return "level_shift";
+    case TsFeature::kVarianceShift:
+      return "variance_shift";
+    case TsFeature::kSpikes:
+      return "spikes";
+    case TsFeature::kRandomWalk:
+      return "random_walk";
+    case TsFeature::kStep:
+      return "step";
+  }
+  return "unknown";
+}
+
+std::vector<TsFeature> AllTsFeatures() {
+  std::vector<TsFeature> out;
+  out.reserve(kNumTsFeatures);
+  for (int i = 0; i < kNumTsFeatures; ++i) {
+    out.push_back(static_cast<TsFeature>(i));
+  }
+  return out;
+}
+
+namespace {
+
+// Clamps the finished series into [0, 1] softly by min-max rescale when it
+// strays outside. Keeps all features on a comparable scale.
+void RescaleInto01(Series& s) {
+  if (s.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(s.begin(), s.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (lo >= 0.0 && hi <= 1.0) return;
+  const double range = hi - lo;
+  if (range <= 0.0) {
+    std::fill(s.begin(), s.end(), 0.5);
+    return;
+  }
+  for (double& x : s) x = (x - lo) / range;
+}
+
+Series GenerateTrend(std::size_t n, Rng& rng) {
+  Series s(n);
+  const double slope = rng.Uniform(0.3, 1.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+  const double start = rng.Uniform(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = start + slope * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return s;
+}
+
+Series GenerateSeasonal(std::size_t n, Rng& rng) {
+  Series s(n);
+  const double period = rng.Uniform(16.0, 64.0);
+  const double amp = rng.Uniform(0.3, 0.5);
+  const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = 0.5 + amp * std::sin(2.0 * M_PI * static_cast<double>(i) / period +
+                                phase);
+  }
+  return s;
+}
+
+Series GenerateCyclic(std::size_t n, Rng& rng) {
+  // Oscillation whose instantaneous period drifts — cycles without a fixed
+  // seasonality.
+  Series s(n);
+  double phase = rng.Uniform(0.0, 2.0 * M_PI);
+  double period = rng.Uniform(24.0, 48.0);
+  const double amp = rng.Uniform(0.25, 0.45);
+  for (std::size_t i = 0; i < n; ++i) {
+    period += rng.Gaussian(0.0, 0.3);
+    period = std::clamp(period, 12.0, 96.0);
+    phase += 2.0 * M_PI / period;
+    s[i] = 0.5 + amp * std::sin(phase);
+  }
+  return s;
+}
+
+Series GenerateLevelShift(std::size_t n, Rng& rng) {
+  Series s(n);
+  double level = rng.Uniform(0.2, 0.8);
+  // 2-5 abrupt mean changes across the series.
+  const int shifts = static_cast<int>(rng.UniformInt(2, 5));
+  std::vector<std::size_t> cut_points;
+  for (int k = 0; k < shifts; ++k) {
+    cut_points.push_back(rng.NextBounded(n));
+  }
+  std::sort(cut_points.begin(), cut_points.end());
+  std::size_t next_cut = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (next_cut < cut_points.size() && i >= cut_points[next_cut]) {
+      level = rng.Uniform(0.1, 0.9);
+      ++next_cut;
+    }
+    s[i] = level;
+  }
+  return s;
+}
+
+Series GenerateVarianceShift(std::size_t n, Rng& rng) {
+  Series s(n);
+  const std::size_t cut = n / 2 + rng.NextBounded(std::max<std::size_t>(n / 4, 1));
+  const double sigma_low = 0.01;
+  const double sigma_high = rng.Uniform(0.08, 0.15);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = i < cut ? sigma_low : sigma_high;
+    s[i] = 0.5 + rng.Gaussian(0.0, sigma);
+  }
+  return s;
+}
+
+Series GenerateSpikes(std::size_t n, Rng& rng) {
+  Series s(n, 0.2);
+  const double spike_prob = rng.Uniform(0.01, 0.05);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(spike_prob)) {
+      s[i] = rng.Uniform(0.7, 1.0);
+      // Exponential decay tail over the next few samples.
+      double tail = s[i];
+      for (std::size_t j = i + 1; j < std::min(i + 4, n); ++j) {
+        tail *= 0.4;
+        s[j] = std::max(s[j], tail);
+      }
+    }
+  }
+  return s;
+}
+
+Series GenerateRandomWalk(std::size_t n, Rng& rng) {
+  Series s(n);
+  double x = 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.Gaussian(0.0, 0.02);
+    s[i] = x;
+  }
+  RescaleInto01(s);
+  return s;
+}
+
+Series GenerateStep(std::size_t n, Rng& rng) {
+  // Bounces between a few discrete value groupings — the paper calls out
+  // non-continuous metrics bouncing between discrete levels as the case the
+  // simple AIMD controller struggled with.
+  const int num_levels = static_cast<int>(rng.UniformInt(2, 4));
+  std::vector<double> levels;
+  for (int k = 0; k < num_levels; ++k) {
+    levels.push_back(rng.Uniform(0.05, 0.95));
+  }
+  Series s(n);
+  std::size_t i = 0;
+  int current = 0;
+  while (i < n) {
+    const std::size_t dwell = 4 + rng.NextBounded(24);
+    for (std::size_t j = 0; j < dwell && i < n; ++j, ++i) {
+      s[i] = levels[static_cast<std::size_t>(current)];
+    }
+    int next = static_cast<int>(rng.NextBounded(
+        static_cast<std::uint64_t>(num_levels)));
+    current = next;
+  }
+  return s;
+}
+
+}  // namespace
+
+Series GenerateFeature(TsFeature feature, const GeneratorConfig& config) {
+  Rng rng(config.seed ^ (0x9e37ULL * static_cast<std::uint64_t>(feature)));
+  Series s;
+  switch (feature) {
+    case TsFeature::kTrend:
+      s = GenerateTrend(config.length, rng);
+      break;
+    case TsFeature::kSeasonal:
+      s = GenerateSeasonal(config.length, rng);
+      break;
+    case TsFeature::kCyclic:
+      s = GenerateCyclic(config.length, rng);
+      break;
+    case TsFeature::kLevelShift:
+      s = GenerateLevelShift(config.length, rng);
+      break;
+    case TsFeature::kVarianceShift:
+      s = GenerateVarianceShift(config.length, rng);
+      break;
+    case TsFeature::kSpikes:
+      s = GenerateSpikes(config.length, rng);
+      break;
+    case TsFeature::kRandomWalk:
+      s = GenerateRandomWalk(config.length, rng);
+      break;
+    case TsFeature::kStep:
+      s = GenerateStep(config.length, rng);
+      break;
+  }
+  if (config.noise_stddev > 0.0) {
+    for (double& x : s) x += rng.Gaussian(0.0, config.noise_stddev);
+  }
+  return s;
+}
+
+Series GenerateComposite(const std::vector<double>& weights,
+                         const GeneratorConfig& config) {
+  Series out(config.length, 0.0);
+  double total_weight = 0.0;
+  for (int i = 0; i < kNumTsFeatures; ++i) {
+    const double w =
+        i < static_cast<int>(weights.size()) ? weights[static_cast<std::size_t>(i)] : 0.0;
+    if (w == 0.0) continue;
+    total_weight += w;
+    GeneratorConfig sub = config;
+    sub.noise_stddev = 0.0;  // noise added once at the end
+    sub.seed = config.seed + static_cast<std::uint64_t>(i) * 7919ULL;
+    const Series f = GenerateFeature(static_cast<TsFeature>(i), sub);
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += w * f[j];
+  }
+  if (total_weight > 0.0) {
+    for (double& x : out) x /= total_weight;
+  }
+  Rng rng(config.seed ^ 0xc0ffeeULL);
+  for (double& x : out) x += rng.Gaussian(0.0, config.noise_stddev);
+  return out;
+}
+
+Series GenerateCompositeAll(const GeneratorConfig& config) {
+  return GenerateComposite(std::vector<double>(kNumTsFeatures, 1.0), config);
+}
+
+}  // namespace apollo

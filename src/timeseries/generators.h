@@ -1,0 +1,53 @@
+// Synthetic time-series feature generators.
+//
+// The paper (§3.4.2, citing Lin et al.'s taxonomy of time-series patterns)
+// decomposes telemetry series into eight key features; Delphi pre-trains one
+// tiny model per feature on synthetic data generated here, then stacks them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "timeseries/series.h"
+
+namespace apollo {
+
+// The eight time-series feature archetypes.
+enum class TsFeature : int {
+  kTrend = 0,        // linear/monotone drift
+  kSeasonal = 1,     // fixed-period sinusoid
+  kCyclic = 2,       // slowly modulated oscillation (non-fixed period)
+  kLevelShift = 3,   // abrupt change in mean
+  kVarianceShift = 4,  // abrupt change in spread
+  kSpikes = 5,       // sparse impulses over a flat base
+  kRandomWalk = 6,   // integrated noise
+  kStep = 7,         // discrete bouncing between level groups
+};
+
+constexpr int kNumTsFeatures = 8;
+
+const char* TsFeatureName(TsFeature feature);
+std::vector<TsFeature> AllTsFeatures();
+
+struct GeneratorConfig {
+  std::size_t length = 2048;
+  double noise_stddev = 0.01;  // white noise mixed into every feature
+  std::uint64_t seed = 42;
+};
+
+// Generates one series exhibiting exactly one feature (plus light noise).
+// Values are roughly within [0, 1].
+Series GenerateFeature(TsFeature feature, const GeneratorConfig& config);
+
+// A composite series mixing several features — the training set for
+// Delphi's trainable combiner layer and the "synthetic test dataset" of
+// §3.4.2. `weights` must have kNumTsFeatures entries (zero drops a feature).
+Series GenerateComposite(const std::vector<double>& weights,
+                         const GeneratorConfig& config);
+
+// Convenience: equal-weight composite of all features.
+Series GenerateCompositeAll(const GeneratorConfig& config);
+
+}  // namespace apollo

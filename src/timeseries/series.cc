@@ -1,0 +1,39 @@
+#include "timeseries/series.h"
+
+#include <algorithm>
+
+namespace apollo {
+
+WindowedDataset MakeWindows(const Series& series, std::size_t window) {
+  WindowedDataset ds;
+  if (window == 0 || series.size() <= window) return ds;
+  const std::size_t n = series.size() - window;
+  ds.inputs.reserve(n);
+  ds.targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.inputs.emplace_back(series.begin() + static_cast<std::ptrdiff_t>(i),
+                           series.begin() +
+                               static_cast<std::ptrdiff_t>(i + window));
+    ds.targets.push_back(series[i + window]);
+  }
+  return ds;
+}
+
+Normalization FitNormalization(const Series& series) {
+  Normalization norm;
+  if (series.empty()) return norm;
+  const auto [lo, hi] = std::minmax_element(series.begin(), series.end());
+  norm.offset = *lo;
+  const double range = *hi - *lo;
+  norm.scale = range > 0.0 ? range : 1.0;
+  return norm;
+}
+
+Series Normalize(const Series& series, const Normalization& norm) {
+  Series out;
+  out.reserve(series.size());
+  for (double x : series) out.push_back(norm.Apply(x));
+  return out;
+}
+
+}  // namespace apollo

@@ -1,0 +1,45 @@
+// Uniformly sampled time series plus windowing utilities.
+//
+// Delphi consumes sliding windows of length 5 (the paper's window size) and
+// predicts the next value; these helpers build supervised (window -> next)
+// datasets out of raw series.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace apollo {
+
+// Values sampled at a fixed interval; the interval itself is tracked by the
+// producer (generators, monitor hooks).
+using Series = std::vector<double>;
+
+struct WindowedDataset {
+  // Each row is a window of `window` consecutive values.
+  std::vector<std::vector<double>> inputs;
+  // Target: the value immediately following the window.
+  std::vector<double> targets;
+
+  std::size_t Size() const { return inputs.size(); }
+};
+
+// Builds (window -> next value) pairs from a series. A series shorter than
+// window+1 yields an empty dataset.
+WindowedDataset MakeWindows(const Series& series, std::size_t window);
+
+// Min-max normalization to [0, 1]. Returns {scale, offset} so predictions
+// can be mapped back: original = normalized * scale + offset. A constant
+// series maps to all-zeros with scale 1.
+struct Normalization {
+  double scale = 1.0;
+  double offset = 0.0;
+
+  double Apply(double x) const { return (x - offset) / scale; }
+  double Invert(double y) const { return y * scale + offset; }
+};
+
+Normalization FitNormalization(const Series& series);
+Series Normalize(const Series& series, const Normalization& norm);
+
+}  // namespace apollo

@@ -1,0 +1,83 @@
+#include "timeseries/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace apollo {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    sum += std::fabs(truth[i] - pred[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& pred) {
+  return std::sqrt(MeanSquaredError(truth, pred));
+}
+
+double RSquared(const std::vector<double>& truth,
+                const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  const double var = Variance(truth);
+  const double mse = MeanSquaredError(truth, pred);
+  if (var <= 0.0) return mse <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - mse / var;
+}
+
+RollingMean::RollingMean(std::size_t window)
+    : window_(window == 0 ? 1 : window) {}
+
+void RollingMean::Add(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double RollingMean::Value() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void RollingMean::Reset() {
+  values_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace apollo

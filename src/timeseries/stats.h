@@ -1,0 +1,46 @@
+// Accuracy metrics and rolling statistics for telemetry series.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace apollo {
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // population variance
+
+// Mean absolute error between prediction and truth (equal lengths; empty
+// inputs return 0).
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred);
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& pred);
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& pred);
+
+// Coefficient of determination. A constant truth series returns 1 when the
+// prediction matches exactly, else 0.
+double RSquared(const std::vector<double>& truth,
+                const std::vector<double>& pred);
+
+// Fixed-window rolling mean used by the complex (adaptive-parameterized)
+// AIMD controller: tracks the rolling average of metric *changes*.
+class RollingMean {
+ public:
+  explicit RollingMean(std::size_t window);
+
+  void Add(double x);
+  double Value() const;  // 0 until the first sample
+  std::size_t Count() const { return values_.size(); }
+  std::size_t Window() const { return window_; }
+  bool Full() const { return values_.size() == window_; }
+  void Reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace apollo

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptive/interval_controller.h"
+#include "common/rng.h"
+
+namespace apollo {
+namespace {
+
+AimdConfig TestConfig() {
+  AimdConfig config;
+  config.initial_interval = Seconds(1);
+  config.min_interval = Millis(100);
+  config.max_interval = Seconds(30);
+  config.additive_step = Seconds(1);
+  config.decrease_factor = 0.5;
+  config.change_threshold = 0.1;
+  return config;
+}
+
+TEST(FixedIntervalTest, NeverChanges) {
+  FixedInterval controller(Seconds(5));
+  EXPECT_EQ(controller.OnSample(1.0), Seconds(5));
+  EXPECT_EQ(controller.OnSample(100.0), Seconds(5));
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(5));
+  EXPECT_STREQ(controller.Name(), "fixed");
+}
+
+TEST(SimpleAimdTest, FirstSampleKeepsInitialInterval) {
+  SimpleAimd controller(TestConfig());
+  EXPECT_EQ(controller.OnSample(5.0), Seconds(1));
+}
+
+TEST(SimpleAimdTest, StableMetricAdditiveIncrease) {
+  SimpleAimd controller(TestConfig());
+  controller.OnSample(5.0);
+  EXPECT_EQ(controller.OnSample(5.0), Seconds(2));
+  EXPECT_EQ(controller.OnSample(5.05), Seconds(3));  // within threshold
+  EXPECT_EQ(controller.OnSample(5.0), Seconds(4));
+}
+
+TEST(SimpleAimdTest, ChangingMetricMultiplicativeDecrease) {
+  SimpleAimd controller(TestConfig());
+  controller.OnSample(5.0);
+  controller.OnSample(5.0);  // -> 2s
+  controller.OnSample(5.0);  // -> 3s
+  EXPECT_EQ(controller.OnSample(50.0), static_cast<TimeNs>(Seconds(3) * 0.5));
+}
+
+TEST(SimpleAimdTest, ClampsAtMaxInterval) {
+  AimdConfig config = TestConfig();
+  config.max_interval = Seconds(3);
+  SimpleAimd controller(config);
+  controller.OnSample(1.0);
+  for (int i = 0; i < 10; ++i) controller.OnSample(1.0);
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(3));
+}
+
+TEST(SimpleAimdTest, ClampsAtMinInterval) {
+  SimpleAimd controller(TestConfig());
+  controller.OnSample(0.0);
+  for (int i = 1; i < 20; ++i) {
+    controller.OnSample(i * 100.0);  // always changing
+  }
+  EXPECT_EQ(controller.CurrentInterval(), Millis(100));
+}
+
+TEST(SimpleAimdTest, ResetRestoresInitial) {
+  SimpleAimd controller(TestConfig());
+  controller.OnSample(1.0);
+  controller.OnSample(100.0);
+  controller.Reset();
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(1));
+  // After reset the first sample is again "no previous value".
+  EXPECT_EQ(controller.OnSample(42.0), Seconds(1));
+}
+
+TEST(SimpleAimdTest, BouncingDiscreteMetricThrashes) {
+  // The failure mode that motivates complex AIMD: a metric bouncing
+  // between two discrete values keeps simple AIMD at the minimum interval.
+  SimpleAimd controller(TestConfig());
+  controller.OnSample(0.0);
+  for (int i = 0; i < 30; ++i) {
+    controller.OnSample(i % 2 == 0 ? 10.0 : 0.0);
+  }
+  EXPECT_EQ(controller.CurrentInterval(), Millis(100));
+}
+
+TEST(ComplexAimdTest, BouncingDiscreteMetricSettles) {
+  // With the rolling average of changes, a steady bounce has deviation ~0,
+  // so the interval grows instead of collapsing.
+  ComplexAimd controller(TestConfig(), 10);
+  controller.OnSample(0.0);
+  for (int i = 0; i < 30; ++i) {
+    controller.OnSample(i % 2 == 0 ? 10.0 : 0.0);
+  }
+  EXPECT_GT(controller.CurrentInterval(), Seconds(5));
+}
+
+TEST(ComplexAimdTest, SuddenChangeAfterStabilityDecreases) {
+  ComplexAimd controller(TestConfig(), 10);
+  controller.OnSample(5.0);
+  for (int i = 0; i < 10; ++i) controller.OnSample(5.0);
+  const TimeNs stable_interval = controller.CurrentInterval();
+  controller.OnSample(500.0);  // deviation >> rolling average
+  EXPECT_LT(controller.CurrentInterval(), stable_interval);
+}
+
+TEST(ComplexAimdTest, StableMetricGrowsLikeSimple) {
+  ComplexAimd controller(TestConfig(), 10);
+  controller.OnSample(1.0);
+  controller.OnSample(1.0);
+  controller.OnSample(1.0);
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(3));
+}
+
+TEST(ComplexAimdTest, WindowAccessor) {
+  ComplexAimd controller(TestConfig(), 10);
+  EXPECT_EQ(controller.window(), 10u);
+  EXPECT_STREQ(controller.Name(), "complex_aimd");
+}
+
+TEST(ComplexAimdTest, ResetClearsRollingWindow) {
+  ComplexAimd controller(TestConfig(), 5);
+  controller.OnSample(0.0);
+  for (int i = 0; i < 10; ++i) controller.OnSample(i * 10.0);
+  controller.Reset();
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(1));
+  // Behaves like fresh: stable values now increase the interval.
+  controller.OnSample(3.0);
+  controller.OnSample(3.0);
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(2));
+}
+
+TEST(MakeControllerTest, Factory) {
+  const AimdConfig config = TestConfig();
+  EXPECT_STREQ(MakeController("fixed", config, Seconds(2))->Name(), "fixed");
+  EXPECT_STREQ(MakeController("simple_aimd", config, 0)->Name(),
+               "simple_aimd");
+  EXPECT_STREQ(MakeController("complex_aimd", config, 0)->Name(),
+               "complex_aimd");
+  EXPECT_EQ(MakeController("bogus", config, 0), nullptr);
+}
+
+// Property sweep: for any decrease factor in (0,1) and any sample pattern,
+// the interval must stay within [min, max].
+class AimdBoundsTest : public testing::TestWithParam<double> {};
+
+TEST_P(AimdBoundsTest, IntervalAlwaysWithinBounds) {
+  AimdConfig config = TestConfig();
+  config.decrease_factor = GetParam();
+  SimpleAimd simple(config);
+  ComplexAimd complex(config, 10);
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0, 100);
+    const TimeNs si = simple.OnSample(v);
+    const TimeNs ci = complex.OnSample(v);
+    EXPECT_GE(si, config.min_interval);
+    EXPECT_LE(si, config.max_interval);
+    EXPECT_GE(ci, config.min_interval);
+    EXPECT_LE(ci, config.max_interval);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DecreaseFactors, AimdBoundsTest,
+                         testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace apollo

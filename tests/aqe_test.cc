@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aqe/executor.h"
+#include "aqe/parser.h"
+#include "pubsub/broker.h"
+
+namespace apollo::aqe {
+namespace {
+
+// --- parser ---
+
+TEST(Parser, SimpleSelect) {
+  auto query = Parse("SELECT metric FROM node_1_capacity");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->selects.size(), 1u);
+  const Select& select = query->selects[0];
+  EXPECT_EQ(select.table, "node_1_capacity");
+  ASSERT_EQ(select.items.size(), 1u);
+  EXPECT_EQ(select.items[0].aggregate, Aggregate::kNone);
+  EXPECT_EQ(select.items[0].column, Column::kMetric);
+}
+
+TEST(Parser, PaperResourceQuery) {
+  auto query = Parse(
+      "SELECT MAX(Timestamp), metric FROM pfs_capacity "
+      "UNION "
+      "SELECT MAX(Timestamp), metric FROM node_1_memory_capacity "
+      "UNION "
+      "SELECT MAX(Timestamp), metric FROM node_2_availability;");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->selects.size(), 3u);
+  EXPECT_EQ(query->selects[0].items[0].aggregate, Aggregate::kMax);
+  EXPECT_EQ(query->selects[0].items[0].column, Column::kTimestamp);
+  EXPECT_EQ(query->selects[2].table, "node_2_availability");
+}
+
+TEST(Parser, KeywordsCaseInsensitive) {
+  auto query = Parse("select max(timestamp), METRIC from T union all "
+                     "Select Min(Metric) From U");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->selects.size(), 2u);
+  EXPECT_EQ(query->selects[1].items[0].aggregate, Aggregate::kMin);
+}
+
+TEST(Parser, TableNamesCaseSensitive) {
+  auto query = Parse("SELECT metric FROM MyTable");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->selects[0].table, "MyTable");
+}
+
+TEST(Parser, WhereConditions) {
+  auto query = Parse(
+      "SELECT metric FROM t WHERE timestamp >= 100 AND timestamp < 200 "
+      "AND predicted = 0");
+  ASSERT_TRUE(query.ok());
+  const Select& select = query->selects[0];
+  ASSERT_EQ(select.where.size(), 3u);
+  EXPECT_EQ(select.where[0].op, CompareOp::kGe);
+  EXPECT_EQ(select.where[0].value, 100.0);
+  EXPECT_EQ(select.where[1].op, CompareOp::kLt);
+  EXPECT_EQ(select.where[2].column, Column::kPredicted);
+}
+
+TEST(Parser, OrderByAndLimit) {
+  auto query = Parse(
+      "SELECT timestamp, metric FROM t ORDER BY metric DESC LIMIT 5");
+  ASSERT_TRUE(query.ok());
+  const Select& select = query->selects[0];
+  ASSERT_TRUE(select.order_by.has_value());
+  EXPECT_EQ(select.order_by->column, Column::kMetric);
+  EXPECT_TRUE(select.order_by->descending);
+  EXPECT_EQ(select.limit.value(), 5u);
+}
+
+TEST(Parser, CountStar) {
+  auto query = Parse("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->selects[0].items[0].aggregate, Aggregate::kCount);
+  EXPECT_EQ(query->selects[0].items[0].column, Column::kStar);
+}
+
+TEST(Parser, AllAggregates) {
+  auto query = Parse(
+      "SELECT MAX(metric), MIN(metric), AVG(metric), SUM(metric), "
+      "COUNT(*), LAST(metric) FROM t");
+  ASSERT_TRUE(query.ok());
+  const auto& items = query->selects[0].items;
+  ASSERT_EQ(items.size(), 6u);
+  EXPECT_EQ(items[0].aggregate, Aggregate::kMax);
+  EXPECT_EQ(items[1].aggregate, Aggregate::kMin);
+  EXPECT_EQ(items[2].aggregate, Aggregate::kAvg);
+  EXPECT_EQ(items[3].aggregate, Aggregate::kSum);
+  EXPECT_EQ(items[4].aggregate, Aggregate::kCount);
+  EXPECT_EQ(items[5].aggregate, Aggregate::kLast);
+}
+
+TEST(Parser, NegativeAndFloatLiterals) {
+  auto query = Parse("SELECT metric FROM t WHERE metric > -2.5");
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->selects[0].where[0].value, -2.5);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELEKT metric FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT metric").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM").ok());
+  EXPECT_FALSE(Parse("SELECT bogus_col FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(metric FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t WHERE metric >").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t garbage").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(*) FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t ORDER metric").ok());
+  EXPECT_FALSE(Parse("SELECT metric FROM t WHERE metric ! 3").ok());
+}
+
+TEST(Parser, ErrorsArriveAsParseError) {
+  auto bad = Parse("SELECT metric FROM t @@");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kParseError);
+}
+
+// --- executor ---
+
+class ExecutorTest : public testing::Test {
+ protected:
+  ExecutorTest() : broker_(RealClock::Instance()), pool_(4) {
+    broker_.CreateTopic("cap");
+    for (int i = 0; i < 10; ++i) {
+      broker_.Publish("cap", kLocalNode, Seconds(i),
+                      Sample{Seconds(i), 100.0 - i,
+                             i % 2 == 0 ? Provenance::kMeasured
+                                        : Provenance::kPredicted});
+    }
+    broker_.CreateTopic("load");
+    for (int i = 0; i < 5; ++i) {
+      broker_.Publish("load", kLocalNode, Seconds(i),
+                      Sample{Seconds(i), i * 1.0, Provenance::kMeasured});
+    }
+  }
+
+  Broker broker_;
+  ThreadPool pool_;
+};
+
+TEST_F(ExecutorTest, LatestValueIdiom) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute("SELECT MAX(Timestamp), metric FROM cap");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->columns,
+            (std::vector<std::string>{"MAX(timestamp)", "metric"}));
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0],
+                   static_cast<double>(Seconds(9)));
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[1], 91.0);
+  EXPECT_EQ(rs->rows[0].source, "cap");
+}
+
+TEST_F(ExecutorTest, UnionCombinesTables) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute(
+      "SELECT MAX(Timestamp), metric FROM cap UNION "
+      "SELECT MAX(Timestamp), metric FROM load");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->rows[0].source, "cap");
+  EXPECT_EQ(rs->rows[1].source, "load");
+  EXPECT_DOUBLE_EQ(rs->rows[1].values[1], 4.0);
+}
+
+TEST_F(ExecutorTest, Aggregates) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute(
+      "SELECT MAX(metric), MIN(metric), AVG(metric), SUM(metric), COUNT(*) "
+      "FROM load");
+  ASSERT_TRUE(rs.ok());
+  const auto& row = rs->rows[0].values;
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);
+  EXPECT_DOUBLE_EQ(row[3], 10.0);
+  EXPECT_DOUBLE_EQ(row[4], 5.0);
+}
+
+TEST_F(ExecutorTest, WhereTimestampRange) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute(
+      "SELECT COUNT(*) FROM cap WHERE timestamp >= 2000000000 AND "
+      "timestamp <= 5000000000");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 4.0);  // t=2,3,4,5
+}
+
+TEST_F(ExecutorTest, WhereProvenanceFilter) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute("SELECT COUNT(*) FROM cap WHERE predicted = 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 5.0);
+}
+
+TEST_F(ExecutorTest, WhereMetricThreshold) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute("SELECT COUNT(*) FROM cap WHERE metric < 95");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 4.0);  // 91,92,93,94
+}
+
+TEST_F(ExecutorTest, RowSelectWithOrderAndLimit) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute(
+      "SELECT timestamp, metric FROM load ORDER BY metric DESC LIMIT 3");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[1], 4.0);
+  EXPECT_DOUBLE_EQ(rs->rows[2].values[1], 2.0);
+}
+
+TEST_F(ExecutorTest, RowSelectAscendingDefault) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute(
+      "SELECT metric FROM load ORDER BY metric LIMIT 2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 0.0);
+  EXPECT_DOUBLE_EQ(rs->rows[1].values[0], 1.0);
+}
+
+TEST_F(ExecutorTest, MissingTableError) {
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute("SELECT metric FROM nope");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, EmptyTableAggregatesNaN) {
+  broker_.CreateTopic("empty");
+  Executor executor(broker_, &pool_);
+  auto rs = executor.Execute("SELECT MAX(metric), COUNT(*) FROM empty");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(std::isnan(rs->rows[0].values[0]));
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[1], 0.0);
+}
+
+TEST_F(ExecutorTest, SequentialWithoutPoolMatchesParallel) {
+  Executor parallel(broker_, &pool_);
+  Executor sequential(broker_, nullptr);
+  const std::string query =
+      "SELECT MAX(Timestamp), metric FROM cap UNION "
+      "SELECT MAX(Timestamp), metric FROM load";
+  auto a = parallel.Execute(query);
+  auto b = sequential.Execute(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumRows(), b->NumRows());
+  for (std::size_t i = 0; i < a->NumRows(); ++i) {
+    EXPECT_EQ(a->rows[i].values, b->rows[i].values);
+  }
+}
+
+TEST_F(ExecutorTest, ArchiveFallbackForHistoricalRange) {
+  // Small in-memory window + archiver: old entries only in the archive.
+  static Archiver<Sample> archiver;
+  broker_.CreateTopic("hist", kLocalNode, /*capacity=*/4, &archiver);
+  for (int i = 0; i < 20; ++i) {
+    broker_.Publish("hist", kLocalNode, Seconds(i),
+                    Sample{Seconds(i), static_cast<double>(i),
+                           Provenance::kMeasured});
+  }
+  Executor executor(broker_, &pool_);
+  // t in [0s, 9s] is entirely evicted from the 4-entry window.
+  auto rs = executor.Execute(
+      "SELECT COUNT(*) FROM hist WHERE timestamp >= 0 AND "
+      "timestamp <= 9000000000");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 10.0);
+}
+
+TEST(ExecutorStandalone, EmptyQueryRejected) {
+  Broker broker(RealClock::Instance());
+  Executor executor(broker, nullptr);
+  Query query;
+  EXPECT_FALSE(executor.ExecuteQuery(query).ok());
+}
+
+TEST(AstNames, Coverage) {
+  EXPECT_STREQ(AggregateName(Aggregate::kMax), "MAX");
+  EXPECT_STREQ(AggregateName(Aggregate::kNone), "");
+  EXPECT_STREQ(ColumnName(Column::kTimestamp), "timestamp");
+  EXPECT_STREQ(ColumnName(Column::kStar), "*");
+}
+
+}  // namespace
+}  // namespace apollo::aqe

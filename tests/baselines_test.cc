@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "baselines/flat_store.h"
+#include "baselines/ldms_like.h"
+#include "common/clock.h"
+
+namespace apollo::baselines {
+namespace {
+
+// --- FlatFileStore ---
+
+TEST(FlatFileStore, AppendAndQueryLatest) {
+  FlatFileStore store;
+  store.Append("t", Seconds(1), 10.0);
+  store.Append("t", Seconds(2), 20.0);
+  store.Append("t", Seconds(3), 30.0);
+  auto latest = store.QueryLatest("t");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->timestamp, Seconds(3));
+  EXPECT_DOUBLE_EQ(latest->value, 30.0);
+}
+
+TEST(FlatFileStore, LatestWithOutOfOrderTimestamps) {
+  FlatFileStore store;
+  store.Append("t", Seconds(5), 50.0);
+  store.Append("t", Seconds(2), 20.0);
+  auto latest = store.QueryLatest("t");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_DOUBLE_EQ(latest->value, 50.0);
+}
+
+TEST(FlatFileStore, QueryRange) {
+  FlatFileStore store;
+  for (int i = 0; i < 10; ++i) store.Append("t", Seconds(i), i);
+  auto range = store.QueryRange("t", Seconds(3), Seconds(6));
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->size(), 4u);
+  EXPECT_DOUBLE_EQ((*range)[0].value, 3.0);
+}
+
+TEST(FlatFileStore, MissingTableErrors) {
+  FlatFileStore store;
+  EXPECT_FALSE(store.QueryLatest("nope").ok());
+  EXPECT_FALSE(store.QueryRange("nope", 0, 1).ok());
+  EXPECT_EQ(store.TableRows("nope"), 0u);
+}
+
+TEST(FlatFileStore, RoundTripPrecision) {
+  FlatFileStore store;
+  const double value = 123456789.123456789;
+  store.Append("t", 987654321012345678LL, value);
+  auto latest = store.QueryLatest("t");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_DOUBLE_EQ(latest->value, value);
+  EXPECT_EQ(latest->timestamp, 987654321012345678LL);
+}
+
+TEST(FlatFileStore, TablesListing) {
+  FlatFileStore store;
+  store.Append("a", 0, 1);
+  store.Append("b", 0, 2);
+  EXPECT_EQ(store.Tables().size(), 2u);
+  EXPECT_EQ(store.TableRows("a"), 1u);
+}
+
+// --- LdmsLikeMonitor ---
+
+TEST(LdmsLike, FixedIntervalSampling) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  LdmsLikeMonitor monitor(loop, Seconds(2));
+  int calls = 0;
+  monitor.AddSampler(MonitorHook{"m",
+                                 [&calls](TimeNs) {
+                                   ++calls;
+                                   return 1.0;
+                                 },
+                                 0});
+  loop.Run(Seconds(10));
+  EXPECT_EQ(calls, 6);  // t = 0,2,4,6,8,10
+  EXPECT_EQ(monitor.TotalSamples(), 6u);
+  EXPECT_EQ(monitor.store().TableRows("m"), 6u);
+}
+
+TEST(LdmsLike, QueryLatestAcrossTables) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  LdmsLikeMonitor monitor(loop, Seconds(1));
+  monitor.AddSampler(MonitorHook{"a", [](TimeNs) { return 1.0; }, 0});
+  monitor.AddSampler(MonitorHook{"b", [](TimeNs) { return 2.0; }, 0});
+  loop.Run(Seconds(3));
+  auto rows = monitor.QueryLatest({"a", "b"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[0].value, 1.0);
+  EXPECT_DOUBLE_EQ((*rows)[1].value, 2.0);
+}
+
+TEST(LdmsLike, QueryMissingTableErrors) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  LdmsLikeMonitor monitor(loop, Seconds(1));
+  EXPECT_FALSE(monitor.QueryLatest({"ghost"}).ok());
+}
+
+TEST(LdmsLike, StopAllHaltsSampling) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  LdmsLikeMonitor monitor(loop, Seconds(1));
+  int calls = 0;
+  monitor.AddSampler(MonitorHook{"m",
+                                 [&calls](TimeNs) {
+                                   ++calls;
+                                   return 1.0;
+                                 },
+                                 0});
+  loop.Run(Seconds(2));
+  const int before = calls;
+  monitor.StopAll();
+  loop.Run(Seconds(10));
+  EXPECT_EQ(calls, before);
+}
+
+TEST(LdmsLike, SamplesAlwaysAppendedNoChangeSuppression) {
+  // Unlike SCoRe, LDMS stores every sample even when unchanged — this is
+  // part of why its store grows and scans slow down.
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  LdmsLikeMonitor monitor(loop, Seconds(1));
+  monitor.AddSampler(MonitorHook{"const", [](TimeNs) { return 5.0; }, 0});
+  loop.Run(Seconds(10));
+  EXPECT_EQ(monitor.store().TableRows("const"), 11u);
+}
+
+}  // namespace
+}  // namespace apollo::baselines

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.h"
+#include "cluster/device.h"
+#include "cluster/node.h"
+#include "cluster/slurm_sim.h"
+#include "cluster/workloads.h"
+
+namespace apollo {
+namespace {
+
+// --- Device ---
+
+TEST(DeviceSpecTest, AresDefaults) {
+  EXPECT_EQ(DeviceSpec::Nvme().capacity_bytes, 250ULL << 30);
+  EXPECT_EQ(DeviceSpec::Ssd().capacity_bytes, 150ULL << 30);
+  EXPECT_EQ(DeviceSpec::Hdd().capacity_bytes, 1ULL << 40);
+  EXPECT_GT(DeviceSpec::Nvme().max_write_bw, DeviceSpec::Ssd().max_write_bw);
+  EXPECT_GT(DeviceSpec::Ssd().max_write_bw, DeviceSpec::Hdd().max_write_bw);
+}
+
+TEST(DeviceSpecTest, TierRanksOrdered) {
+  EXPECT_LT(TierRank(DeviceType::kRam), TierRank(DeviceType::kNvme));
+  EXPECT_LT(TierRank(DeviceType::kNvme), TierRank(DeviceType::kSsd));
+  EXPECT_LT(TierRank(DeviceType::kSsd), TierRank(DeviceType::kHdd));
+}
+
+TEST(DeviceTest, WriteConsumesCapacity) {
+  Device device("d", DeviceSpec::Nvme());
+  const std::uint64_t total = device.CapacityBytes();
+  ASSERT_TRUE(device.Write(1 << 20, 0).ok());
+  EXPECT_EQ(device.UsedBytes(), 1u << 20);
+  EXPECT_EQ(device.RemainingBytes(), total - (1 << 20));
+}
+
+TEST(DeviceTest, WriteBeyondCapacityFails) {
+  DeviceSpec spec = DeviceSpec::Nvme();
+  spec.capacity_bytes = 1000;
+  Device device("tiny", spec);
+  ASSERT_TRUE(device.Write(900, 0).ok());
+  auto result = device.Write(200, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(device.UsedBytes(), 900u);  // failed write changes nothing
+}
+
+TEST(DeviceTest, FreeReleasesCapacity) {
+  Device device("d", DeviceSpec::Ssd());
+  device.Write(5000, 0);
+  ASSERT_TRUE(device.Free(2000).ok());
+  EXPECT_EQ(device.UsedBytes(), 3000u);
+  EXPECT_FALSE(device.Free(999999).ok());
+}
+
+TEST(DeviceTest, ServiceTimeMatchesBandwidth) {
+  Device device("d", DeviceSpec::Hdd());
+  const std::uint64_t bytes = 140'000'000;  // 1 second at max write bw
+  auto result = device.Write(bytes, 0);
+  ASSERT_TRUE(result.ok());
+  const double seconds = ToSeconds(result->end - result->start);
+  EXPECT_NEAR(seconds, 1.0 + device.spec().base_latency_s, 0.05);
+}
+
+TEST(DeviceTest, ConcurrentRequestsQueueUp) {
+  Device device("d", DeviceSpec::Hdd());
+  auto first = device.Write(140'000'000, 0);   // ~1s
+  auto second = device.Write(140'000'000, 0);  // queued behind the first
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->start, first->end);
+  EXPECT_GT(second->end, Seconds(1.9));
+}
+
+TEST(DeviceTest, QueueDepthSeesInFlight) {
+  Device device("d", DeviceSpec::Hdd());
+  device.Write(140'000'000, 0);
+  device.Write(140'000'000, 0);
+  EXPECT_EQ(device.QueueDepth(Millis(500)), 2);  // one active, one queued
+  EXPECT_EQ(device.QueueDepth(Seconds(3)), 0);   // all done
+}
+
+TEST(DeviceTest, RealBandwidthReflectsRecentTransfers) {
+  Device device("d", DeviceSpec::Nvme());
+  device.Write(600'000'000, 0);  // 0.6GB over 0.5s at 1.2GB/s
+  const double bw = device.RealBandwidth(Millis(500), Millis(500));
+  EXPECT_GT(bw, 0.5 * device.MaxBandwidth());
+  EXPECT_LE(bw, 1.3 * device.MaxBandwidth());
+}
+
+TEST(DeviceTest, RealBandwidthZeroWhenIdle) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_EQ(device.RealBandwidth(Seconds(100)), 0.0);
+}
+
+TEST(DeviceTest, BlockCountersAccumulate) {
+  DeviceSpec spec = DeviceSpec::Nvme();
+  spec.block_size = 4096;
+  Device device("d", spec);
+  device.Write(4096 * 3, 0);
+  device.Read(4096, 0);
+  device.Read(1, 0);  // rounds up to one block
+  EXPECT_EQ(device.TotalBlocksWritten(), 3u);
+  EXPECT_EQ(device.TotalBlocksRead(), 2u);
+}
+
+TEST(DeviceTest, HealthDegradesWithBadBlocks) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_DOUBLE_EQ(device.Health(), 1.0);
+  device.InjectBadBlocks(device.TotalBlocks() / 10);
+  EXPECT_NEAR(device.Health(), 0.9, 1e-9);
+}
+
+TEST(DeviceTest, DegradationRate) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_EQ(device.DegradationRate(), 0.0);  // no lifetime I/O yet
+  device.Write(4096 * 100, 0);
+  device.InjectBadBlocks(device.TotalBlocks() / 100);
+  EXPECT_GT(device.DegradationRate(), 0.0);
+}
+
+TEST(DeviceTest, PowerActiveVsIdle) {
+  Device device("d", DeviceSpec::Hdd());
+  EXPECT_DOUBLE_EQ(device.PowerWatts(0), device.spec().watts_idle);
+  device.Write(140'000'000, 0);  // busy ~1s
+  EXPECT_DOUBLE_EQ(device.PowerWatts(Millis(500)),
+                   device.spec().watts_active);
+  EXPECT_DOUBLE_EQ(device.PowerWatts(Seconds(10)),
+                   device.spec().watts_idle);
+}
+
+TEST(DeviceTest, TransfersPerSecCountsCompletions) {
+  Device device("d", DeviceSpec::Ram());
+  for (int i = 0; i < 5; ++i) device.Write(1024, Millis(i * 10));
+  EXPECT_DOUBLE_EQ(device.TransfersPerSec(Seconds(1)), 5.0);
+}
+
+// --- Node ---
+
+TEST(NodeTest, AddAndFindDevice) {
+  Node node(0, "n0", NodeSpec::AresCompute());
+  node.AddDevice("nvme", DeviceSpec::Nvme());
+  auto found = node.FindDevice("nvme");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name(), "n0.nvme");
+  EXPECT_FALSE(node.FindDevice("ssd").ok());
+}
+
+TEST(NodeTest, CpuLoadAndMemory) {
+  Node node(1, "n1", NodeSpec::AresCompute());
+  EXPECT_EQ(node.CpuLoad(), 0.0);
+  node.SetCpuLoad(0.7);
+  EXPECT_DOUBLE_EQ(node.CpuLoad(), 0.7);
+  node.SetMemUsed(1 << 30);
+  EXPECT_EQ(node.MemUsedBytes(), 1ull << 30);
+  EXPECT_EQ(node.MemTotalBytes(), 96ull << 30);
+}
+
+TEST(NodeTest, PowerScalesWithLoad) {
+  Node node(1, "n1", NodeSpec::AresCompute());
+  const double idle = node.PowerWatts(0);
+  node.SetCpuLoad(1.0);
+  const double busy = node.PowerWatts(0);
+  EXPECT_GT(busy, idle);
+  EXPECT_NEAR(busy - idle,
+              node.spec().cpu_max_watts - node.spec().cpu_idle_watts, 1e-9);
+}
+
+TEST(NodeTest, OnlineFlag) {
+  Node node(2, "n2", NodeSpec::AresStorage());
+  EXPECT_TRUE(node.Online());
+  node.SetOnline(false);
+  EXPECT_FALSE(node.Online());
+}
+
+// --- Cluster ---
+
+TEST(ClusterTest, AresLikeLayout) {
+  ClusterConfig config;
+  config.compute_nodes = 3;
+  config.storage_nodes = 2;
+  auto cluster = Cluster::MakeAresLike(config);
+  EXPECT_EQ(cluster->NumNodes(), 5u);
+  EXPECT_EQ(cluster->ComputeNodes().size(), 3u);
+  EXPECT_EQ(cluster->StorageNodes().size(), 2u);
+  EXPECT_EQ(cluster->DevicesOfType(DeviceType::kNvme).size(), 3u);
+  EXPECT_EQ(cluster->DevicesOfType(DeviceType::kSsd).size(), 2u);
+  EXPECT_EQ(cluster->DevicesOfType(DeviceType::kHdd).size(), 2u);
+  EXPECT_EQ(cluster->DevicesOfType(DeviceType::kRam).size(), 3u);
+}
+
+TEST(ClusterTest, FindNodeByNameAndId) {
+  auto cluster = Cluster::MakeAresLike({});
+  ASSERT_TRUE(cluster->FindNode("compute0").ok());
+  ASSERT_TRUE(cluster->FindNode(0).ok());
+  EXPECT_FALSE(cluster->FindNode("nope").ok());
+  EXPECT_FALSE(cluster->FindNode(999).ok());
+  EXPECT_FALSE(cluster->FindNode(-5).ok());
+}
+
+TEST(ClusterTest, FindDeviceQualified) {
+  auto cluster = Cluster::MakeAresLike({});
+  auto device = cluster->FindDevice("compute1.nvme");
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ((*device)->spec().type, DeviceType::kNvme);
+  EXPECT_FALSE(cluster->FindDevice("no_dot").ok());
+  EXPECT_FALSE(cluster->FindDevice("compute1.floppy").ok());
+}
+
+TEST(ClusterTest, OnlineNodesTracksFailures) {
+  auto cluster = Cluster::MakeAresLike({});
+  EXPECT_EQ(cluster->OnlineNodes().size(), cluster->NumNodes());
+  (*cluster->FindNode(2))->SetOnline(false);
+  auto online = cluster->OnlineNodes();
+  EXPECT_EQ(online.size(), cluster->NumNodes() - 1);
+  for (NodeId id : online) EXPECT_NE(id, 2);
+}
+
+TEST(ClusterTest, PingTimesSymmetricAndPositive) {
+  auto cluster = Cluster::MakeAresLike({});
+  const TimeNs ab = cluster->PingTime(0, 1);
+  const TimeNs ba = cluster->PingTime(1, 0);
+  EXPECT_EQ(ab, ba);
+  EXPECT_GT(ab, 0);
+  EXPECT_EQ(cluster->PingTime(3, 3), 0);
+}
+
+TEST(ClusterTest, PingTimesDifferAcrossPairs) {
+  auto cluster = Cluster::MakeAresLike({});
+  // Jitter gives distinct stable per-pair latencies.
+  EXPECT_NE(cluster->PingTime(0, 1), cluster->PingTime(0, 2));
+  EXPECT_EQ(cluster->PingTime(0, 1), cluster->PingTime(0, 1));
+}
+
+// --- HACC capacity traces ---
+
+TEST(HaccTrace, RegularStepsEveryFiveSeconds) {
+  HaccTraceConfig config;
+  config.duration = Seconds(60);
+  const CapacityTrace trace = MakeHaccCapacityTrace(config);
+  // 12 writes + initial point.
+  EXPECT_EQ(trace.NumPoints(), 13u);
+  EXPECT_DOUBLE_EQ(trace.ValueAt(0), config.initial_capacity);
+  EXPECT_DOUBLE_EQ(trace.ValueAt(Seconds(5)),
+                   config.initial_capacity - 38000);
+  EXPECT_DOUBLE_EQ(trace.ValueAt(Seconds(7)),
+                   config.initial_capacity - 38000);
+  EXPECT_DOUBLE_EQ(trace.ValueAt(Seconds(60)),
+                   config.initial_capacity - 12 * 38000);
+}
+
+TEST(HaccTrace, IrregularRespectsBounds) {
+  HaccTraceConfig config;
+  config.irregular = true;
+  config.duration = Seconds(1800);
+  const CapacityTrace trace = MakeHaccCapacityTrace(config);
+  ASSERT_GT(trace.NumPoints(), 2u);
+  TimeNs prev_t = trace.points()[0].first;
+  double prev_v = trace.points()[0].second;
+  for (std::size_t i = 1; i < trace.NumPoints(); ++i) {
+    const auto [t, v] = trace.points()[i];
+    const TimeNs gap = t - prev_t;
+    EXPECT_GE(gap, config.min_period);
+    EXPECT_LE(gap, config.max_period);
+    const double written = prev_v - v;
+    EXPECT_GE(written, static_cast<double>(config.min_bytes));
+    EXPECT_LE(written, static_cast<double>(config.max_bytes));
+    prev_t = t;
+    prev_v = v;
+  }
+}
+
+TEST(HaccTrace, DeterministicForSeed) {
+  HaccTraceConfig config;
+  config.irregular = true;
+  const auto a = MakeHaccCapacityTrace(config);
+  const auto b = MakeHaccCapacityTrace(config);
+  EXPECT_EQ(a.points(), b.points());
+}
+
+TEST(HaccTrace, SampleEveryUniform) {
+  HaccTraceConfig config;
+  config.duration = Seconds(30);
+  const CapacityTrace trace = MakeHaccCapacityTrace(config);
+  const Series samples = trace.SampleEvery(Seconds(1), Seconds(30));
+  EXPECT_EQ(samples.size(), 31u);
+  EXPECT_DOUBLE_EQ(samples[0], config.initial_capacity);
+  EXPECT_DOUBLE_EQ(samples[30], trace.ValueAt(Seconds(30)));
+}
+
+TEST(CapacityTraceTest, EmptyTraceSafe) {
+  CapacityTrace trace;
+  EXPECT_EQ(trace.ValueAt(Seconds(5)), 0.0);
+  EXPECT_EQ(trace.Duration(), 0);
+}
+
+// --- SAR metric traces ---
+
+class SarTraceTest : public testing::TestWithParam<SarMetric> {};
+
+TEST_P(SarTraceTest, ProducesFiniteNonNegativeSeries) {
+  SarTraceConfig config;
+  config.length = 500;
+  const Series s = MakeSarMetricTrace(GetParam(), config);
+  ASSERT_EQ(s.size(), 500u);
+  bool any_positive = false;
+  for (double x : s) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.0);
+    if (x > 0.0) any_positive = true;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST_P(SarTraceTest, DeterministicForSeed) {
+  SarTraceConfig config;
+  config.length = 100;
+  EXPECT_EQ(MakeSarMetricTrace(GetParam(), config),
+            MakeSarMetricTrace(GetParam(), config));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, SarTraceTest, testing::ValuesIn(AllSarMetrics()),
+    [](const testing::TestParamInfo<SarMetric>& info) {
+      switch (info.param) {
+        case SarMetric::kTps:
+          return std::string("tps");
+        case SarMetric::kReadKbPerSec:
+          return std::string("rkb");
+        case SarMetric::kWriteKbPerSec:
+          return std::string("wkb");
+        case SarMetric::kAvgQueueSize:
+          return std::string("aqu");
+        case SarMetric::kAwaitMs:
+          return std::string("await");
+        case SarMetric::kUtilPercent:
+          return std::string("util");
+      }
+      return std::string("x");
+    });
+
+TEST(SarTrace, UtilPercentBounded) {
+  SarTraceConfig config;
+  config.length = 300;
+  const Series s = MakeSarMetricTrace(SarMetric::kUtilPercent, config);
+  for (double x : s) EXPECT_LE(x, 100.0);
+}
+
+// --- IOR-like driver ---
+
+TEST(IorLike, DoesIoForDuration) {
+  Device device("d", DeviceSpec::Ram());
+  RealClock& clock = RealClock::Instance();
+  const IorStats stats = RunIorLike(device, clock, Millis(20), 1 << 16);
+  EXPECT_GT(stats.ops, 0u);
+  EXPECT_EQ(stats.bytes, stats.ops * (1 << 16));
+}
+
+// --- Slurm ---
+
+TEST(SlurmSimTest, SubmitQueryComplete) {
+  SlurmSim slurm;
+  const JobId id = slurm.Submit("vpic", {0, 1, 2}, 40, Seconds(1));
+  auto info = slurm.Query(id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kRunning);
+  EXPECT_EQ(info->TotalProcs(), 120);
+  EXPECT_EQ(slurm.RunningJobs().size(), 1u);
+
+  ASSERT_TRUE(slurm.Complete(id, Seconds(10)).ok());
+  info = slurm.Query(id);
+  EXPECT_EQ(info->state, JobState::kCompleted);
+  EXPECT_EQ(info->end_time, Seconds(10));
+  EXPECT_TRUE(slurm.RunningJobs().empty());
+}
+
+TEST(SlurmSimTest, CompleteTwiceFails) {
+  SlurmSim slurm;
+  const JobId id = slurm.Submit("j", {0}, 1, 0);
+  ASSERT_TRUE(slurm.Complete(id, 1).ok());
+  EXPECT_FALSE(slurm.Complete(id, 2).ok());
+}
+
+TEST(SlurmSimTest, FailedJobState) {
+  SlurmSim slurm;
+  const JobId id = slurm.Submit("j", {0}, 1, 0);
+  slurm.Complete(id, 1, /*failed=*/true);
+  EXPECT_EQ(slurm.Query(id)->state, JobState::kFailed);
+}
+
+TEST(SlurmSimTest, RecordIoAccumulates) {
+  SlurmSim slurm;
+  const JobId id = slurm.Submit("j", {0}, 1, 0);
+  slurm.RecordIo(id, 100, 200);
+  slurm.RecordIo(id, 1, 2);
+  auto info = slurm.Query(id);
+  EXPECT_EQ(info->bytes_read, 101u);
+  EXPECT_EQ(info->bytes_written, 202u);
+  EXPECT_FALSE(slurm.RecordIo(999, 1, 1).ok());
+}
+
+TEST(SlurmSimTest, BusyNodesDeduplicatedSorted) {
+  SlurmSim slurm;
+  slurm.Submit("a", {3, 1}, 1, 0);
+  slurm.Submit("b", {1, 2}, 1, 0);
+  EXPECT_EQ(slurm.BusyNodes(), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(SlurmSimTest, QueryUnknownJobFails) {
+  SlurmSim slurm;
+  EXPECT_FALSE(slurm.Query(42).ok());
+}
+
+TEST(JobStateNames, Coverage) {
+  EXPECT_STREQ(JobStateName(JobState::kPending), "PENDING");
+  EXPECT_STREQ(JobStateName(JobState::kRunning), "RUNNING");
+  EXPECT_STREQ(JobStateName(JobState::kCompleted), "COMPLETED");
+  EXPECT_STREQ(JobStateName(JobState::kFailed), "FAILED");
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+#include "common/logging.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "common/proc_stats.h"
+#include "common/rng.h"
+
+namespace apollo {
+namespace {
+
+// --- clock units ---
+
+TEST(TimeUnits, SecondsToNs) {
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_EQ(Seconds(0.5), 500'000'000);
+  EXPECT_EQ(Millis(1), 1'000'000);
+}
+
+TEST(TimeUnits, RoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3.25)), 3.25);
+}
+
+TEST(RealClock, Monotonic) {
+  RealClock& clock = RealClock::Instance();
+  const TimeNs a = clock.Now();
+  const TimeNs b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealClock, SleepForAdvances) {
+  RealClock& clock = RealClock::Instance();
+  const TimeNs before = clock.Now();
+  clock.SleepFor(Millis(5));
+  EXPECT_GE(clock.Now() - before, Millis(4));
+}
+
+TEST(RealClock, SleepUntilPastDeadlineReturnsImmediately) {
+  RealClock& clock = RealClock::Instance();
+  const TimeNs before = clock.Now();
+  clock.SleepUntil(before - Seconds(1));
+  EXPECT_LT(clock.Now() - before, Millis(50));
+}
+
+// --- SimClock ---
+
+TEST(SimClock, StartsAtConfiguredTime) {
+  SimClock clock(Seconds(5));
+  EXPECT_EQ(clock.Now(), Seconds(5));
+}
+
+TEST(SimClock, AdvanceToMovesForwardOnly) {
+  SimClock clock;
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceTo(50);  // no-op
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(SimClock, AdvanceBy) {
+  SimClock clock(10);
+  clock.AdvanceBy(15);
+  EXPECT_EQ(clock.Now(), 25);
+}
+
+TEST(SimClock, SleeperWakesWhenTimeAdvances) {
+  SimClock clock;
+  std::thread sleeper([&] { clock.SleepUntil(1000); });
+  while (clock.SleeperCount() == 0) std::this_thread::yield();
+  EXPECT_EQ(clock.NextDeadline(), 1000);
+  clock.AdvanceTo(1000);
+  sleeper.join();
+  EXPECT_EQ(clock.SleeperCount(), 0);
+}
+
+TEST(SimClock, SleepUntilPastDeadlineDoesNotBlock) {
+  SimClock clock(500);
+  clock.SleepUntil(100);  // returns immediately
+  EXPECT_EQ(clock.Now(), 500);
+}
+
+TEST(SimClock, MultipleSleepersWakeInAnyOrder) {
+  SimClock clock;
+  std::vector<std::thread> sleepers;
+  for (int i = 1; i <= 4; ++i) {
+    sleepers.emplace_back([&clock, i] { clock.SleepUntil(i * 100); });
+  }
+  while (clock.SleeperCount() < 4) std::this_thread::yield();
+  EXPECT_EQ(clock.NextDeadline(), 100);
+  clock.AdvanceTo(400);
+  for (auto& t : sleepers) t.join();
+}
+
+TEST(SimClock, NextDeadlineEmptyIsMinusOne) {
+  SimClock clock;
+  EXPECT_EQ(clock.NextDeadline(), -1);
+}
+
+// --- RNG ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.UniformInt(2, 4);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 4);
+    if (x == 2) saw_lo = true;
+    if (x == 4) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParams) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(SplitMix64Test, KnownSequenceDeterministic) {
+  SplitMix64 a(0), b(0);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), 0u);
+}
+
+// --- Expected / Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(ErrorCode::kNotFound, "missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e(ErrorCode::kInternal, "boom");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().code(), ErrorCode::kInternal);
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_FALSE(e.status().ok());
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(ErrorCodeNames, SpotChecks) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnavailable), "UNAVAILABLE");
+}
+
+// --- proc stats ---
+
+TEST(ProcStats, SampleSelfPopulates) {
+  const ProcSample sample = SampleSelf();
+  EXPECT_GT(sample.rss_bytes, 0u);
+  EXPECT_GE(sample.cpu_seconds, 0.0);
+  EXPECT_GT(sample.wall_seconds, 0.0);
+}
+
+TEST(ProcStats, CpuBurnIsMeasured) {
+  const ProcSample before = SampleSelf();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 20'000'000; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  const ProcSample after = SampleSelf();
+  EXPECT_GE(after.cpu_seconds, before.cpu_seconds);
+  EXPECT_GE(CpuUtilBetween(before, after), 0.0);
+}
+
+}  // namespace
+}  // namespace apollo
+
+namespace apollo {
+namespace {
+
+TEST(Logging, LevelFiltering) {
+  using logging::Level;
+  const Level saved = logging::MinLevel();
+  logging::SetMinLevel(Level::kError);
+  EXPECT_EQ(logging::MinLevel(), Level::kError);
+  // Suppressed levels do not crash and stream operators are no-ops.
+  APOLLO_LOG(DEBUG) << "hidden " << 42;
+  APOLLO_LOG(INFO) << "hidden " << 3.14;
+  APOLLO_LOG(WARN) << "hidden";
+  logging::SetMinLevel(saved);
+}
+
+TEST(Logging, LevelNames) {
+  using logging::Level;
+  EXPECT_STREQ(logging::LevelName(Level::kDebug), "DEBUG");
+  EXPECT_STREQ(logging::LevelName(Level::kInfo), "INFO");
+  EXPECT_STREQ(logging::LevelName(Level::kWarn), "WARN");
+  EXPECT_STREQ(logging::LevelName(Level::kError), "ERROR");
+  EXPECT_STREQ(logging::LevelName(Level::kOff), "OFF");
+}
+
+TEST(Logging, OffLevelSuppressesEverything) {
+  using logging::Level;
+  const Level saved = logging::MinLevel();
+  logging::SetMinLevel(Level::kOff);
+  APOLLO_LOG(ERROR) << "must not emit";
+  logging::SetMinLevel(saved);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delphi/delphi_model.h"
+#include "delphi/feature_models.h"
+#include "delphi/lstm_baseline.h"
+#include "delphi/predictor.h"
+#include "timeseries/stats.h"
+
+namespace apollo::delphi {
+namespace {
+
+// Shared trained model (training is deterministic but takes a moment).
+DelphiModel& SharedModel() {
+  static DelphiModel model = [] {
+    DelphiConfig config;
+    config.feature_config.train_length = 1024;
+    config.feature_config.epochs = 30;
+    config.combiner_epochs = 40;
+    config.composite_length = 1024;
+    return DelphiModel::Train(config);
+  }();
+  return model;
+}
+
+TEST(FeatureModels, TrainsOnePerFeature) {
+  FeatureModelConfig config;
+  config.train_length = 512;
+  config.epochs = 10;
+  auto models = TrainFeatureModels(config);
+  ASSERT_EQ(models.size(), static_cast<std::size_t>(kNumTsFeatures));
+  for (auto& fm : models) {
+    EXPECT_EQ(fm.model.ParamCount(), config.window + 1);
+    EXPECT_EQ(fm.model.TrainableParamCount(), 0u);  // frozen
+    EXPECT_TRUE(std::isfinite(fm.train_loss));
+  }
+}
+
+TEST(FeatureModels, SeasonalModelPredictsItsFeature) {
+  FeatureModelConfig config;
+  config.train_length = 2048;
+  config.epochs = 60;
+  FeatureModel fm = TrainOneFeatureModel(TsFeature::kSeasonal, config);
+
+  GeneratorConfig gen;
+  gen.length = 512;
+  gen.seed = 31337;  // unseen data
+  const Series test = GenerateFeature(TsFeature::kSeasonal, gen);
+  const WindowedDataset ds = MakeWindows(test, config.window);
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    pred.push_back(fm.model.PredictScalar(ds.inputs[i]));
+    truth.push_back(ds.targets[i]);
+  }
+  EXPECT_LT(MeanAbsoluteError(truth, pred), 0.08);
+}
+
+TEST(FeatureModels, TrendModelTracksUnseenTrend) {
+  FeatureModelConfig config;
+  config.train_length = 2048;
+  config.epochs = 60;
+  FeatureModel fm = TrainOneFeatureModel(TsFeature::kTrend, config);
+
+  GeneratorConfig gen;
+  gen.length = 512;
+  gen.seed = 404;
+  const Series test = GenerateFeature(TsFeature::kTrend, gen);
+  const WindowedDataset ds = MakeWindows(test, config.window);
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    pred.push_back(fm.model.PredictScalar(ds.inputs[i]));
+    truth.push_back(ds.targets[i]);
+  }
+  EXPECT_LT(MeanAbsoluteError(truth, pred), 0.05);
+}
+
+TEST(DelphiModelTest, ArchitectureCounts) {
+  DelphiModel& model = SharedModel();
+  EXPECT_EQ(model.Window(), kDelphiWindow);
+  EXPECT_EQ(model.NumFeatureModels(),
+            static_cast<std::size_t>(kNumTsFeatures));
+  // 8 frozen Dense(5->1) models = 48 params; trainable combiner
+  // Dense(13->1) = 14 params (the paper's "14 trainable").
+  EXPECT_EQ(model.TrainableParamCount(), 14u);
+  EXPECT_EQ(model.ParamCount(), 48u + 14u);
+}
+
+TEST(DelphiModelTest, TrainingIsFast) {
+  // The paper: ~15 minutes for Delphi vs hours for LSTM. At our synthetic
+  // scale it must be seconds.
+  EXPECT_LT(SharedModel().train_seconds(), 60.0);
+}
+
+TEST(DelphiModelTest, PredictsCompositeHeldOut) {
+  DelphiModel& model = SharedModel();
+  GeneratorConfig gen;
+  gen.length = 512;
+  gen.seed = 777;  // not the training seed
+  const Series test = GenerateCompositeAll(gen);
+  const WindowedDataset ds = MakeWindows(test, model.Window());
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    pred.push_back(model.Predict(ds.inputs[i]));
+    truth.push_back(ds.targets[i]);
+  }
+  // Naive last-value predictor as the bar to clear.
+  std::vector<double> naive;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    naive.push_back(ds.inputs[i].back());
+  }
+  // On a noisy composite the last-value predictor is a strong baseline;
+  // Delphi must land in the same accuracy class (within 50%).
+  EXPECT_LE(RootMeanSquaredError(truth, pred),
+            RootMeanSquaredError(truth, naive) * 1.5);
+  EXPECT_LT(MeanAbsoluteError(truth, pred), 0.1);
+}
+
+class DelphiPerFeatureTest : public testing::TestWithParam<TsFeature> {};
+
+TEST_P(DelphiPerFeatureTest, GeneralizesToSingleFeatureData) {
+  // Figure 3(c): Delphi, trained only on synthetic composites, predicts
+  // each individual feature it was never directly fit to.
+  DelphiModel& model = SharedModel();
+  GeneratorConfig gen;
+  gen.length = 400;
+  gen.seed = 9090 + static_cast<std::uint64_t>(GetParam());
+  const Series test = GenerateFeature(GetParam(), gen);
+  const WindowedDataset ds = MakeWindows(test, model.Window());
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < ds.Size(); ++i) {
+    pred.push_back(model.Predict(ds.inputs[i]));
+    truth.push_back(ds.targets[i]);
+  }
+  EXPECT_LT(MeanAbsoluteError(truth, pred), 0.2)
+      << "feature: " << TsFeatureName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeatures, DelphiPerFeatureTest,
+                         testing::ValuesIn(AllTsFeatures()),
+                         [](const testing::TestParamInfo<TsFeature>& info) {
+                           return TsFeatureName(info.param);
+                         });
+
+TEST(DelphiModelTest, CloneIsIndependentAndEquivalent) {
+  DelphiModel& model = SharedModel();
+  DelphiModel clone = model.Clone();
+  const std::vector<double> window = {0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(model.Predict(window), clone.Predict(window));
+  EXPECT_EQ(clone.TrainableParamCount(), model.TrainableParamCount());
+}
+
+TEST(DelphiModelTest, FeaturePredictionAccessor) {
+  DelphiModel& model = SharedModel();
+  const std::vector<double> window = {0.5, 0.5, 0.5, 0.5, 0.5};
+  for (std::size_t i = 0; i < model.NumFeatureModels(); ++i) {
+    EXPECT_TRUE(std::isfinite(model.FeaturePrediction(i, window)));
+  }
+}
+
+// --- StreamingPredictor ---
+
+TEST(StreamingPredictor, NotReadyUntilWindowFull) {
+  StreamingPredictor predictor(SharedModel());
+  for (int i = 0; i < 4; ++i) {
+    predictor.Observe(static_cast<double>(i));
+    EXPECT_FALSE(predictor.Ready());
+    EXPECT_FALSE(predictor.PredictNext().has_value());
+  }
+  predictor.Observe(4.0);
+  EXPECT_TRUE(predictor.Ready());
+  EXPECT_TRUE(predictor.PredictNext().has_value());
+}
+
+TEST(StreamingPredictor, PredictsInNativeUnits) {
+  StreamingPredictor predictor(SharedModel());
+  // Feed a linear ramp in "gigabytes".
+  for (int i = 0; i < 20; ++i) {
+    predictor.Observe(100e9 - i * 1e9);
+  }
+  auto pred = predictor.PredictNext();
+  ASSERT_TRUE(pred.has_value());
+  // Next value continues the ramp (~80e9), tolerance 5 GB.
+  EXPECT_NEAR(*pred, 80e9, 5e9);
+}
+
+TEST(StreamingPredictor, ConstantSeriesPredictsNearConstant) {
+  StreamingPredictor predictor(SharedModel());
+  for (int i = 0; i < 10; ++i) predictor.Observe(42.0);
+  auto pred = predictor.PredictNext();
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(*pred, 42.0, 1.0);
+}
+
+TEST(StreamingPredictor, ChainedMultiStepForecastStaysFinite) {
+  StreamingPredictor predictor(SharedModel());
+  for (int i = 0; i < 10; ++i) predictor.Observe(0.5 + 0.01 * i);
+  for (int step = 0; step < 50; ++step) {
+    auto pred = predictor.PredictNext();
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_TRUE(std::isfinite(*pred));
+    predictor.ObservePredicted(*pred);
+  }
+}
+
+TEST(StreamingPredictor, ResetClearsState) {
+  StreamingPredictor predictor(SharedModel());
+  for (int i = 0; i < 10; ++i) predictor.Observe(1.0);
+  predictor.Reset();
+  EXPECT_FALSE(predictor.Ready());
+  EXPECT_EQ(predictor.ObservationCount(), 0u);
+}
+
+// --- LSTM baseline ---
+
+TEST(LstmBaselineTest, ParamCountInPaperRegime) {
+  LstmBaselineConfig config;
+  nn::Sequential model = MakeLstmRegressor(config);
+  // LSTM(1->128) + Dense(128->1): 66,560 + 129 = 66,689 — the same
+  // order as the paper's 71,851.
+  EXPECT_GT(model.ParamCount(), 60000u);
+  EXPECT_LT(model.ParamCount(), 80000u);
+  EXPECT_EQ(model.TrainableParamCount(), model.ParamCount());
+}
+
+TEST(LstmBaselineTest, TrainsOnSmoothSeries) {
+  LstmBaselineConfig config;
+  config.hidden = 16;  // small for test speed
+  config.epochs = 24;
+  Series series;
+  for (int i = 0; i < 600; ++i) {
+    series.push_back(0.5 + 0.4 * std::sin(i * 0.2));
+  }
+  LstmBaseline baseline = TrainLstmBaseline(series, config);
+  EXPECT_TRUE(std::isfinite(baseline.train_loss));
+  EXPECT_LT(baseline.train_loss, 0.05);
+  EXPECT_GT(baseline.train_seconds, 0.0);
+
+  // Predicts held-out continuation decently.
+  std::vector<double> pred, truth;
+  for (int i = 600; i < 700; ++i) {
+    std::vector<double> window;
+    for (int j = static_cast<int>(config.window); j > 0; --j) {
+      window.push_back(0.5 + 0.4 * std::sin((i - j) * 0.2));
+    }
+    pred.push_back(baseline.model.PredictScalar(window));
+    truth.push_back(0.5 + 0.4 * std::sin(i * 0.2));
+  }
+  EXPECT_LT(MeanAbsoluteError(truth, pred), 0.1);
+}
+
+TEST(DelphiVsLstm, DelphiOrdersOfMagnitudeFewerParams) {
+  LstmBaselineConfig lstm_config;
+  nn::Sequential lstm = MakeLstmRegressor(lstm_config);
+  EXPECT_GT(lstm.ParamCount() / SharedModel().ParamCount(), 500u);
+}
+
+}  // namespace
+}  // namespace apollo::delphi

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaptive/entropy_controller.h"
+#include "common/rng.h"
+#include "timeseries/generators.h"
+
+namespace apollo {
+namespace {
+
+// --- PermutationEntropy ---
+
+TEST(PermutationEntropy, TooFewValuesZero) {
+  EXPECT_DOUBLE_EQ(PermutationEntropy({1.0, 2.0}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(PermutationEntropy({}, 3), 0.0);
+}
+
+TEST(PermutationEntropy, MonotoneSeriesIsZero) {
+  std::vector<double> rising;
+  for (int i = 0; i < 50; ++i) rising.push_back(i);
+  EXPECT_NEAR(PermutationEntropy(rising, 3), 0.0, 1e-12);
+
+  std::vector<double> falling(rising.rbegin(), rising.rend());
+  EXPECT_NEAR(PermutationEntropy(falling, 3), 0.0, 1e-12);
+}
+
+TEST(PermutationEntropy, ConstantSeriesIsZero) {
+  std::vector<double> flat(40, 5.0);
+  EXPECT_NEAR(PermutationEntropy(flat, 3), 0.0, 1e-12);
+}
+
+TEST(PermutationEntropy, WhiteNoiseNearOne) {
+  Rng rng(5);
+  std::vector<double> noise;
+  for (int i = 0; i < 5000; ++i) noise.push_back(rng.NextDouble());
+  EXPECT_GT(PermutationEntropy(noise, 3), 0.95);
+}
+
+TEST(PermutationEntropy, PeriodicBetweenExtremes) {
+  std::vector<double> wave;
+  for (int i = 0; i < 200; ++i) wave.push_back(std::sin(i * 0.7));
+  const double h = PermutationEntropy(wave, 3);
+  EXPECT_GT(h, 0.1);
+  EXPECT_LT(h, 0.9);
+}
+
+TEST(PermutationEntropy, NormalizedWithinUnitInterval) {
+  Rng rng(9);
+  for (int m : {2, 3, 4}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<double> series;
+      for (int i = 0; i < 100; ++i) series.push_back(rng.Gaussian());
+      const double h = PermutationEntropy(series, m);
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PermutationEntropy, EmbeddingDimensionClamped) {
+  std::vector<double> values = {3, 1, 2, 5, 4, 6};
+  EXPECT_GE(PermutationEntropy(values, 1), 0.0);  // clamps m to 2
+}
+
+// --- EntropyAimd controller ---
+
+EntropyAimdConfig TestConfig() {
+  EntropyAimdConfig config;
+  config.initial_interval = Seconds(1);
+  config.min_interval = Seconds(1);
+  config.max_interval = Seconds(30);
+  config.window = 16;
+  config.embedding = 3;
+  return config;
+}
+
+TEST(EntropyAimd, RelaxesOnPredictableSeries) {
+  EntropyAimd controller(TestConfig());
+  for (int i = 0; i < 30; ++i) controller.OnSample(100.0 - i);
+  EXPECT_GT(controller.CurrentInterval(), Seconds(10));
+  EXPECT_LT(controller.CurrentEntropy(), 0.1);
+}
+
+TEST(EntropyAimd, TightensOnNoisySeries) {
+  EntropyAimd controller(TestConfig());
+  // First relax on a ramp...
+  for (int i = 0; i < 30; ++i) controller.OnSample(100.0 - i);
+  const TimeNs relaxed = controller.CurrentInterval();
+  // ...then hit it with noise.
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) controller.OnSample(rng.Uniform(0, 100));
+  EXPECT_LT(controller.CurrentInterval(), relaxed);
+  EXPECT_GT(controller.CurrentEntropy(), 0.5);
+}
+
+TEST(EntropyAimd, BoundsRespected) {
+  EntropyAimdConfig config = TestConfig();
+  config.max_interval = Seconds(4);
+  EntropyAimd controller(config);
+  for (int i = 0; i < 100; ++i) controller.OnSample(i);
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(4));
+
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) controller.OnSample(rng.NextDouble());
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(1));
+}
+
+TEST(EntropyAimd, ResetRestoresState) {
+  EntropyAimd controller(TestConfig());
+  for (int i = 0; i < 30; ++i) controller.OnSample(i);
+  controller.Reset();
+  EXPECT_EQ(controller.CurrentInterval(), Seconds(1));
+  EXPECT_DOUBLE_EQ(controller.CurrentEntropy(), 0.0);
+}
+
+TEST(EntropyAimd, NameAndFactory) {
+  EntropyAimd controller(TestConfig());
+  EXPECT_STREQ(controller.Name(), "entropy_aimd");
+  AimdConfig aimd;
+  auto made = MakeController("entropy_aimd", aimd, 0);
+  ASSERT_NE(made, nullptr);
+  EXPECT_STREQ(made->Name(), "entropy_aimd");
+}
+
+// The headline property: on the discrete bouncing metric that defeats
+// simple AIMD, entropy (like complex AIMD) recognizes the regularity.
+TEST(EntropyAimd, BouncingDiscreteMetricRelaxes) {
+  EntropyAimd controller(TestConfig());
+  for (int i = 0; i < 40; ++i) {
+    controller.OnSample(i % 2 == 0 ? 10.0 : 0.0);
+  }
+  EXPECT_GT(controller.CurrentInterval(), Seconds(5));
+}
+
+class EntropyFeatureSweep : public testing::TestWithParam<TsFeature> {};
+
+TEST_P(EntropyFeatureSweep, EntropyFiniteAndBoundedOnAllFeatures) {
+  GeneratorConfig config;
+  config.length = 256;
+  const Series series = GenerateFeature(GetParam(), config);
+  EntropyAimd controller(TestConfig());
+  for (double v : series) {
+    const TimeNs interval = controller.OnSample(v);
+    EXPECT_GE(interval, Seconds(1));
+    EXPECT_LE(interval, Seconds(30));
+    EXPECT_GE(controller.CurrentEntropy(), 0.0);
+    EXPECT_LE(controller.CurrentEntropy(), 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeatures, EntropyFeatureSweep,
+                         testing::ValuesIn(AllTsFeatures()),
+                         [](const testing::TestParamInfo<TsFeature>& info) {
+                           return TsFeatureName(info.param);
+                         });
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "eventloop/event_loop.h"
+
+namespace apollo {
+namespace {
+
+TEST(EventLoopSim, SingleShotTimerFires) {
+  SimClock clock;
+  EventLoop loop(clock, /*auto_advance=*/true, &clock);
+  int fired = 0;
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    ++fired;
+    return kStopTimer;
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.Now(), Seconds(1));
+  EXPECT_EQ(loop.TimerCount(), 0u);
+}
+
+TEST(EventLoopSim, RepeatingTimerFiresUntilEndTime) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int fired = 0;
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    ++fired;
+    return Seconds(1);
+  });
+  loop.Run(Seconds(10));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventLoopSim, CallbackAdjustsOwnInterval) {
+  // Adaptive-interval shape: interval doubles each firing.
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  std::vector<TimeNs> fire_times;
+  TimeNs interval = Seconds(1);
+  loop.AddTimer(Seconds(1), [&](TimeNs now) {
+    fire_times.push_back(now);
+    interval *= 2;
+    return interval;
+  });
+  loop.Run(Seconds(16));
+  // Fires at 1, 3 (1+2), 7 (3+4), 15 (7+8).
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_EQ(fire_times[0], Seconds(1));
+  EXPECT_EQ(fire_times[1], Seconds(3));
+  EXPECT_EQ(fire_times[2], Seconds(7));
+  EXPECT_EQ(fire_times[3], Seconds(15));
+}
+
+TEST(EventLoopSim, MultipleTimersInterleaveByDeadline) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  std::vector<int> order;
+  loop.AddTimer(Seconds(2), [&](TimeNs) {
+    order.push_back(2);
+    return kStopTimer;
+  });
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    order.push_back(1);
+    return kStopTimer;
+  });
+  loop.AddTimer(Seconds(3), [&](TimeNs) {
+    order.push_back(3);
+    return kStopTimer;
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopSim, EqualDeadlinesFireFifo) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.AddTimer(Seconds(1), [&order, i](TimeNs) {
+      order.push_back(i);
+      return kStopTimer;
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopSim, CancelPreventsFiring) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int fired = 0;
+  const TimerId id = loop.AddTimer(Seconds(1), [&](TimeNs) {
+    ++fired;
+    return Seconds(1);
+  });
+  loop.CancelTimer(id);
+  loop.Run(Seconds(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopSim, CancelFromInsideOtherCallback) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int victim_fired = 0;
+  const TimerId victim = loop.AddTimer(Seconds(2), [&](TimeNs) {
+    ++victim_fired;
+    return Seconds(1);
+  });
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    loop.CancelTimer(victim);
+    return kStopTimer;
+  });
+  loop.Run(Seconds(10));
+  EXPECT_EQ(victim_fired, 0);
+}
+
+TEST(EventLoopSim, TimersDueAfterEndTimeDoNotFire) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int fired = 0;
+  loop.AddTimer(Seconds(5), [&](TimeNs) {
+    ++fired;
+    return kStopTimer;
+  });
+  loop.Run(Seconds(3));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.TimerCount(), 1u);
+}
+
+TEST(EventLoopSim, PostedTasksRunBeforeTimers) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  std::vector<std::string> order;
+  loop.AddTimer(0, [&](TimeNs) {
+    order.push_back("timer");
+    return kStopTimer;
+  });
+  loop.Post([&] { order.push_back("task"); });
+  loop.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "task");
+}
+
+TEST(EventLoopSim, AddTimerFromCallback) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int child_fired = 0;
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    loop.AddTimer(Seconds(1), [&](TimeNs) {
+      ++child_fired;
+      return kStopTimer;
+    });
+    return kStopTimer;
+  });
+  loop.Run(Seconds(5));
+  EXPECT_EQ(child_fired, 1);
+}
+
+TEST(EventLoopSim, ZeroDelayTimerFiresAtCurrentTime) {
+  SimClock clock(Seconds(9));
+  EventLoop loop(clock, true, &clock);
+  TimeNs fired_at = -1;
+  loop.AddTimer(0, [&](TimeNs now) {
+    fired_at = now;
+    return kStopTimer;
+  });
+  loop.Run();
+  EXPECT_EQ(fired_at, Seconds(9));
+}
+
+TEST(EventLoopReal, TimerFiresInRealTime) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  std::atomic<int> fired{0};
+  loop.AddTimer(Millis(5), [&](TimeNs) {
+    ++fired;
+    return kStopTimer;
+  });
+  loop.Run();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(EventLoopReal, StopFromAnotherThread) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  loop.AddTimer(Seconds(60), [&](TimeNs) { return kStopTimer; });
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.Stop();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  loop.Run(std::numeric_limits<TimeNs>::max(), /*stop_when_idle=*/false);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stopper.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(EventLoopReal, RepeatingTimerApproximatesInterval) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  std::atomic<int> fired{0};
+  loop.AddTimer(0, [&](TimeNs) -> TimeNs {
+    if (++fired >= 5) return kStopTimer;
+    return Millis(2);
+  });
+  loop.Run();
+  EXPECT_EQ(fired.load(), 5);
+}
+
+}  // namespace
+}  // namespace apollo

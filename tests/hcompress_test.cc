@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "middleware/hcompress.h"
+
+namespace apollo::middleware {
+namespace {
+
+std::unique_ptr<Cluster> SmallCluster() {
+  ClusterConfig config;
+  config.compute_nodes = 2;
+  config.storage_nodes = 2;
+  return Cluster::MakeAresLike(config);
+}
+
+TEST(Hcompress, DefaultLevelsSane) {
+  auto levels = DefaultCompressionLevels();
+  ASSERT_GE(levels.size(), 3u);
+  EXPECT_EQ(levels[0].name, "none");
+  EXPECT_DOUBLE_EQ(levels[0].ratio, 1.0);
+  // Heavier levels compress more but run slower.
+  for (std::size_t i = 2; i < levels.size(); ++i) {
+    EXPECT_LT(levels[i].ratio, levels[i - 1].ratio);
+    EXPECT_LT(levels[i].cpu_bytes_per_s, levels[i - 1].cpu_bytes_per_s);
+  }
+}
+
+TEST(Hcompress, NonePolicyStoresRaw) {
+  auto cluster = SmallCluster();
+  Hcompress engine(BuildHermesTiers(*cluster), CompressionPolicy::kNone);
+  ASSERT_TRUE(engine.Write(100 << 20, 0).ok());
+  EXPECT_EQ(engine.stats().stored_bytes, 100u << 20);
+  EXPECT_EQ(engine.stats().cpu_time, 0);
+  EXPECT_DOUBLE_EQ(engine.stats().CompressionRatio(), 1.0);
+}
+
+TEST(Hcompress, StaticPolicyUsesConfiguredLevel) {
+  auto cluster = SmallCluster();
+  Hcompress engine(BuildHermesTiers(*cluster), CompressionPolicy::kStatic,
+                   {}, {}, DefaultCompressionLevels(), /*static_level=*/2);
+  ASSERT_TRUE(engine.Write(100 << 20, 0).ok());
+  EXPECT_NEAR(engine.stats().CompressionRatio(), 0.45, 1e-9);
+  EXPECT_GT(engine.stats().cpu_time, 0);
+}
+
+TEST(Hcompress, ApolloAwareSkipsCompressionOnFastIdleDevice) {
+  // NVMe at 1.2GB/s idle outruns every compressor's throughput, so raw
+  // storage minimizes cpu+transfer time.
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  Hcompress engine(tiers, CompressionPolicy::kApolloAware);
+  const std::size_t level =
+      engine.ChooseLevel(tiers[1].targets[0], 100 << 20);
+  auto levels = DefaultCompressionLevels();
+  EXPECT_EQ(levels[level].name, "none");
+}
+
+TEST(Hcompress, ApolloAwarePicksHeavierLevelOnSlowDevice) {
+  // HDD at 140MB/s: transfer dominates, so heavier compression pays.
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  Hcompress engine(tiers, CompressionPolicy::kApolloAware);
+  const std::size_t hdd_level =
+      engine.ChooseLevel(tiers[3].targets[0], 100 << 20);
+  const std::size_t nvme_level =
+      engine.ChooseLevel(tiers[1].targets[0], 100 << 20);
+  auto levels = DefaultCompressionLevels();
+  EXPECT_LT(levels[hdd_level].ratio, levels[nvme_level].ratio);
+}
+
+TEST(Hcompress, MonitoredContentionShiftsTheChoice) {
+  // When monitored load eats most of the NVMe's bandwidth, the effective
+  // transfer rate drops and heavier compression wins.
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  BandwidthFn busy = [](const BufferingTarget& target) {
+    return std::optional<double>(target.device->MaxBandwidth() * 0.97);
+  };
+  Hcompress contended(tiers, CompressionPolicy::kApolloAware, {}, busy);
+  Hcompress idle(tiers, CompressionPolicy::kApolloAware);
+  const std::size_t contended_level =
+      contended.ChooseLevel(tiers[1].targets[0], 100 << 20);
+  const std::size_t idle_level =
+      idle.ChooseLevel(tiers[1].targets[0], 100 << 20);
+  auto levels = DefaultCompressionLevels();
+  EXPECT_LE(levels[contended_level].ratio, levels[idle_level].ratio);
+}
+
+TEST(Hcompress, ApolloAwareBeatsStaticHeavyOnFastTier) {
+  // End-to-end: writing through NVMe, adaptive choice (lz4) completes
+  // sooner than a static bzip2 configuration.
+  auto run = [](CompressionPolicy policy, std::size_t static_level) {
+    auto cluster = SmallCluster();
+    Hcompress engine(BuildHermesTiers(*cluster), policy, {}, {},
+                     DefaultCompressionLevels(), static_level);
+    TimeNs now = 0;
+    for (int i = 0; i < 16; ++i) {
+      auto end = engine.Write(64 << 20, now);
+      EXPECT_TRUE(end.ok());
+      if (end.ok()) now = *end;
+    }
+    return now;
+  };
+  const TimeNs adaptive = run(CompressionPolicy::kApolloAware, 0);
+  const TimeNs static_heavy = run(CompressionPolicy::kStatic, 3);
+  EXPECT_LT(adaptive, static_heavy);
+}
+
+TEST(Hcompress, SavesCapacityVersusRaw) {
+  auto raw_cluster = SmallCluster();
+  auto zl_cluster = SmallCluster();
+  Hcompress raw(BuildHermesTiers(*raw_cluster), CompressionPolicy::kNone);
+  Hcompress compressed(BuildHermesTiers(*zl_cluster),
+                       CompressionPolicy::kStatic, {}, {},
+                       DefaultCompressionLevels(), 1);
+  for (int i = 0; i < 8; ++i) {
+    raw.Write(64 << 20, 0);
+    compressed.Write(64 << 20, 0);
+  }
+  std::uint64_t raw_used = 0, compressed_used = 0;
+  for (Device* d : raw_cluster->DevicesOfType(DeviceType::kNvme)) {
+    raw_used += d->UsedBytes();
+  }
+  for (Device* d : zl_cluster->DevicesOfType(DeviceType::kNvme)) {
+    compressed_used += d->UsedBytes();
+  }
+  EXPECT_LT(compressed_used, raw_used);
+  EXPECT_NEAR(static_cast<double>(compressed_used) /
+                  static_cast<double>(raw_used),
+              0.6, 0.05);
+}
+
+TEST(Hcompress, PolicyNames) {
+  EXPECT_STREQ(CompressionPolicyName(CompressionPolicy::kNone), "none");
+  EXPECT_STREQ(CompressionPolicyName(CompressionPolicy::kStatic), "static");
+  EXPECT_STREQ(CompressionPolicyName(CompressionPolicy::kApolloAware),
+               "apollo_aware");
+}
+
+}  // namespace
+}  // namespace apollo::middleware

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "insights/curations.h"
+
+namespace apollo::insights {
+namespace {
+
+// --- per-device curations ---
+
+TEST(MscaTest, IdleEmptyDeviceZero) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_DOUBLE_EQ(Msca(device, Seconds(100)), 0.0);
+}
+
+TEST(MscaTest, GrowsWithQueueDepthWhenUnderutilized) {
+  Device device("d", DeviceSpec::Hdd());
+  // Queue up requests far in the future relative to sample point so the
+  // trailing bandwidth window is empty but the queue is deep.
+  device.Write(140'000'000, Seconds(100));
+  device.Write(140'000'000, Seconds(100));
+  const double msca = Msca(device, Seconds(100));
+  EXPECT_GT(msca, 0.0);
+  // (2 / DevC=4) * ~1 = ~0.5.
+  EXPECT_NEAR(msca, 0.5, 0.1);
+}
+
+TEST(InterferenceTest, IdleIsZeroBusyApproachesOne) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_DOUBLE_EQ(InterferenceFactor(device, Seconds(5)), 0.0);
+  device.Write(1'200'000'000, Seconds(5));  // 1s at full write bw
+  const double interference = InterferenceFactor(device, Seconds(6));
+  EXPECT_GT(interference, 0.7);
+  EXPECT_LE(interference, 1.0);
+}
+
+TEST(DeviceHealthTest, MatchesDeviceAccessor) {
+  Device device("d", DeviceSpec::Ssd());
+  device.InjectBadBlocks(device.TotalBlocks() / 4);
+  EXPECT_DOUBLE_EQ(DeviceHealth(device), 0.75);
+}
+
+TEST(FaultToleranceTest, ScalesWithReplicationAndHealth) {
+  DeviceSpec spec = DeviceSpec::Hdd();
+  spec.replication_level = 3;
+  Device device("d", spec);
+  EXPECT_DOUBLE_EQ(DeviceFaultTolerance(device), 3.0);
+  device.InjectBadBlocks(device.TotalBlocks() / 2);
+  EXPECT_DOUBLE_EQ(DeviceFaultTolerance(device), 1.5);
+}
+
+TEST(DegradationRateTest, ZeroWithoutIo) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_DOUBLE_EQ(DeviceDegradationRate(device), 0.0);
+}
+
+TEST(EnergyPerTransferTest, IdleDeviceUsesIdleWatts) {
+  Device device("d", DeviceSpec::Hdd());
+  EXPECT_DOUBLE_EQ(EnergyPerTransfer(device, Seconds(50)),
+                   device.spec().watts_idle);  // / max(0,1)=1
+}
+
+TEST(EnergyPerTransferTest, BusyDeviceAmortizesOverTransfers) {
+  Device device("d", DeviceSpec::Ram());
+  for (int i = 0; i < 10; ++i) device.Write(1024, Millis(900));
+  const double ept = EnergyPerTransfer(device, Seconds(1));
+  EXPECT_LT(ept, device.spec().watts_active);
+}
+
+TEST(DeviceLoadTest, ZeroWithoutHistoryThenPositive) {
+  Device device("d", DeviceSpec::Nvme());
+  EXPECT_DOUBLE_EQ(DeviceLoad(device, 0), 0.0);
+  device.Write(4096 * 256, Millis(500));
+  EXPECT_GT(DeviceLoad(device, Seconds(1)), 0.0);
+}
+
+// --- block hotness ---
+
+TEST(BlockHotness, TracksFrequencies) {
+  BlockHotnessTracker tracker;
+  EXPECT_EQ(tracker.Hottest().second, 0u);
+  tracker.RecordAccess(5);
+  tracker.RecordAccess(5);
+  tracker.RecordAccess(9);
+  EXPECT_EQ(tracker.Frequency(5), 2u);
+  EXPECT_EQ(tracker.Frequency(9), 1u);
+  EXPECT_EQ(tracker.Frequency(1), 0u);
+  EXPECT_EQ(tracker.Hottest(), (std::pair<std::uint64_t, std::uint64_t>{5, 2}));
+  EXPECT_EQ(tracker.DistinctBlocks(), 2u);
+}
+
+TEST(BlockHotness, TopKOrderedAndTieBroken) {
+  BlockHotnessTracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.RecordAccess(1);
+  for (int i = 0; i < 3; ++i) tracker.RecordAccess(2);
+  tracker.RecordAccess(3);
+  auto top = tracker.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);  // tie -> lower block id first
+  EXPECT_EQ(top[1].first, 2u);
+  EXPECT_EQ(tracker.TopK(10).size(), 3u);
+}
+
+// --- cluster-level curations ---
+
+class ClusterCurationsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.compute_nodes = 2;
+    config.storage_nodes = 2;
+    cluster_ = Cluster::MakeAresLike(config);
+  }
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterCurationsTest, FsPerformanceTuples) {
+  const FsPerformance hdd = FsPerformanceOfTier(*cluster_, DeviceType::kHdd);
+  EXPECT_EQ(hdd.num_devices, 2);
+  EXPECT_EQ(hdd.raid_level, 6);
+  EXPECT_EQ(hdd.compression, "lz4");
+  EXPECT_DOUBLE_EQ(hdd.max_bw, 2 * DeviceSpec::Hdd().max_write_bw);
+
+  const FsPerformance nvme =
+      FsPerformanceOfTier(*cluster_, DeviceType::kNvme);
+  EXPECT_EQ(nvme.raid_level, 0);
+  EXPECT_EQ(nvme.num_devices, 2);
+}
+
+TEST_F(ClusterCurationsTest, NetworkHealthIsPingTime) {
+  EXPECT_EQ(NetworkHealth(*cluster_, 0, 1), cluster_->PingTime(0, 1));
+  EXPECT_EQ(NetworkHealth(*cluster_, 2, 2), 0);
+}
+
+TEST_F(ClusterCurationsTest, NodeAvailabilityReflectsOutages) {
+  auto avail = NodeAvailabilityList(*cluster_, Seconds(1));
+  EXPECT_EQ(avail.timestamp, Seconds(1));
+  EXPECT_EQ(avail.available.size(), 4u);
+  (*cluster_->FindNode(1))->SetOnline(false);
+  avail = NodeAvailabilityList(*cluster_, Seconds(2));
+  EXPECT_EQ(avail.available.size(), 3u);
+}
+
+TEST_F(ClusterCurationsTest, TierRemainingCapacitySums) {
+  const double before =
+      TierRemainingCapacity(*cluster_, DeviceType::kNvme);
+  EXPECT_DOUBLE_EQ(before, 2.0 * static_cast<double>(250ULL << 30));
+  (*cluster_->FindDevice("compute0.nvme"))->Write(1 << 30, 0);
+  const double after = TierRemainingCapacity(*cluster_, DeviceType::kNvme);
+  EXPECT_DOUBLE_EQ(before - after, static_cast<double>(1 << 30));
+}
+
+TEST_F(ClusterCurationsTest, SystemTimeWithDrift) {
+  Node* node = *cluster_->FindNode(0);
+  const SystemTime st = SystemTimeOf(*node, Seconds(10), Millis(3));
+  EXPECT_EQ(st.node, 0);
+  EXPECT_EQ(st.time, Seconds(10) + Millis(3));
+}
+
+TEST_F(ClusterCurationsTest, AllocationInfoFromSlurm) {
+  SlurmSim slurm;
+  const JobId id = slurm.Submit("vpic", {0, 1}, 40, Seconds(1));
+  slurm.RecordIo(id, 1000, 2000);
+  auto info = AllocationInfo(slurm, id, Seconds(5));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->num_nodes, 2);
+  EXPECT_EQ(info->procs_per_node, 40);
+  EXPECT_EQ(info->bytes_read, 1000u);
+  EXPECT_EQ(info->bytes_written, 2000u);
+  EXPECT_FALSE(AllocationInfo(slurm, 999, 0).ok());
+}
+
+// --- hook adapters ---
+
+TEST_F(ClusterCurationsTest, HookAdaptersProduceValues) {
+  SimClock clock;
+  Device& nvme = **cluster_->FindDevice("compute0.nvme");
+  Node& node = **cluster_->FindNode(0);
+
+  EXPECT_DOUBLE_EQ(MscaHook(nvme, 0).Invoke(clock), 0.0);
+  EXPECT_DOUBLE_EQ(InterferenceHook(nvme, 0).Invoke(clock), 0.0);
+  EXPECT_DOUBLE_EQ(FaultToleranceHook(nvme, 0).Invoke(clock), 1.0);
+  EXPECT_DOUBLE_EQ(DegradationHook(nvme, 0).Invoke(clock), 0.0);
+  EXPECT_DOUBLE_EQ(AvailableNodeCountHook(*cluster_, 0).Invoke(clock), 4.0);
+  EXPECT_GT(TierCapacityHook(*cluster_, DeviceType::kSsd, 0).Invoke(clock),
+            0.0);
+  EXPECT_GT(EnergyPerTransferHook(node, 0).Invoke(clock), 0.0);
+  EXPECT_DOUBLE_EQ(DeviceLoadHook(nvme, 0).Invoke(clock), 0.0);
+  EXPECT_GT(NetworkHealthHook(*cluster_, 0, 1, 0).Invoke(clock), 0.0);
+
+  SlurmSim slurm;
+  slurm.Submit("j", {0}, 8, 0);
+  EXPECT_DOUBLE_EQ(RunningProcsHook(slurm, 0).Invoke(clock), 8.0);
+}
+
+TEST_F(ClusterCurationsTest, HookNamesQualified) {
+  Device& nvme = **cluster_->FindDevice("compute0.nvme");
+  EXPECT_EQ(MscaHook(nvme).metric_name, "compute0.nvme.msca");
+  EXPECT_EQ(TierCapacityHook(*cluster_, DeviceType::kHdd).metric_name,
+            "tier.hdd.remaining");
+  EXPECT_EQ(NetworkHealthHook(*cluster_, 1, 2).metric_name,
+            "net.1-2.ping_ns");
+}
+
+}  // namespace
+}  // namespace apollo::insights

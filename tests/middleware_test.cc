@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "middleware/apps.h"
+#include "middleware/hdfe.h"
+#include "middleware/hdpe.h"
+#include "middleware/hdre.h"
+#include "middleware/tiers.h"
+
+namespace apollo::middleware {
+namespace {
+
+std::unique_ptr<Cluster> SmallCluster() {
+  ClusterConfig config;
+  config.compute_nodes = 2;
+  config.storage_nodes = 2;
+  return Cluster::MakeAresLike(config);
+}
+
+TEST(Tiers, BuildHermesTiersLayout) {
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  ASSERT_EQ(tiers.size(), 4u);
+  EXPECT_EQ(tiers[0].name, "memory");
+  EXPECT_EQ(tiers[0].targets.size(), 2u);
+  EXPECT_EQ(tiers[1].name, "nvme");
+  EXPECT_EQ(tiers[1].targets.size(), 2u);
+  EXPECT_EQ(tiers[2].name, "burst_buffer");
+  EXPECT_EQ(tiers[2].targets.size(), 2u);
+  EXPECT_EQ(tiers[3].name, "pfs");
+  EXPECT_EQ(tiers[3].targets.size(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tiers[i].rank, static_cast<int>(i));
+  }
+}
+
+TEST(Tiers, DirectCapacityFnReadsDevice) {
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  CapacityFn fn = DirectCapacityFn();
+  auto remaining = fn(tiers[1].targets[0]);
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_DOUBLE_EQ(*remaining, static_cast<double>(250ULL << 30));
+}
+
+// --- HDPE ---
+
+std::uint64_t TierUsedBytes(Cluster& cluster, DeviceType type) {
+  std::uint64_t used = 0;
+  for (Device* device : cluster.DevicesOfType(type)) {
+    used += device->UsedBytes();
+  }
+  return used;
+}
+
+TEST(Hdpe, PfsOnlyAlwaysHitsPfs) {
+  auto cluster = SmallCluster();
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kPfsOnly);
+  auto end = engine.Write(1 << 20, 0);
+  ASSERT_TRUE(end.ok());
+  // Data landed on an HDD, not the NVMe tier.
+  EXPECT_EQ(TierUsedBytes(*cluster, DeviceType::kNvme), 0u);
+  EXPECT_EQ(TierUsedBytes(*cluster, DeviceType::kHdd), 1u << 20);
+}
+
+TEST(Hdpe, GreedyPlacesInNvmeFirst) {
+  auto cluster = SmallCluster();
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kRoundRobin);
+  ASSERT_TRUE(engine.Write(1 << 20, 0).ok());
+  std::uint64_t nvme_used = 0;
+  for (Device* d : cluster->DevicesOfType(DeviceType::kNvme)) {
+    nvme_used += d->UsedBytes();
+  }
+  EXPECT_EQ(nvme_used, 1u << 20);
+}
+
+TEST(Hdpe, RoundRobinAlternatesTargets) {
+  auto cluster = SmallCluster();
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kRoundRobin);
+  engine.Write(1 << 20, 0);
+  engine.Write(1 << 20, 0);
+  for (Device* d : cluster->DevicesOfType(DeviceType::kNvme)) {
+    EXPECT_EQ(d->UsedBytes(), 1u << 20);
+  }
+}
+
+TEST(Hdpe, RoundRobinFullTargetCausesFlush) {
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  // Pre-fill both NVMes to ~full.
+  for (Device* d : cluster->DevicesOfType(DeviceType::kNvme)) {
+    d->Write(d->RemainingBytes() - 1000, 0);
+  }
+  Hdpe engine(std::move(tiers), PlacementPolicy::kRoundRobin);
+  auto end = engine.Write(1 << 20, 0);
+  ASSERT_TRUE(end.ok());
+  EXPECT_GE(engine.stats().flushes, 1u);
+  EXPECT_GE(engine.stats().stalls, 1u);
+  EXPECT_GT(engine.stats().stall_time, 0);
+}
+
+TEST(Hdpe, CapacityAwareAvoidsFullTarget) {
+  auto cluster = SmallCluster();
+  auto devices = cluster->DevicesOfType(DeviceType::kNvme);
+  devices[0]->Write(devices[0]->RemainingBytes() - 1000, 0);  // full
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kCapacityAware,
+              DirectCapacityFn());
+  ASSERT_TRUE(engine.Write(1 << 20, 0).ok());
+  EXPECT_EQ(engine.stats().flushes, 0u);
+  EXPECT_EQ(devices[1]->UsedBytes(), 1u << 20);
+}
+
+TEST(Hdpe, CapacityAwareFallsToNextTierWhenNvmeFull) {
+  auto cluster = SmallCluster();
+  for (Device* d : cluster->DevicesOfType(DeviceType::kNvme)) {
+    d->Write(d->RemainingBytes(), 0);
+  }
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kCapacityAware,
+              DirectCapacityFn());
+  ASSERT_TRUE(engine.Write(1 << 20, 0).ok());
+  std::uint64_t ssd_used = 0;
+  for (Device* d : cluster->DevicesOfType(DeviceType::kSsd)) {
+    ssd_used += d->UsedBytes();
+  }
+  EXPECT_EQ(ssd_used, 1u << 20);
+}
+
+TEST(Hdpe, StatsAccumulate) {
+  auto cluster = SmallCluster();
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kRoundRobin);
+  for (int i = 0; i < 10; ++i) engine.Write(1 << 20, 0);
+  EXPECT_EQ(engine.stats().requests, 10u);
+  EXPECT_EQ(engine.stats().bytes, 10u << 20);
+  EXPECT_GT(engine.stats().io_time, 0);
+}
+
+// --- HDFE ---
+
+Hdfe MakeHdfe(Cluster& cluster, PrefetchPolicy policy,
+              std::uint64_t block_bytes = 10 << 20) {
+  auto tiers = BuildHermesTiers(cluster);
+  return Hdfe(tiers[1].targets, tiers[3].targets, policy, block_bytes,
+              policy == PrefetchPolicy::kCapacityAware ? DirectCapacityFn()
+                                                       : CapacityFn{});
+}
+
+TEST(Hdfe, NoPrefetchAlwaysReadsPfs) {
+  auto cluster = SmallCluster();
+  Hdfe engine = MakeHdfe(*cluster, PrefetchPolicy::kNoPrefetch);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.ReadBlock(i, 0).ok());
+  }
+  EXPECT_EQ(engine.CacheHits(), 0u);
+  EXPECT_EQ(engine.CacheMisses(), 0u);
+  EXPECT_EQ(engine.stats().requests, 5u);
+}
+
+TEST(Hdfe, SequentialReadsHitPrefetchedBlocks) {
+  auto cluster = SmallCluster();
+  Hdfe engine = MakeHdfe(*cluster, PrefetchPolicy::kRoundRobin);
+  TimeNs now = 0;
+  int hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto end = engine.ReadBlock(i, now);
+    ASSERT_TRUE(end.ok());
+    now = *end;
+  }
+  hits = static_cast<int>(engine.CacheHits());
+  EXPECT_GT(hits, 10);  // block i prefetches i+1..i+4
+}
+
+TEST(Hdfe, CacheHitFasterThanMiss) {
+  auto cluster = SmallCluster();
+  Hdfe engine = MakeHdfe(*cluster, PrefetchPolicy::kRoundRobin);
+  auto miss = engine.ReadBlock(0, 0);  // PFS read
+  ASSERT_TRUE(miss.ok());
+  const TimeNs miss_latency = *miss;
+  // Let the asynchronous PFS->cache staging drain before reading again.
+  const TimeNs t1 = *miss + Seconds(1);
+  auto hit = engine.ReadBlock(1, t1);  // prefetched
+  ASSERT_TRUE(hit.ok());
+  EXPECT_LT(*hit - t1, miss_latency);  // NVMe read beats HDD read
+  EXPECT_EQ(engine.CacheHits(), 1u);
+}
+
+TEST(Hdfe, FullCacheForcesEvictions) {
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  // Shrink the cache: one 10MB slot per NVMe, so a 4-deep prefetch burst
+  // must evict (read-once recycling frees hits, but prefetching outpaces
+  // consumption).
+  for (auto& target : tiers[1].targets) {
+    target.device->Write(target.device->RemainingBytes() - (15ULL << 20), 0);
+  }
+  Hdfe engine(tiers[1].targets, tiers[3].targets,
+              PrefetchPolicy::kRoundRobin, 10 << 20);
+  TimeNs now = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto end = engine.ReadBlock(i, now);
+    ASSERT_TRUE(end.ok());
+    now = *end;
+  }
+  EXPECT_GT(engine.stats().evictions, 0u);
+}
+
+// --- HDRE ---
+
+std::vector<ReplicationSet> MakeSets(Cluster& cluster) {
+  auto tiers = BuildHermesTiers(cluster);
+  std::vector<ReplicationSet> sets;
+  // Two sets: {nvme0, ssd0}, {nvme1, ssd1}.
+  for (std::size_t i = 0; i < 2; ++i) {
+    ReplicationSet set;
+    set.targets.push_back(tiers[1].targets[i]);
+    set.targets.push_back(tiers[2].targets[i]);
+    sets.push_back(set);
+  }
+  return sets;
+}
+
+TEST(Hdre, WritePlacesAllReplicas) {
+  auto cluster = SmallCluster();
+  Hdre engine(MakeSets(*cluster), ReplicationPolicy::kRoundRobin, 2);
+  ASSERT_TRUE(engine.Write(1 << 20, 0, 0).ok());
+  // Both targets of set 0 hold a copy.
+  auto tiers = BuildHermesTiers(*cluster);
+  EXPECT_EQ(tiers[1].targets[0].device->UsedBytes(), 1u << 20);
+  EXPECT_EQ(tiers[2].targets[0].device->UsedBytes(), 1u << 20);
+  EXPECT_EQ(engine.stats().bytes, 2u << 20);  // 2x amplification
+}
+
+TEST(Hdre, RoundRobinCyclesSets) {
+  auto cluster = SmallCluster();
+  Hdre engine(MakeSets(*cluster), ReplicationPolicy::kRoundRobin, 2);
+  engine.Write(1 << 20, 0, 0);
+  engine.Write(1 << 20, 0, 0);
+  auto tiers = BuildHermesTiers(*cluster);
+  EXPECT_EQ(tiers[1].targets[0].device->UsedBytes(), 1u << 20);
+  EXPECT_EQ(tiers[1].targets[1].device->UsedBytes(), 1u << 20);
+}
+
+TEST(Hdre, ApolloAwareSkipsFullSet) {
+  auto cluster = SmallCluster();
+  auto sets = MakeSets(*cluster);
+  // Fill set 0's NVMe.
+  sets[0].targets[0].device->Write(
+      sets[0].targets[0].device->RemainingBytes(), 0);
+  Hdre engine(std::move(sets), ReplicationPolicy::kApolloAware, 2,
+              DirectCapacityFn(),
+              [&cluster](NodeId a, NodeId b) {
+                return cluster->PingTime(a, b);
+              });
+  ASSERT_TRUE(engine.Write(1 << 20, 0, 0).ok());
+  EXPECT_EQ(engine.stats().stalls, 0u);
+  auto tiers = BuildHermesTiers(*cluster);
+  EXPECT_EQ(tiers[1].targets[1].device->UsedBytes(), 1u << 20);
+}
+
+TEST(Hdre, RoundRobinFullSetStalls) {
+  auto cluster = SmallCluster();
+  auto sets = MakeSets(*cluster);
+  sets[0].targets[0].device->Write(
+      sets[0].targets[0].device->RemainingBytes(), 0);
+  Hdre engine(std::move(sets), ReplicationPolicy::kRoundRobin, 2);
+  ASSERT_TRUE(engine.Write(1 << 20, 0, 0).ok());
+  EXPECT_GE(engine.stats().stalls, 1u);
+}
+
+TEST(Hdre, ReadsSpreadOverReplicas) {
+  auto cluster = SmallCluster();
+  Hdre engine(MakeSets(*cluster), ReplicationPolicy::kRoundRobin, 2);
+  engine.Write(1 << 20, 0, 0);
+  engine.Write(1 << 20, 0, 0);
+  TimeNs now = Seconds(10);
+  for (int i = 0; i < 8; ++i) {
+    auto end = engine.Read(1 << 20, 0, now);
+    ASSERT_TRUE(end.ok());
+  }
+  EXPECT_EQ(engine.stats().requests, 10u);  // 2 writes + 8 reads
+}
+
+// --- apps ---
+
+TEST(Apps, VpicIoSmallRun) {
+  auto cluster = SmallCluster();
+  Hdpe engine(BuildHermesTiers(*cluster), PlacementPolicy::kRoundRobin);
+  AppConfig config;
+  config.procs = 16;
+  config.bytes_per_proc = 1 << 20;
+  config.steps = 4;
+  const AppReport report = RunVpicIo(engine, config);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GT(report.io_time, 0);
+  EXPECT_EQ(report.engine.requests, 64u);
+}
+
+TEST(Apps, MontageSmallRun) {
+  auto cluster = SmallCluster();
+  auto tiers = BuildHermesTiers(*cluster);
+  Hdfe engine(tiers[1].targets, tiers[3].targets,
+              PrefetchPolicy::kRoundRobin, 1 << 20);
+  AppConfig config;
+  config.procs = 8;
+  config.steps = 4;
+  const AppReport report = RunMontage(engine, config);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.engine.requests, 32u);
+  EXPECT_GT(engine.CacheHits() + engine.CacheMisses(), 0u);
+}
+
+TEST(Apps, VpicThenBdcatsReadsAfterWrites) {
+  auto cluster = SmallCluster();
+  Hdre engine(MakeSets(*cluster), ReplicationPolicy::kRoundRobin, 2);
+  AppConfig config;
+  config.procs = 8;
+  config.bytes_per_proc = 1 << 20;
+  config.steps = 2;
+  AppReport read_report;
+  const AppReport write_report =
+      RunVpicThenBdcats(engine, config, &read_report);
+  EXPECT_EQ(write_report.errors, 0u);
+  EXPECT_EQ(read_report.errors, 0u);
+  EXPECT_GT(write_report.io_time, 0);
+  EXPECT_GT(read_report.io_time, 0);
+}
+
+TEST(PolicyNames, Coverage) {
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kPfsOnly), "pfs_only");
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kRoundRobin),
+               "round_robin");
+  EXPECT_STREQ(PlacementPolicyName(PlacementPolicy::kCapacityAware),
+               "apollo_capacity_aware");
+  EXPECT_STREQ(PrefetchPolicyName(PrefetchPolicy::kNoPrefetch), "pfs_only");
+  EXPECT_STREQ(ReplicationPolicyName(ReplicationPolicy::kApolloAware),
+               "apollo_aware");
+}
+
+}  // namespace
+}  // namespace apollo::middleware

@@ -1,0 +1,183 @@
+// Remaining behavioral gaps: loop stop semantics, app compute phases,
+// network model bounds, parser/printer numeric fidelity.
+#include <gtest/gtest.h>
+
+#include "aqe/parser.h"
+#include "aqe/query_builder.h"
+#include "cluster/cluster.h"
+#include "eventloop/event_loop.h"
+#include "middleware/apps.h"
+#include "middleware/tiers.h"
+#include "pubsub/broker.h"
+#include "score/vertex_stats.h"
+
+namespace apollo {
+namespace {
+
+// --- EventLoop stop semantics ---
+
+TEST(EventLoopStop, StopPersistsAcrossRunsUntilCleared) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int fired = 0;
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    ++fired;
+    return Seconds(1);
+  });
+  loop.Stop();
+  loop.Run(Seconds(10));  // stop flag still set: returns immediately
+  EXPECT_EQ(fired, 0);
+  loop.ClearStop();
+  loop.Run(Seconds(10));
+  EXPECT_GT(fired, 0);
+}
+
+TEST(EventLoopStop, StopInsideCallbackExitsPromptly) {
+  SimClock clock;
+  EventLoop loop(clock, true, &clock);
+  int fired = 0;
+  loop.AddTimer(Seconds(1), [&](TimeNs) {
+    if (++fired == 3) loop.Stop();
+    return Seconds(1);
+  });
+  loop.Run(Seconds(100));
+  EXPECT_EQ(fired, 3);
+}
+
+// --- VertexStats ---
+
+TEST(VertexStatsTest, ResetZeroesEverything) {
+  VertexStats stats;
+  stats.hook_calls = 5;
+  stats.published = 3;
+  stats.hook_time_ns = 1000;
+  stats.Reset();
+  EXPECT_EQ(stats.hook_calls, 0u);
+  EXPECT_EQ(stats.published, 0u);
+  EXPECT_EQ(stats.TotalTimeNs(), 0);
+}
+
+TEST(VertexStatsTest, ScopedTimerAccumulates) {
+  VertexStats stats;
+  {
+    ScopedTimer timer(stats.hook_time_ns);
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(stats.hook_time_ns.load(), 0);
+}
+
+// --- network model ---
+
+TEST(JitteredNetworkTest, DeterministicBoundedSymmetric) {
+  JitteredNetwork network(Millis(1), 0.2, 99);
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      const TimeNs l1 = network.Latency(a, b);
+      const TimeNs l2 = network.Latency(a, b);
+      EXPECT_EQ(l1, l2);  // deterministic
+      EXPECT_EQ(l1, network.Latency(b, a));  // symmetric
+      if (a == b) {
+        EXPECT_EQ(l1, 0);
+      } else {
+        EXPECT_GE(l1, static_cast<TimeNs>(Millis(1) * 0.8));
+        EXPECT_LE(l1, static_cast<TimeNs>(Millis(1) * 1.2));
+      }
+    }
+  }
+  EXPECT_EQ(network.Latency(kLocalNode, 3), 0);
+}
+
+// --- apps: compute phase accounting ---
+
+TEST(AppsCompute, ComputePhaseExcludedFromIoTime) {
+  ClusterConfig config;
+  config.compute_nodes = 2;
+  config.storage_nodes = 2;
+  auto with_cluster = Cluster::MakeAresLike(config);
+  auto without_cluster = Cluster::MakeAresLike(config);
+
+  auto run = [](Cluster& cluster, TimeNs compute) {
+    auto tiers = middleware::BuildHermesTiers(cluster);
+    middleware::Hdfe engine(tiers[1].targets, tiers[3].targets,
+                            middleware::PrefetchPolicy::kNoPrefetch,
+                            1 << 20);
+    middleware::AppConfig app;
+    app.procs = 8;
+    app.bytes_per_proc = 1 << 20;
+    app.steps = 4;
+    app.compute_per_step = compute;
+    return middleware::RunMontage(engine, app);
+  };
+  const auto with_compute = run(*with_cluster, Seconds(2));
+  const auto without_compute = run(*without_cluster, 0);
+  // io_time excludes the compute phases: both runs report the same I/O.
+  EXPECT_EQ(with_compute.io_time, without_compute.io_time);
+}
+
+// --- query printer numeric fidelity ---
+
+TEST(QueryPrinter, FloatPredicateRoundTrips) {
+  aqe::Query q = aqe::QueryBuilder()
+                     .Select(aqe::Column::kMetric)
+                     .From("t")
+                     .Where(aqe::Column::kMetric, aqe::CompareOp::kGt,
+                            0.333333333333333314829616256247)
+                     .Build();
+  auto reparsed = aqe::Parse(aqe::ToString(q));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->selects[0].where[0].value,
+                   q.selects[0].where[0].value);
+}
+
+TEST(QueryPrinter, LargeTimestampRoundTripsExactly) {
+  const double ts = 1'234'567'890'123'456'768.0;  // representable double
+  aqe::Query q = aqe::QueryBuilder()
+                     .Select(aqe::Column::kTimestamp)
+                     .From("t")
+                     .Where(aqe::Column::kTimestamp, aqe::CompareOp::kLe, ts)
+                     .Build();
+  auto reparsed = aqe::Parse(aqe::ToString(q));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->selects[0].where[0].value, ts);
+}
+
+// --- broker topic lifecycle ---
+
+TEST(BrokerLifecycle, RecreateAfterRemove) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("t");
+  broker.Publish("t", kLocalNode, 1, Sample{1, 1.0, Provenance::kMeasured});
+  ASSERT_TRUE(broker.RemoveTopic("t").ok());
+  auto recreated = broker.CreateTopic("t");
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ((*recreated)->Size(), 0u);  // fresh stream, no stale data
+}
+
+TEST(BrokerLifecycle, CapacityOneStreamKeepsNewest) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("tiny", kLocalNode, /*capacity=*/1);
+  for (int i = 0; i < 5; ++i) {
+    broker.Publish("tiny", kLocalNode, i,
+                   Sample{i, static_cast<double>(i), Provenance::kMeasured});
+  }
+  auto latest = broker.LatestValue("tiny", kLocalNode);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_DOUBLE_EQ(latest->value, 4.0);
+  EXPECT_EQ((*broker.GetTopic("tiny"))->Size(), 1u);
+}
+
+// --- node spec sanity ---
+
+TEST(NodeSpecTest, AresProfilesDiffer) {
+  const NodeSpec compute = NodeSpec::AresCompute();
+  const NodeSpec storage = NodeSpec::AresStorage();
+  EXPECT_EQ(compute.cpu_cores, 40);
+  EXPECT_EQ(storage.cpu_cores, 8);
+  EXPECT_GT(compute.ram_bytes, storage.ram_bytes);
+  EXPECT_EQ(compute.kind, NodeKind::kCompute);
+  EXPECT_EQ(storage.kind, NodeKind::kStorage);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace apollo::nn {
+namespace {
+
+// --- Matrix ---
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatMulTransposedMatchesExplicit) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::FromRows({{7, 8, 9}, {10, 11, 12}});
+  Matrix direct = a.MatMulTransposed(b);
+  Matrix via_t = a.MatMul(b.Transposed());
+  EXPECT_EQ(direct, via_t);
+}
+
+TEST(MatrixTest, TransposedMatMulMatchesExplicit) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix b = Matrix::FromRows({{1, 0}, {0, 1}, {2, 2}});
+  Matrix direct = a.TransposedMatMul(b);
+  Matrix via_t = a.Transposed().MatMul(b);
+  EXPECT_EQ(direct, via_t);
+}
+
+TEST(MatrixTest, AddSubScaleHadamard) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 4}});
+  Matrix c = a;
+  c.AddInPlace(b);
+  EXPECT_EQ(c, Matrix::FromRows({{4, 6}}));
+  c.SubInPlace(b);
+  EXPECT_EQ(c, a);
+  c.ScaleInPlace(3.0);
+  EXPECT_EQ(c, Matrix::FromRows({{3, 6}}));
+  c.HadamardInPlace(b);
+  EXPECT_EQ(c, Matrix::FromRows({{9, 24}}));
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::FromRows({{10, 20}});
+  m.AddRowBroadcast(bias);
+  EXPECT_EQ(m, Matrix::FromRows({{11, 22}, {13, 24}}));
+}
+
+TEST(MatrixTest, ColSums) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.ColSums(), Matrix::FromRows({{4, 6}}));
+}
+
+TEST(MatrixTest, XavierWithinLimit) {
+  Rng rng(3);
+  Matrix m = Matrix::Xavier(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  for (double x : m.raw()) {
+    EXPECT_LE(std::fabs(x), limit);
+  }
+}
+
+// --- Dense forward/backward ---
+
+TEST(DenseTest, ForwardComputesAffine) {
+  Rng rng(1);
+  Dense dense(2, 1, Activation::kIdentity, rng);
+  dense.mutable_weights() = Matrix::FromRows({{2.0, 3.0}});
+  dense.mutable_bias() = Matrix::FromRows({{1.0}});
+  Matrix out = dense.Forward(Matrix::FromRows({{4.0, 5.0}}));
+  EXPECT_DOUBLE_EQ(out(0, 0), 2 * 4 + 3 * 5 + 1);
+}
+
+TEST(DenseTest, ReluClampsNegative) {
+  Rng rng(1);
+  Dense dense(1, 1, Activation::kRelu, rng);
+  dense.mutable_weights() = Matrix::FromRows({{1.0}});
+  dense.mutable_bias() = Matrix::FromRows({{0.0}});
+  EXPECT_DOUBLE_EQ(dense.Forward(Matrix::FromRows({{-2.0}}))(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dense.Forward(Matrix::FromRows({{2.0}}))(0, 0), 2.0);
+}
+
+TEST(DenseTest, SigmoidRange) {
+  Rng rng(1);
+  Dense dense(1, 1, Activation::kSigmoid, rng);
+  dense.mutable_weights() = Matrix::FromRows({{10.0}});
+  dense.mutable_bias() = Matrix::FromRows({{0.0}});
+  EXPECT_NEAR(dense.Forward(Matrix::FromRows({{10.0}}))(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(dense.Forward(Matrix::FromRows({{-10.0}}))(0, 0), 0.0, 1e-6);
+}
+
+TEST(DenseTest, FrozenLayerExposesNoParamsAndAccumulatesNoGrads) {
+  Rng rng(1);
+  Dense dense(2, 2, Activation::kTanh, rng);
+  dense.SetTrainable(false);
+  EXPECT_TRUE(dense.Params().empty());
+  Matrix x = Matrix::FromRows({{0.5, -0.5}});
+  dense.Forward(x);
+  dense.Backward(Matrix::FromRows({{1.0, 1.0}}));  // must not crash
+  EXPECT_EQ(dense.ParamCount(), 6u);
+}
+
+TEST(DenseTest, CloneIsIndependent) {
+  Rng rng(5);
+  Dense dense(3, 2, Activation::kTanh, rng);
+  auto clone = dense.Clone();
+  Matrix x = Matrix::FromRows({{1.0, 0.5, -0.5}});
+  Matrix a = dense.Forward(x);
+  Matrix b = clone->Forward(x);
+  EXPECT_EQ(a, b);
+  dense.mutable_weights()(0, 0) += 1.0;
+  Matrix c = clone->Forward(x);
+  EXPECT_EQ(b, c);  // clone unaffected
+}
+
+// Numerical gradient check for Dense.
+TEST(DenseGradCheck, MatchesNumericalGradient) {
+  Rng rng(9);
+  Dense dense(3, 2, Activation::kTanh, rng);
+  Matrix x = Matrix::FromRows({{0.3, -0.2, 0.7}, {0.1, 0.4, -0.6}});
+  Matrix target = Matrix::FromRows({{0.5, -0.1}, {-0.3, 0.2}});
+
+  auto loss_fn = [&]() {
+    Matrix out = dense.Forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.raw().size(); ++i) {
+      const double d = out.raw()[i] - target.raw()[i];
+      loss += d * d;
+    }
+    return loss / static_cast<double>(out.raw().size());
+  };
+
+  // Analytical gradients.
+  Matrix out = dense.Forward(x);
+  Matrix grad = out;
+  grad.SubInPlace(target);
+  grad.ScaleInPlace(2.0 / static_cast<double>(out.raw().size()));
+  dense.Backward(grad);
+  auto params = dense.Params();
+
+  const double eps = 1e-6;
+  for (const Param& p : params) {
+    for (std::size_t i = 0; i < p.value->raw().size(); ++i) {
+      const double saved = p.value->raw()[i];
+      p.value->raw()[i] = saved + eps;
+      const double plus = loss_fn();
+      p.value->raw()[i] = saved - eps;
+      const double minus = loss_fn();
+      p.value->raw()[i] = saved;
+      const double numerical = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(p.grad->raw()[i], numerical, 1e-5)
+          << p.name << "[" << i << "]";
+    }
+  }
+}
+
+// --- LSTM ---
+
+TEST(LstmTest, OutputShape) {
+  Rng rng(2);
+  Lstm lstm(1, 8, 5, rng);
+  Matrix x(3, 5, 0.1);
+  Matrix h = lstm.Forward(x);
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 8u);
+}
+
+TEST(LstmTest, ParamCountFormula) {
+  Rng rng(2);
+  Lstm lstm(1, 128, 5, rng);
+  // 4 gates * (hidden*(hidden+input) + hidden) = 4*128*130.
+  EXPECT_EQ(lstm.ParamCount(), 4u * 128u * 130u);
+}
+
+TEST(LstmTest, HiddenStateBounded) {
+  Rng rng(2);
+  Lstm lstm(1, 4, 6, rng);
+  Matrix x(1, 6);
+  for (std::size_t j = 0; j < 6; ++j) x(0, j) = 5.0;  // large inputs
+  Matrix h = lstm.Forward(x);
+  for (double v : h.raw()) {
+    EXPECT_LE(std::fabs(v), 1.0);  // |o * tanh(c)| <= 1
+  }
+}
+
+TEST(LstmTest, CloneMatchesForward) {
+  Rng rng(4);
+  Lstm lstm(1, 6, 4, rng);
+  auto clone = lstm.Clone();
+  Matrix x = Matrix::FromRows({{0.1, 0.2, 0.3, 0.4}});
+  EXPECT_EQ(lstm.Forward(x), clone->Forward(x));
+}
+
+TEST(LstmGradCheck, MatchesNumericalGradient) {
+  Rng rng(13);
+  Lstm lstm(1, 3, 4, rng);
+  Matrix x = Matrix::FromRows({{0.2, -0.1, 0.4, 0.3}});
+  Matrix target(1, 3, 0.25);
+
+  auto loss_fn = [&]() {
+    Matrix out = lstm.Forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.raw().size(); ++i) {
+      const double d = out.raw()[i] - target.raw()[i];
+      loss += d * d;
+    }
+    return loss;
+  };
+
+  Matrix out = lstm.Forward(x);
+  Matrix grad = out;
+  grad.SubInPlace(target);
+  grad.ScaleInPlace(2.0);
+  lstm.Backward(grad);
+  auto params = lstm.Params();
+
+  const double eps = 1e-6;
+  for (const Param& p : params) {
+    // Sample a handful of entries per gate to keep the test fast.
+    for (std::size_t i = 0; i < p.value->raw().size();
+         i += std::max<std::size_t>(1, p.value->raw().size() / 5)) {
+      const double saved = p.value->raw()[i];
+      p.value->raw()[i] = saved + eps;
+      const double plus = loss_fn();
+      p.value->raw()[i] = saved - eps;
+      const double minus = loss_fn();
+      p.value->raw()[i] = saved;
+      const double numerical = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(p.grad->raw()[i], numerical, 1e-4)
+          << p.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(LstmTest, InputGradientShape) {
+  Rng rng(6);
+  Lstm lstm(2, 4, 3, rng);
+  Matrix x(2, 6, 0.1);
+  lstm.Forward(x);
+  Matrix gin = lstm.Backward(Matrix(2, 4, 1.0));
+  EXPECT_EQ(gin.rows(), 2u);
+  EXPECT_EQ(gin.cols(), 6u);
+}
+
+// --- Optimizers ---
+
+TEST(SgdTest, MovesAgainstGradient) {
+  Matrix value(1, 1, 1.0);
+  Matrix grad(1, 1, 0.5);
+  Sgd sgd(0.1);
+  sgd.Step({Param{&value, &grad, "w"}});
+  EXPECT_DOUBLE_EQ(value(0, 0), 1.0 - 0.1 * 0.5);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);  // grads zeroed
+}
+
+TEST(AdamTest, FirstStepBoundedByLr) {
+  Matrix value(1, 1, 0.0);
+  Matrix grad(1, 1, 100.0);
+  Adam adam(0.01);
+  adam.Step({Param{&value, &grad, "w"}});
+  // Adam's first step magnitude ~= lr regardless of gradient scale.
+  EXPECT_NEAR(std::fabs(value(0, 0)), 0.01, 0.001);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // minimize (w - 3)^2.
+  Matrix w(1, 1, 0.0);
+  Matrix grad(1, 1, 0.0);
+  Adam adam(0.1);
+  for (int i = 0; i < 500; ++i) {
+    grad(0, 0) = 2.0 * (w(0, 0) - 3.0);
+    adam.Step({Param{&w, &grad, "w"}});
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 0.05);
+}
+
+// --- Sequential ---
+
+TEST(SequentialTest, LearnsLinearFunction) {
+  Rng rng(21);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(2, 1, Activation::kIdentity, rng));
+
+  // y = 2a - b + 0.5 over random points.
+  const int n = 256;
+  Matrix x(n, 2);
+  Matrix y(n, 1);
+  Rng data_rng(7);
+  for (int i = 0; i < n; ++i) {
+    const double a = data_rng.Uniform(-1, 1);
+    const double b = data_rng.Uniform(-1, 1);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    y(i, 0) = 2 * a - b + 0.5;
+  }
+  Adam adam(0.02);
+  const double loss = model.Fit(x, y, adam, 200, 32, rng);
+  EXPECT_LT(loss, 1e-3);
+  EXPECT_NEAR(model.PredictScalar({1.0, 1.0}), 1.5, 0.05);
+}
+
+TEST(SequentialTest, TwoLayerLearnsNonlinear) {
+  Rng rng(22);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(1, 8, Activation::kTanh, rng));
+  model.Add(std::make_unique<Dense>(8, 1, Activation::kIdentity, rng));
+
+  const int n = 200;
+  Matrix x(n, 1);
+  Matrix y(n, 1);
+  for (int i = 0; i < n; ++i) {
+    const double t = -1.0 + 2.0 * i / (n - 1);
+    x(i, 0) = t;
+    y(i, 0) = t * t;  // parabola
+  }
+  Adam adam(0.01);
+  const double loss = model.Fit(x, y, adam, 400, 32, rng);
+  EXPECT_LT(loss, 5e-3);
+}
+
+TEST(SequentialTest, ParamCounts) {
+  Rng rng(1);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(5, 1, Activation::kIdentity, rng));
+  model.Add(std::make_unique<Dense>(1, 1, Activation::kIdentity, rng));
+  EXPECT_EQ(model.ParamCount(), 6u + 2u);
+  EXPECT_EQ(model.TrainableParamCount(), 8u);
+  model.layer(0).SetTrainable(false);
+  EXPECT_EQ(model.TrainableParamCount(), 2u);
+  model.FreezeAll();
+  EXPECT_EQ(model.TrainableParamCount(), 0u);
+}
+
+TEST(SequentialTest, FrozenLayersUnchangedByTraining) {
+  Rng rng(2);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(2, 2, Activation::kTanh, rng));
+  model.Add(std::make_unique<Dense>(2, 1, Activation::kIdentity, rng));
+  model.layer(0).SetTrainable(false);
+
+  const Matrix before =
+      static_cast<const Dense&>(model.layer(0)).weights();
+  Matrix x = Matrix::FromRows({{1.0, -1.0}, {0.5, 0.25}});
+  Matrix y = Matrix::FromRows({{1.0}, {0.0}});
+  Adam adam(0.05);
+  for (int i = 0; i < 50; ++i) model.TrainBatch(x, y, adam);
+  const Matrix after =
+      static_cast<const Dense&>(model.layer(0)).weights();
+  EXPECT_EQ(before, after);
+}
+
+TEST(SequentialTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/apollo_model.bin";
+  Rng rng(31);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(3, 4, Activation::kTanh, rng));
+  model.Add(std::make_unique<Dense>(4, 1, Activation::kIdentity, rng));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+
+  Rng rng2(99);  // different init
+  Sequential loaded;
+  loaded.Add(std::make_unique<Dense>(3, 4, Activation::kTanh, rng2));
+  loaded.Add(std::make_unique<Dense>(4, 1, Activation::kIdentity, rng2));
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+
+  const std::vector<double> probe = {0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(model.PredictScalar(probe), loaded.PredictScalar(probe));
+  std::remove(path.c_str());
+}
+
+TEST(SequentialTest, LoadFromMissingFileFails) {
+  Sequential model;
+  EXPECT_FALSE(model.LoadFromFile("/nonexistent/path/model.bin").ok());
+}
+
+TEST(SequentialTest, CloneForwardMatches) {
+  Rng rng(41);
+  Sequential model;
+  model.Add(std::make_unique<Dense>(2, 3, Activation::kRelu, rng));
+  model.Add(std::make_unique<Dense>(3, 1, Activation::kIdentity, rng));
+  Sequential clone = model.Clone();
+  EXPECT_DOUBLE_EQ(model.PredictScalar({0.4, -0.7}),
+                   clone.PredictScalar({0.4, -0.7}));
+}
+
+TEST(ActivationNames, Coverage) {
+  EXPECT_STREQ(ActivationName(Activation::kIdentity), "identity");
+  EXPECT_STREQ(ActivationName(Activation::kRelu), "relu");
+  EXPECT_STREQ(ActivationName(Activation::kTanh), "tanh");
+  EXPECT_STREQ(ActivationName(Activation::kSigmoid), "sigmoid");
+}
+
+}  // namespace
+}  // namespace apollo::nn
+
+namespace apollo::nn {
+namespace {
+
+TEST(LstmPersistence, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/lstm_params.bin";
+  Rng rng(61);
+  Sequential model;
+  model.Add(std::make_unique<Lstm>(1, 6, 4, rng));
+  model.Add(std::make_unique<Dense>(6, 1, Activation::kIdentity, rng));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+
+  Rng rng2(62);
+  Sequential loaded;
+  loaded.Add(std::make_unique<Lstm>(1, 6, 4, rng2));
+  loaded.Add(std::make_unique<Dense>(6, 1, Activation::kIdentity, rng2));
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+
+  const std::vector<double> window = {0.1, -0.2, 0.3, 0.05};
+  EXPECT_DOUBLE_EQ(model.PredictScalar(window),
+                   loaded.PredictScalar(window));
+  std::remove(path.c_str());
+}
+
+TEST(LstmPersistence, TruncatedLoadFails) {
+  const std::string path = testing::TempDir() + "/lstm_trunc.bin";
+  Rng rng(63);
+  Sequential model;
+  model.Add(std::make_unique<Lstm>(1, 4, 3, rng));
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 24), 0);
+  std::fclose(f);
+  Sequential loaded;
+  loaded.Add(std::make_unique<Lstm>(1, 4, 3, rng));
+  EXPECT_FALSE(loaded.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apollo::nn

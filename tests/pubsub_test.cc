@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "pubsub/archiver.h"
+#include "pubsub/broker.h"
+#include "pubsub/stream.h"
+
+namespace apollo {
+namespace {
+
+Sample S(TimeNs ts, double v,
+         Provenance p = Provenance::kMeasured) {
+  return Sample{ts, v, p};
+}
+
+// --- Stream ---
+
+TEST(Stream, AppendAssignsMonotonicIds) {
+  TelemetryStream stream(16);
+  EXPECT_EQ(stream.Append(1, S(1, 1.0)), 0u);
+  EXPECT_EQ(stream.Append(2, S(2, 2.0)), 1u);
+  EXPECT_EQ(stream.NextId(), 2u);
+}
+
+TEST(Stream, CursorReadsOnlyNewEntries) {
+  TelemetryStream stream(16);
+  stream.Append(1, S(1, 1.0));
+  stream.Append(2, S(2, 2.0));
+  std::uint64_t cursor = 0;
+  auto batch1 = stream.Read(cursor);
+  EXPECT_EQ(batch1.size(), 2u);
+  EXPECT_EQ(cursor, 2u);
+  auto batch2 = stream.Read(cursor);
+  EXPECT_TRUE(batch2.empty());
+  stream.Append(3, S(3, 3.0));
+  auto batch3 = stream.Read(cursor);
+  ASSERT_EQ(batch3.size(), 1u);
+  EXPECT_EQ(batch3[0].value.value, 3.0);
+}
+
+TEST(Stream, ReadRespectsMaxEntries) {
+  TelemetryStream stream(64);
+  for (int i = 0; i < 10; ++i) stream.Append(i, S(i, i));
+  std::uint64_t cursor = 0;
+  auto batch = stream.Read(cursor, 3);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(cursor, 3u);
+}
+
+TEST(Stream, LatestReturnsNewest) {
+  TelemetryStream stream(8);
+  EXPECT_FALSE(stream.Latest().has_value());
+  stream.Append(1, S(1, 10.0));
+  stream.Append(2, S(2, 20.0));
+  ASSERT_TRUE(stream.Latest().has_value());
+  EXPECT_EQ(stream.Latest()->value.value, 20.0);
+}
+
+TEST(Stream, EvictionKeepsWindowBounded) {
+  TelemetryStream stream(4);
+  for (int i = 0; i < 10; ++i) stream.Append(i, S(i, i));
+  EXPECT_EQ(stream.Size(), 4u);
+  // Oldest surviving entry has id 6.
+  std::uint64_t cursor = 0;
+  auto batch = stream.Read(cursor);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.front().id, 6u);
+}
+
+TEST(Stream, EvictedEntriesGoToArchiver) {
+  Archiver<Sample> archiver;  // in-memory
+  TelemetryStream stream(2, &archiver);
+  for (int i = 0; i < 5; ++i) stream.Append(Seconds(i), S(Seconds(i), i));
+  EXPECT_EQ(archiver.Count(), 3u);
+  auto archived = archiver.ReadRange(0, Seconds(10));
+  ASSERT_TRUE(archived.ok());
+  ASSERT_EQ(archived->size(), 3u);
+  EXPECT_EQ((*archived)[0].payload.value, 0.0);
+  EXPECT_EQ((*archived)[2].payload.value, 2.0);
+}
+
+TEST(Stream, RangeByTimeBinarySearch) {
+  TelemetryStream stream(64);
+  for (int i = 0; i < 10; ++i) stream.Append(Seconds(i), S(Seconds(i), i));
+  auto range = stream.RangeByTime(Seconds(3), Seconds(6));
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front().value.value, 3.0);
+  EXPECT_EQ(range.back().value.value, 6.0);
+}
+
+TEST(Stream, RangeByTimeEmptyWhenOutside) {
+  TelemetryStream stream(64);
+  stream.Append(Seconds(5), S(Seconds(5), 5));
+  EXPECT_TRUE(stream.RangeByTime(Seconds(6), Seconds(9)).empty());
+  EXPECT_TRUE(stream.RangeByTime(Seconds(0), Seconds(4)).empty());
+}
+
+TEST(Stream, LatestAtOrBefore) {
+  TelemetryStream stream(64);
+  for (int i = 0; i < 5; ++i) {
+    stream.Append(Seconds(2 * i), S(Seconds(2 * i), i));
+  }
+  auto hit = stream.LatestAtOrBefore(Seconds(5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value.value, 2.0);  // t=4s entry
+  EXPECT_FALSE(stream.LatestAtOrBefore(-1).has_value());
+}
+
+TEST(Stream, WaitForReturnsImmediatelyWhenDataExists) {
+  TelemetryStream stream(8);
+  stream.Append(1, S(1, 1.0));
+  EXPECT_TRUE(stream.WaitFor(0, std::chrono::milliseconds(1)));
+}
+
+TEST(Stream, WaitForTimesOutWithoutData) {
+  TelemetryStream stream(8);
+  EXPECT_FALSE(stream.WaitFor(0, std::chrono::milliseconds(5)));
+}
+
+TEST(Stream, WaitForWakesOnAppend) {
+  TelemetryStream stream(8);
+  std::thread appender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stream.Append(1, S(1, 1.0));
+  });
+  EXPECT_TRUE(stream.WaitFor(0, std::chrono::seconds(5)));
+  appender.join();
+}
+
+TEST(Stream, ConcurrentAppendersAllLand) {
+  TelemetryStream stream(1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kPer = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stream, t] {
+      for (int i = 0; i < kPer; ++i) {
+        stream.Append(t * kPer + i, S(t * kPer + i, i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(stream.Size(), static_cast<std::size_t>(kThreads * kPer));
+  EXPECT_EQ(stream.NextId(), static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+// --- Archiver file-backed ---
+
+TEST(Archiver, FileBackedRoundTrip) {
+  const std::string path = testing::TempDir() + "/apollo_archive_test.bin";
+  {
+    Archiver<Sample> archiver(path);
+    EXPECT_FALSE(archiver.InMemory());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          archiver.Append(i, Seconds(i), S(Seconds(i), i * 1.5)).ok());
+    }
+    auto all = archiver.ReadRange(0, Seconds(1000));
+    ASSERT_TRUE(all.ok());
+    ASSERT_EQ(all->size(), 100u);
+    EXPECT_EQ((*all)[42].payload.value, 63.0);
+
+    auto some = archiver.ReadRange(Seconds(10), Seconds(19));
+    ASSERT_TRUE(some.ok());
+    EXPECT_EQ(some->size(), 10u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Archiver, EmptyRangeReadOk) {
+  Archiver<Sample> archiver;
+  auto result = archiver.ReadRange(0, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+// --- Broker ---
+
+TEST(Broker, CreateAndGetTopic) {
+  Broker broker(RealClock::Instance());
+  auto created = broker.CreateTopic("t1");
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(broker.HasTopic("t1"));
+  auto fetched = broker.GetTopic("t1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*created, *fetched);
+}
+
+TEST(Broker, DuplicateTopicRejected) {
+  Broker broker(RealClock::Instance());
+  ASSERT_TRUE(broker.CreateTopic("dup").ok());
+  auto second = broker.CreateTopic("dup");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(Broker, MissingTopicErrors) {
+  Broker broker(RealClock::Instance());
+  EXPECT_FALSE(broker.GetTopic("nope").ok());
+  std::uint64_t cursor = 0;
+  EXPECT_FALSE(broker.Fetch("nope", kLocalNode, cursor).ok());
+  EXPECT_FALSE(broker.Publish("nope", kLocalNode, 0, S(0, 0)).ok());
+  EXPECT_FALSE(broker.RemoveTopic("nope").ok());
+}
+
+TEST(Broker, PublishFetchRoundTrip) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("metrics");
+  ASSERT_TRUE(broker.Publish("metrics", kLocalNode, 1, S(1, 3.5)).ok());
+  std::uint64_t cursor = 0;
+  auto entries = broker.Fetch("metrics", kLocalNode, cursor);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].value.value, 3.5);
+}
+
+TEST(Broker, LatestValue) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("m");
+  auto empty = broker.LatestValue("m", kLocalNode);
+  EXPECT_FALSE(empty.ok());
+  broker.Publish("m", kLocalNode, 1, S(1, 1.0));
+  broker.Publish("m", kLocalNode, 2, S(2, 2.0));
+  auto latest = broker.LatestValue("m", kLocalNode);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->value, 2.0);
+}
+
+TEST(Broker, RemoveTopic) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("gone");
+  EXPECT_TRUE(broker.RemoveTopic("gone").ok());
+  EXPECT_FALSE(broker.HasTopic("gone"));
+}
+
+TEST(Broker, ListTopicsReportsHomeNodes) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("a", 1);
+  broker.CreateTopic("b", 2);
+  auto topics = broker.ListTopics();
+  EXPECT_EQ(topics.size(), 2u);
+  EXPECT_EQ(broker.HomeNode("a"), 1);
+  EXPECT_EQ(broker.HomeNode("b"), 2);
+}
+
+TEST(Broker, NetworkLatencyChargedOnRemoteAccess) {
+  SimClock clock;
+  auto network = std::make_shared<UniformNetwork>(Millis(10));
+  Broker broker(clock, network);
+  broker.CreateTopic("remote", /*home_node=*/1);
+
+  // Publishing from node 2 to a topic hosted on node 1 charges one hop to
+  // the (virtual) clock.
+  ASSERT_TRUE(broker.Publish("remote", /*from_node=*/2, 0, S(0, 1.0)).ok());
+  EXPECT_EQ(clock.Now(), Millis(10));
+  // Fetching back to node 2 charges another hop.
+  std::uint64_t cursor = 0;
+  ASSERT_TRUE(broker.Fetch("remote", /*to_node=*/2, cursor).ok());
+  EXPECT_EQ(clock.Now(), 2 * Millis(10));
+}
+
+TEST(Broker, LocalAccessFree) {
+  SimClock clock;
+  auto network = std::make_shared<UniformNetwork>(Millis(10));
+  Broker broker(clock, network);
+  broker.CreateTopic("local", /*home_node=*/3);
+  ASSERT_TRUE(broker.Publish("local", /*from_node=*/3, 0, S(0, 1.0)).ok());
+  EXPECT_EQ(clock.Now(), 0);  // same node: no latency charged
+}
+
+TEST(UniformNetworkTest, LatencyRules) {
+  UniformNetwork net(Millis(5));
+  EXPECT_EQ(net.Latency(1, 1), 0);
+  EXPECT_EQ(net.Latency(kLocalNode, 2), 0);
+  EXPECT_EQ(net.Latency(1, 2), Millis(5));
+}
+
+}  // namespace
+}  // namespace apollo

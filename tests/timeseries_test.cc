@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/generators.h"
+#include "timeseries/series.h"
+#include "timeseries/stats.h"
+
+namespace apollo {
+namespace {
+
+// --- windowing ---
+
+TEST(MakeWindowsTest, BasicShape) {
+  Series s = {1, 2, 3, 4, 5, 6};
+  auto ds = MakeWindows(s, 3);
+  ASSERT_EQ(ds.Size(), 3u);
+  EXPECT_EQ(ds.inputs[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(ds.targets[0], 4);
+  EXPECT_EQ(ds.inputs[2], (std::vector<double>{3, 4, 5}));
+  EXPECT_EQ(ds.targets[2], 6);
+}
+
+TEST(MakeWindowsTest, TooShortSeriesEmpty) {
+  EXPECT_EQ(MakeWindows({1, 2, 3}, 3).Size(), 0u);
+  EXPECT_EQ(MakeWindows({}, 5).Size(), 0u);
+  EXPECT_EQ(MakeWindows({1, 2}, 0).Size(), 0u);
+}
+
+TEST(MakeWindowsTest, WindowOne) {
+  auto ds = MakeWindows({10, 20, 30}, 1);
+  ASSERT_EQ(ds.Size(), 2u);
+  EXPECT_EQ(ds.inputs[1], (std::vector<double>{20}));
+  EXPECT_EQ(ds.targets[1], 30);
+}
+
+// --- normalization ---
+
+TEST(NormalizationTest, MapsToUnitInterval) {
+  Series s = {10, 20, 30};
+  auto norm = FitNormalization(s);
+  Series n = Normalize(s, norm);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 1.0);
+}
+
+TEST(NormalizationTest, InvertRoundTrips) {
+  Series s = {-5, 0, 15};
+  auto norm = FitNormalization(s);
+  for (double x : s) {
+    EXPECT_NEAR(norm.Invert(norm.Apply(x)), x, 1e-12);
+  }
+}
+
+TEST(NormalizationTest, ConstantSeriesSafe) {
+  Series s = {7, 7, 7};
+  auto norm = FitNormalization(s);
+  Series n = Normalize(s, norm);
+  for (double x : n) EXPECT_DOUBLE_EQ(x, 0.0);
+  EXPECT_EQ(norm.scale, 1.0);
+}
+
+TEST(NormalizationTest, EmptySeriesDefaults) {
+  auto norm = FitNormalization({});
+  EXPECT_EQ(norm.scale, 1.0);
+  EXPECT_EQ(norm.offset, 0.0);
+}
+
+// --- stats ---
+
+TEST(StatsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, Errors) {
+  const std::vector<double> truth = {1, 2, 3};
+  const std::vector<double> pred = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(truth, pred), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(truth, pred), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(truth, pred),
+                   std::sqrt(2.0 / 3.0));
+}
+
+TEST(StatsTest, PerfectPredictionZeroError) {
+  const std::vector<double> xs = {1.5, -2.0, 7.25};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(xs, xs), 0.0);
+  EXPECT_DOUBLE_EQ(RSquared(xs, xs), 1.0);
+}
+
+TEST(StatsTest, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> truth = {1, 2, 3, 4};
+  const std::vector<double> pred(4, 2.5);
+  EXPECT_NEAR(RSquared(truth, pred), 0.0, 1e-12);
+}
+
+TEST(StatsTest, RSquaredConstantTruth) {
+  EXPECT_DOUBLE_EQ(RSquared({5, 5}, {5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(RSquared({5, 5}, {6, 6}), 0.0);
+}
+
+TEST(RollingMeanTest, WindowSlides) {
+  RollingMean rm(3);
+  EXPECT_DOUBLE_EQ(rm.Value(), 0.0);
+  rm.Add(3);
+  EXPECT_DOUBLE_EQ(rm.Value(), 3.0);
+  rm.Add(6);
+  rm.Add(9);
+  EXPECT_DOUBLE_EQ(rm.Value(), 6.0);
+  EXPECT_TRUE(rm.Full());
+  rm.Add(12);  // 3 drops out
+  EXPECT_DOUBLE_EQ(rm.Value(), 9.0);
+}
+
+TEST(RollingMeanTest, ResetClears) {
+  RollingMean rm(2);
+  rm.Add(5);
+  rm.Reset();
+  EXPECT_EQ(rm.Count(), 0u);
+  EXPECT_DOUBLE_EQ(rm.Value(), 0.0);
+}
+
+TEST(RollingMeanTest, ZeroWindowClampedToOne) {
+  RollingMean rm(0);
+  rm.Add(1);
+  rm.Add(9);
+  EXPECT_DOUBLE_EQ(rm.Value(), 9.0);
+}
+
+// --- generators ---
+
+class FeatureGeneratorTest : public testing::TestWithParam<TsFeature> {};
+
+TEST_P(FeatureGeneratorTest, RightLengthAndBounded) {
+  GeneratorConfig config;
+  config.length = 512;
+  const Series s = GenerateFeature(GetParam(), config);
+  ASSERT_EQ(s.size(), 512u);
+  for (double x : s) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GT(x, -0.5);
+    EXPECT_LT(x, 1.5);
+  }
+}
+
+TEST_P(FeatureGeneratorTest, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.length = 128;
+  config.seed = 555;
+  const Series a = GenerateFeature(GetParam(), config);
+  const Series b = GenerateFeature(GetParam(), config);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(FeatureGeneratorTest, SeedChangesSeries) {
+  GeneratorConfig a_config, b_config;
+  a_config.length = b_config.length = 128;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  const Series a = GenerateFeature(GetParam(), a_config);
+  const Series b = GenerateFeature(GetParam(), b_config);
+  EXPECT_NE(a, b);
+}
+
+TEST_P(FeatureGeneratorTest, NotConstant) {
+  GeneratorConfig config;
+  config.length = 512;
+  const Series s = GenerateFeature(GetParam(), config);
+  EXPECT_GT(Variance(s), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeatures, FeatureGeneratorTest,
+                         testing::ValuesIn(AllTsFeatures()),
+                         [](const testing::TestParamInfo<TsFeature>& info) {
+                           return TsFeatureName(info.param);
+                         });
+
+TEST(GeneratorProperties, TrendIsMonotoneInAggregate) {
+  GeneratorConfig config;
+  config.length = 1024;
+  config.noise_stddev = 0.0;
+  const Series s = GenerateFeature(TsFeature::kTrend, config);
+  const double first_half = Mean(Series(s.begin(), s.begin() + 512));
+  const double second_half = Mean(Series(s.begin() + 512, s.end()));
+  EXPECT_NE(first_half, second_half);
+}
+
+TEST(GeneratorProperties, SeasonalOscillatesAroundCenter) {
+  GeneratorConfig config;
+  config.length = 2048;
+  config.noise_stddev = 0.0;
+  const Series s = GenerateFeature(TsFeature::kSeasonal, config);
+  EXPECT_NEAR(Mean(s), 0.5, 0.1);
+  const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+  EXPECT_GT(*hi - *lo, 0.3);
+}
+
+TEST(GeneratorProperties, SpikesMostlyBaseline) {
+  GeneratorConfig config;
+  config.length = 2048;
+  config.noise_stddev = 0.0;
+  const Series s = GenerateFeature(TsFeature::kSpikes, config);
+  int at_base = 0;
+  for (double x : s) {
+    if (std::fabs(x - 0.2) < 1e-9) ++at_base;
+  }
+  EXPECT_GT(at_base, static_cast<int>(s.size()) / 2);
+}
+
+TEST(GeneratorProperties, StepHasFewDistinctLevels) {
+  GeneratorConfig config;
+  config.length = 1024;
+  config.noise_stddev = 0.0;
+  const Series s = GenerateFeature(TsFeature::kStep, config);
+  std::vector<double> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_LE(sorted.size(), 4u);
+  EXPECT_GE(sorted.size(), 2u);
+}
+
+TEST(CompositeGenerator, EqualWeightsMixesAll) {
+  GeneratorConfig config;
+  config.length = 512;
+  const Series s = GenerateCompositeAll(config);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_GT(Variance(s), 0.0);
+}
+
+TEST(CompositeGenerator, ZeroWeightDropsFeature) {
+  GeneratorConfig config;
+  config.length = 256;
+  config.noise_stddev = 0.0;
+  std::vector<double> only_trend(kNumTsFeatures, 0.0);
+  only_trend[0] = 1.0;
+  const Series composite = GenerateComposite(only_trend, config);
+  const Series trend =
+      GenerateFeature(TsFeature::kTrend, GeneratorConfig{
+                                             config.length, 0.0, config.seed});
+  EXPECT_EQ(composite, trend);
+}
+
+TEST(CompositeGenerator, WeightsShorterThanFeatureCountOk) {
+  GeneratorConfig config;
+  config.length = 64;
+  const Series s = GenerateComposite({1.0, 1.0}, config);
+  EXPECT_EQ(s.size(), 64u);
+}
+
+TEST(TsFeatureNames, AllNamed) {
+  for (TsFeature f : AllTsFeatures()) {
+    EXPECT_STRNE(TsFeatureName(f), "unknown");
+  }
+  EXPECT_EQ(AllTsFeatures().size(), static_cast<std::size_t>(kNumTsFeatures));
+}
+
+}  // namespace
+}  // namespace apollo

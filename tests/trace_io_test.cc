@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/trace_io.h"
+
+namespace apollo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIo, SeriesRoundTripMultiColumn) {
+  const std::string path = TempPath("series.csv");
+  const Series a = {1.5, 2.5, 3.5};
+  const Series b = {10, 20, 30, 40};  // longer: pads column a
+  ASSERT_TRUE(WriteSeriesCsv(path, {"a", "b"}, {a, b}, 0.5).ok());
+
+  auto a_back = ReadSeriesCsvColumn(path, "a");
+  auto b_back = ReadSeriesCsvColumn(path, "b");
+  ASSERT_TRUE(a_back.ok());
+  ASSERT_TRUE(b_back.ok());
+  EXPECT_EQ(*a_back, a);
+  EXPECT_EQ(*b_back, b);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SeriesColumnByIndexIncludesTime) {
+  const std::string path = TempPath("series_idx.csv");
+  ASSERT_TRUE(WriteSeriesCsv(path, {"x"}, {{7, 8}}, 2.0).ok());
+  auto t = ReadSeriesCsvColumn(path, std::size_t{0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, (Series{0.0, 2.0}));
+  auto x = ReadSeriesCsvColumn(path, std::size_t{1});
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, (Series{7, 8}));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SeriesErrors) {
+  EXPECT_FALSE(WriteSeriesCsv("/no/such/dir/f.csv", {"a"}, {{1}}).ok());
+  EXPECT_FALSE(WriteSeriesCsv(TempPath("bad.csv"), {"a", "b"}, {{1}}).ok());
+  EXPECT_FALSE(ReadSeriesCsvColumn("/no/such/file.csv", "a").ok());
+
+  const std::string path = TempPath("one_col.csv");
+  ASSERT_TRUE(WriteSeriesCsv(path, {"only"}, {{1, 2}}).ok());
+  EXPECT_FALSE(ReadSeriesCsvColumn(path, "missing").ok());
+  EXPECT_FALSE(ReadSeriesCsvColumn(path, std::size_t{9}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CapacityTraceRoundTrip) {
+  HaccTraceConfig config;
+  config.irregular = true;
+  config.duration = Seconds(120);
+  const CapacityTrace trace = MakeHaccCapacityTrace(config);
+
+  const std::string path = TempPath("trace.csv");
+  ASSERT_TRUE(WriteCapacityTraceCsv(path, trace).ok());
+  auto back = ReadCapacityTraceCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->points(), trace.points());
+  // Replays identically.
+  for (TimeNs t = 0; t <= config.duration; t += Seconds(7)) {
+    EXPECT_DOUBLE_EQ(back->ValueAt(t), trace.ValueAt(t));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CapacityTraceRejectsGarbage) {
+  const std::string path = TempPath("garbage.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("definitely,not\na,trace\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadCapacityTraceCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvDirFromEnv) {
+  unsetenv("APOLLO_CSV_DIR");
+  EXPECT_TRUE(CsvDirFromEnv().empty());
+  setenv("APOLLO_CSV_DIR", "/tmp/plots", 1);
+  EXPECT_EQ(CsvDirFromEnv(), "/tmp/plots");
+  unsetenv("APOLLO_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace apollo
