@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aqe.dir/bench_ablation_aqe.cpp.o"
+  "CMakeFiles/bench_ablation_aqe.dir/bench_ablation_aqe.cpp.o.d"
+  "bench_ablation_aqe"
+  "bench_ablation_aqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

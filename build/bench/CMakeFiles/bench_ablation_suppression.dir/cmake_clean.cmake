@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_suppression.dir/bench_ablation_suppression.cpp.o"
+  "CMakeFiles/bench_ablation_suppression.dir/bench_ablation_suppression.cpp.o.d"
+  "bench_ablation_suppression"
+  "bench_ablation_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

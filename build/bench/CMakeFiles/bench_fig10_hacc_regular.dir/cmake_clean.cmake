@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hacc_regular.dir/bench_fig10_hacc_regular.cpp.o"
+  "CMakeFiles/bench_fig10_hacc_regular.dir/bench_fig10_hacc_regular.cpp.o.d"
+  "bench_fig10_hacc_regular"
+  "bench_fig10_hacc_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hacc_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_delphi_vs_lstm.dir/bench_fig11_delphi_vs_lstm.cpp.o"
+  "CMakeFiles/bench_fig11_delphi_vs_lstm.dir/bench_fig11_delphi_vs_lstm.cpp.o.d"
+  "bench_fig11_delphi_vs_lstm"
+  "bench_fig11_delphi_vs_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_delphi_vs_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_delphi_vs_lstm.
+# This may be replaced when dependencies are built.

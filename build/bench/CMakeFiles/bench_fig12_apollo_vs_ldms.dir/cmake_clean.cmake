@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_apollo_vs_ldms.dir/bench_fig12_apollo_vs_ldms.cpp.o"
+  "CMakeFiles/bench_fig12_apollo_vs_ldms.dir/bench_fig12_apollo_vs_ldms.cpp.o.d"
+  "bench_fig12_apollo_vs_ldms"
+  "bench_fig12_apollo_vs_ldms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_apollo_vs_ldms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_middleware.dir/bench_fig13_middleware.cpp.o"
+  "CMakeFiles/bench_fig13_middleware.dir/bench_fig13_middleware.cpp.o.d"
+  "bench_fig13_middleware"
+  "bench_fig13_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_aimd.dir/bench_fig8_aimd.cpp.o"
+  "CMakeFiles/bench_fig8_aimd.dir/bench_fig8_aimd.cpp.o.d"
+  "bench_fig8_aimd"
+  "bench_fig8_aimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_aimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hacc_irregular.dir/bench_fig9_hacc_irregular.cpp.o"
+  "CMakeFiles/bench_fig9_hacc_irregular.dir/bench_fig9_hacc_irregular.cpp.o.d"
+  "bench_fig9_hacc_irregular"
+  "bench_fig9_hacc_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hacc_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adaptive_monitoring.cpp" "examples/CMakeFiles/adaptive_monitoring.dir/adaptive_monitoring.cpp.o" "gcc" "examples/CMakeFiles/adaptive_monitoring.dir/adaptive_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apollo/CMakeFiles/apollo_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/insights/CMakeFiles/apollo_insights.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/apollo_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/apollo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqe/CMakeFiles/apollo_aqe.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/apollo_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/delphi/CMakeFiles/apollo_delphi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apollo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/apollo_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apollo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventloop/CMakeFiles/apollo_eventloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

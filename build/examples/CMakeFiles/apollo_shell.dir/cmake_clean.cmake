@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_shell.dir/apollo_shell.cpp.o"
+  "CMakeFiles/apollo_shell.dir/apollo_shell.cpp.o.d"
+  "apollo_shell"
+  "apollo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

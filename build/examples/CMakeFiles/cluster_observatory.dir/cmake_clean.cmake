@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_observatory.dir/cluster_observatory.cpp.o"
+  "CMakeFiles/cluster_observatory.dir/cluster_observatory.cpp.o.d"
+  "cluster_observatory"
+  "cluster_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_placement.dir/data_placement.cpp.o"
+  "CMakeFiles/data_placement.dir/data_placement.cpp.o.d"
+  "data_placement"
+  "data_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_catalog.dir/insight_catalog.cpp.o"
+  "CMakeFiles/insight_catalog.dir/insight_catalog.cpp.o.d"
+  "insight_catalog"
+  "insight_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

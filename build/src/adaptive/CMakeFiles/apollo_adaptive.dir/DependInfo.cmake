@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/entropy_controller.cc" "src/adaptive/CMakeFiles/apollo_adaptive.dir/entropy_controller.cc.o" "gcc" "src/adaptive/CMakeFiles/apollo_adaptive.dir/entropy_controller.cc.o.d"
+  "/root/repo/src/adaptive/interval_controller.cc" "src/adaptive/CMakeFiles/apollo_adaptive.dir/interval_controller.cc.o" "gcc" "src/adaptive/CMakeFiles/apollo_adaptive.dir/interval_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_adaptive.dir/entropy_controller.cc.o"
+  "CMakeFiles/apollo_adaptive.dir/entropy_controller.cc.o.d"
+  "CMakeFiles/apollo_adaptive.dir/interval_controller.cc.o"
+  "CMakeFiles/apollo_adaptive.dir/interval_controller.cc.o.d"
+  "libapollo_adaptive.a"
+  "libapollo_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

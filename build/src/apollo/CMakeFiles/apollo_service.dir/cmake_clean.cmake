@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_service.dir/apollo_service.cc.o"
+  "CMakeFiles/apollo_service.dir/apollo_service.cc.o.d"
+  "CMakeFiles/apollo_service.dir/deployment_plan.cc.o"
+  "CMakeFiles/apollo_service.dir/deployment_plan.cc.o.d"
+  "libapollo_service.a"
+  "libapollo_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

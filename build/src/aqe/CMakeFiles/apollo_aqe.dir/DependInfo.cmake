@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqe/executor.cc" "src/aqe/CMakeFiles/apollo_aqe.dir/executor.cc.o" "gcc" "src/aqe/CMakeFiles/apollo_aqe.dir/executor.cc.o.d"
+  "/root/repo/src/aqe/parser.cc" "src/aqe/CMakeFiles/apollo_aqe.dir/parser.cc.o" "gcc" "src/aqe/CMakeFiles/apollo_aqe.dir/parser.cc.o.d"
+  "/root/repo/src/aqe/query_builder.cc" "src/aqe/CMakeFiles/apollo_aqe.dir/query_builder.cc.o" "gcc" "src/aqe/CMakeFiles/apollo_aqe.dir/query_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_aqe.dir/executor.cc.o"
+  "CMakeFiles/apollo_aqe.dir/executor.cc.o.d"
+  "CMakeFiles/apollo_aqe.dir/parser.cc.o"
+  "CMakeFiles/apollo_aqe.dir/parser.cc.o.d"
+  "CMakeFiles/apollo_aqe.dir/query_builder.cc.o"
+  "CMakeFiles/apollo_aqe.dir/query_builder.cc.o.d"
+  "libapollo_aqe.a"
+  "libapollo_aqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_aqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

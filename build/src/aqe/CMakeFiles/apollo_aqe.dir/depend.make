@@ -1,0 +1,2 @@
+# Empty dependencies file for apollo_aqe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_baselines.dir/flat_store.cc.o"
+  "CMakeFiles/apollo_baselines.dir/flat_store.cc.o.d"
+  "CMakeFiles/apollo_baselines.dir/ldms_like.cc.o"
+  "CMakeFiles/apollo_baselines.dir/ldms_like.cc.o.d"
+  "libapollo_baselines.a"
+  "libapollo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

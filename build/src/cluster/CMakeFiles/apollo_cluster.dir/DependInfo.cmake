@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/device.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/device.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/device.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/node.cc.o.d"
+  "/root/repo/src/cluster/slurm_sim.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/slurm_sim.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/slurm_sim.cc.o.d"
+  "/root/repo/src/cluster/trace_io.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/trace_io.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/trace_io.cc.o.d"
+  "/root/repo/src/cluster/workloads.cc" "src/cluster/CMakeFiles/apollo_cluster.dir/workloads.cc.o" "gcc" "src/cluster/CMakeFiles/apollo_cluster.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

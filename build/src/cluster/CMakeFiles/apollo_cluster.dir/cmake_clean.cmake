@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_cluster.dir/cluster.cc.o"
+  "CMakeFiles/apollo_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/apollo_cluster.dir/device.cc.o"
+  "CMakeFiles/apollo_cluster.dir/device.cc.o.d"
+  "CMakeFiles/apollo_cluster.dir/node.cc.o"
+  "CMakeFiles/apollo_cluster.dir/node.cc.o.d"
+  "CMakeFiles/apollo_cluster.dir/slurm_sim.cc.o"
+  "CMakeFiles/apollo_cluster.dir/slurm_sim.cc.o.d"
+  "CMakeFiles/apollo_cluster.dir/trace_io.cc.o"
+  "CMakeFiles/apollo_cluster.dir/trace_io.cc.o.d"
+  "CMakeFiles/apollo_cluster.dir/workloads.cc.o"
+  "CMakeFiles/apollo_cluster.dir/workloads.cc.o.d"
+  "libapollo_cluster.a"
+  "libapollo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_common.dir/clock.cc.o"
+  "CMakeFiles/apollo_common.dir/clock.cc.o.d"
+  "CMakeFiles/apollo_common.dir/expected.cc.o"
+  "CMakeFiles/apollo_common.dir/expected.cc.o.d"
+  "CMakeFiles/apollo_common.dir/histogram.cc.o"
+  "CMakeFiles/apollo_common.dir/histogram.cc.o.d"
+  "CMakeFiles/apollo_common.dir/logging.cc.o"
+  "CMakeFiles/apollo_common.dir/logging.cc.o.d"
+  "CMakeFiles/apollo_common.dir/proc_stats.cc.o"
+  "CMakeFiles/apollo_common.dir/proc_stats.cc.o.d"
+  "libapollo_common.a"
+  "libapollo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapollo_common.a"
+)

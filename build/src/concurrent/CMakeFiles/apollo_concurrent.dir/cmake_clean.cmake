@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_concurrent.dir/thread_pool.cc.o"
+  "CMakeFiles/apollo_concurrent.dir/thread_pool.cc.o.d"
+  "libapollo_concurrent.a"
+  "libapollo_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

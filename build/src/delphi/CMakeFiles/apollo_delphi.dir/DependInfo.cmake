@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delphi/delphi_model.cc" "src/delphi/CMakeFiles/apollo_delphi.dir/delphi_model.cc.o" "gcc" "src/delphi/CMakeFiles/apollo_delphi.dir/delphi_model.cc.o.d"
+  "/root/repo/src/delphi/feature_models.cc" "src/delphi/CMakeFiles/apollo_delphi.dir/feature_models.cc.o" "gcc" "src/delphi/CMakeFiles/apollo_delphi.dir/feature_models.cc.o.d"
+  "/root/repo/src/delphi/lstm_baseline.cc" "src/delphi/CMakeFiles/apollo_delphi.dir/lstm_baseline.cc.o" "gcc" "src/delphi/CMakeFiles/apollo_delphi.dir/lstm_baseline.cc.o.d"
+  "/root/repo/src/delphi/predictor.cc" "src/delphi/CMakeFiles/apollo_delphi.dir/predictor.cc.o" "gcc" "src/delphi/CMakeFiles/apollo_delphi.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/apollo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

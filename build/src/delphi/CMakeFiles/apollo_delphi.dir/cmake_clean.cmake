@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_delphi.dir/delphi_model.cc.o"
+  "CMakeFiles/apollo_delphi.dir/delphi_model.cc.o.d"
+  "CMakeFiles/apollo_delphi.dir/feature_models.cc.o"
+  "CMakeFiles/apollo_delphi.dir/feature_models.cc.o.d"
+  "CMakeFiles/apollo_delphi.dir/lstm_baseline.cc.o"
+  "CMakeFiles/apollo_delphi.dir/lstm_baseline.cc.o.d"
+  "CMakeFiles/apollo_delphi.dir/predictor.cc.o"
+  "CMakeFiles/apollo_delphi.dir/predictor.cc.o.d"
+  "libapollo_delphi.a"
+  "libapollo_delphi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_delphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

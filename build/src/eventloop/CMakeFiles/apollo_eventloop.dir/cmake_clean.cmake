@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_eventloop.dir/event_loop.cc.o"
+  "CMakeFiles/apollo_eventloop.dir/event_loop.cc.o.d"
+  "libapollo_eventloop.a"
+  "libapollo_eventloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_eventloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_insights.dir/curations.cc.o"
+  "CMakeFiles/apollo_insights.dir/curations.cc.o.d"
+  "CMakeFiles/apollo_insights.dir/insight_fns.cc.o"
+  "CMakeFiles/apollo_insights.dir/insight_fns.cc.o.d"
+  "libapollo_insights.a"
+  "libapollo_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

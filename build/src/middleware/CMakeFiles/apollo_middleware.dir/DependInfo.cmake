@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/apps.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/apps.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/apps.cc.o.d"
+  "/root/repo/src/middleware/hcompress.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/hcompress.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/hcompress.cc.o.d"
+  "/root/repo/src/middleware/hdfe.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdfe.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdfe.cc.o.d"
+  "/root/repo/src/middleware/hdpe.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdpe.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdpe.cc.o.d"
+  "/root/repo/src/middleware/hdre.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdre.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/hdre.cc.o.d"
+  "/root/repo/src/middleware/tiers.cc" "src/middleware/CMakeFiles/apollo_middleware.dir/tiers.cc.o" "gcc" "src/middleware/CMakeFiles/apollo_middleware.dir/tiers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/apollo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

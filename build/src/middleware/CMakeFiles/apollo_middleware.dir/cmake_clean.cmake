@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_middleware.dir/apps.cc.o"
+  "CMakeFiles/apollo_middleware.dir/apps.cc.o.d"
+  "CMakeFiles/apollo_middleware.dir/hcompress.cc.o"
+  "CMakeFiles/apollo_middleware.dir/hcompress.cc.o.d"
+  "CMakeFiles/apollo_middleware.dir/hdfe.cc.o"
+  "CMakeFiles/apollo_middleware.dir/hdfe.cc.o.d"
+  "CMakeFiles/apollo_middleware.dir/hdpe.cc.o"
+  "CMakeFiles/apollo_middleware.dir/hdpe.cc.o.d"
+  "CMakeFiles/apollo_middleware.dir/hdre.cc.o"
+  "CMakeFiles/apollo_middleware.dir/hdre.cc.o.d"
+  "CMakeFiles/apollo_middleware.dir/tiers.cc.o"
+  "CMakeFiles/apollo_middleware.dir/tiers.cc.o.d"
+  "libapollo_middleware.a"
+  "libapollo_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

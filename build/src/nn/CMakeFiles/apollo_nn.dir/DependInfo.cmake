@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/apollo_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/apollo_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/apollo_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/apollo_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/apollo_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/apollo_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/apollo_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

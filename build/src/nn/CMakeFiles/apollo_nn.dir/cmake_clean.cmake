@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_nn.dir/dense.cc.o"
+  "CMakeFiles/apollo_nn.dir/dense.cc.o.d"
+  "CMakeFiles/apollo_nn.dir/layer.cc.o"
+  "CMakeFiles/apollo_nn.dir/layer.cc.o.d"
+  "CMakeFiles/apollo_nn.dir/lstm.cc.o"
+  "CMakeFiles/apollo_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/apollo_nn.dir/matrix.cc.o"
+  "CMakeFiles/apollo_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/apollo_nn.dir/optimizer.cc.o"
+  "CMakeFiles/apollo_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/apollo_nn.dir/sequential.cc.o"
+  "CMakeFiles/apollo_nn.dir/sequential.cc.o.d"
+  "libapollo_nn.a"
+  "libapollo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_pubsub.dir/broker.cc.o"
+  "CMakeFiles/apollo_pubsub.dir/broker.cc.o.d"
+  "libapollo_pubsub.a"
+  "libapollo_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

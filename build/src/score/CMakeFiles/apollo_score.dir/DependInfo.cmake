@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/score/fact_vertex.cc" "src/score/CMakeFiles/apollo_score.dir/fact_vertex.cc.o" "gcc" "src/score/CMakeFiles/apollo_score.dir/fact_vertex.cc.o.d"
+  "/root/repo/src/score/insight_vertex.cc" "src/score/CMakeFiles/apollo_score.dir/insight_vertex.cc.o" "gcc" "src/score/CMakeFiles/apollo_score.dir/insight_vertex.cc.o.d"
+  "/root/repo/src/score/monitor_hook.cc" "src/score/CMakeFiles/apollo_score.dir/monitor_hook.cc.o" "gcc" "src/score/CMakeFiles/apollo_score.dir/monitor_hook.cc.o.d"
+  "/root/repo/src/score/score_graph.cc" "src/score/CMakeFiles/apollo_score.dir/score_graph.cc.o" "gcc" "src/score/CMakeFiles/apollo_score.dir/score_graph.cc.o.d"
+  "/root/repo/src/score/vertex_stats.cc" "src/score/CMakeFiles/apollo_score.dir/vertex_stats.cc.o" "gcc" "src/score/CMakeFiles/apollo_score.dir/vertex_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventloop/CMakeFiles/apollo_eventloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/apollo_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/delphi/CMakeFiles/apollo_delphi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apollo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apollo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_score.dir/fact_vertex.cc.o"
+  "CMakeFiles/apollo_score.dir/fact_vertex.cc.o.d"
+  "CMakeFiles/apollo_score.dir/insight_vertex.cc.o"
+  "CMakeFiles/apollo_score.dir/insight_vertex.cc.o.d"
+  "CMakeFiles/apollo_score.dir/monitor_hook.cc.o"
+  "CMakeFiles/apollo_score.dir/monitor_hook.cc.o.d"
+  "CMakeFiles/apollo_score.dir/score_graph.cc.o"
+  "CMakeFiles/apollo_score.dir/score_graph.cc.o.d"
+  "CMakeFiles/apollo_score.dir/vertex_stats.cc.o"
+  "CMakeFiles/apollo_score.dir/vertex_stats.cc.o.d"
+  "libapollo_score.a"
+  "libapollo_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_timeseries.dir/generators.cc.o"
+  "CMakeFiles/apollo_timeseries.dir/generators.cc.o.d"
+  "CMakeFiles/apollo_timeseries.dir/series.cc.o"
+  "CMakeFiles/apollo_timeseries.dir/series.cc.o.d"
+  "CMakeFiles/apollo_timeseries.dir/stats.cc.o"
+  "CMakeFiles/apollo_timeseries.dir/stats.cc.o.d"
+  "libapollo_timeseries.a"
+  "libapollo_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_test.cc" "tests/CMakeFiles/apollo_tests.dir/adaptive_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/adaptive_test.cc.o.d"
+  "/root/repo/tests/apollo_service_test.cc" "tests/CMakeFiles/apollo_tests.dir/apollo_service_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/apollo_service_test.cc.o.d"
+  "/root/repo/tests/aqe_test.cc" "tests/CMakeFiles/apollo_tests.dir/aqe_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/aqe_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/apollo_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/apollo_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/apollo_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/concurrent_test.cc" "tests/CMakeFiles/apollo_tests.dir/concurrent_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/concurrent_test.cc.o.d"
+  "/root/repo/tests/delphi_test.cc" "tests/CMakeFiles/apollo_tests.dir/delphi_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/delphi_test.cc.o.d"
+  "/root/repo/tests/deployment_plan_test.cc" "tests/CMakeFiles/apollo_tests.dir/deployment_plan_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/deployment_plan_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/apollo_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/entropy_test.cc" "tests/CMakeFiles/apollo_tests.dir/entropy_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/entropy_test.cc.o.d"
+  "/root/repo/tests/eventloop_test.cc" "tests/CMakeFiles/apollo_tests.dir/eventloop_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/eventloop_test.cc.o.d"
+  "/root/repo/tests/hcompress_test.cc" "tests/CMakeFiles/apollo_tests.dir/hcompress_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/hcompress_test.cc.o.d"
+  "/root/repo/tests/insight_fns_test.cc" "tests/CMakeFiles/apollo_tests.dir/insight_fns_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/insight_fns_test.cc.o.d"
+  "/root/repo/tests/insights_test.cc" "tests/CMakeFiles/apollo_tests.dir/insights_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/insights_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/apollo_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/middleware_test.cc" "tests/CMakeFiles/apollo_tests.dir/middleware_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/middleware_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/apollo_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/apollo_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/apollo_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/pubsub_test.cc" "tests/CMakeFiles/apollo_tests.dir/pubsub_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/pubsub_test.cc.o.d"
+  "/root/repo/tests/query_builder_test.cc" "tests/CMakeFiles/apollo_tests.dir/query_builder_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/query_builder_test.cc.o.d"
+  "/root/repo/tests/score_test.cc" "tests/CMakeFiles/apollo_tests.dir/score_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/score_test.cc.o.d"
+  "/root/repo/tests/subscription_test.cc" "tests/CMakeFiles/apollo_tests.dir/subscription_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/subscription_test.cc.o.d"
+  "/root/repo/tests/timeseries_test.cc" "tests/CMakeFiles/apollo_tests.dir/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/timeseries_test.cc.o.d"
+  "/root/repo/tests/trace_io_test.cc" "tests/CMakeFiles/apollo_tests.dir/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/apollo_tests.dir/trace_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apollo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/apollo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventloop/CMakeFiles/apollo_eventloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/apollo_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/apollo_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/apollo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/delphi/CMakeFiles/apollo_delphi.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/apollo_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apollo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/apollo_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/insights/CMakeFiles/apollo_insights.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqe/CMakeFiles/apollo_aqe.dir/DependInfo.cmake"
+  "/root/repo/build/src/apollo/CMakeFiles/apollo_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/apollo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/apollo_middleware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
