@@ -1,0 +1,242 @@
+// Hot-path microbenchmarks for the lock-striped broker, ring-buffer stream,
+// and O(1) rolling-aggregate query path.
+//
+// (a) publish: N producer threads, each publishing to its own topic through
+//     the striped registry via a resolved TopicHandle, against an in-bench
+//     replica of the seed layout (one global registry mutex + name lookup
+//     consulted on every publish, identical streams underneath).
+// (b) query: latest-value and predicate-free aggregate latency through the
+//     AQE executor at window sizes 4096 and 65536 — both paths answer from
+//     O(1) state, so latency should be flat in the window size.
+//
+// Results are printed as tables and written to BENCH_hotpath.json.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "bench/bench_util.h"
+#include "pubsub/broker.h"
+
+using namespace apollo;
+using namespace apollo::bench;
+
+namespace {
+
+// ---- seed-layout replica -------------------------------------------------
+// The pre-overhaul broker kept one mutex-guarded topic map and looked the
+// stream up by name (string hash + global lock) on every publish.
+// Reproduced here over the same TelemetryStream so the bench isolates the
+// registry layer — the thing the striping/handle overhaul replaced.
+
+class SeedBroker {
+ public:
+  void CreateTopic(const std::string& name, std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    topics_.try_emplace(name, std::make_unique<TelemetryStream>(capacity));
+  }
+
+  std::uint64_t Publish(const std::string& topic, TimeNs ts,
+                        const Sample& sample) {
+    TelemetryStream* stream;
+    {
+      std::lock_guard<std::mutex> lock(mu_);  // registry hit per publish
+      stream = topics_.at(topic).get();
+    }
+    return stream->Append(ts, sample);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<TelemetryStream>> topics_;
+};
+
+// ---- publish throughput --------------------------------------------------
+
+constexpr std::uint64_t kTotalEvents = 4'000'000;  // split across producers
+constexpr int kPublishReps = 3;                    // best-of to damp noise
+
+template <typename PublishFn>
+double RunProducersOnce(int producers, PublishFn&& publish) {
+  const std::uint64_t per_thread =
+      kTotalEvents / static_cast<std::uint64_t>(producers);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        publish(p, static_cast<TimeNs>(i));
+      }
+    });
+  }
+  Stopwatch watch;
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  return static_cast<double>(producers) * static_cast<double>(per_thread) /
+         watch.ElapsedSeconds();
+}
+
+// Realistic SCoRe topic names (node-qualified metric paths).
+std::string TopicName(int p) {
+  return "node" + std::to_string(p) + ".lustre.ost0.read_bytes";
+}
+
+double StripedPublishThroughput(int producers) {
+  double best = 0.0;
+  for (int rep = 0; rep < kPublishReps; ++rep) {
+    Broker broker(RealClock::Instance());
+    std::vector<TopicHandle> handles;
+    for (int p = 0; p < producers; ++p) {
+      broker.CreateTopic(TopicName(p), kLocalNode, 4096);
+      handles.push_back(*broker.Resolve(TopicName(p)));
+    }
+    best = std::max(best, RunProducersOnce(producers, [&](int p, TimeNs ts) {
+      (void)broker.Publish(handles[static_cast<std::size_t>(p)], kLocalNode,
+                           ts, Sample{ts, 1.0, Provenance::kMeasured});
+    }));
+  }
+  return best;
+}
+
+double SeedPublishThroughput(int producers) {
+  double best = 0.0;
+  for (int rep = 0; rep < kPublishReps; ++rep) {
+    SeedBroker broker;
+    std::vector<std::string> topics;
+    for (int p = 0; p < producers; ++p) {
+      topics.push_back(TopicName(p));
+      broker.CreateTopic(topics.back(), 4096);
+    }
+    best = std::max(best, RunProducersOnce(producers, [&](int p, TimeNs ts) {
+      (void)broker.Publish(topics[static_cast<std::size_t>(p)], ts,
+                           Sample{ts, 1.0, Provenance::kMeasured});
+    }));
+  }
+  return best;
+}
+
+// ---- query latency -------------------------------------------------------
+
+constexpr int kQueryIters = 20'000;
+
+double QueryLatencyNs(aqe::Executor& executor, const std::string& query) {
+  // Warm the plan cache (and fault in any lazy state) before timing.
+  auto warm = executor.Execute(query);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 warm.error().ToString().c_str());
+    return -1.0;
+  }
+  Stopwatch watch;
+  for (int i = 0; i < kQueryIters; ++i) {
+    auto rs = executor.Execute(query);
+    if (!rs.ok() || rs->NumRows() == 0) return -1.0;
+  }
+  return static_cast<double>(watch.ElapsedNs()) / kQueryIters;
+}
+
+struct QueryPoint {
+  std::size_t window;
+  double latest_ns;
+  double aggregate_ns;
+};
+
+QueryPoint MeasureQueries(std::size_t window) {
+  Broker broker(RealClock::Instance());
+  broker.CreateTopic("m", kLocalNode, window);
+  auto handle = *broker.Resolve("m");
+  for (std::size_t i = 0; i < window; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    (void)broker.Publish(handle, kLocalNode, ts,
+                         Sample{ts, static_cast<double>(i % 97),
+                                Provenance::kMeasured});
+  }
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  QueryPoint point;
+  point.window = window;
+  point.latest_ns = QueryLatencyNs(executor, "SELECT LAST(metric) FROM m");
+  point.aggregate_ns = QueryLatencyNs(
+      executor,
+      "SELECT COUNT(*), AVG(metric), MIN(metric), MAX(metric) FROM m");
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Hot path (a)",
+              "publish throughput: striped broker + topic handles vs "
+              "seed-layout replica (global registry mutex, name lookup per "
+              "publish, same streams); one topic per producer, best of 3");
+  PrintRow({"producers", "striped ev/s", "seed ev/s", "speedup"});
+  struct PublishPoint {
+    int producers;
+    double striped;
+    double seed;
+  };
+  std::vector<PublishPoint> publish_points;
+  for (int producers : {1, 4, 16}) {
+    const double striped = StripedPublishThroughput(producers);
+    const double seed = SeedPublishThroughput(producers);
+    publish_points.push_back({producers, striped, seed});
+    PrintRow({std::to_string(producers), Fmt("%.0f", striped),
+              Fmt("%.0f", seed), Fmt("%.2fx", striped / seed)});
+  }
+  std::printf(
+      "expected shape: speedup grows with producer count as the seed "
+      "replica serializes on its registry mutex. On a single-core host "
+      "(this one has %u hardware threads) stripes cannot run in parallel, "
+      "so only the per-publish savings — no registry lock, no string "
+      "hash/lookup — remain visible.\n",
+      std::thread::hardware_concurrency());
+
+  PrintHeader("Hot path (b)",
+              "query latency through the AQE executor (plan cache warm); "
+              "latest-value and predicate-free aggregates answer from O(1) "
+              "state, flat across window sizes");
+  PrintRow({"window", "LAST ns/query", "aggregate ns/query"});
+  std::vector<QueryPoint> query_points;
+  for (std::size_t window : {std::size_t{4096}, std::size_t{65536}}) {
+    const QueryPoint point = MeasureQueries(window);
+    query_points.push_back(point);
+    PrintRow({std::to_string(window), Fmt("%.0f", point.latest_ns),
+              Fmt("%.0f", point.aggregate_ns)});
+  }
+  std::printf("expected shape: both columns flat in the window size\n");
+
+  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"host_hw_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"publish_throughput\": [\n");
+    for (std::size_t i = 0; i < publish_points.size(); ++i) {
+      const auto& p = publish_points[i];
+      std::fprintf(json,
+                   "    {\"producers\": %d, \"striped_events_per_sec\": "
+                   "%.0f, \"seed_events_per_sec\": %.0f, \"speedup\": "
+                   "%.3f}%s\n",
+                   p.producers, p.striped, p.seed, p.striped / p.seed,
+                   i + 1 < publish_points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"query_latency_ns\": [\n");
+    for (std::size_t i = 0; i < query_points.size(); ++i) {
+      const auto& q = query_points[i];
+      std::fprintf(json,
+                   "    {\"window\": %zu, \"latest_ns\": %.1f, "
+                   "\"aggregate_ns\": %.1f}%s\n",
+                   q.window, q.latest_ns, q.aggregate_ns,
+                   i + 1 < query_points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_hotpath.json\n");
+  }
+  return 0;
+}

@@ -152,21 +152,30 @@ ApolloService::SubscriptionId ApolloService::Subscribe(
     const std::string& topic, TimeNs poll_interval,
     SampleCallback callback) {
   const NodeId client = options_.client_node;
-  // The cursor lives in the timer closure; kUnset means "not attached to
-  // the topic yet" (topic may be created later).
-  auto cursor = std::make_shared<std::optional<std::uint64_t>>();
+  // Poll state lives in the timer closure: the topic handle (resolved once
+  // the topic exists), the consumer cursor, and a reused fetch buffer so
+  // steady-state polls allocate nothing.
+  struct PollState {
+    TopicHandle handle;
+    std::uint64_t cursor = 0;
+    std::vector<StreamEntry<Sample>> scratch;
+  };
+  auto state = std::make_shared<PollState>();
   Broker* broker = broker_.get();
   const TimerId timer = loop_->AddTimer(
-      0, [broker, topic, client, cursor,
+      0, [broker, topic, client, state,
           callback = std::move(callback), poll_interval](TimeNs) -> TimeNs {
-        auto stream = broker->GetTopic(topic);
-        if (!stream.ok()) return poll_interval;  // wait for creation
-        if (!cursor->has_value()) *cursor = 0;
-        std::uint64_t position = **cursor;
-        auto entries = broker->Fetch(topic, client, position);
-        if (entries.ok()) {
-          for (const auto& entry : *entries) callback(topic, entry);
-          *cursor = position;
+        if (!state->handle.valid()) {
+          auto resolved = broker->Resolve(topic);
+          if (!resolved.ok()) return poll_interval;  // wait for creation
+          state->handle = *std::move(resolved);
+        }
+        std::uint64_t position = state->cursor;
+        auto fetched = broker->FetchInto(state->handle, client, position,
+                                         state->scratch);
+        if (fetched.ok()) {
+          for (const auto& entry : state->scratch) callback(topic, entry);
+          state->cursor = position;
         }
         return poll_interval;
       });

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <numeric>
 
 namespace apollo::aqe {
 
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
 double CellOf(Column column, const StreamEntry<Sample>& entry) {
   switch (column) {
@@ -42,10 +45,84 @@ bool Matches(const Condition& cond, const StreamEntry<Sample>& entry) {
   return false;
 }
 
+bool MatchesAll(const std::vector<Condition>& where,
+                const StreamEntry<Sample>& entry) {
+  for (const Condition& cond : where) {
+    if (!Matches(cond, entry)) return false;
+  }
+  return true;
+}
+
 std::string LabelOf(const SelectItem& item) {
   if (item.aggregate == Aggregate::kNone) return ColumnName(item.column);
   return std::string(AggregateName(item.aggregate)) + "(" +
          ColumnName(item.column) + ")";
+}
+
+// Sum / min / max of a column over the window, read off the rolling index.
+double IndexSum(Column column, const StreamAggregates& agg) {
+  switch (column) {
+    case Column::kTimestamp:
+      return agg.sum_timestamp;
+    case Column::kMetric:
+      return agg.sum_value;
+    case Column::kPredicted:
+      return static_cast<double>(agg.predicted);
+    case Column::kStar:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double IndexMin(Column column, const StreamAggregates& agg) {
+  switch (column) {
+    case Column::kTimestamp:
+      return static_cast<double>(agg.min_timestamp);
+    case Column::kMetric:
+      return agg.min_value;
+    case Column::kPredicted:
+      return agg.predicted == agg.count ? 1.0 : 0.0;
+    case Column::kStar:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double IndexMax(Column column, const StreamAggregates& agg) {
+  switch (column) {
+    case Column::kTimestamp:
+      return static_cast<double>(agg.max_timestamp);
+    case Column::kMetric:
+      return agg.max_value;
+    case Column::kPredicted:
+      return agg.predicted > 0 ? 1.0 : 0.0;
+    case Column::kStar:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double IndexCell(const SelectItem& item,
+                 const std::optional<StreamAggregates>& agg) {
+  if (!agg.has_value()) {
+    return item.aggregate == Aggregate::kCount ? 0.0 : kNan;
+  }
+  switch (item.aggregate) {
+    case Aggregate::kNone:
+    case Aggregate::kLast:
+      return CellOf(item.column, agg->latest);
+    case Aggregate::kCount:
+      return static_cast<double>(agg->count);
+    case Aggregate::kSum:
+      return IndexSum(item.column, *agg);
+    case Aggregate::kAvg:
+      return IndexSum(item.column, *agg) / static_cast<double>(agg->count);
+    case Aggregate::kMin:
+      return IndexMin(item.column, *agg);
+    case Aggregate::kMax:
+      return IndexMax(item.column, *agg);
+  }
+  return kNan;
 }
 
 }  // namespace
@@ -54,12 +131,62 @@ Executor::Executor(Broker& broker, ThreadPool* pool, ExecutorOptions options)
     : broker_(broker), pool_(pool), options_(options) {}
 
 Expected<ResultSet> Executor::Execute(const std::string& query_text) {
-  auto query = Parse(query_text);
-  if (!query.ok()) return query.error();
-  return ExecuteQuery(*query);
+  std::shared_ptr<const Plan> plan;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(query_text);
+    if (it != plan_cache_.end()) plan = it->second;
+  }
+  if (plan == nullptr) {
+    auto parsed = Parse(query_text);
+    if (!parsed.ok()) return parsed.error();
+    auto fresh = std::make_shared<Plan>();
+    fresh->query = std::move(*parsed);
+    ResolveHandles(*fresh);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (plan_cache_.size() >= options_.plan_cache_capacity) {
+      plan_cache_.clear();
+    }
+    plan_cache_[query_text] = fresh;
+    plan = std::move(fresh);
+  } else if (plan->broker_version != broker_.RegistryVersion()) {
+    // Topic churn since plan time: re-resolve the handles once, keep the
+    // parse.
+    auto fresh = std::make_shared<Plan>(*plan);
+    ResolveHandles(*fresh);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    plan_cache_[query_text] = fresh;
+    plan = std::move(fresh);
+  }
+  return ExecutePlan(*plan);
 }
 
 Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
+  Plan plan;
+  plan.query = query;
+  ResolveHandles(plan);
+  return ExecutePlan(plan);
+}
+
+std::size_t Executor::PlanCacheSize() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return plan_cache_.size();
+}
+
+void Executor::ResolveHandles(Plan& plan) const {
+  plan.broker_version = broker_.RegistryVersion();
+  plan.handles.clear();
+  plan.handles.reserve(plan.query.selects.size());
+  for (const Select& select : plan.query.selects) {
+    auto handle = broker_.Resolve(select.table);
+    // Missing topics leave an invalid handle; ExecuteSelect retries the
+    // lookup (and errors, as before) so late-created topics still resolve.
+    plan.handles.push_back(handle.ok() ? *std::move(handle) : TopicHandle());
+  }
+}
+
+Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
+  const Query& query = plan.query;
   if (query.selects.empty()) {
     return Error(ErrorCode::kInvalidArgument, "empty query");
   }
@@ -71,9 +198,12 @@ Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
   if (pool_ != nullptr && query.selects.size() > 1) {
     std::vector<std::future<Expected<std::vector<ResultRow>>>> futures;
     futures.reserve(query.selects.size());
-    for (const Select& select : query.selects) {
+    for (std::size_t i = 0; i < query.selects.size(); ++i) {
+      const Select& select = query.selects[i];
       futures.push_back(
-          pool_->Submit([this, &select] { return ExecuteSelect(select); }));
+          pool_->Submit([this, &select, handle = plan.handles[i]]() mutable {
+            return ExecuteSelect(select, std::move(handle));
+          }));
     }
     for (auto& future : futures) {
       auto rows = future.get();
@@ -83,8 +213,8 @@ Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
     return result;
   }
 
-  for (const Select& select : query.selects) {
-    auto rows = ExecuteSelect(select);
+  for (std::size_t i = 0; i < query.selects.size(); ++i) {
+    auto rows = ExecuteSelect(query.selects[i], plan.handles[i]);
     if (!rows.ok()) return rows.error();
     for (auto& row : *rows) result.rows.push_back(std::move(row));
   }
@@ -92,24 +222,31 @@ Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
 }
 
 Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
-    const Select& select) const {
-  auto topic = broker_.GetTopic(select.table);
-  if (!topic.ok()) return topic.error();
-  TelemetryStream* stream = *topic;
-
-  // Charge the client->vertex network hop once per table access.
-  const NodeId home = broker_.HomeNode(select.table);
-  if (options_.client_node != home) {
-    // Reuse the broker's latency model via a zero-length fetch.
-    std::uint64_t probe_cursor = stream->NextId();
-    (void)broker_.Fetch(select.table, options_.client_node, probe_cursor, 0);
+    const Select& select, TopicHandle handle) const {
+  if (!handle.valid()) {
+    auto resolved = broker_.Resolve(select.table);
+    if (!resolved.ok()) return resolved.error();
+    handle = *std::move(resolved);
   }
+  TelemetryStream* stream = handle.stream();
+
+  // Charge the client->vertex network hop once per table access — a pure
+  // latency charge, no stream locks or registry lookups.
+  if (options_.client_node != handle.home_node()) {
+    (void)broker_.ChargeHop(handle, options_.client_node);
+  }
+
+  const bool has_aggregate =
+      std::any_of(select.items.begin(), select.items.end(),
+                  [](const SelectItem& item) {
+                    return item.aggregate != Aggregate::kNone;
+                  });
 
   // Fast path for the latest-value idiom (SELECT MAX(Timestamp), metric
   // FROM t with no predicates): the answer is the stream's newest entry —
   // no window scan, no archive. This is the query middleware issues per
   // placement decision, so it gets O(1) treatment.
-  if (select.where.empty() && !select.items.empty()) {
+  if (select.where.empty() && !select.items.empty() && has_aggregate) {
     const bool latest_only = std::all_of(
         select.items.begin(), select.items.end(),
         [](const SelectItem& item) {
@@ -118,22 +255,46 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
                  (item.aggregate == Aggregate::kMax &&
                   item.column == Column::kTimestamp);
         });
-    const bool has_aggregate_item = std::any_of(
-        select.items.begin(), select.items.end(),
-        [](const SelectItem& item) {
-          return item.aggregate != Aggregate::kNone;
-        });
-    if (latest_only && has_aggregate_item) {
+    if (latest_only) {
       auto latest = stream->Latest();
       ResultRow row;
       row.source = select.table;
       for (const SelectItem& item : select.items) {
-        row.values.push_back(
-            latest.has_value()
-                ? CellOf(item.column, *latest)
-                : std::numeric_limits<double>::quiet_NaN());
+        row.values.push_back(latest.has_value() ? CellOf(item.column, *latest)
+                                                : kNan);
       }
       return std::vector<ResultRow>{std::move(row)};
+    }
+
+    // O(1) rolling-aggregate path: COUNT/SUM/AVG/MIN/MAX with no WHERE
+    // answer from the stream's aggregate index instead of a window scan —
+    // unless an archive holds evicted rows, which the index does not cover
+    // (the full-window scan below merges them, as before).
+    Archiver<Sample>* archiver = stream->archiver();
+    bool archive_has_rows = archiver != nullptr;
+    if (archive_has_rows) {
+      stream->FlushEvictions();
+      archive_has_rows = archiver->Count() > 0;
+    }
+    if (!archive_has_rows) {
+      auto agg = stream->Aggregates();
+      const bool needs_ts_stats = std::any_of(
+          select.items.begin(), select.items.end(),
+          [](const SelectItem& item) {
+            return item.column == Column::kTimestamp &&
+                   (item.aggregate == Aggregate::kSum ||
+                    item.aggregate == Aggregate::kAvg ||
+                    item.aggregate == Aggregate::kMin ||
+                    item.aggregate == Aggregate::kMax);
+          });
+      if (!agg.has_value() || agg->timestamps_trusted || !needs_ts_stats) {
+        ResultRow row;
+        row.source = select.table;
+        for (const SelectItem& item : select.items) {
+          row.values.push_back(IndexCell(item, agg));
+        }
+        return std::vector<ResultRow>{std::move(row)};
+      }
     }
   }
 
@@ -162,135 +323,164 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     }
   }
 
-  std::vector<StreamEntry<Sample>> entries =
-      stream->RangeByTime(from_ts, to_ts);
-
-  // Archive fallback: if the query's lower bound precedes the in-memory
-  // window, pull older rows from the archiver.
+  // Archive fallback: if rows have been evicted and the query's range can
+  // reach below the in-memory window, snapshot the window and merge the
+  // older archived rows in front of it. Otherwise iterate the window in
+  // place — no snapshot, no allocation.
   Archiver<Sample>* archiver = stream->archiver();
-  if (archiver != nullptr) {
+  bool archive_has_rows = archiver != nullptr;
+  if (archive_has_rows) {
+    stream->FlushEvictions();
+    archive_has_rows = archiver->Count() > 0;
+  }
+
+  // Reused across calls on this thread: query execution allocates nothing
+  // on the steady-state (no-archive) path.
+  thread_local std::vector<StreamEntry<Sample>> scratch;
+  std::vector<StreamEntry<Sample>> merged;
+  bool use_merged = false;
+  if (archive_has_rows) {
+    stream->RangeByTime(from_ts, to_ts, scratch);
     // Archive rows strictly older than the in-memory ones; when the window
     // had no match at all, the whole range comes from the archive.
     const TimeNs archive_to =
-        entries.empty() ? to_ts : entries.front().timestamp - 1;
-    if (from_ts <= archive_to && archiver->Count() > 0) {
+        scratch.empty() ? to_ts : scratch.front().timestamp - 1;
+    if (from_ts <= archive_to) {
       auto archived = archiver->ReadRange(from_ts, archive_to);
       if (archived.ok()) {
-        std::vector<StreamEntry<Sample>> merged;
-        merged.reserve(archived->size() + entries.size());
+        merged.reserve(archived->size() + scratch.size());
         for (const auto& rec : *archived) {
           merged.push_back(
               StreamEntry<Sample>{rec.id, rec.timestamp, rec.payload});
         }
-        merged.insert(merged.end(), entries.begin(), entries.end());
-        entries = std::move(merged);
+        merged.insert(merged.end(), scratch.begin(), scratch.end());
+        use_merged = true;
       }
+    }
+    if (!use_merged) {
+      merged.assign(scratch.begin(), scratch.end());
+      use_merged = true;
     }
   }
 
-  // Apply remaining (non-timestamp-range) predicates.
-  std::vector<const StreamEntry<Sample>*> filtered;
-  filtered.reserve(entries.size());
-  for (const auto& entry : entries) {
-    bool keep = true;
-    for (const Condition& cond : select.where) {
-      if (!Matches(cond, entry)) {
-        keep = false;
-        break;
+  // Single-pass scan: predicates filter inline (no intermediate pointer
+  // vector); the no-archive path iterates the ring in place.
+  auto scan = [&](auto&& visit) {
+    if (use_merged) {
+      for (const auto& entry : merged) {
+        if (!visit(entry)) break;
       }
+    } else {
+      stream->ForEachInRange(from_ts, to_ts, visit);
     }
-    if (keep) filtered.push_back(&entry);
-  }
-
-  const bool has_aggregate =
-      std::any_of(select.items.begin(), select.items.end(),
-                  [](const SelectItem& item) {
-                    return item.aggregate != Aggregate::kNone;
-                  });
-
-  std::vector<ResultRow> rows;
+  };
 
   if (has_aggregate) {
     // One row; bare columns in an aggregate select resolve against the
     // latest matching entry (the paper's MAX(Timestamp), metric idiom).
-    const StreamEntry<Sample>* latest = nullptr;
-    for (const auto* entry : filtered) {
-      if (latest == nullptr || entry->value.timestamp >= latest->value.timestamp) {
+    struct ItemAcc {
+      double sum = 0.0;
+      double min = std::numeric_limits<double>::infinity();
+      double max = -std::numeric_limits<double>::infinity();
+    };
+    std::vector<ItemAcc> accs(select.items.size());
+    std::size_t matched = 0;
+    StreamEntry<Sample> latest{};
+    bool has_latest = false;
+
+    scan([&](const StreamEntry<Sample>& entry) {
+      if (!MatchesAll(select.where, entry)) return true;
+      ++matched;
+      if (!has_latest || entry.value.timestamp >= latest.value.timestamp) {
         latest = entry;
+        has_latest = true;
       }
-    }
+      for (std::size_t i = 0; i < select.items.size(); ++i) {
+        const SelectItem& item = select.items[i];
+        if (item.aggregate == Aggregate::kNone ||
+            item.aggregate == Aggregate::kLast ||
+            item.aggregate == Aggregate::kCount) {
+          continue;
+        }
+        const double v = CellOf(item.column, entry);
+        ItemAcc& acc = accs[i];
+        acc.sum += v;
+        acc.min = std::min(acc.min, v);
+        acc.max = std::max(acc.max, v);
+      }
+      return true;
+    });
+
     ResultRow row;
     row.source = select.table;
-    for (const SelectItem& item : select.items) {
-      double cell = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < select.items.size(); ++i) {
+      const SelectItem& item = select.items[i];
+      double cell = kNan;
       switch (item.aggregate) {
         case Aggregate::kNone:
         case Aggregate::kLast:
-          if (latest != nullptr) cell = CellOf(item.column, *latest);
+          if (has_latest) cell = CellOf(item.column, latest);
           break;
         case Aggregate::kCount:
-          cell = static_cast<double>(filtered.size());
+          cell = static_cast<double>(matched);
           break;
-        case Aggregate::kMax: {
-          double best = -std::numeric_limits<double>::infinity();
-          for (const auto* entry : filtered) {
-            best = std::max(best, CellOf(item.column, *entry));
-          }
-          if (!filtered.empty()) cell = best;
+        case Aggregate::kMax:
+          if (matched > 0) cell = accs[i].max;
           break;
-        }
-        case Aggregate::kMin: {
-          double best = std::numeric_limits<double>::infinity();
-          for (const auto* entry : filtered) {
-            best = std::min(best, CellOf(item.column, *entry));
-          }
-          if (!filtered.empty()) cell = best;
+        case Aggregate::kMin:
+          if (matched > 0) cell = accs[i].min;
           break;
-        }
+        case Aggregate::kSum:
+          if (matched > 0) cell = accs[i].sum;
+          break;
         case Aggregate::kAvg:
-        case Aggregate::kSum: {
-          double sum = 0.0;
-          for (const auto* entry : filtered) {
-            sum += CellOf(item.column, *entry);
-          }
-          if (!filtered.empty()) {
-            cell = item.aggregate == Aggregate::kSum
-                       ? sum
-                       : sum / static_cast<double>(filtered.size());
+          if (matched > 0) {
+            cell = accs[i].sum / static_cast<double>(matched);
           }
           break;
-        }
       }
       row.values.push_back(cell);
     }
-    rows.push_back(std::move(row));
-    return rows;
+    return std::vector<ResultRow>{std::move(row)};
   }
 
-  // Row-per-entry select.
-  std::vector<const StreamEntry<Sample>*> ordered = filtered;
-  if (select.order_by.has_value()) {
-    const OrderBy order = *select.order_by;
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [order](const StreamEntry<Sample>* a,
-                             const StreamEntry<Sample>* b) {
-                       const double av = CellOf(order.column, *a);
-                       const double bv = CellOf(order.column, *b);
-                       return order.descending ? av > bv : av < bv;
-                     });
-  }
-  std::size_t limit = ordered.size();
-  if (select.limit.has_value()) {
-    limit = std::min<std::size_t>(limit, *select.limit);
-  }
-  rows.reserve(limit);
-  for (std::size_t i = 0; i < limit; ++i) {
+  // Row-per-entry select, built in one pass. Without ORDER BY the scan
+  // stops as soon as LIMIT rows have matched.
+  const bool ordered = select.order_by.has_value();
+  const std::size_t limit = select.limit.has_value()
+                                ? static_cast<std::size_t>(*select.limit)
+                                : SIZE_MAX;
+  std::vector<ResultRow> rows;
+  std::vector<double> keys;  // sort keys, parallel to rows (ORDER BY only)
+
+  scan([&](const StreamEntry<Sample>& entry) {
+    if (!MatchesAll(select.where, entry)) return true;
+    if (!ordered && rows.size() >= limit) return false;
     ResultRow row;
     row.source = select.table;
+    row.values.reserve(select.items.size());
     for (const SelectItem& item : select.items) {
-      row.values.push_back(CellOf(item.column, *ordered[i]));
+      row.values.push_back(CellOf(item.column, entry));
     }
     rows.push_back(std::move(row));
+    if (ordered) keys.push_back(CellOf(select.order_by->column, entry));
+    return true;
+  });
+
+  if (ordered) {
+    const bool descending = select.order_by->descending;
+    std::vector<std::size_t> idx(rows.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return descending ? keys[a] > keys[b]
+                                         : keys[a] < keys[b];
+                     });
+    if (idx.size() > limit) idx.resize(limit);
+    std::vector<ResultRow> out;
+    out.reserve(idx.size());
+    for (std::size_t i : idx) out.push_back(std::move(rows[i]));
+    rows = std::move(out);
   }
   return rows;
 }

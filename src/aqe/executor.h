@@ -7,10 +7,18 @@
 // credits for its query-complexity scaling (Figure 12(b)). Rows come from
 // the in-memory stream window; WHERE clauses whose timestamp range reaches
 // below the window fall back to the vertex's Archiver.
+//
+// Hot path: middleware re-issues identical query strings on every placement
+// decision, so Execute() caches parsed plans (with per-branch TopicHandles
+// resolved at plan time) keyed by query text, and predicate-free aggregate
+// selects answer from the stream's O(1) rolling-aggregate index instead of
+// scanning the window.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "aqe/ast.h"
@@ -36,6 +44,8 @@ struct ResultSet {
 struct ExecutorOptions {
   // Perspective node for network-latency charging on remote topic access.
   NodeId client_node = kLocalNode;
+  // Parsed plans cached by query text; the cache resets when it fills.
+  std::size_t plan_cache_capacity = 1024;
 };
 
 class Executor {
@@ -45,18 +55,39 @@ class Executor {
   Executor(Broker& broker, ThreadPool* pool,
            ExecutorOptions options = {});
 
-  // Parses and executes.
+  // Parses (or fetches the cached plan) and executes.
   Expected<ResultSet> Execute(const std::string& query_text);
 
-  // Executes a pre-parsed query.
+  // Executes a pre-parsed query (no plan caching).
   Expected<ResultSet> ExecuteQuery(const Query& query);
 
+  // Cached plans currently held (observability/tests).
+  std::size_t PlanCacheSize() const;
+
  private:
-  Expected<std::vector<ResultRow>> ExecuteSelect(const Select& select) const;
+  // A parsed query plus one broker handle per UNION branch, resolved at
+  // plan time. `broker_version` detects topic churn; a handle for a topic
+  // that did not exist at plan time is invalid and re-resolves on use.
+  struct Plan {
+    Query query;
+    std::vector<TopicHandle> handles;  // parallel to query.selects
+    std::uint64_t broker_version = 0;
+  };
+
+  std::shared_ptr<const Plan> PlanFor(const std::string& query_text,
+                                      Expected<Query>&& parsed);
+  Expected<ResultSet> ExecutePlan(const Plan& plan);
+  Expected<std::vector<ResultRow>> ExecuteSelect(const Select& select,
+                                                 TopicHandle handle) const;
+
+  void ResolveHandles(Plan& plan) const;
 
   Broker& broker_;
   ThreadPool* pool_;
   ExecutorOptions options_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Plan>> plan_cache_;
 };
 
 }  // namespace apollo::aqe

@@ -1,112 +1,177 @@
 #include "pubsub/broker.h"
 
+#include <algorithm>
+
 namespace apollo {
 
 Expected<TelemetryStream*> Broker::CreateTopic(const std::string& name,
                                                NodeId home_node,
                                                std::size_t capacity,
                                                Archiver<Sample>* archiver) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = topics_.try_emplace(name);
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto [it, inserted] = stripe.topics.try_emplace(name);
   if (!inserted) {
     return Error(ErrorCode::kAlreadyExists, "topic exists: " + name);
   }
   it->second.info = TopicInfo{name, home_node};
   it->second.stream = std::make_unique<TelemetryStream>(capacity, archiver);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return it->second.stream.get();
 }
 
 Expected<TelemetryStream*> Broker::GetTopic(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(name);
-  if (it == topics_.end()) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.topics.find(name);
+  if (it == stripe.topics.end()) {
     return Error(ErrorCode::kNotFound, "no such topic: " + name);
   }
   return it->second.stream.get();
 }
 
+Expected<TopicHandle> Broker::Resolve(const std::string& name) const {
+  // Read the version before the lookup: a topic created/removed after this
+  // load at worst leaves the handle conservatively stale (it re-resolves on
+  // first use), never wrongly fresh.
+  const std::uint64_t version = version_.load(std::memory_order_acquire);
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.topics.find(name);
+  if (it == stripe.topics.end()) {
+    return Error(ErrorCode::kNotFound, "no such topic: " + name);
+  }
+  return TopicHandle(name, it->second.stream.get(),
+                     it->second.info.home_node, version);
+}
+
 Status Broker::RemoveTopic(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (topics_.erase(name) == 0) {
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.topics.erase(name) == 0) {
     return Status(ErrorCode::kNotFound, "no such topic: " + name);
   }
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
 bool Broker::HasTopic(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return topics_.count(name) > 0;
+  Stripe& stripe = StripeFor(name);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.topics.count(name) > 0;
 }
 
 std::vector<TopicInfo> Broker::ListTopics() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TopicInfo> out;
-  out.reserve(topics_.size());
-  for (const auto& [name, topic] : topics_) out.push_back(topic.info);
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, topic] : stripe.topics) {
+      out.push_back(topic.info);
+    }
+  }
   return out;
 }
 
 Expected<std::uint64_t> Broker::Publish(const std::string& topic,
                                         NodeId from_node, TimeNs timestamp,
                                         const Sample& sample) {
-  TelemetryStream* stream = nullptr;
-  NodeId home = kLocalNode;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end()) {
-      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
-    }
-    stream = it->second.stream.get();
-    home = it->second.info.home_node;
-  }
-  ChargeLatency(from_node, home);
-  return stream->Append(timestamp, sample);
+  auto handle = Resolve(topic);
+  if (!handle.ok()) return handle.error();
+  ChargeLatency(from_node, handle->home_node());
+  return handle->stream()->Append(timestamp, sample);
 }
 
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     const std::string& topic, NodeId to_node, std::uint64_t& cursor,
     std::size_t max_entries) {
-  TelemetryStream* stream = nullptr;
-  NodeId home = kLocalNode;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end()) {
-      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
-    }
-    stream = it->second.stream.get();
-    home = it->second.info.home_node;
-  }
-  ChargeLatency(home, to_node);
-  return stream->Read(cursor, max_entries);
+  auto handle = Resolve(topic);
+  if (!handle.ok()) return handle.error();
+  ChargeLatency(handle->home_node(), to_node);
+  return handle->stream()->Read(cursor, max_entries);
 }
 
 Expected<Sample> Broker::LatestValue(const std::string& topic,
                                      NodeId to_node) {
-  TelemetryStream* stream = nullptr;
-  NodeId home = kLocalNode;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end()) {
-      return Error(ErrorCode::kNotFound, "no such topic: " + topic);
-    }
-    stream = it->second.stream.get();
-    home = it->second.info.home_node;
-  }
-  ChargeLatency(home, to_node);
-  auto latest = stream->Latest();
+  auto handle = Resolve(topic);
+  if (!handle.ok()) return handle.error();
+  return LatestValue(*handle, to_node);
+}
+
+Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
+                                        TimeNs timestamp,
+                                        const Sample& sample) {
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  ChargeLatency(from_node, handle.home_);
+  return handle.stream_->Append(timestamp, sample);
+}
+
+Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
+    TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
+    std::size_t max_entries) {
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  ChargeLatency(handle.home_, to_node);
+  return handle.stream_->Read(cursor, max_entries);
+}
+
+Expected<std::size_t> Broker::FetchInto(
+    TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
+    std::vector<TelemetryStream::Entry>& out, std::size_t max_entries) {
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  ChargeLatency(handle.home_, to_node);
+  return handle.stream_->Read(cursor, out, max_entries);
+}
+
+Expected<Sample> Broker::LatestValue(TopicHandle& handle, NodeId to_node) {
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  ChargeLatency(handle.home_, to_node);
+  auto latest = handle.stream_->Latest();
   if (!latest.has_value()) {
-    return Error(ErrorCode::kUnavailable, "topic empty: " + topic);
+    return Error(ErrorCode::kUnavailable, "topic empty: " + handle.name_);
   }
   return latest->value;
 }
 
+Status Broker::ChargeHop(TopicHandle& handle, NodeId node) {
+  Status status = Refresh(handle);
+  if (!status.ok()) return status;
+  ChargeLatency(handle.home_, node);
+  return Status::Ok();
+}
+
+Status Broker::ChargeHop(const std::string& topic, NodeId node) {
+  auto handle = Resolve(topic);
+  if (!handle.ok()) return handle.status();
+  ChargeLatency(handle->home_node(), node);
+  return Status::Ok();
+}
+
 NodeId Broker::HomeNode(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = topics_.find(topic);
-  return it == topics_.end() ? kLocalNode : it->second.info.home_node;
+  Stripe& stripe = StripeFor(topic);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.topics.find(topic);
+  return it == stripe.topics.end() ? kLocalNode
+                                   : it->second.info.home_node;
+}
+
+Status Broker::Refresh(TopicHandle& handle) {
+  if (handle.version_ == version_.load(std::memory_order_acquire) &&
+      handle.stream_ != nullptr) {
+    return Status::Ok();
+  }
+  if (handle.name_.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "unresolved topic handle");
+  }
+  auto resolved = Resolve(handle.name_);
+  if (!resolved.ok()) {
+    handle.stream_ = nullptr;
+    return resolved.status();
+  }
+  handle = std::move(resolved.value());
+  return Status::Ok();
 }
 
 void Broker::ChargeLatency(NodeId a, NodeId b) {

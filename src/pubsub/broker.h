@@ -4,8 +4,17 @@
 // streams. A publish or fetch that crosses nodes pays the configured per-hop
 // latency, which is what makes the degree/Hamming-distance effects of
 // Figure 7 observable in a single process.
+//
+// Hot-path layout: the topic registry is sharded across kStripes
+// independently locked maps (hash of topic name -> stripe), so concurrent
+// publishers to different topics never contend on a registry lock. Steady-
+// state callers skip the registry entirely by resolving a TopicHandle once
+// (at deploy/plan time) and publishing/fetching through it; a registry
+// version counter lets handles self-heal after topic churn.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,8 +59,43 @@ struct TopicInfo {
   NodeId home_node = kLocalNode;  // node hosting the stream
 };
 
+// Stable reference to a topic: the stream pointer plus its cached home node,
+// resolved once instead of per-publish. A handle records the registry
+// version it was resolved under; broker accessors revalidate (one relaxed
+// atomic load) and transparently re-resolve by name after topic churn.
+// Holding a handle does not keep a removed topic alive — like raw
+// TelemetryStream pointers, teardown is coordinated by the caller.
+class TopicHandle {
+ public:
+  TopicHandle() = default;
+
+  bool valid() const { return stream_ != nullptr; }
+  TelemetryStream* stream() const { return stream_; }
+  NodeId home_node() const { return home_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Broker;
+  TopicHandle(std::string name, TelemetryStream* stream, NodeId home,
+              std::uint64_t version)
+      : name_(std::move(name)),
+        stream_(stream),
+        home_(home),
+        version_(version) {}
+
+  std::string name_;
+  TelemetryStream* stream_ = nullptr;
+  NodeId home_ = kLocalNode;
+  std::uint64_t version_ = 0;
+};
+
 class Broker {
  public:
+  // Registry stripe count. Power of two; 16 keeps the per-stripe footprint
+  // one cache line while exceeding the core counts the Figure 6 fan-in
+  // sweep exercises.
+  static constexpr std::size_t kStripes = 16;
+
   // `clock` is used to charge simulated network latency (SleepFor). A null
   // network model makes every hop free.
   explicit Broker(Clock& clock,
@@ -71,12 +115,18 @@ class Broker {
   // Looks up an existing topic's stream.
   Expected<TelemetryStream*> GetTopic(const std::string& name) const;
 
-  // Removes a topic. The stream is destroyed; outstanding pointers dangle,
-  // so callers coordinate teardown (vertices unregister before removal).
+  // Resolves a stable handle for steady-state access (deploy/plan time).
+  Expected<TopicHandle> Resolve(const std::string& name) const;
+
+  // Removes a topic. The stream is destroyed; outstanding pointers and
+  // handles dangle, so callers coordinate teardown (vertices unregister
+  // before removal).
   Status RemoveTopic(const std::string& name);
 
   bool HasTopic(const std::string& name) const;
   std::vector<TopicInfo> ListTopics() const;
+
+  // --- string-keyed access (registry lookup per call) ---
 
   // Publishes to a topic from `from_node`, charging network latency when the
   // topic lives on a different node. Returns the assigned entry id.
@@ -92,7 +142,36 @@ class Broker {
   // Latest entry of a topic as seen from `to_node` (charges latency).
   Expected<Sample> LatestValue(const std::string& topic, NodeId to_node);
 
+  // --- handle access (no registry lookup on the steady-state path) ---
+
+  Expected<std::uint64_t> Publish(TopicHandle& handle, NodeId from_node,
+                                  TimeNs timestamp, const Sample& sample);
+
+  Expected<std::vector<TelemetryStream::Entry>> Fetch(
+      TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
+      std::size_t max_entries = SIZE_MAX);
+
+  // Allocation-free fetch into a caller-owned scratch buffer (cleared
+  // first). Returns the number of entries read.
+  Expected<std::size_t> FetchInto(TopicHandle& handle, NodeId to_node,
+                                  std::uint64_t& cursor,
+                                  std::vector<TelemetryStream::Entry>& out,
+                                  std::size_t max_entries = SIZE_MAX);
+
+  Expected<Sample> LatestValue(TopicHandle& handle, NodeId to_node);
+
+  // Charges one topic->node network hop without touching the stream — the
+  // query path uses this instead of a zero-length Fetch probe.
+  Status ChargeHop(TopicHandle& handle, NodeId node);
+  Status ChargeHop(const std::string& topic, NodeId node);
+
   NodeId HomeNode(const std::string& topic) const;
+
+  // Registry version: bumped on topic create/remove. Handle caches (query
+  // plans, vertices) compare against this to detect churn.
+  std::uint64_t RegistryVersion() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   Clock& clock() { return clock_; }
 
@@ -102,12 +181,26 @@ class Broker {
     std::unique_ptr<TelemetryStream> stream;
   };
 
+  // Padded so neighboring stripes never share a cache line under fan-in.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Topic> topics;
+  };
+
+  Stripe& StripeFor(const std::string& name) const {
+    return stripes_[std::hash<std::string>{}(name) & (kStripes - 1)];
+  }
+
+  // Revalidates `handle` against the current registry version, re-resolving
+  // by name when stale. Hot path: one atomic load and a compare.
+  Status Refresh(TopicHandle& handle);
+
   void ChargeLatency(NodeId a, NodeId b);
 
   Clock& clock_;
   std::shared_ptr<const NetworkModel> network_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Topic> topics_;
+  std::atomic<std::uint64_t> version_{1};
+  mutable std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace apollo

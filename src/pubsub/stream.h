@@ -8,8 +8,17 @@
 //  - the in-memory window is bounded (XTRIM ~ maxlen) and evicted entries
 //    are handed to an optional Archiver.
 //
+// Hot-path layout: the window is a power-of-two ring buffer indexed by
+// entry id (slot = id & mask), so id lookup is O(1) and eviction is a
+// pointer bump — no deque node churn. The ring grows geometrically up to
+// the capacity so small streams stay small. Each Sample stream also keeps
+// a rolling aggregate index (count/sum/min/max/latest, monotonic wedges
+// for min/max) so predicate-free aggregate queries answer in O(1).
+//
 // Appends are mutex-protected: the queue-side throughput in Figure 6 is
-// dominated by fan-in contention which this reproduces faithfully.
+// dominated by fan-in contention which this reproduces faithfully. Archiver
+// evictions are batched and flushed *outside* the stream lock so file I/O
+// never serializes producers.
 #pragma once
 
 #include <algorithm>
@@ -34,48 +43,93 @@ struct StreamEntry {
   T value{};
 };
 
+// O(1) snapshot of the rolling aggregates over a Sample stream's in-memory
+// window. Sums are exact for integer-valued payloads (rolling add/subtract).
+struct StreamAggregates {
+  std::size_t count = 0;
+  double sum_value = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double sum_timestamp = 0.0;
+  TimeNs min_timestamp = 0;
+  TimeNs max_timestamp = 0;
+  std::uint64_t predicted = 0;  // entries with Provenance::kPredicted
+  // Timestamp stats index the payload timestamp via the window ends, which
+  // is only sound while every producer stamps Sample::timestamp equal to
+  // the entry timestamp (the SCoRe convention). Cleared — permanently —
+  // the first time a mismatched append is seen; readers then recompute
+  // timestamp aggregates by scanning.
+  bool timestamps_trusted = true;
+  StreamEntry<Sample> latest{};
+};
+
 template <typename T>
 class Stream {
  public:
   using Entry = StreamEntry<T>;
 
+  static constexpr bool kHasAggregateIndex = std::is_same_v<T, Sample>;
+
   // `capacity` bounds the in-memory window; `archiver` (optional, not owned)
   // receives evicted entries.
   explicit Stream(std::size_t capacity = 4096,
                   Archiver<T>* archiver = nullptr)
-      : capacity_(capacity == 0 ? 1 : capacity), archiver_(archiver) {}
+      : capacity_(capacity == 0 ? 1 : capacity), archiver_(archiver) {
+    ring_.resize(std::min<std::size_t>(RoundUpPow2(capacity_), 64));
+    mask_ = ring_.size() - 1;
+  }
 
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
-  // Appends an entry; returns its id. Thread-safe (multi-producer).
+  ~Stream() { FlushEvictions(); }
+
+  // Appends an entry; returns its id. Thread-safe (multi-producer). Evicted
+  // entries are staged under the lock and written to the archiver outside
+  // it (batched when producers outpace the archive).
   std::uint64_t Append(TimeNs timestamp, T value) {
     std::unique_lock<std::mutex> lock(mu_);
     const std::uint64_t id = next_id_++;
-    entries_.push_back(Entry{id, timestamp, std::move(value)});
-    if (entries_.size() > capacity_) {
-      const Entry& victim = entries_.front();
-      if (archiver_ != nullptr) {
-        archiver_->Append(victim.id, victim.timestamp, victim.value);
-      }
-      entries_.pop_front();
+    if (id - first_id_ == capacity_) {
+      Entry& victim = ring_[first_id_ & mask_];
+      if (archiver_ != nullptr) evict_pending_.push_back(victim);
+      if constexpr (kHasAggregateIndex) IndexEvict(victim);
+      ++first_id_;
+    } else if (id - first_id_ == ring_.size()) {
+      Grow();
     }
+    Entry& slot = ring_[id & mask_];
+    slot.id = id;
+    slot.timestamp = timestamp;
+    slot.value = std::move(value);
+    if constexpr (kHasAggregateIndex) IndexAppend(slot);
+    const bool flush = archiver_ != nullptr && !evict_pending_.empty();
     lock.unlock();
     cv_.notify_all();
+    if (flush) TryFlushEvictions();
     return id;
   }
 
-  // Reads up to `max_entries` entries with id >= cursor; advances cursor
-  // past the last returned entry. Non-blocking.
-  std::vector<Entry> Read(std::uint64_t& cursor,
-                          std::size_t max_entries = SIZE_MAX) const {
+  // Reads up to `max_entries` entries with id >= cursor into `out`
+  // (cleared first); advances cursor past the last returned entry.
+  // Non-blocking, no allocation once `out` has warmed up.
+  std::size_t Read(std::uint64_t& cursor, std::vector<Entry>& out,
+                   std::size_t max_entries = SIZE_MAX) const {
+    out.clear();
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Entry> out;
-    auto it = LowerBoundById(cursor);
-    for (; it != entries_.end() && out.size() < max_entries; ++it) {
-      out.push_back(*it);
+    std::uint64_t id = std::max(cursor, first_id_);
+    for (; id < next_id_ && out.size() < max_entries; ++id) {
+      out.push_back(ring_[id & mask_]);
     }
     if (!out.empty()) cursor = out.back().id + 1;
+    return out.size();
+  }
+
+  // Allocating convenience wrapper.
+  std::vector<Entry> Read(std::uint64_t& cursor,
+                          std::size_t max_entries = SIZE_MAX) const {
+    std::vector<Entry> out;
+    Read(cursor, out, max_entries);
     return out;
   }
 
@@ -93,32 +147,84 @@ class Stream {
   // Most recent entry, if any.
   std::optional<Entry> Latest() const {
     std::lock_guard<std::mutex> lock(mu_);
-    if (entries_.empty()) return std::nullopt;
-    return entries_.back();
+    if (first_id_ == next_id_) return std::nullopt;
+    return ring_[(next_id_ - 1) & mask_];
   }
 
-  // All in-memory entries with timestamp in [from_ts, to_ts]. Entries are
-  // appended in non-decreasing timestamp order, so binary search applies.
-  std::vector<Entry> RangeByTime(TimeNs from_ts, TimeNs to_ts) const {
+  // All in-memory entries with timestamp in [from_ts, to_ts], copied into
+  // `out` (cleared first). Entries are appended in non-decreasing timestamp
+  // order, so binary search applies.
+  void RangeByTime(TimeNs from_ts, TimeNs to_ts,
+                   std::vector<Entry>& out) const {
+    out.clear();
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Entry> out;
-    auto lo = std::lower_bound(
-        entries_.begin(), entries_.end(), from_ts,
-        [](const Entry& e, TimeNs t) { return e.timestamp < t; });
-    for (auto it = lo; it != entries_.end() && it->timestamp <= to_ts; ++it) {
-      out.push_back(*it);
+    for (std::uint64_t id = first_id_ + LowerPosByTime(from_ts);
+         id < next_id_; ++id) {
+      const Entry& entry = ring_[id & mask_];
+      if (entry.timestamp > to_ts) break;
+      out.push_back(entry);
     }
+  }
+
+  // Allocating convenience wrapper.
+  std::vector<Entry> RangeByTime(TimeNs from_ts, TimeNs to_ts) const {
+    std::vector<Entry> out;
+    RangeByTime(from_ts, to_ts, out);
     return out;
+  }
+
+  // Visits every in-memory entry with timestamp in [from_ts, to_ts] in id
+  // order without copying. `fn` returns false to stop early. Runs under the
+  // stream lock: keep `fn` cheap and re-entrancy-free (no calls back into
+  // this stream).
+  template <typename Fn>
+  void ForEachInRange(TimeNs from_ts, TimeNs to_ts, Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint64_t id = first_id_ + LowerPosByTime(from_ts);
+         id < next_id_; ++id) {
+      const Entry& entry = ring_[id & mask_];
+      if (entry.timestamp > to_ts) break;
+      if (!fn(entry)) break;
+    }
+  }
+
+  // Timestamp of the oldest in-memory entry with timestamp >= ts, if any.
+  // Lets the query path decide whether an archive read is needed without
+  // materializing the window.
+  std::optional<TimeNs> FirstTimestampAtOrAfter(TimeNs ts) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = first_id_ + LowerPosByTime(ts);
+    if (id >= next_id_) return std::nullopt;
+    return ring_[id & mask_].timestamp;
   }
 
   // Latest entry at or before `ts` (the "value as of time t" query).
   std::optional<Entry> LatestAtOrBefore(TimeNs ts) const {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = std::upper_bound(
-        entries_.begin(), entries_.end(), ts,
-        [](TimeNs t, const Entry& e) { return t < e.timestamp; });
-    if (it == entries_.begin()) return std::nullopt;
-    return *std::prev(it);
+    const std::uint64_t pos = UpperPosByTime(ts);
+    if (pos == 0) return std::nullopt;
+    return ring_[(first_id_ + pos - 1) & mask_];
+  }
+
+  // Rolling aggregates over the in-memory window, O(1). Empty window (or a
+  // non-Sample stream) yields nullopt.
+  std::optional<StreamAggregates> Aggregates() const {
+    static_assert(kHasAggregateIndex,
+                  "aggregate index is maintained for Sample streams only");
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_id_ == next_id_) return std::nullopt;
+    StreamAggregates agg;
+    agg.count = static_cast<std::size_t>(next_id_ - first_id_);
+    agg.sum_value = sum_value_;
+    agg.min_value = min_wedge_.front().second;
+    agg.max_value = max_wedge_.front().second;
+    agg.sum_timestamp = sum_ts_;
+    agg.min_timestamp = ring_[first_id_ & mask_].value.timestamp;
+    agg.max_timestamp = ring_[(next_id_ - 1) & mask_].value.timestamp;
+    agg.predicted = predicted_;
+    agg.timestamps_trusted = !ts_mismatch_;
+    agg.latest = ring_[(next_id_ - 1) & mask_];
+    return agg;
   }
 
   // Next id that will be assigned; a cursor initialized to this value sees
@@ -128,28 +234,149 @@ class Stream {
     return next_id_;
   }
 
+  // Id of the oldest in-memory entry (== NextId() when empty).
+  std::uint64_t FirstId() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_id_;
+  }
+
   std::size_t Size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
+    return static_cast<std::size_t>(next_id_ - first_id_);
   }
 
   std::size_t Capacity() const { return capacity_; }
   Archiver<T>* archiver() const { return archiver_; }
 
+  // Drains staged evictions into the archiver, blocking until any in-flight
+  // flush completes so archive order stays id-sorted. Readers that are
+  // about to scan the archive call this to make recent evictions visible.
+  void FlushEvictions() {
+    if (archiver_ == nullptr) return;
+    std::lock_guard<std::mutex> archive_lock(archive_mu_);
+    FlushLocked();
+  }
+
  private:
-  typename std::deque<Entry>::const_iterator LowerBoundById(
-      std::uint64_t id) const {
-    return std::lower_bound(
-        entries_.begin(), entries_.end(), id,
-        [](const Entry& e, std::uint64_t target) { return e.id < target; });
+  static std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // First window position whose timestamp >= ts. Positions are offsets from
+  // first_id_; caller holds mu_.
+  std::size_t LowerPosByTime(TimeNs ts) const {
+    std::size_t lo = 0, hi = static_cast<std::size_t>(next_id_ - first_id_);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ring_[(first_id_ + mid) & mask_].timestamp < ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // First window position whose timestamp > ts. Caller holds mu_.
+  std::size_t UpperPosByTime(TimeNs ts) const {
+    std::size_t lo = 0, hi = static_cast<std::size_t>(next_id_ - first_id_);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ring_[(first_id_ + mid) & mask_].timestamp <= ts) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Doubles the ring, remapping live entries to their new slots. Caller
+  // holds mu_; only reached while ring_.size() < RoundUpPow2(capacity_).
+  void Grow() {
+    std::vector<Entry> bigger(ring_.size() * 2);
+    const std::size_t new_mask = bigger.size() - 1;
+    for (std::uint64_t id = first_id_; id != next_id_; ++id) {
+      bigger[id & new_mask] = std::move(ring_[id & mask_]);
+    }
+    ring_ = std::move(bigger);
+    mask_ = new_mask;
+  }
+
+  void IndexAppend(const Entry& entry) {
+    const double v = entry.value.value;
+    sum_value_ += v;
+    sum_ts_ += static_cast<double>(entry.value.timestamp);
+    if (entry.value.timestamp != entry.timestamp) ts_mismatch_ = true;
+    if (entry.value.provenance == Provenance::kPredicted) ++predicted_;
+    while (!max_wedge_.empty() && max_wedge_.back().second <= v) {
+      max_wedge_.pop_back();
+    }
+    max_wedge_.emplace_back(entry.id, v);
+    while (!min_wedge_.empty() && min_wedge_.back().second >= v) {
+      min_wedge_.pop_back();
+    }
+    min_wedge_.emplace_back(entry.id, v);
+  }
+
+  void IndexEvict(const Entry& entry) {
+    sum_value_ -= entry.value.value;
+    sum_ts_ -= static_cast<double>(entry.value.timestamp);
+    if (entry.value.provenance == Provenance::kPredicted) --predicted_;
+    if (!max_wedge_.empty() && max_wedge_.front().first == entry.id) {
+      max_wedge_.pop_front();
+    }
+    if (!min_wedge_.empty() && min_wedge_.front().first == entry.id) {
+      min_wedge_.pop_front();
+    }
+  }
+
+  // Opportunistic flush after an append: skips (leaving entries staged for
+  // the next flusher) rather than blocking a producer behind archive I/O.
+  void TryFlushEvictions() {
+    std::unique_lock<std::mutex> archive_lock(archive_mu_, std::try_to_lock);
+    if (!archive_lock.owns_lock()) return;
+    FlushLocked();
+  }
+
+  // Caller holds archive_mu_ (serializes flushers, keeping archive order).
+  void FlushLocked() {
+    std::vector<Entry> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.swap(evict_pending_);
+    }
+    for (const Entry& entry : batch) {
+      archiver_->Append(entry.id, entry.timestamp, entry.value);
+    }
+    batch.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (evict_pending_.empty()) evict_pending_.swap(batch);  // keep capacity
   }
 
   const std::size_t capacity_;
   Archiver<T>* archiver_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
-  std::deque<Entry> entries_;
+  std::mutex archive_mu_;  // serializes eviction flushes (see FlushLocked)
+
+  // Ring indexed by id & mask_; live ids are [first_id_, next_id_).
+  std::vector<Entry> ring_;
+  std::size_t mask_ = 0;
+  std::uint64_t first_id_ = 0;
   std::uint64_t next_id_ = 0;
+  std::vector<Entry> evict_pending_;
+
+  // Rolling aggregate index (Sample streams only; guarded by mu_). Wedges
+  // hold (id, value) in monotone order so window min/max evict in O(1).
+  double sum_value_ = 0.0;
+  double sum_ts_ = 0.0;
+  std::uint64_t predicted_ = 0;
+  bool ts_mismatch_ = false;
+  std::deque<std::pair<std::uint64_t, double>> max_wedge_;
+  std::deque<std::pair<std::uint64_t, double>> min_wedge_;
 };
 
 // The telemetry stream type used throughout SCoRe.

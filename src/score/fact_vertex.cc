@@ -34,6 +34,9 @@ Status FactVertex::Deploy(EventLoop& loop) {
                                        config_.queue_capacity, archiver_);
     if (!created.ok()) return created.status();
   }
+  auto handle = broker_.Resolve(config_.topic);
+  if (!handle.ok()) return handle.status();
+  handle_ = *std::move(handle);
   loop_ = &loop;
   next_poll_time_ = loop.clock().Now();
   timer_ = loop.AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
@@ -111,7 +114,7 @@ void FactVertex::PublishSample(TimeNs now, double value,
     return;
   }
   ScopedTimer timer(stats_.publish_time_ns);
-  auto published = broker_.Publish(config_.topic, config_.node, now,
+  auto published = broker_.Publish(handle_, config_.node, now,
                                    Sample{now, value, provenance});
   if (!published.ok()) {
     APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "

@@ -74,6 +74,8 @@ class FactVertex {
   void PublishSample(TimeNs now, double value, Provenance provenance);
 
   Broker& broker_;
+  // Resolved once at deploy time; publishes skip the topic registry.
+  TopicHandle handle_;
   MonitorHook hook_;
   std::unique_ptr<IntervalController> controller_;
   FactVertexConfig config_;

@@ -88,8 +88,19 @@ Status InsightVertex::Deploy(EventLoop& loop) {
                                        config_.queue_capacity, archiver_);
     if (!created.ok()) return created.status();
   }
+  auto handle = broker_.Resolve(config_.topic);
+  if (!handle.ok()) return handle.status();
+  handle_ = *std::move(handle);
   // Start cursors at 0 so any pre-existing upstream history is consumed.
-  for (const std::string& topic : config_.upstream) cursors_[topic] = 0;
+  // Upstreams that do not exist yet stay as invalid handles and resolve on
+  // a later pull.
+  cursors_.assign(config_.upstream.size(), 0);
+  upstream_handles_.clear();
+  for (const std::string& topic : config_.upstream) {
+    auto upstream = broker_.Resolve(topic);
+    upstream_handles_.push_back(upstream.ok() ? *std::move(upstream)
+                                              : TopicHandle());
+  }
 
   loop_ = &loop;
   next_pull_time_ = loop.clock().Now();
@@ -124,11 +135,18 @@ void InsightVertex::DoPull(TimeNs now) {
   {
     ScopedTimer timer(stats_.consume_time_ns);
     for (std::size_t i = 0; i < config_.upstream.size(); ++i) {
-      const std::string& topic = config_.upstream[i];
-      auto entries = broker_.Fetch(topic, config_.node, cursors_[topic]);
-      if (!entries.ok()) continue;  // upstream not created yet
-      if (!entries->empty()) {
-        latest_[i] = entries->back().value.value;
+      TopicHandle& upstream = upstream_handles_[i];
+      if (!upstream.valid()) {
+        auto resolved = broker_.Resolve(config_.upstream[i]);
+        if (!resolved.ok()) continue;  // upstream not created yet
+        upstream = *std::move(resolved);
+      }
+      auto fetched =
+          broker_.FetchInto(upstream, config_.node, cursors_[i],
+                            fetch_scratch_);
+      if (!fetched.ok()) continue;
+      if (*fetched > 0) {
+        latest_[i] = fetch_scratch_.back().value.value;
         any_update = true;
       }
     }
@@ -172,7 +190,7 @@ void InsightVertex::PublishSample(TimeNs now, double value,
     return;
   }
   ScopedTimer timer(stats_.publish_time_ns);
-  auto published = broker_.Publish(config_.topic, config_.node, now,
+  auto published = broker_.Publish(handle_, config_.node, now,
                                    Sample{now, value, provenance});
   if (!published.ok()) {
     APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "

@@ -87,7 +87,13 @@ class InsightVertex {
   bool deployed_ = false;
 
   TimeNs next_pull_time_ = 0;
-  std::unordered_map<std::string, std::uint64_t> cursors_;
+  // Own topic + upstream handles resolved at deploy time (an upstream that
+  // does not exist yet resolves lazily on first successful pull); cursors
+  // are parallel to config_.upstream.
+  TopicHandle handle_;
+  std::vector<TopicHandle> upstream_handles_;
+  std::vector<std::uint64_t> cursors_;
+  std::vector<StreamEntry<Sample>> fetch_scratch_;
   std::vector<double> latest_;
   std::optional<double> last_published_;
   VertexStats stats_;

@@ -1,0 +1,244 @@
+// Concurrency stress tests for the ring-buffer TelemetryStream: multiple
+// producers appending (with eviction into an Archiver) while cursor readers,
+// time-range scans, and aggregate pollers run against the same stream.
+//
+// Invariants checked:
+//  - ids seen by any cursor reader are strictly increasing;
+//  - after all threads join, archive ∪ window contains every id exactly once;
+//  - the rolling aggregate index matches a brute-force rescan of the window.
+//
+// Values are integer-valued doubles so the rolling sums are exact, and every
+// Sample stamps its payload timestamp equal to the entry timestamp (the
+// SCoRe convention) so the index keeps `timestamps_trusted`.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pubsub/archiver.h"
+#include "pubsub/stream.h"
+
+namespace apollo {
+namespace {
+
+// Brute-force recomputation of the window aggregates via a cursor read.
+StreamAggregates Rescan(const TelemetryStream& stream) {
+  StreamAggregates agg;
+  std::uint64_t cursor = 0;
+  std::vector<StreamEntry<Sample>> window;
+  stream.Read(cursor, window);
+  agg.count = window.size();
+  if (window.empty()) return agg;
+  agg.min_value = agg.max_value = window.front().value.value;
+  agg.min_timestamp = agg.max_timestamp = window.front().value.timestamp;
+  for (const auto& entry : window) {
+    agg.sum_value += entry.value.value;
+    agg.sum_timestamp += static_cast<double>(entry.value.timestamp);
+    agg.min_value = std::min(agg.min_value, entry.value.value);
+    agg.max_value = std::max(agg.max_value, entry.value.value);
+    agg.min_timestamp = std::min(agg.min_timestamp, entry.value.timestamp);
+    agg.max_timestamp = std::max(agg.max_timestamp, entry.value.timestamp);
+    if (entry.value.provenance == Provenance::kPredicted) ++agg.predicted;
+  }
+  agg.latest = window.back();
+  return agg;
+}
+
+constexpr std::size_t kProducers = 4;
+constexpr std::size_t kPerProducer = 20000;
+constexpr std::size_t kTotal = kProducers * kPerProducer;
+constexpr std::size_t kCapacity = 1024;
+constexpr TimeNs kTs = 1000;  // constant: keeps timestamps monotonic
+                              // under concurrent appends
+
+TEST(StreamStress, ConcurrentAppendReadScanAndEvict) {
+  Archiver<Sample> archiver;  // in-memory
+  TelemetryStream stream(kCapacity, &archiver);
+
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&stream, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        // Integer-valued payload encoding (producer, seq); every 7th entry
+        // is predicted to exercise the provenance counter.
+        const double value = static_cast<double>(p * kPerProducer + i);
+        const Provenance prov =
+            (i % 7 == 0) ? Provenance::kPredicted : Provenance::kMeasured;
+        stream.Append(kTs, Sample{kTs, value, prov});
+      }
+    });
+  }
+
+  // Cursor readers: ids must be strictly increasing along each cursor, and
+  // payloads must be well-formed (integer-valued, in range).
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&stream, &done] {
+      std::uint64_t cursor = 0;
+      std::uint64_t last_id = 0;
+      bool seen_any = false;
+      std::vector<StreamEntry<Sample>> scratch;
+      while (!done.load(std::memory_order_acquire)) {
+        stream.Read(cursor, scratch, 256);
+        for (const auto& entry : scratch) {
+          if (seen_any) {
+            ASSERT_GT(entry.id, last_id);
+          }
+          last_id = entry.id;
+          seen_any = true;
+          ASSERT_EQ(entry.value.value, std::floor(entry.value.value));
+          ASSERT_GE(entry.value.value, 0.0);
+          ASSERT_LT(entry.value.value, static_cast<double>(kTotal));
+        }
+      }
+    });
+  }
+
+  // Time-range scanner: every in-memory entry matches [kTs, kTs] and the
+  // batch is id-sorted.
+  readers.emplace_back([&stream, &done] {
+    std::vector<StreamEntry<Sample>> scratch;
+    while (!done.load(std::memory_order_acquire)) {
+      stream.RangeByTime(kTs, kTs, scratch);
+      ASSERT_LE(scratch.size(), kCapacity);
+      for (std::size_t i = 1; i < scratch.size(); ++i) {
+        ASSERT_GT(scratch[i].id, scratch[i - 1].id);
+      }
+    }
+  });
+
+  // Aggregate poller: the O(1) snapshot must stay internally consistent
+  // while producers churn the window.
+  readers.emplace_back([&stream, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto agg = stream.Aggregates();
+      if (!agg.has_value()) continue;
+      ASSERT_GT(agg->count, 0u);
+      ASSERT_LE(agg->count, kCapacity);
+      ASSERT_LE(agg->min_value, agg->max_value);
+      ASSERT_LE(agg->predicted, agg->count);
+      ASSERT_TRUE(agg->timestamps_trusted);
+      ASSERT_GE(agg->sum_value,
+                agg->min_value * static_cast<double>(agg->count));
+      ASSERT_LE(agg->sum_value,
+                agg->max_value * static_cast<double>(agg->count));
+      // NextId is read after the snapshot, so it can only have advanced.
+      ASSERT_LT(agg->latest.id, stream.NextId());
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  stream.FlushEvictions();
+
+  // Exactly-once accounting: archive ∪ window == {0, ..., kTotal-1}.
+  ASSERT_EQ(stream.Size(), kCapacity);
+  ASSERT_EQ(archiver.Count(), kTotal - kCapacity);
+  auto archived = archiver.ReadRange(0, kTs);
+  ASSERT_TRUE(archived.ok());
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kTotal);
+  for (const auto& rec : *archived) ids.push_back(rec.id);
+  std::uint64_t cursor = 0;
+  for (const auto& entry : stream.Read(cursor)) ids.push_back(entry.id);
+  ASSERT_EQ(ids.size(), kTotal);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t i = 0; i < kTotal; ++i) ASSERT_EQ(ids[i], i);
+
+  // Post-join aggregate index vs brute-force rescan (exact: integer values).
+  auto agg = stream.Aggregates();
+  ASSERT_TRUE(agg.has_value());
+  const StreamAggregates expect = Rescan(stream);
+  EXPECT_EQ(agg->count, expect.count);
+  EXPECT_EQ(agg->sum_value, expect.sum_value);
+  EXPECT_EQ(agg->min_value, expect.min_value);
+  EXPECT_EQ(agg->max_value, expect.max_value);
+  EXPECT_EQ(agg->sum_timestamp, expect.sum_timestamp);
+  EXPECT_EQ(agg->min_timestamp, expect.min_timestamp);
+  EXPECT_EQ(agg->max_timestamp, expect.max_timestamp);
+  EXPECT_EQ(agg->predicted, expect.predicted);
+  EXPECT_EQ(agg->latest.id, expect.latest.id);
+}
+
+// Deterministic single-threaded churn: random values through a small window
+// with eviction, comparing the rolling index against a rescan at every step.
+// This pins down the monotonic-wedge bookkeeping exactly.
+TEST(StreamStress, AggregateIndexMatchesRescanThroughEviction) {
+  constexpr std::size_t kCapacity = 64;
+  Archiver<Sample> archiver;
+  TelemetryStream stream(kCapacity, &archiver);
+
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> value_dist(-50, 50);
+  for (int i = 0; i < 2000; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    const double value = static_cast<double>(value_dist(rng));
+    const Provenance prov =
+        (i % 3 == 0) ? Provenance::kPredicted : Provenance::kMeasured;
+    stream.Append(ts, Sample{ts, value, prov});
+
+    auto agg = stream.Aggregates();
+    ASSERT_TRUE(agg.has_value());
+    const StreamAggregates expect = Rescan(stream);
+    ASSERT_EQ(agg->count, expect.count) << "step " << i;
+    ASSERT_EQ(agg->sum_value, expect.sum_value) << "step " << i;
+    ASSERT_EQ(agg->min_value, expect.min_value) << "step " << i;
+    ASSERT_EQ(agg->max_value, expect.max_value) << "step " << i;
+    ASSERT_EQ(agg->min_timestamp, expect.min_timestamp) << "step " << i;
+    ASSERT_EQ(agg->max_timestamp, expect.max_timestamp) << "step " << i;
+    ASSERT_EQ(agg->predicted, expect.predicted) << "step " << i;
+    ASSERT_EQ(agg->latest.id, expect.latest.id) << "step " << i;
+    ASSERT_TRUE(agg->timestamps_trusted);
+  }
+  stream.FlushEvictions();
+  ASSERT_EQ(archiver.Count(), 2000 - kCapacity);
+}
+
+// Ring growth: a stream created with a large capacity starts on a small ring
+// and doubles as ids advance; reads must stay correct across every growth
+// boundary.
+TEST(StreamStress, RingGrowthPreservesEntries) {
+  TelemetryStream stream(4096);  // starts at 64 slots, grows to 4096
+  for (int i = 0; i < 3000; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i * 10);
+    stream.Append(ts, Sample{ts, static_cast<double>(i),
+                             Provenance::kMeasured});
+  }
+  std::uint64_t cursor = 0;
+  const auto entries = stream.Read(cursor);
+  ASSERT_EQ(entries.size(), 3000u);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(entries[i].id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(entries[i].timestamp, static_cast<TimeNs>(i * 10));
+    EXPECT_EQ(entries[i].value.value, static_cast<double>(i));
+  }
+  const auto ranged = stream.RangeByTime(5000, 9990);
+  ASSERT_EQ(ranged.size(), 500u);
+  EXPECT_EQ(ranged.front().timestamp, 5000);
+  EXPECT_EQ(ranged.back().timestamp, 9990);
+}
+
+// A payload timestamp that disagrees with the entry timestamp must trip the
+// sticky mismatch flag so readers stop trusting the timestamp stats.
+TEST(StreamStress, TimestampMismatchClearsTrustedFlag) {
+  TelemetryStream stream(128);
+  stream.Append(10, Sample{10, 1.0, Provenance::kMeasured});
+  ASSERT_TRUE(stream.Aggregates()->timestamps_trusted);
+  stream.Append(20, Sample{15, 2.0, Provenance::kMeasured});  // mismatch
+  EXPECT_FALSE(stream.Aggregates()->timestamps_trusted);
+  stream.Append(30, Sample{30, 3.0, Provenance::kMeasured});
+  EXPECT_FALSE(stream.Aggregates()->timestamps_trusted);  // sticky
+}
+
+}  // namespace
+}  // namespace apollo
