@@ -58,13 +58,15 @@ class SeedBroker {
 
 // ---- publish throughput --------------------------------------------------
 
-constexpr std::uint64_t kTotalEvents = 4'000'000;  // split across producers
-constexpr int kPublishReps = 3;                    // best-of to damp noise
+// Defaults; --quick divides the workload ~10x for CI smoke runs where the
+// point is "still runs, numbers in sane ranges", not stable measurements.
+std::uint64_t g_total_events = 4'000'000;  // split across producers
+int g_publish_reps = 3;                    // best-of to damp noise
 
 template <typename PublishFn>
 double RunProducersOnce(int producers, PublishFn&& publish) {
   const std::uint64_t per_thread =
-      kTotalEvents / static_cast<std::uint64_t>(producers);
+      g_total_events / static_cast<std::uint64_t>(producers);
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(producers));
@@ -90,7 +92,7 @@ std::string TopicName(int p) {
 
 double StripedPublishThroughput(int producers) {
   double best = 0.0;
-  for (int rep = 0; rep < kPublishReps; ++rep) {
+  for (int rep = 0; rep < g_publish_reps; ++rep) {
     Broker broker(RealClock::Instance());
     std::vector<TopicHandle> handles;
     for (int p = 0; p < producers; ++p) {
@@ -107,7 +109,7 @@ double StripedPublishThroughput(int producers) {
 
 double SeedPublishThroughput(int producers) {
   double best = 0.0;
-  for (int rep = 0; rep < kPublishReps; ++rep) {
+  for (int rep = 0; rep < g_publish_reps; ++rep) {
     SeedBroker broker;
     std::vector<std::string> topics;
     for (int p = 0; p < producers; ++p) {
@@ -124,7 +126,7 @@ double SeedPublishThroughput(int producers) {
 
 // ---- query latency -------------------------------------------------------
 
-constexpr int kQueryIters = 20'000;
+int g_query_iters = 20'000;
 
 double QueryLatencyNs(aqe::Executor& executor, const std::string& query) {
   // Warm the plan cache (and fault in any lazy state) before timing.
@@ -135,11 +137,11 @@ double QueryLatencyNs(aqe::Executor& executor, const std::string& query) {
     return -1.0;
   }
   Stopwatch watch;
-  for (int i = 0; i < kQueryIters; ++i) {
+  for (int i = 0; i < g_query_iters; ++i) {
     auto rs = executor.Execute(query);
     if (!rs.ok() || rs->NumRows() == 0) return -1.0;
   }
-  return static_cast<double>(watch.ElapsedNs()) / kQueryIters;
+  return static_cast<double>(watch.ElapsedNs()) / g_query_iters;
 }
 
 struct QueryPoint {
@@ -170,7 +172,25 @@ QueryPoint MeasureQueries(std::size_t window) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    g_total_events = 400'000;
+    g_publish_reps = 1;
+    g_query_iters = 2'000;
+    std::printf("quick mode: %llu events, best of %d, %d query iters\n",
+                static_cast<unsigned long long>(g_total_events),
+                g_publish_reps, g_query_iters);
+  }
+
   PrintHeader("Hot path (a)",
               "publish throughput: striped broker + topic handles vs "
               "seed-layout replica (global registry mutex, name lookup per "
@@ -215,6 +235,7 @@ int main() {
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"host_hw_threads\": %u,\n",
                  std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(json, "  \"publish_throughput\": [\n");
     for (std::size_t i = 0; i < publish_points.size(); ++i) {
       const auto& p = publish_points[i];

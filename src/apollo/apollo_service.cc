@@ -23,13 +23,27 @@ ApolloService::ApolloService(ApolloOptions options)
   }
   executor_ = std::make_unique<aqe::Executor>(
       *broker_, pool_.get(), aqe::ExecutorOptions{options_.client_node});
+  if (options_.enable_supervisor) {
+    supervisor_ =
+        std::make_unique<VertexSupervisor>(*graph_, options_.supervisor);
+    (void)supervisor_->Start(*loop_);
+  }
 }
 
 ApolloService::~ApolloService() {
   Stop();
+  if (supervisor_ != nullptr) supervisor_->Stop();
   // Vertices must be undeployed (their timers cancelled) before the loop is
   // destroyed.
   graph_->UndeployAll();
+}
+
+void ApolloService::AttachFaultInjector(FaultInjector* injector) {
+  fault_ = injector;
+  broker_->AttachFaultInjector(injector);
+  for (auto& archiver : archivers_) {
+    archiver->AttachFaultInjector(injector);
+  }
 }
 
 Expected<FactVertex*> ApolloService::DeployFact(
@@ -71,6 +85,10 @@ Expected<FactVertex*> ApolloService::DeployFact(
         archiver = archivers_.back().get();
       }
       break;
+  }
+  if (archiver != nullptr) {
+    archiver->set_fault_label(config.topic);
+    if (fault_ != nullptr) archiver->AttachFaultInjector(fault_);
   }
   auto vertex = std::make_unique<FactVertex>(
       *broker_, std::move(hook), std::move(controller), std::move(config),
@@ -217,6 +235,9 @@ ApolloService::ServiceStats ApolloService::Stats() const {
     stats.hook_time_ns += vs.hook_time_ns;
     stats.publish_time_ns += vs.publish_time_ns;
     stats.predict_time_ns += vs.predict_time_ns;
+    stats.publish_failures += vs.publish_failures;
+    stats.crashes += vs.crashes;
+    stats.restarts += vs.restarts;
   }
   for (const std::string& topic : graph_->InsightTopics()) {
     auto vertex = graph_->FindInsight(topic);
@@ -228,6 +249,9 @@ ApolloService::ServiceStats ApolloService::Stats() const {
     stats.predictions += vs.predictions;
     stats.publish_time_ns += vs.publish_time_ns;
     stats.predict_time_ns += vs.predict_time_ns;
+    stats.publish_failures += vs.publish_failures;
+    stats.crashes += vs.crashes;
+    stats.restarts += vs.restarts;
   }
   return stats;
 }

@@ -36,9 +36,11 @@
 #include "common/expected.h"
 #include "concurrent/thread_pool.h"
 #include "delphi/delphi_model.h"
+#include "common/fault.h"
 #include "eventloop/event_loop.h"
 #include "pubsub/broker.h"
 #include "score/score_graph.h"
+#include "score/supervisor.h"
 
 namespace apollo {
 
@@ -53,6 +55,11 @@ struct ApolloOptions {
   // persist there and remain reachable by AQE timestamp-range queries.
   // Empty = in-memory archives only when a vertex requests one.
   std::string archive_dir;
+  // Vertex supervision: crash/stall detection with bounded-backoff
+  // restarts (a health-check timer on the service's event loop). Disable
+  // for experiments that want crashed vertices to stay down.
+  bool enable_supervisor = true;
+  SupervisorOptions supervisor;
 };
 
 // Per-fact deployment knobs (wraps FactVertexConfig + controller choice).
@@ -134,6 +141,10 @@ class ApolloService {
     std::int64_t hook_time_ns = 0;
     std::int64_t publish_time_ns = 0;
     std::int64_t predict_time_ns = 0;
+    // Fault-tolerance surface.
+    std::uint64_t publish_failures = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
 
     // Fraction of would-be publishes avoided by change suppression.
     double SuppressionRatio() const {
@@ -144,6 +155,13 @@ class ApolloService {
     }
   };
   ServiceStats Stats() const;
+
+  // --- fault tolerance ---
+  // Routes injected faults into the broker and every service-owned
+  // archiver (current and future deployments). Pass nullptr to detach.
+  void AttachFaultInjector(FaultInjector* injector);
+  // Null when enable_supervisor is false.
+  VertexSupervisor* supervisor() { return supervisor_.get(); }
 
   // --- accessors ---
   Broker& broker() { return *broker_; }
@@ -164,6 +182,10 @@ class ApolloService {
   std::unique_ptr<aqe::Executor> executor_;
   std::unique_ptr<delphi::DelphiModel> delphi_;
   std::vector<std::unique_ptr<Archiver<Sample>>> archivers_;
+  // Declared after loop_/graph_ so it is destroyed (timer cancelled)
+  // first.
+  std::unique_ptr<VertexSupervisor> supervisor_;
+  FaultInjector* fault_ = nullptr;
 
   std::thread loop_thread_;
   bool running_ = false;

@@ -90,9 +90,31 @@ Expected<DeploymentPlan> DeployStandardMonitoring(
   }
 
   if (options.availability) {
-    Status s = deploy_fact(
-        insights::AvailableNodeCountHook(cluster, options.hook_cost),
-        kLocalNode, "cluster.available_nodes");
+    // Deployed after the per-node facts so the supervisor already knows
+    // every node. Availability is the intersection of the cluster's
+    // liveness signal (a node taken offline is gone regardless of what its
+    // last vertices reported) and the supervisor's crash/stall bookkeeping
+    // (a node whose monitors keep dying is unavailable even if the cluster
+    // still lists it) — with the purely synthetic count as the fallback
+    // when the supervisor is disabled.
+    MonitorHook hook;
+    if (options.availability_from_supervisor &&
+        service.supervisor() != nullptr) {
+      hook.metric_name = "cluster.available_nodes";
+      hook.cost = options.hook_cost;
+      hook.read = [&cluster,
+                   supervisor = service.supervisor()](TimeNs) {
+        double available = 0;
+        for (NodeId node : cluster.OnlineNodes()) {
+          if (supervisor->NodeHealthy(node)) ++available;
+        }
+        return available;
+      };
+    } else {
+      hook = insights::AvailableNodeCountHook(cluster, options.hook_cost);
+    }
+    Status s =
+        deploy_fact(std::move(hook), kLocalNode, "cluster.available_nodes");
     if (!s.ok()) return Error(s.code(), s.message());
   }
 

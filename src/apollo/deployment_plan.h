@@ -36,6 +36,11 @@ struct DeploymentPlanOptions {
   bool availability = true;
   bool tier_insights = true;
   bool node_insights = true;
+  // Feed the cluster.available_nodes fact from the service's vertex
+  // supervisor (real crash/stall state of the deployed vertices) instead
+  // of the synthetic cluster-model hook. Falls back to the synthetic hook
+  // when the service runs without a supervisor.
+  bool availability_from_supervisor = true;
 };
 
 struct DeploymentPlan {

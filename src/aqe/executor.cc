@@ -208,7 +208,12 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
     for (auto& future : futures) {
       auto rows = future.get();
       if (!rows.ok()) return rows.error();
-      for (auto& row : *rows) result.rows.push_back(std::move(row));
+      for (auto& row : *rows) {
+        result.degraded |= row.degraded;
+        result.max_staleness_ns =
+            std::max(result.max_staleness_ns, row.staleness_ns);
+        result.rows.push_back(std::move(row));
+      }
     }
     return result;
   }
@@ -216,7 +221,12 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
   for (std::size_t i = 0; i < query.selects.size(); ++i) {
     auto rows = ExecuteSelect(query.selects[i], plan.handles[i]);
     if (!rows.ok()) return rows.error();
-    for (auto& row : *rows) result.rows.push_back(std::move(row));
+    for (auto& row : *rows) {
+      result.degraded |= row.degraded;
+      result.max_staleness_ns =
+          std::max(result.max_staleness_ns, row.staleness_ns);
+      result.rows.push_back(std::move(row));
+    }
   }
   return result;
 }
@@ -235,6 +245,24 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
   if (options_.client_node != handle.home_node()) {
     (void)broker_.ChargeHop(handle, options_.client_node);
   }
+
+  // Degradation surface, computed once per table access and stamped on
+  // every row this branch returns: a degraded stream keeps answering from
+  // last-known-good / predicted values, and staleness lets clients judge
+  // how old those values are.
+  const bool is_degraded = stream->degraded();
+  TimeNs staleness_ns = 0;
+  if (auto newest = stream->Latest(); newest.has_value()) {
+    staleness_ns =
+        std::max<TimeNs>(0, broker_.clock().Now() - newest->value.timestamp);
+  }
+  auto stamped = [&](std::vector<ResultRow> rows) {
+    for (ResultRow& row : rows) {
+      row.degraded = is_degraded;
+      row.staleness_ns = staleness_ns;
+    }
+    return rows;
+  };
 
   const bool has_aggregate =
       std::any_of(select.items.begin(), select.items.end(),
@@ -263,7 +291,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         row.values.push_back(latest.has_value() ? CellOf(item.column, *latest)
                                                 : kNan);
       }
-      return std::vector<ResultRow>{std::move(row)};
+      return stamped(std::vector<ResultRow>{std::move(row)});
     }
 
     // O(1) rolling-aggregate path: COUNT/SUM/AVG/MIN/MAX with no WHERE
@@ -293,7 +321,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         for (const SelectItem& item : select.items) {
           row.values.push_back(IndexCell(item, agg));
         }
-        return std::vector<ResultRow>{std::move(row)};
+        return stamped(std::vector<ResultRow>{std::move(row)});
       }
     }
   }
@@ -441,7 +469,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
       }
       row.values.push_back(cell);
     }
-    return std::vector<ResultRow>{std::move(row)};
+    return stamped(std::vector<ResultRow>{std::move(row)});
   }
 
   // Row-per-entry select, built in one pass. Without ORDER BY the scan
@@ -482,7 +510,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     for (std::size_t i : idx) out.push_back(std::move(rows[i]));
     rows = std::move(out);
   }
-  return rows;
+  return stamped(std::move(rows));
 }
 
 }  // namespace apollo::aqe

@@ -32,11 +32,22 @@ namespace apollo::aqe {
 struct ResultRow {
   std::string source;  // topic the row came from
   std::vector<double> values;
+  // Graceful-degradation surface: `degraded` is set when the row's stream
+  // is serving last-known-good / predicted values because its vertex
+  // crashed or stalled (cleared by the first measured publish after a
+  // supervisor restart). `staleness_ns` is the age of the stream's newest
+  // entry at query time, so clients can judge the answer either way.
+  bool degraded = false;
+  TimeNs staleness_ns = 0;
 };
 
 struct ResultSet {
   std::vector<std::string> columns;  // labels of the first SELECT's items
   std::vector<ResultRow> rows;
+  // Any row degraded -> the whole answer is flagged; max_staleness_ns is
+  // the worst staleness across contributing streams.
+  bool degraded = false;
+  TimeNs max_staleness_ns = 0;
 
   std::size_t NumRows() const { return rows.size(); }
 };

@@ -5,19 +5,28 @@
 // persists evicted entries; the Query Executor falls back to the archive for
 // historical reads (timestamp ranges older than the in-memory window).
 //
+// Failed writes are never silent: Append surfaces a Status, AppendWithRetry
+// adds bounded exponential backoff, and every outcome is counted both here
+// and in the global TelemetryCounters. An attached FaultInjector can force
+// write failures (site kArchiveWrite) for chaos tests.
+//
 // Record layout (binary, little-endian, fixed size):
 //   u64 id | i64 timestamp | T payload (trivially copyable)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/expected.h"
+#include "common/fault.h"
+#include "pubsub/telemetry.h"
 
 namespace apollo {
 
@@ -48,19 +57,37 @@ class Archiver {
   Archiver(const Archiver&) = delete;
   Archiver& operator=(const Archiver&) = delete;
 
+  // Chaos-test hooks: injected faults fire at kArchiveWrite, filtered by
+  // `label` (defaults to the file path). Not owned; may be null.
+  void AttachFaultInjector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+  void set_fault_label(std::string label) { label_ = std::move(label); }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
   Status Append(std::uint64_t id, TimeNs timestamp, const T& payload) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (file_ != nullptr) {
-      Record rec{id, timestamp, payload};
-      if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) {
-        return Status(ErrorCode::kIoError, "archive write failed: " + path_);
-      }
-      ++count_;
-      return Status::Ok();
+    return AppendLocked(id, timestamp, payload);
+  }
+
+  // Append with the archiver's retry policy: transient failures back off
+  // exponentially (real sleep — archiver flushes run off the stream lock),
+  // and the final outcome is recorded in failures()/last_error().
+  Status AppendWithRetry(std::uint64_t id, TimeNs timestamp,
+                         const T& payload) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status status = AppendLocked(id, timestamp, payload);
+    int attempt = 0;
+    while (!status.ok() && RetryableError(status.code()) &&
+           ++attempt < retry_.max_attempts) {
+      GlobalTelemetry().archive_retries.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(BackoffForAttempt(retry_, attempt)));
+      status = AppendLocked(id, timestamp, payload);
     }
-    memory_.push_back(Record{id, timestamp, payload});
-    ++count_;
-    return Status::Ok();
+    if (!status.ok()) RecordFailure(status);
+    return status;
   }
 
   // Reads every archived record with timestamp in [from_ts, to_ts].
@@ -96,14 +123,61 @@ class Archiver {
     return count_;
   }
 
+  // Writes that stayed failed after retries, and the most recent error.
+  std::uint64_t Failures() const {
+    return failures_.load(std::memory_order_acquire);
+  }
+  Status LastError() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_error_;
+  }
+
   const std::string& path() const { return path_; }
   bool InMemory() const { return file_ == nullptr; }
 
  private:
+  Status AppendLocked(std::uint64_t id, TimeNs timestamp, const T& payload) {
+    if (FaultInjector* injector = fault_.load(std::memory_order_acquire)) {
+      const std::string_view label = label_.empty() ? path_ : label_;
+      if (auto action = injector->Evaluate(FaultSite::kArchiveWrite, label);
+          action.has_value() && action->fails()) {
+        return Status(ErrorCode::kIoError,
+                      "injected archive write failure: " + path_);
+      }
+    }
+    if (file_ != nullptr) {
+      Record rec{id, timestamp, payload};
+      if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) {
+        return Status(ErrorCode::kIoError, "archive write failed: " + path_);
+      }
+      ++count_;
+      GlobalTelemetry().archive_writes.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    memory_.push_back(Record{id, timestamp, payload});
+    ++count_;
+    GlobalTelemetry().archive_writes.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // Caller holds mu_.
+  void RecordFailure(const Status& status) {
+    failures_.fetch_add(1, std::memory_order_acq_rel);
+    last_error_ = status;
+    GlobalTelemetry().archive_write_failures.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   std::string path_;
+  std::string label_;
   std::FILE* file_ = nullptr;
   std::vector<Record> memory_;
   std::uint64_t count_ = 0;
+  std::atomic<FaultInjector*> fault_{nullptr};
+  RetryPolicy retry_;
+  std::atomic<std::uint64_t> failures_{0};
+  Status last_error_;
   mutable std::mutex mu_;
 };
 

@@ -77,8 +77,7 @@ Expected<std::uint64_t> Broker::Publish(const std::string& topic,
                                         const Sample& sample) {
   auto handle = Resolve(topic);
   if (!handle.ok()) return handle.error();
-  ChargeLatency(from_node, handle->home_node());
-  return handle->stream()->Append(timestamp, sample);
+  return Publish(*handle, from_node, timestamp, sample);
 }
 
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
@@ -86,8 +85,7 @@ Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     std::size_t max_entries) {
   auto handle = Resolve(topic);
   if (!handle.ok()) return handle.error();
-  ChargeLatency(handle->home_node(), to_node);
-  return handle->stream()->Read(cursor, max_entries);
+  return Fetch(*handle, to_node, cursor, max_entries);
 }
 
 Expected<Sample> Broker::LatestValue(const std::string& topic,
@@ -102,6 +100,12 @@ Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
                                         const Sample& sample) {
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
+  GlobalTelemetry().publishes.fetch_add(1, std::memory_order_relaxed);
+  status = EvaluateFault(FaultSite::kPublish, handle.name_);
+  if (!status.ok()) {
+    GlobalTelemetry().publish_drops.fetch_add(1, std::memory_order_relaxed);
+    return Error(status.code(), status.message());
+  }
   ChargeLatency(from_node, handle.home_);
   return handle.stream_->Append(timestamp, sample);
 }
@@ -111,6 +115,11 @@ Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     std::size_t max_entries) {
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
+  status = EvaluateFault(FaultSite::kFetch, handle.name_);
+  if (!status.ok()) {
+    GlobalTelemetry().fetch_timeouts.fetch_add(1, std::memory_order_relaxed);
+    return Error(status.code(), status.message());
+  }
   ChargeLatency(handle.home_, to_node);
   return handle.stream_->Read(cursor, max_entries);
 }
@@ -120,6 +129,11 @@ Expected<std::size_t> Broker::FetchInto(
     std::vector<TelemetryStream::Entry>& out, std::size_t max_entries) {
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
+  status = EvaluateFault(FaultSite::kFetch, handle.name_);
+  if (!status.ok()) {
+    GlobalTelemetry().fetch_timeouts.fetch_add(1, std::memory_order_relaxed);
+    return Error(status.code(), status.message());
+  }
   ChargeLatency(handle.home_, to_node);
   return handle.stream_->Read(cursor, out, max_entries);
 }
@@ -127,12 +141,59 @@ Expected<std::size_t> Broker::FetchInto(
 Expected<Sample> Broker::LatestValue(TopicHandle& handle, NodeId to_node) {
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
+  status = EvaluateFault(FaultSite::kFetch, handle.name_);
+  if (!status.ok()) {
+    GlobalTelemetry().fetch_timeouts.fetch_add(1, std::memory_order_relaxed);
+    return Error(status.code(), status.message());
+  }
   ChargeLatency(handle.home_, to_node);
   auto latest = handle.stream_->Latest();
   if (!latest.has_value()) {
     return Error(ErrorCode::kUnavailable, "topic empty: " + handle.name_);
   }
   return latest->value;
+}
+
+Expected<std::uint64_t> Broker::PublishWithRetry(TopicHandle& handle,
+                                                 NodeId from_node,
+                                                 TimeNs timestamp,
+                                                 const Sample& sample,
+                                                 const RetryPolicy& policy) {
+  const TimeNs start = clock_.Now();
+  auto result = Publish(handle, from_node, timestamp, sample);
+  int attempt = 0;
+  while (!result.ok() && RetryableError(result.error().code()) &&
+         ++attempt < policy.max_attempts) {
+    if (policy.deadline > 0 && clock_.Now() - start >= policy.deadline) break;
+    GlobalTelemetry().publish_retries.fetch_add(1, std::memory_order_relaxed);
+    clock_.Charge(BackoffForAttempt(policy, attempt));
+    result = Publish(handle, from_node, timestamp, sample);
+  }
+  if (!result.ok()) {
+    GlobalTelemetry().publish_failures.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Expected<std::size_t> Broker::FetchIntoWithRetry(
+    TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
+    std::vector<TelemetryStream::Entry>& out, std::size_t max_entries,
+    const RetryPolicy& policy) {
+  const TimeNs start = clock_.Now();
+  auto result = FetchInto(handle, to_node, cursor, out, max_entries);
+  int attempt = 0;
+  while (!result.ok() && RetryableError(result.error().code()) &&
+         ++attempt < policy.max_attempts) {
+    if (policy.deadline > 0 && clock_.Now() - start >= policy.deadline) break;
+    GlobalTelemetry().fetch_retries.fetch_add(1, std::memory_order_relaxed);
+    clock_.Charge(BackoffForAttempt(policy, attempt));
+    result = FetchInto(handle, to_node, cursor, out, max_entries);
+  }
+  if (!result.ok()) {
+    GlobalTelemetry().fetch_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Status Broker::ChargeHop(TopicHandle& handle, NodeId node) {
@@ -178,6 +239,20 @@ void Broker::ChargeLatency(NodeId a, NodeId b) {
   if (network_ == nullptr) return;
   const TimeNs latency = network_->Latency(a, b);
   if (latency > 0) clock_.Charge(latency);
+}
+
+Status Broker::EvaluateFault(FaultSite site, const std::string& topic) {
+  FaultInjector* injector = fault_.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::Ok();
+  auto action = injector->Evaluate(site, topic);
+  if (!action.has_value()) return Status::Ok();
+  if (!action->fails()) {
+    clock_.Charge(action->delay_ns);
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kUnavailable,
+                std::string("injected ") + FaultSiteName(site) +
+                    " fault: " + topic);
 }
 
 }  // namespace apollo

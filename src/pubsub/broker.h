@@ -25,6 +25,7 @@
 
 #include "common/clock.h"
 #include "common/expected.h"
+#include "common/fault.h"
 #include "pubsub/stream.h"
 
 namespace apollo {
@@ -160,6 +161,34 @@ class Broker {
 
   Expected<Sample> LatestValue(TopicHandle& handle, NodeId to_node);
 
+  // --- fault tolerance ---
+
+  // Attaches a fault injector: publishes evaluate FaultSite::kPublish and
+  // fetches FaultSite::kFetch (topic-filtered). Null detaches. The injector
+  // is not owned and must outlive its attachment.
+  void AttachFaultInjector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+
+  // Publish/fetch with retry-and-exponential-backoff: transient failures
+  // (injected drops/timeouts, kUnavailable) retry up to the policy's
+  // attempt budget, charging backoff to the clock so simulated runs account
+  // for it; a policy deadline bounds the total time spent. The final
+  // failure is surfaced (and counted in GlobalTelemetry()) instead of
+  // silently losing the tuple.
+  Expected<std::uint64_t> PublishWithRetry(TopicHandle& handle,
+                                           NodeId from_node, TimeNs timestamp,
+                                           const Sample& sample,
+                                           const RetryPolicy& policy = {});
+
+  Expected<std::size_t> FetchIntoWithRetry(
+      TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
+      std::vector<TelemetryStream::Entry>& out,
+      std::size_t max_entries = SIZE_MAX, const RetryPolicy& policy = {});
+
   // Charges one topic->node network hop without touching the stream — the
   // query path uses this instead of a zero-length Fetch probe.
   Status ChargeHop(TopicHandle& handle, NodeId node);
@@ -197,9 +226,15 @@ class Broker {
 
   void ChargeLatency(NodeId a, NodeId b);
 
+  // Consults the attached injector (if any) at `site` for `topic`. Delay
+  // actions are charged to the clock here; a hard failure returns an error
+  // Status. One relaxed load when no injector is attached.
+  Status EvaluateFault(FaultSite site, const std::string& topic);
+
   Clock& clock_;
   std::shared_ptr<const NetworkModel> network_;
   std::atomic<std::uint64_t> version_{1};
+  std::atomic<FaultInjector*> fault_{nullptr};
   mutable std::array<Stripe, kStripes> stripes_;
 };
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -248,13 +249,31 @@ class Stream {
   std::size_t Capacity() const { return capacity_; }
   Archiver<T>* archiver() const { return archiver_; }
 
+  // Degraded-data flag: set by the vertex supervisor when the producer
+  // feeding this stream has crashed or stalled, cleared when fresh measured
+  // data flows again. Queries answered from a degraded stream carry the
+  // flag so consumers know they are reading last-known-good state.
+  // Returns the previous value so callers can count transitions exactly.
+  bool SetDegraded(bool degraded) {
+    return degraded_.exchange(degraded, std::memory_order_acq_rel);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
+  // Archive appends that stayed failed after retries (also visible on the
+  // archiver itself and in GlobalTelemetry()).
+  std::uint64_t ArchiveFailures() const {
+    return archive_failures_.load(std::memory_order_acquire);
+  }
+
   // Drains staged evictions into the archiver, blocking until any in-flight
   // flush completes so archive order stays id-sorted. Readers that are
   // about to scan the archive call this to make recent evictions visible.
-  void FlushEvictions() {
-    if (archiver_ == nullptr) return;
+  // Returns the first persist error of the drained batch (the entries are
+  // dropped but counted — see ArchiveFailures()).
+  Status FlushEvictions() {
+    if (archiver_ == nullptr) return Status::Ok();
     std::lock_guard<std::mutex> archive_lock(archive_mu_);
-    FlushLocked();
+    return FlushLocked();
   }
 
  private:
@@ -338,26 +357,38 @@ class Stream {
   void TryFlushEvictions() {
     std::unique_lock<std::mutex> archive_lock(archive_mu_, std::try_to_lock);
     if (!archive_lock.owns_lock()) return;
-    FlushLocked();
+    (void)FlushLocked();  // failures are counted in ArchiveFailures()
   }
 
   // Caller holds archive_mu_ (serializes flushers, keeping archive order).
-  void FlushLocked() {
+  // A record that still fails after the archiver's retry policy is counted
+  // and dropped (blocking producers forever on a dead disk would be worse);
+  // the first error of the batch is returned so flush callers can react.
+  Status FlushLocked() {
     std::vector<Entry> batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
       batch.swap(evict_pending_);
     }
+    Status result = Status::Ok();
     for (const Entry& entry : batch) {
-      archiver_->Append(entry.id, entry.timestamp, entry.value);
+      Status status =
+          archiver_->AppendWithRetry(entry.id, entry.timestamp, entry.value);
+      if (!status.ok()) {
+        archive_failures_.fetch_add(1, std::memory_order_acq_rel);
+        if (result.ok()) result = status;
+      }
     }
     batch.clear();
     std::lock_guard<std::mutex> lock(mu_);
     if (evict_pending_.empty()) evict_pending_.swap(batch);  // keep capacity
+    return result;
   }
 
   const std::size_t capacity_;
   Archiver<T>* archiver_;
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> archive_failures_{0};
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::mutex archive_mu_;  // serializes eviction flushes (see FlushLocked)

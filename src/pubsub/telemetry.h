@@ -1,10 +1,12 @@
-// Telemetry record types flowing through Apollo's pub-sub fabric.
+// Telemetry record types flowing through Apollo's pub-sub fabric, plus the
+// fabric's own health counters.
 //
 // The paper stores Information as a tuple (timestamp, fact/insight value,
 // predicted|measured). Sample is that tuple; it is trivially copyable so the
 // Archiver can persist it as a fixed binary record.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <type_traits>
 
@@ -28,5 +30,63 @@ struct Sample {
 };
 
 static_assert(std::is_trivially_copyable_v<Sample>);
+
+// Fabric self-telemetry: how the monitoring plane itself is doing. Every
+// counter is an independent atomic, so the counters are safe to bump from
+// producers, the event loop, and query threads concurrently.
+//
+// A failed persist or a dropped publish used to vanish silently; these
+// counters make every loss surface observable (and testable under chaos).
+struct TelemetryCounters {
+  // Broker publish path.
+  std::atomic<std::uint64_t> publishes{0};
+  std::atomic<std::uint64_t> publish_drops{0};     // injected drops
+  std::atomic<std::uint64_t> publish_retries{0};   // backoff retries
+  std::atomic<std::uint64_t> publish_failures{0};  // retries exhausted
+
+  // Broker fetch path.
+  std::atomic<std::uint64_t> fetch_timeouts{0};  // injected timeouts
+  std::atomic<std::uint64_t> fetch_retries{0};
+  std::atomic<std::uint64_t> fetch_failures{0};
+
+  // Archiver path.
+  std::atomic<std::uint64_t> archive_writes{0};
+  std::atomic<std::uint64_t> archive_retries{0};
+  std::atomic<std::uint64_t> archive_write_failures{0};  // retries exhausted
+
+  // Supervision (SCoRe vertex lifecycle).
+  std::atomic<std::uint64_t> vertex_crashes{0};
+  std::atomic<std::uint64_t> vertex_stalls{0};
+  std::atomic<std::uint64_t> vertex_restarts{0};
+  std::atomic<std::uint64_t> vertex_give_ups{0};
+  std::atomic<std::uint64_t> degraded_marked{0};
+  std::atomic<std::uint64_t> degraded_cleared{0};
+
+  void Reset() {
+    publishes = 0;
+    publish_drops = 0;
+    publish_retries = 0;
+    publish_failures = 0;
+    fetch_timeouts = 0;
+    fetch_retries = 0;
+    fetch_failures = 0;
+    archive_writes = 0;
+    archive_retries = 0;
+    archive_write_failures = 0;
+    vertex_crashes = 0;
+    vertex_stalls = 0;
+    vertex_restarts = 0;
+    vertex_give_ups = 0;
+    degraded_marked = 0;
+    degraded_cleared = 0;
+  }
+};
+
+// Process-wide counters. Tests Reset() them at setup; concurrent bumps are
+// exact (atomics), reads are racy-by-design snapshots.
+inline TelemetryCounters& GlobalTelemetry() {
+  static TelemetryCounters counters;
+  return counters;
+}
 
 }  // namespace apollo

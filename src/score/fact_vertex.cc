@@ -39,6 +39,8 @@ Status FactVertex::Deploy(EventLoop& loop) {
   handle_ = *std::move(handle);
   loop_ = &loop;
   next_poll_time_ = loop.clock().Now();
+  last_fire_.store(next_poll_time_, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
   timer_ = loop.AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
   deployed_ = true;
   return Status::Ok();
@@ -51,7 +53,63 @@ void FactVertex::Undeploy() {
   loop_ = nullptr;
 }
 
+TimeNs FactVertex::ExpectedFireInterval() const {
+  TimeNs interval = controller_->CurrentInterval();
+  if (predictor_ != nullptr && config_.prediction_granularity > 0) {
+    interval = std::min(interval, config_.prediction_granularity);
+  }
+  return interval;
+}
+
+void FactVertex::MarkCrashed() {
+  crashed_.store(true, std::memory_order_release);
+  ++stats_.crashes;
+  GlobalTelemetry().vertex_crashes.fetch_add(1, std::memory_order_relaxed);
+  if (handle_.valid() && !handle_.stream()->SetDegraded(true)) {
+    GlobalTelemetry().degraded_marked.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FactVertex::ForceCrash() {
+  if (!deployed_ || crashed()) return;
+  loop_->CancelTimer(timer_);
+  MarkCrashed();
+}
+
+Status FactVertex::Restart() {
+  if (!deployed_ || loop_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "restart of undeployed vertex: " + config_.topic);
+  }
+  if (!crashed()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "restart of live vertex: " + config_.topic);
+  }
+  next_poll_time_ = loop_->clock().Now();
+  last_fire_.store(next_poll_time_, std::memory_order_release);
+  // Forget the pre-crash value so change suppression cannot swallow the
+  // first post-restart sample (which also clears the degraded flag).
+  last_published_.reset();
+  crashed_.store(false, std::memory_order_release);
+  ++stats_.restarts;
+  timer_ = loop_->AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
+  return Status::Ok();
+}
+
 TimeNs FactVertex::OnTimer(TimeNs now) {
+  last_fire_.store(now, std::memory_order_release);
+  if (FaultInjector* injector = broker_.fault_injector()) {
+    if (auto crash = injector->Evaluate(FaultSite::kVertexPoll, config_.topic);
+        crash.has_value() && crash->fails()) {
+      MarkCrashed();
+      return kStopTimer;
+    }
+    if (auto stall =
+            injector->Evaluate(FaultSite::kVertexStall, config_.topic);
+        stall.has_value() && stall->fails()) {
+      return kStopTimer;  // silent: supervisor stall detection catches it
+    }
+  }
   if (now >= next_poll_time_) {
     const TimeNs interval = DoRealPoll(now);
     next_poll_time_ = now + interval;
@@ -114,15 +172,30 @@ void FactVertex::PublishSample(TimeNs now, double value,
     return;
   }
   ScopedTimer timer(stats_.publish_time_ns);
-  auto published = broker_.Publish(handle_, config_.node, now,
-                                   Sample{now, value, provenance});
+  auto published =
+      broker_.PublishWithRetry(handle_, config_.node, now,
+                               Sample{now, value, provenance},
+                               config_.publish_retry);
   if (!published.ok()) {
+    // Surfaced, counted, and repaired on the next poll: last_published_ is
+    // left untouched, so change suppression cannot treat the lost tuple as
+    // delivered.
+    ++stats_.publish_failures;
     APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "
                       << published.error().ToString();
     return;
   }
   last_published_ = value;
   ++stats_.published;
+  // Fresh measured data ends degraded mode (entered when this vertex
+  // crashed or stalled).
+  if (provenance == Provenance::kMeasured && handle_.valid() &&
+      handle_.stream()->degraded() && !crashed()) {
+    if (handle_.stream()->SetDegraded(false)) {
+      GlobalTelemetry().degraded_cleared.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace apollo

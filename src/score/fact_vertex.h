@@ -11,6 +11,7 @@
 // predicted samples until the next real poll is due.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +19,7 @@
 #include "adaptive/interval_controller.h"
 #include "common/clock.h"
 #include "common/expected.h"
+#include "common/fault.h"
 #include "delphi/predictor.h"
 #include "eventloop/event_loop.h"
 #include "pubsub/broker.h"
@@ -35,6 +37,9 @@ struct FactVertexConfig {
   // Delphi fill-in period between polls; 0 disables prediction even when a
   // model is supplied.
   TimeNs prediction_granularity = 0;
+  // Publish retry policy (broker-level exponential backoff). An exhausted
+  // retry budget is surfaced in stats().publish_failures and telemetry.
+  RetryPolicy publish_retry;
 };
 
 class FactVertex {
@@ -59,6 +64,30 @@ class FactVertex {
   // RemoveTopic is called explicitly.
   void Undeploy();
 
+  // --- supervision surface ---
+  // A vertex "crashes" when the kVertexPoll fault site fires in its timer
+  // (the timer dies and the stream is marked degraded) or when ForceCrash
+  // is called. The VertexSupervisor detects crashed/stalled vertices and
+  // restarts them with bounded backoff.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  // Clock time of the vertex's most recent timer firing (deploy time until
+  // the first poll). Supervisors treat a silent gap much larger than
+  // ExpectedFireInterval() as a stall.
+  TimeNs last_fire() const {
+    return last_fire_.load(std::memory_order_acquire);
+  }
+  TimeNs ExpectedFireInterval() const;
+
+  // Kills the vertex from outside its timer: cancels the timer, flags the
+  // crash, and marks the stream degraded. No-op unless deployed and alive.
+  void ForceCrash();
+
+  // Restarts a crashed vertex: re-registers the timer (immediate poll) and
+  // clears the crash flag. The stream stays degraded until the first
+  // successful measured publish. Fails unless deployed and crashed.
+  Status Restart();
+
   const std::string& topic() const { return config_.topic; }
   NodeId node() const { return config_.node; }
   const VertexStats& stats() const { return stats_; }
@@ -72,6 +101,9 @@ class FactVertex {
   TimeNs DoRealPoll(TimeNs now);
   void DoPrediction(TimeNs now);
   void PublishSample(TimeNs now, double value, Provenance provenance);
+  // Flags the crash and degrades the stream (shared by the injected-crash
+  // path inside OnTimer and ForceCrash).
+  void MarkCrashed();
 
   Broker& broker_;
   // Resolved once at deploy time; publishes skip the topic registry.
@@ -85,6 +117,8 @@ class FactVertex {
   EventLoop* loop_ = nullptr;
   TimerId timer_ = 0;
   bool deployed_ = false;
+  std::atomic<bool> crashed_{false};
+  std::atomic<TimeNs> last_fire_{0};
 
   TimeNs next_poll_time_ = 0;
   std::optional<double> last_published_;

@@ -104,6 +104,8 @@ Status InsightVertex::Deploy(EventLoop& loop) {
 
   loop_ = &loop;
   next_pull_time_ = loop.clock().Now();
+  last_fire_.store(next_pull_time_, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
   timer_ = loop.AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
   deployed_ = true;
   return Status::Ok();
@@ -116,7 +118,61 @@ void InsightVertex::Undeploy() {
   loop_ = nullptr;
 }
 
+TimeNs InsightVertex::ExpectedFireInterval() const {
+  TimeNs interval = config_.pull_interval;
+  if (predictor_ != nullptr && config_.prediction_granularity > 0) {
+    interval = std::min(interval, config_.prediction_granularity);
+  }
+  return interval;
+}
+
+void InsightVertex::MarkCrashed() {
+  crashed_.store(true, std::memory_order_release);
+  ++stats_.crashes;
+  GlobalTelemetry().vertex_crashes.fetch_add(1, std::memory_order_relaxed);
+  if (handle_.valid() && !handle_.stream()->SetDegraded(true)) {
+    GlobalTelemetry().degraded_marked.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void InsightVertex::ForceCrash() {
+  if (!deployed_ || crashed()) return;
+  loop_->CancelTimer(timer_);
+  MarkCrashed();
+}
+
+Status InsightVertex::Restart() {
+  if (!deployed_ || loop_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "restart of undeployed vertex: " + config_.topic);
+  }
+  if (!crashed()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "restart of live vertex: " + config_.topic);
+  }
+  next_pull_time_ = loop_->clock().Now();
+  last_fire_.store(next_pull_time_, std::memory_order_release);
+  last_published_.reset();  // see FactVertex::Restart
+  crashed_.store(false, std::memory_order_release);
+  ++stats_.restarts;
+  timer_ = loop_->AddTimer(0, [this](TimeNs now) { return OnTimer(now); });
+  return Status::Ok();
+}
+
 TimeNs InsightVertex::OnTimer(TimeNs now) {
+  last_fire_.store(now, std::memory_order_release);
+  if (FaultInjector* injector = broker_.fault_injector()) {
+    if (auto crash = injector->Evaluate(FaultSite::kVertexPoll, config_.topic);
+        crash.has_value() && crash->fails()) {
+      MarkCrashed();
+      return kStopTimer;
+    }
+    if (auto stall =
+            injector->Evaluate(FaultSite::kVertexStall, config_.topic);
+        stall.has_value() && stall->fails()) {
+      return kStopTimer;  // silent: supervisor stall detection catches it
+    }
+  }
   if (now >= next_pull_time_) {
     DoPull(now);
     next_pull_time_ = now + config_.pull_interval;
@@ -142,9 +198,10 @@ void InsightVertex::DoPull(TimeNs now) {
         upstream = *std::move(resolved);
       }
       auto fetched =
-          broker_.FetchInto(upstream, config_.node, cursors_[i],
-                            fetch_scratch_);
-      if (!fetched.ok()) continue;
+          broker_.FetchIntoWithRetry(upstream, config_.node, cursors_[i],
+                                     fetch_scratch_, SIZE_MAX,
+                                     config_.publish_retry);
+      if (!fetched.ok()) continue;  // cursor unmoved; next pull re-reads
       if (*fetched > 0) {
         latest_[i] = fetch_scratch_.back().value.value;
         any_update = true;
@@ -190,15 +247,25 @@ void InsightVertex::PublishSample(TimeNs now, double value,
     return;
   }
   ScopedTimer timer(stats_.publish_time_ns);
-  auto published = broker_.Publish(handle_, config_.node, now,
-                                   Sample{now, value, provenance});
+  auto published =
+      broker_.PublishWithRetry(handle_, config_.node, now,
+                               Sample{now, value, provenance},
+                               config_.publish_retry);
   if (!published.ok()) {
+    ++stats_.publish_failures;
     APOLLO_LOG(ERROR) << "publish failed on " << config_.topic << ": "
                       << published.error().ToString();
     return;
   }
   last_published_ = value;
   ++stats_.published;
+  if (provenance == Provenance::kMeasured && handle_.valid() &&
+      handle_.stream()->degraded() && !crashed()) {
+    if (handle_.stream()->SetDegraded(false)) {
+      GlobalTelemetry().degraded_cleared.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+  }
 }
 
 }  // namespace apollo

@@ -7,6 +7,7 @@
 // can fill in predicted Insights between pulls.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -16,6 +17,7 @@
 
 #include "common/clock.h"
 #include "common/expected.h"
+#include "common/fault.h"
 #include "delphi/predictor.h"
 #include "eventloop/event_loop.h"
 #include "pubsub/broker.h"
@@ -42,6 +44,8 @@ struct InsightVertexConfig {
   std::size_t queue_capacity = 4096;
   bool publish_only_on_change = true;
   TimeNs prediction_granularity = 0;
+  // Publish retry policy; upstream fetches retry with the same policy.
+  RetryPolicy publish_retry;
 };
 
 class InsightVertex {
@@ -57,6 +61,15 @@ class InsightVertex {
 
   Status Deploy(EventLoop& loop);
   void Undeploy();
+
+  // --- supervision surface (see FactVertex for semantics) ---
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  TimeNs last_fire() const {
+    return last_fire_.load(std::memory_order_acquire);
+  }
+  TimeNs ExpectedFireInterval() const;
+  void ForceCrash();
+  Status Restart();
 
   const std::string& topic() const { return config_.topic; }
   NodeId node() const { return config_.node; }
@@ -75,6 +88,7 @@ class InsightVertex {
   void DoPull(TimeNs now);
   void DoPrediction(TimeNs now);
   void PublishSample(TimeNs now, double value, Provenance provenance);
+  void MarkCrashed();
 
   Broker& broker_;
   InsightFn fn_;
@@ -85,6 +99,8 @@ class InsightVertex {
   EventLoop* loop_ = nullptr;
   TimerId timer_ = 0;
   bool deployed_ = false;
+  std::atomic<bool> crashed_{false};
+  std::atomic<TimeNs> last_fire_{0};
 
   TimeNs next_pull_time_ = 0;
   // Own topic + upstream handles resolved at deploy time (an upstream that

@@ -4,10 +4,16 @@
 
 namespace apollo {
 
+// Lock ordering note: methods take mu_ and may then touch the event loop
+// (Deploy/Undeploy register or cancel timers). The loop never calls back
+// into the graph while holding its own lock, so graph-then-loop is the one
+// ordering in the program and cannot deadlock.
+
 Expected<FactVertex*> ScoreGraph::AddFact(std::unique_ptr<FactVertex> vertex,
                                           EventLoop* deploy_on) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string topic = vertex->topic();
-  if (Has(topic)) {
+  if (HasLocked(topic)) {
     return Error(ErrorCode::kAlreadyExists, "vertex exists: " + topic);
   }
   FactVertex* raw = vertex.get();
@@ -21,8 +27,9 @@ Expected<FactVertex*> ScoreGraph::AddFact(std::unique_ptr<FactVertex> vertex,
 
 Expected<InsightVertex*> ScoreGraph::AddInsight(
     std::unique_ptr<InsightVertex> vertex, EventLoop* deploy_on) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string topic = vertex->topic();
-  if (Has(topic)) {
+  if (HasLocked(topic)) {
     return Error(ErrorCode::kAlreadyExists, "vertex exists: " + topic);
   }
   if (WouldCreateCycle(topic, vertex->upstream())) {
@@ -39,6 +46,7 @@ Expected<InsightVertex*> ScoreGraph::AddInsight(
 }
 
 Status ScoreGraph::Remove(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (auto it = facts_.find(topic); it != facts_.end()) {
     it->second->Undeploy();
     facts_.erase(it);
@@ -53,6 +61,7 @@ Status ScoreGraph::Remove(const std::string& topic) {
 }
 
 Expected<FactVertex*> ScoreGraph::FindFact(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = facts_.find(topic);
   if (it == facts_.end()) {
     return Error(ErrorCode::kNotFound, "no fact vertex: " + topic);
@@ -62,6 +71,7 @@ Expected<FactVertex*> ScoreGraph::FindFact(const std::string& topic) const {
 
 Expected<InsightVertex*> ScoreGraph::FindInsight(
     const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = insights_.find(topic);
   if (it == insights_.end()) {
     return Error(ErrorCode::kNotFound, "no insight vertex: " + topic);
@@ -69,11 +79,17 @@ Expected<InsightVertex*> ScoreGraph::FindInsight(
   return it->second.get();
 }
 
-bool ScoreGraph::Has(const std::string& topic) const {
+bool ScoreGraph::HasLocked(const std::string& topic) const {
   return facts_.count(topic) > 0 || insights_.count(topic) > 0;
 }
 
+bool ScoreGraph::Has(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HasLocked(topic);
+}
+
 std::vector<std::string> ScoreGraph::FactTopics() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(facts_.size());
   for (const auto& [topic, vertex] : facts_) out.push_back(topic);
@@ -81,6 +97,7 @@ std::vector<std::string> ScoreGraph::FactTopics() const {
 }
 
 std::vector<std::string> ScoreGraph::InsightTopics() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(insights_.size());
   for (const auto& [topic, vertex] : insights_) out.push_back(topic);
@@ -88,10 +105,12 @@ std::vector<std::string> ScoreGraph::InsightTopics() const {
 }
 
 std::size_t ScoreGraph::NumVertices() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return facts_.size() + insights_.size();
 }
 
 Status ScoreGraph::DeployAll(EventLoop& loop) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [topic, vertex] : facts_) {
     Status status = vertex->Deploy(loop);
     if (!status.ok()) return status;
@@ -104,6 +123,7 @@ Status ScoreGraph::DeployAll(EventLoop& loop) {
 }
 
 void ScoreGraph::UndeployAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [topic, vertex] : facts_) vertex->Undeploy();
   for (auto& [topic, vertex] : insights_) vertex->Undeploy();
 }
@@ -135,7 +155,8 @@ bool ScoreGraph::WouldCreateCycle(
 Expected<int> ScoreGraph::DistanceInternal(const std::string& topic,
                                            std::map<std::string, int>& memo,
                                            int depth) const {
-  if (depth > static_cast<int>(NumVertices()) + 1) {
+  const int vertex_count = static_cast<int>(facts_.size() + insights_.size());
+  if (depth > vertex_count + 1) {
     return Error(ErrorCode::kInternal, "cycle detected at " + topic);
   }
   if (auto it = memo.find(topic); it != memo.end()) return it->second;
@@ -160,11 +181,13 @@ Expected<int> ScoreGraph::DistanceInternal(const std::string& topic,
 }
 
 Expected<int> ScoreGraph::HammingDistance(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, int> memo;
   return DistanceInternal(topic, memo, 0);
 }
 
 std::string ScoreGraph::ToDot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "digraph score {\n  rankdir=LR;\n";
   for (const auto& [topic, vertex] : facts_) {
     out += "  \"" + topic + "\" [shape=box];\n";
@@ -180,6 +203,7 @@ std::string ScoreGraph::ToDot() const {
 }
 
 int ScoreGraph::Height() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int height = 0;
   std::map<std::string, int> memo;
   for (const auto& [topic, vertex] : insights_) {

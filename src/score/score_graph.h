@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 
 namespace apollo {
 
+// Registry operations are mutex-guarded so the vertex supervisor (running
+// on the event-loop thread) can walk the graph while clients register and
+// unregister vertices from other threads. Returned vertex pointers stay
+// valid until Remove(): callers coordinate teardown as before.
 class ScoreGraph {
  public:
   explicit ScoreGraph(Broker& broker) : broker_(broker) {}
@@ -64,6 +69,8 @@ class ScoreGraph {
   Broker& broker() { return broker_; }
 
  private:
+  // Internal helpers assume mu_ is held by the caller.
+  bool HasLocked(const std::string& topic) const;
   bool WouldCreateCycle(const std::string& topic,
                         const std::vector<std::string>& upstream) const;
   Expected<int> DistanceInternal(const std::string& topic,
@@ -71,6 +78,7 @@ class ScoreGraph {
                                  int depth) const;
 
   Broker& broker_;
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<FactVertex>> facts_;
   std::map<std::string, std::unique_ptr<InsightVertex>> insights_;
 };

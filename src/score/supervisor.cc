@@ -1,0 +1,193 @@
+#include "score/supervisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo {
+
+VertexSupervisor::VertexSupervisor(ScoreGraph& graph,
+                                   SupervisorOptions options)
+    : graph_(graph), options_(options) {}
+
+VertexSupervisor::~VertexSupervisor() { Stop(); }
+
+Status VertexSupervisor::Start(EventLoop& loop) {
+  if (started_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "supervisor already started");
+  }
+  loop_ = &loop;
+  timer_ = loop.AddTimer(options_.check_interval, [this](TimeNs now) {
+    Poll(now);
+    return options_.check_interval;
+  });
+  started_ = true;
+  return Status::Ok();
+}
+
+void VertexSupervisor::Stop() {
+  if (!started_) return;
+  loop_->CancelTimer(timer_);
+  started_ = false;
+  loop_ = nullptr;
+}
+
+template <typename V>
+void VertexSupervisor::SuperviseLocked(V& vertex, TimeNs now) {
+  Entry& entry = entries_[vertex.topic()];
+  if (entry.gave_up) return;
+
+  if (!vertex.crashed()) {
+    // Stall check: a firing gap far beyond the vertex's own cadence means
+    // the timer died silently or the vertex is wedged. Convert it to a
+    // crash so the restart path below handles it.
+    const TimeNs threshold =
+        std::max(options_.stall_timeout,
+                 static_cast<TimeNs>(options_.stall_factor) *
+                     vertex.ExpectedFireInterval());
+    if (now - vertex.last_fire() > threshold) {
+      stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      GlobalTelemetry().vertex_stalls.fetch_add(1, std::memory_order_relaxed);
+      APOLLO_LOG(WARN) << "supervisor: vertex " << vertex.topic()
+                       << " stalled (no firing for " << (now - vertex.last_fire())
+                       << " ns), forcing crash";
+      vertex.ForceCrash();
+    } else {
+      // Healthy. A sustained healthy stretch after a restart earns the
+      // restart budget back.
+      if (entry.restarts > 0 && entry.last_restart_at > 0 &&
+          now - entry.last_restart_at > options_.healthy_reset) {
+        entry.restarts = 0;
+        entry.backoff = 0;
+      }
+      entry.was_crashed = false;
+      return;
+    }
+  }
+
+  // Crashed (or just force-crashed above).
+  if (!entry.was_crashed) {
+    entry.was_crashed = true;
+    crashes_seen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (entry.restarts >= options_.max_restarts) {
+    entry.gave_up = true;
+    give_ups_.fetch_add(1, std::memory_order_relaxed);
+    GlobalTelemetry().vertex_give_ups.fetch_add(1, std::memory_order_relaxed);
+    APOLLO_LOG(ERROR) << "supervisor: giving up on vertex " << vertex.topic()
+                      << " after " << entry.restarts << " restarts";
+    return;
+  }
+  if (entry.next_restart_at == 0) {
+    if (entry.backoff == 0) entry.backoff = options_.initial_restart_backoff;
+    entry.next_restart_at = now + entry.backoff;
+    return;
+  }
+  if (now < entry.next_restart_at) return;
+
+  Status restarted = vertex.Restart();
+  entry.next_restart_at = 0;
+  if (!restarted.ok()) {
+    APOLLO_LOG(ERROR) << "supervisor: restart of " << vertex.topic()
+                      << " failed: " << restarted.ToString();
+    return;
+  }
+  ++entry.restarts;
+  entry.last_restart_at = now;
+  entry.backoff = std::min(
+      static_cast<TimeNs>(static_cast<double>(entry.backoff) *
+                          options_.backoff_multiplier),
+      options_.max_restart_backoff);
+  entry.was_crashed = false;
+  restarts_issued_.fetch_add(1, std::memory_order_relaxed);
+  GlobalTelemetry().vertex_restarts.fetch_add(1, std::memory_order_relaxed);
+  APOLLO_LOG(WARN) << "supervisor: restarted vertex " << vertex.topic()
+                   << " (restart #" << entry.restarts << ")";
+}
+
+void VertexSupervisor::Poll(TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& topic : graph_.FactTopics()) {
+    auto vertex = graph_.FindFact(topic);
+    if (vertex.ok()) SuperviseLocked(**vertex, now);
+  }
+  for (const std::string& topic : graph_.InsightTopics()) {
+    auto vertex = graph_.FindInsight(topic);
+    if (vertex.ok()) SuperviseLocked(**vertex, now);
+  }
+}
+
+std::vector<VertexSupervisor::VertexHealth> VertexSupervisor::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<VertexHealth> out;
+  auto add = [&](const std::string& topic, NodeId node, bool crashed,
+                 TimeNs last_fire) {
+    VertexHealth health;
+    health.topic = topic;
+    health.node = node;
+    health.crashed = crashed;
+    health.last_fire = last_fire;
+    if (auto it = entries_.find(topic); it != entries_.end()) {
+      health.gave_up = it->second.gave_up;
+      health.restarts = it->second.restarts;
+    }
+    out.push_back(std::move(health));
+  };
+  for (const std::string& topic : graph_.FactTopics()) {
+    auto vertex = graph_.FindFact(topic);
+    if (vertex.ok()) {
+      add(topic, (*vertex)->node(), (*vertex)->crashed(),
+          (*vertex)->last_fire());
+    }
+  }
+  for (const std::string& topic : graph_.InsightTopics()) {
+    auto vertex = graph_.FindInsight(topic);
+    if (vertex.ok()) {
+      add(topic, (*vertex)->node(), (*vertex)->crashed(),
+          (*vertex)->last_fire());
+    }
+  }
+  return out;
+}
+
+std::size_t VertexSupervisor::AvailableNodes() const {
+  std::set<NodeId> known;
+  std::set<NodeId> down;
+  for (const VertexHealth& health : Snapshot()) {
+    known.insert(health.node);
+    if (health.crashed || health.gave_up) down.insert(health.node);
+  }
+  return known.size() - down.size();
+}
+
+std::size_t VertexSupervisor::KnownNodes() const {
+  std::set<NodeId> known;
+  for (const VertexHealth& health : Snapshot()) known.insert(health.node);
+  return known.size();
+}
+
+bool VertexSupervisor::NodeHealthy(NodeId node) const {
+  for (const VertexHealth& health : Snapshot()) {
+    if (health.node == node && (health.crashed || health.gave_up)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MonitorHook SupervisorAvailableNodesHook(const VertexSupervisor& supervisor,
+                                         TimeNs cost) {
+  MonitorHook hook;
+  hook.metric_name = "cluster.nodes_available";
+  hook.cost = cost;
+  hook.read = [&supervisor](TimeNs) {
+    return static_cast<double>(supervisor.AvailableNodes());
+  };
+  return hook;
+}
+
+}  // namespace apollo

@@ -22,6 +22,9 @@ struct VertexStats {
   std::atomic<std::uint64_t> published{0};
   std::atomic<std::uint64_t> suppressed{0};   // unchanged values not queued
   std::atomic<std::uint64_t> predictions{0};
+  std::atomic<std::uint64_t> publish_failures{0};  // retries exhausted
+  std::atomic<std::uint64_t> crashes{0};      // injected/forced crashes
+  std::atomic<std::uint64_t> restarts{0};     // supervisor restarts
 
   std::int64_t TotalTimeNs() const {
     return hook_time_ns + build_time_ns + publish_time_ns + consume_time_ns +
@@ -39,6 +42,9 @@ struct VertexStats {
     published = 0;
     suppressed = 0;
     predictions = 0;
+    publish_failures = 0;
+    crashes = 0;
+    restarts = 0;
   }
 };
 

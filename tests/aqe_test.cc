@@ -280,6 +280,60 @@ TEST_F(ExecutorTest, ArchiveFallbackForHistoricalRange) {
   EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 10.0);
 }
 
+// --- plan cache under topic churn ---
+
+TEST_F(ExecutorTest, PlanCacheInvalidatedByTopicChurn) {
+  Executor executor(broker_, &pool_);
+  broker_.CreateTopic("churn");
+  broker_.Publish("churn", kLocalNode, Seconds(1),
+                  Sample{Seconds(1), 1.0, Provenance::kMeasured});
+  const std::string query = "SELECT LAST(metric) FROM churn";
+  auto first = executor.Execute(query);
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->rows[0].values[0], 1.0);
+  EXPECT_EQ(executor.PlanCacheSize(), 1u);
+
+  // Drop and recreate the topic: the cached plan's handle now points at a
+  // dead stream generation. Churn detection (registry version mismatch)
+  // must re-resolve the handle, not answer from the stale stream.
+  ASSERT_TRUE(broker_.RemoveTopic("churn").ok());
+  broker_.CreateTopic("churn");
+  broker_.Publish("churn", kLocalNode, Seconds(2),
+                  Sample{Seconds(2), 2.0, Provenance::kMeasured});
+  auto second = executor.Execute(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->rows[0].values[0], 2.0);
+  // The cached entry is refreshed in place, not duplicated.
+  EXPECT_EQ(executor.PlanCacheSize(), 1u);
+}
+
+TEST_F(ExecutorTest, PlanCacheSurvivesRemovalAndLateRecreation) {
+  Executor executor(broker_, &pool_);
+  broker_.CreateTopic("doomed");
+  broker_.Publish("doomed", kLocalNode, Seconds(1),
+                  Sample{Seconds(1), 7.0, Provenance::kMeasured});
+  const std::string query = "SELECT COUNT(*) FROM doomed";
+  ASSERT_TRUE(executor.Execute(query).ok());
+
+  // Removal without recreation: the re-resolved plan errors cleanly
+  // instead of dereferencing the dead handle.
+  ASSERT_TRUE(broker_.RemoveTopic("doomed").ok());
+  auto gone = executor.Execute(query);
+  ASSERT_FALSE(gone.ok());
+
+  // Late recreation: the same cached parse resolves against the new
+  // stream on the next execution.
+  broker_.CreateTopic("doomed");
+  for (int i = 0; i < 3; ++i) {
+    broker_.Publish("doomed", kLocalNode, Seconds(10 + i),
+                    Sample{Seconds(10 + i), static_cast<double>(i),
+                           Provenance::kMeasured});
+  }
+  auto back = executor.Execute(query);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->rows[0].values[0], 3.0);
+}
+
 TEST(ExecutorStandalone, EmptyQueryRejected) {
   Broker broker(RealClock::Instance());
   Executor executor(broker, nullptr);

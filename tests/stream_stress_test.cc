@@ -228,6 +228,59 @@ TEST(StreamStress, RingGrowthPreservesEntries) {
   EXPECT_EQ(ranged.back().timestamp, 9990);
 }
 
+// Readers racing FlushEvictions() against the producer's opportunistic
+// flush must leave the archive id-sorted with no gaps or duplicates, and
+// archive ∪ window must still cover every appended id exactly once.
+// (Flushers serialize on the archive mutex; this pins that ordering.)
+TEST(StreamStress, ConcurrentFlushEvictionsKeepArchiveOrdered) {
+  Archiver<Sample> archiver;  // in-memory archive
+  TelemetryStream stream(/*capacity=*/256, &archiver);
+  constexpr std::size_t kAppends = 40000;
+  std::atomic<bool> done{false};
+  std::atomic<int> flush_errors{0};
+
+  std::vector<std::thread> flushers;
+  for (int t = 0; t < 3; ++t) {
+    flushers.emplace_back([&] {
+      std::vector<StreamEntry<Sample>> scratch;
+      while (!done.load(std::memory_order_acquire)) {
+        if (!stream.FlushEvictions().ok()) {
+          flush_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Interleave window reads so flushers also race the scan path.
+        std::uint64_t cursor = stream.FirstId();
+        stream.Read(cursor, scratch, 64);
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < kAppends; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    stream.Append(ts, Sample{ts, static_cast<double>(i),
+                             Provenance::kMeasured});
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : flushers) th.join();
+  EXPECT_EQ(flush_errors.load(), 0);
+
+  // Final drain, then verify the archive prefix is exactly the evicted ids
+  // in order: sorted, gap-free, duplicate-free.
+  ASSERT_TRUE(stream.FlushEvictions().ok());
+  auto records = archiver.ReadRange(0, static_cast<TimeNs>(kAppends));
+  ASSERT_TRUE(records.ok());
+  const std::uint64_t first_live = stream.FirstId();
+  ASSERT_EQ(records->size(), first_live);
+  for (std::size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].id, static_cast<std::uint64_t>(i));
+  }
+  // Archive ∪ window covers [0, kAppends) with no overlap.
+  std::uint64_t cursor = 0;
+  const auto window = stream.Read(cursor);
+  ASSERT_FALSE(window.empty());
+  EXPECT_EQ(window.front().id, first_live);
+  EXPECT_EQ(first_live + window.size(), kAppends);
+}
+
 // A payload timestamp that disagrees with the entry timestamp must trip the
 // sticky mismatch flag so readers stop trusting the timestamp stats.
 TEST(StreamStress, TimestampMismatchClearsTrustedFlag) {
