@@ -81,7 +81,8 @@ Expected<FactVertex*> ApolloService::DeployFact(
     case FactDeployment::Archive::kInherit:
       if (!options_.archive_dir.empty()) {
         archivers_.push_back(std::make_unique<Archiver<Sample>>(
-            options_.archive_dir + "/" + config.topic + ".log"));
+            options_.archive_dir + "/" + config.topic + ".log",
+            options_.wal));
         archiver = archivers_.back().get();
       }
       break;
@@ -89,6 +90,7 @@ Expected<FactVertex*> ApolloService::DeployFact(
   if (archiver != nullptr) {
     archiver->set_fault_label(config.topic);
     if (fault_ != nullptr) archiver->AttachFaultInjector(fault_);
+    archiver_by_topic_[config.topic] = archiver;
   }
   auto vertex = std::make_unique<FactVertex>(
       *broker_, std::move(hook), std::move(controller), std::move(config),
@@ -160,6 +162,58 @@ Status ApolloService::RunUntil(TimeNs end_time) {
   // timeline.
   sim_clock_->AdvanceTo(end_time);
   return Status::Ok();
+}
+
+Expected<ApolloService::RecoveryReport> ApolloService::Recover(
+    const std::string& dir) {
+  const std::string& root = dir.empty() ? options_.archive_dir : dir;
+  if (root.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "Recover needs an archive directory (none configured)");
+  }
+  const std::string prefix = root.back() == '/' ? root : root + "/";
+  RecoveryReport report;
+  for (const std::string& topic : graph_->AllTopics()) {
+    auto it = archiver_by_topic_.find(topic);
+    if (it == archiver_by_topic_.end()) continue;
+    Archiver<Sample>* archiver = it->second;
+    if (archiver->InMemory()) continue;  // nothing survives a restart
+    if (archiver->path().compare(0, prefix.size(), prefix) != 0) continue;
+
+    // The append-safe open already validated segments, truncated torn
+    // tails, and quarantined unreadable files; fold its counts in.
+    const ArchiveRecoveryStats stats = archiver->RecoveryStats();
+    report.segments_scanned += stats.segments_scanned;
+    report.records_recovered += stats.records_recovered;
+    report.bytes_truncated += stats.bytes_truncated;
+    report.corrupt_segments += stats.corrupt_segments;
+    report.quarantined_segments += stats.quarantined_segments;
+
+    auto stream = broker_->GetTopic(topic);
+    if (!stream.ok()) return stream.error();
+    const std::size_t capacity = stream.value()->Capacity();
+    auto tail = archiver->TailRecords(capacity);
+    if (!tail.ok()) return tail.error();
+    if (tail->empty()) continue;
+
+    std::vector<TelemetryStream::Entry> entries;
+    entries.reserve(tail->size());
+    for (const auto& rec : *tail) {
+      entries.push_back(
+          TelemetryStream::Entry{rec.id, rec.timestamp, rec.payload});
+    }
+    Status restored = broker_->RestoreTopic(topic, entries);
+    if (restored.code() == ErrorCode::kFailedPrecondition) {
+      ++report.topics_skipped;  // stream already live: never clobber it
+      continue;
+    }
+    if (!restored.ok()) {
+      return Error(restored.code(), restored.message());
+    }
+    ++report.topics_recovered;
+    report.records_replayed += entries.size();
+  }
+  return report;
 }
 
 Expected<aqe::ResultSet> ApolloService::Query(const std::string& query_text) {

@@ -51,10 +51,15 @@ struct ApolloOptions {
   std::size_t query_threads = 4;  // 0 = sequential query resolution
   NodeId client_node = kLocalNode;
   // When set, every deployed vertex gets a file-backed Archiver at
-  // <archive_dir>/<topic>.log; entries evicted from the in-memory window
-  // persist there and remain reachable by AQE timestamp-range queries.
-  // Empty = in-memory archives only when a vertex requests one.
+  // <archive_dir>/<topic>.log (WAL segments <topic>.log.<seq>.wal);
+  // entries evicted from the in-memory window persist there and remain
+  // reachable by AQE timestamp-range queries — and replayable with
+  // Recover() after a restart. Empty = in-memory archives only when a
+  // vertex requests one.
   std::string archive_dir;
+  // Durability knobs for file-backed archivers: segment size/rotation,
+  // retention cap, fsync policy (see pubsub/archiver.h).
+  WalConfig wal;
   // Vertex supervision: crash/stall detection with bounded-backoff
   // restarts (a health-check timer on the service's event loop). Disable
   // for experiments that want crashed vertices to stay down.
@@ -110,6 +115,32 @@ class ApolloService {
   // Simulated mode: advances virtual time, firing every due timer.
   Status RunFor(TimeNs duration);
   Status RunUntil(TimeNs end_time);
+
+  // --- durability & recovery ---
+  // What a Recover() pass found and rebuilt across the service's archives.
+  struct RecoveryReport {
+    std::uint64_t topics_recovered = 0;   // streams seeded from an archive
+    std::uint64_t topics_skipped = 0;     // stream already had live entries
+    std::uint64_t segments_scanned = 0;
+    std::uint64_t records_recovered = 0;  // valid records found on disk
+    std::uint64_t records_replayed = 0;   // records seeded into windows
+    std::uint64_t bytes_truncated = 0;    // torn/corrupt tail bytes cut
+    std::uint64_t corrupt_segments = 0;
+    std::uint64_t quarantined_segments = 0;
+  };
+
+  // Replays each deployed topic's on-disk archive tail into its (still
+  // empty) stream so queries answer immediately after a restart: the ring
+  // window, the rolling-aggregate index, and the last-known-good value are
+  // rebuilt from the newest `queue_capacity` archived records, with
+  // original timestamps (so staleness_ns is honest about data age).
+  //
+  // Call after deploying vertices and before Start()/first publish; topics
+  // whose stream already has entries are skipped, not clobbered. `dir`
+  // restricts the pass to archivers rooted there (default: the service's
+  // archive_dir). Torn/corrupt segment tails were already truncated or
+  // quarantined when each archiver opened; this aggregates those counts.
+  Expected<RecoveryReport> Recover(const std::string& dir = "");
 
   // --- query surface ---
   Expected<aqe::ResultSet> Query(const std::string& query_text);
@@ -182,6 +213,10 @@ class ApolloService {
   std::unique_ptr<aqe::Executor> executor_;
   std::unique_ptr<delphi::DelphiModel> delphi_;
   std::vector<std::unique_ptr<Archiver<Sample>>> archivers_;
+  // Topic -> service-owned archiver, for the recovery pass. Entries are
+  // not erased on Undeploy (the archiver outlives the vertex, like
+  // archivers_ itself); Recover() consults the live graph for topics.
+  std::map<std::string, Archiver<Sample>*> archiver_by_topic_;
   // Declared after loop_/graph_ so it is destroyed (timer cancelled)
   // first.
   std::unique_ptr<VertexSupervisor> supervisor_;

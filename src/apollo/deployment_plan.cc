@@ -28,6 +28,7 @@ FactDeployment BaseFactDeployment(const DeploymentPlanOptions& options,
   deployment.node = node;
   deployment.use_delphi = options.use_delphi;
   deployment.prediction_granularity = options.prediction_granularity;
+  deployment.archive = options.archive;
   return deployment;
 }
 

@@ -24,6 +24,10 @@ struct DeploymentPlanOptions {
   TimeNs hook_cost = 0;
   bool use_delphi = false;
   TimeNs prediction_granularity = Seconds(1);
+  // Archiver choice for every deployed fact (see FactDeployment::Archive):
+  // inherit follows the service's archive_dir, so a plan deployed on an
+  // archiving service is recoverable with ApolloService::Recover().
+  FactDeployment::Archive archive = FactDeployment::Archive::kInherit;
   // Metric families to deploy per device.
   bool capacity = true;
   bool utilization = true;

@@ -383,6 +383,11 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         }
         merged.insert(merged.end(), scratch.begin(), scratch.end());
         use_merged = true;
+      } else {
+        // Unreadable archive: answer from the in-memory window alone, but
+        // never silently — the counter makes the degraded read visible.
+        GlobalTelemetry().archive_read_errors.fetch_add(
+            1, std::memory_order_relaxed);
       }
     }
     if (!use_merged) {

@@ -17,6 +17,8 @@ const char* FaultSiteName(FaultSite site) {
       return "vertex_poll";
     case FaultSite::kVertexStall:
       return "vertex_stall";
+    case FaultSite::kArchiveFsync:
+      return "archive_fsync";
   }
   return "unknown";
 }

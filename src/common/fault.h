@@ -34,8 +34,9 @@ enum class FaultSite : std::uint8_t {
   kArchiveWrite,   // archiver append: write failure
   kVertexPoll,     // vertex timer body: crash (timer dies, crash flagged)
   kVertexStall,    // vertex timer body: silent stall (timer dies, no flag)
+  kArchiveFsync,   // archiver segment fsync: durability barrier failure
 };
-inline constexpr std::size_t kNumFaultSites = 5;
+inline constexpr std::size_t kNumFaultSites = 6;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -1,0 +1,375 @@
+#include "pubsub/archiver.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace apollo {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegmentSuffix = ".wal";
+constexpr const char* kQuarantineSuffix = ".corrupt";
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status(ErrorCode::kIoError, what + ": " + path);
+}
+
+// Reads a whole segment file into `buf`. Segments are bounded by
+// WalConfig::segment_bytes, so a full read is cheap and gives the scanner
+// one contiguous image to validate.
+Status ReadFile(const std::string& path, std::vector<std::uint8_t>& buf) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("archive segment open failed", path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return IoError("archive segment size failed", path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  buf.resize(static_cast<std::size_t>(size));
+  const std::size_t read = size == 0
+                               ? 0
+                               : std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) {
+    return IoError("archive segment read failed", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ArchiveLog::ArchiveLog(std::string base_path, std::uint32_t payload_size,
+                       WalConfig config)
+    : base_path_(std::move(base_path)),
+      payload_size_(payload_size),
+      config_(config) {
+  if (config_.segment_bytes <
+      wal::kHeaderSize + wal::kFrameOverhead + payload_size_) {
+    // A segment must hold at least one record.
+    config_.segment_bytes =
+        wal::kHeaderSize + wal::kFrameOverhead + payload_size_;
+  }
+  frame_.resize(wal::kFrameOverhead + payload_size_);
+}
+
+ArchiveLog::~ArchiveLog() {
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    std::fclose(active_);
+  }
+}
+
+std::string ArchiveLog::SegmentPathFor(std::uint64_t seq) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base_path_ + buf + kSegmentSuffix;
+}
+
+Status ArchiveLog::ScanSegmentFile(
+    const std::string& path, std::vector<std::uint8_t>& buf,
+    wal::ScanResult& result,
+    const std::function<void(const void*)>& fn) const {
+  Status status = ReadFile(path, buf);
+  if (!status.ok()) return status;
+  if (fn == nullptr) {
+    result = wal::ScanBuffer(buf.data(), buf.size());
+  } else {
+    result = wal::ScanBuffer(
+        buf.data(), buf.size(),
+        [&fn](const std::uint8_t* payload, std::uint32_t) { fn(payload); });
+  }
+  return Status::Ok();
+}
+
+Status ArchiveLog::Open() {
+  // Discover existing segments of this base path.
+  const fs::path base(base_path_);
+  const std::string prefix = base.filename().string() + ".";
+  std::error_code ec;
+  const fs::path dir =
+      base.has_parent_path() ? base.parent_path() : fs::path(".");
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  if (fs::exists(dir, ec)) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= prefix.size() + 4) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (name.compare(name.size() - 4, 4, kSegmentSuffix) != 0) continue;
+      const std::string seq_str =
+          name.substr(prefix.size(), name.size() - prefix.size() - 4);
+      if (seq_str.empty() ||
+          seq_str.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      found.emplace_back(std::strtoull(seq_str.c_str(), nullptr, 10),
+                         entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+
+  // Recover each segment: keep the valid prefix, truncate torn/corrupt
+  // tails in place, quarantine segments whose header does not parse.
+  TelemetryCounters& telemetry = GlobalTelemetry();
+  std::vector<std::uint8_t> buf;
+  for (const auto& [seq, path] : found) {
+    ++recovery_.segments_scanned;
+    wal::ScanResult scan;
+    Status status = ScanSegmentFile(path, buf, scan, nullptr);
+    if (!status.ok()) return status;
+    if (!scan.header_ok) {
+      // Unreadable as a WAL segment at all: move it aside so it never
+      // poisons reads, but keep the bytes for forensics.
+      std::error_code rename_ec;
+      fs::rename(path, path + kQuarantineSuffix, rename_ec);
+      if (rename_ec) return IoError("archive quarantine failed", path);
+      ++recovery_.corrupt_segments;
+      ++recovery_.quarantined_segments;
+      recovery_.bytes_truncated += scan.dropped_bytes;
+      telemetry.archive_corrupt_segments.fetch_add(
+          1, std::memory_order_relaxed);
+      telemetry.archive_quarantined_segments.fetch_add(
+          1, std::memory_order_relaxed);
+      telemetry.archive_truncated_bytes.fetch_add(
+          scan.dropped_bytes, std::memory_order_relaxed);
+      continue;
+    }
+    if (scan.dropped_bytes > 0) {
+      std::error_code resize_ec;
+      fs::resize_file(path, scan.valid_bytes, resize_ec);
+      if (resize_ec) return IoError("archive truncate failed", path);
+      ++recovery_.corrupt_segments;
+      recovery_.bytes_truncated += scan.dropped_bytes;
+      telemetry.archive_corrupt_segments.fetch_add(
+          1, std::memory_order_relaxed);
+      telemetry.archive_truncated_bytes.fetch_add(
+          scan.dropped_bytes, std::memory_order_relaxed);
+    }
+    recovery_.records_recovered += scan.records;
+    telemetry.archive_recovered_records.fetch_add(
+        scan.records, std::memory_order_relaxed);
+    segments_.push_back(
+        Segment{seq, path, scan.records, scan.valid_bytes});
+    record_count_ += scan.records;
+  }
+
+  if (segments_.empty()) {
+    segments_.push_back(Segment{1, SegmentPathFor(1), 0, 0});
+    return OpenActive(/*fresh=*/true);
+  }
+  return OpenActive(/*fresh=*/false);
+}
+
+Status ArchiveLog::OpenActive(bool fresh) {
+  Segment& seg = segments_.back();
+  // "ab" keeps every existing byte and positions at the (possibly just
+  // truncated) end — the append-safe open the old "wb+" mode lacked.
+  active_ = std::fopen(seg.path.c_str(), fresh ? "wb" : "ab");
+  if (active_ == nullptr) {
+    return IoError("archive segment open failed", seg.path);
+  }
+  if (fresh) {
+    std::uint8_t header[wal::kHeaderSize];
+    wal::EncodeHeader(header, payload_size_);
+    if (std::fwrite(header, sizeof(header), 1, active_) != 1 ||
+        std::fflush(active_) != 0) {
+      GlobalTelemetry().archive_write_errors.fetch_add(
+          1, std::memory_order_relaxed);
+      std::fclose(active_);
+      active_ = nullptr;
+      return IoError("archive header write failed", seg.path);
+    }
+    seg.bytes = wal::kHeaderSize;
+  }
+  return Status::Ok();
+}
+
+Status ArchiveLog::RotateLocked() {
+  Status status = SyncLocked();  // rotation is a durability barrier
+  if (!status.ok()) return status;
+  std::fclose(active_);
+  active_ = nullptr;
+  const std::uint64_t next_seq = segments_.back().seq + 1;
+  segments_.push_back(Segment{next_seq, SegmentPathFor(next_seq), 0, 0});
+  status = OpenActive(/*fresh=*/true);
+  if (!status.ok()) {
+    // Re-open the previous segment so appends can continue there.
+    segments_.pop_back();
+    Status reopen = OpenActive(/*fresh=*/false);
+    return reopen.ok() ? status : reopen;
+  }
+  ++rotations_;
+  GlobalTelemetry().archive_rotations.fetch_add(1,
+                                                std::memory_order_relaxed);
+  return ApplyRetentionLocked();
+}
+
+Status ArchiveLog::ApplyRetentionLocked() {
+  if (config_.max_segments == 0) return Status::Ok();
+  while (segments_.size() > config_.max_segments) {
+    const Segment oldest = segments_.front();
+    std::error_code ec;
+    fs::remove(oldest.path, ec);
+    if (ec) return IoError("archive retention remove failed", oldest.path);
+    record_count_ -= oldest.records;
+    segments_.erase(segments_.begin());
+  }
+  return Status::Ok();
+}
+
+Status ArchiveLog::SyncLocked() {
+  if (fault_ != nullptr) {
+    const std::string_view label = label_.empty() ? base_path_ : label_;
+    if (auto action = fault_->Evaluate(FaultSite::kArchiveFsync, label);
+        action.has_value() && action->fails()) {
+      GlobalTelemetry().archive_fsync_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      return Status(ErrorCode::kIoError,
+                    "injected archive fsync failure: " + base_path_);
+    }
+  }
+  if (std::fflush(active_) != 0 || ::fsync(::fileno(active_)) != 0) {
+    GlobalTelemetry().archive_fsync_failures.fetch_add(
+        1, std::memory_order_relaxed);
+    GlobalTelemetry().archive_write_errors.fetch_add(
+        1, std::memory_order_relaxed);
+    return IoError("archive fsync failed", segments_.back().path);
+  }
+  ++fsyncs_;
+  GlobalTelemetry().archive_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  appends_since_sync_ = 0;
+  last_sync_ = RealClock::Instance().Now();
+  return Status::Ok();
+}
+
+void ArchiveLog::RollbackActive(std::uint64_t offset) {
+  // Cut the segment back to its pre-record length so the failed append
+  // leaves no torn frame behind and a retry cannot duplicate bytes.
+  std::clearerr(active_);
+  std::fflush(active_);
+  if (::ftruncate(::fileno(active_), static_cast<off_t>(offset)) == 0) {
+    std::fseek(active_, static_cast<long>(offset), SEEK_SET);
+  }
+}
+
+Status ArchiveLog::Append(const void* payload) {
+  if (active_ == nullptr) {
+    return IoError("archive not open", base_path_);
+  }
+  Segment* seg = &segments_.back();
+  if (seg->records > 0 &&
+      seg->bytes + frame_.size() > config_.segment_bytes) {
+    Status status = RotateLocked();
+    if (!status.ok()) return status;
+    seg = &segments_.back();
+  }
+  const std::uint64_t offset = seg->bytes;
+  wal::EncodeRecord(frame_.data(), payload, payload_size_);
+  if (std::fwrite(frame_.data(), frame_.size(), 1, active_) != 1 ||
+      std::fflush(active_) != 0) {
+    // fflush per record pushes the frame into the OS so only a real
+    // machine failure (not process death) can lose an acknowledged
+    // append; the fsync policy below controls power-loss durability.
+    GlobalTelemetry().archive_write_errors.fetch_add(
+        1, std::memory_order_relaxed);
+    RollbackActive(offset);
+    return IoError("archive write failed", seg->path);
+  }
+  seg->bytes += frame_.size();
+  ++seg->records;
+  ++record_count_;
+  ++appends_since_sync_;
+
+  bool sync_due = false;
+  switch (config_.fsync_policy) {
+    case FsyncPolicy::kNever:
+      break;
+    case FsyncPolicy::kEveryN:
+      sync_due = appends_since_sync_ >= config_.fsync_every_n;
+      break;
+    case FsyncPolicy::kInterval:
+      sync_due =
+          RealClock::Instance().Now() - last_sync_ >= config_.fsync_interval;
+      break;
+  }
+  if (sync_due) {
+    Status status = SyncLocked();
+    if (!status.ok()) {
+      // The record is not durably acknowledged: roll it back so the
+      // caller's retry appends it exactly once.
+      RollbackActive(offset);
+      seg->bytes -= frame_.size();
+      --seg->records;
+      --record_count_;
+      --appends_since_sync_;
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ArchiveLog::Sync() {
+  if (active_ == nullptr) return IoError("archive not open", base_path_);
+  return SyncLocked();
+}
+
+Status ArchiveLog::ForEach(
+    const std::function<void(const void* payload)>& fn) {
+  return ForEachTail(UINT64_MAX, fn);
+}
+
+Status ArchiveLog::ForEachTail(
+    std::uint64_t n, const std::function<void(const void* payload)>& fn) {
+  if (active_ != nullptr && std::fflush(active_) != 0) {
+    GlobalTelemetry().archive_write_errors.fetch_add(
+        1, std::memory_order_relaxed);
+    return IoError("archive flush failed", segments_.back().path);
+  }
+  // Skip whole segments that lie entirely before the requested tail.
+  std::size_t first = 0;
+  if (n != UINT64_MAX) {
+    std::uint64_t kept = 0;
+    first = segments_.size();
+    while (first > 0 && kept < n) {
+      --first;
+      kept += segments_[first].records;
+    }
+  }
+  std::vector<std::uint8_t> buf;
+  for (std::size_t i = first; i < segments_.size(); ++i) {
+    wal::ScanResult scan;
+    Status status = ScanSegmentFile(segments_[i].path, buf, scan, fn);
+    if (!status.ok()) return status;
+    if (scan.records != segments_[i].records) {
+      // The file changed underneath us (external tampering or bit rot
+      // since open). Surface it — the caller sees a short read otherwise.
+      return Status(ErrorCode::kIoError,
+                    "archive segment lost records on re-read: " +
+                        segments_[i].path);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ArchiveLog::SegmentPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(segments_.size());
+  for (const Segment& seg : segments_) paths.push_back(seg.path);
+  return paths;
+}
+
+std::string ArchiveLog::ActiveSegmentPath() const {
+  return segments_.empty() ? std::string() : segments_.back().path;
+}
+
+}  // namespace apollo

@@ -1,22 +1,39 @@
-// Archiver: file-backed append-only log for entries evicted from an
+// Archiver: crash-safe append-only log for entries evicted from an
 // in-memory stream.
 //
 // Each SCoRe vertex holds a dedicated in-memory queue plus an Archiver that
 // persists evicted entries; the Query Executor falls back to the archive for
-// historical reads (timestamp ranges older than the in-memory window).
+// historical reads (timestamp ranges older than the in-memory window), and
+// ApolloService::Recover() replays the archive tail to rebuild stream
+// windows after a restart.
+//
+// File mode is a WAL (see pubsub/wal_format.h): records are length-prefixed
+// and CRC32C-checksummed inside size-rotated segment files
+// `<base>.<seq>.wal`, with an optional retention cap and a configurable
+// fsync policy. Opening an existing archive is append-safe: segments are
+// scanned, a torn/corrupt tail is truncated to the last valid record, and
+// unreadable segments are quarantined (renamed `.corrupt`) — every
+// recovered and dropped byte is counted. Appends are atomic: a failed
+// write, flush, or fsync rolls the segment back to the pre-record offset,
+// so retries can never duplicate or interleave a record.
 //
 // Failed writes are never silent: Append surfaces a Status, AppendWithRetry
 // adds bounded exponential backoff, and every outcome is counted both here
 // and in the global TelemetryCounters. An attached FaultInjector can force
-// write failures (site kArchiveWrite) for chaos tests.
+// write failures (site kArchiveWrite) and fsync failures (kArchiveFsync)
+// for chaos and kill-and-restart tests.
 //
-// Record layout (binary, little-endian, fixed size):
+// Record payload layout (binary, little-endian, fixed size):
 //   u64 id | i64 timestamp | T payload (trivially copyable)
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,8 +44,123 @@
 #include "common/expected.h"
 #include "common/fault.h"
 #include "pubsub/telemetry.h"
+#include "pubsub/wal_format.h"
 
 namespace apollo {
+
+// When the archiver calls fsync on its active segment.
+enum class FsyncPolicy : std::uint8_t {
+  kNever,     // leave durability to the OS (process death still safe)
+  kInterval,  // at most once per fsync_interval of real time
+  kEveryN,    // after every fsync_every_n appended records
+};
+
+struct WalConfig {
+  // Rotate the active segment once it would exceed this many bytes.
+  std::size_t segment_bytes = 4u << 20;
+  // Retention cap: delete the oldest segment when the live count exceeds
+  // this. 0 = unlimited (keep the full history).
+  std::size_t max_segments = 0;
+  FsyncPolicy fsync_policy = FsyncPolicy::kNever;
+  std::uint64_t fsync_every_n = 64;       // kEveryN
+  TimeNs fsync_interval = Seconds(1);     // kInterval (real clock)
+};
+
+// What an append-safe open found: how much of the existing archive
+// survived, and how much had to be cut or quarantined.
+struct ArchiveRecoveryStats {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_recovered = 0;
+  std::uint64_t bytes_truncated = 0;      // torn/corrupt bytes cut from tails
+  std::uint64_t corrupt_segments = 0;     // had any truncation or quarantine
+  std::uint64_t quarantined_segments = 0; // renamed *.corrupt (bad header)
+};
+
+// Non-template WAL engine behind Archiver<T>: segment files, rotation,
+// retention, fsync policy, and startup recovery over fixed-size payloads.
+// Not internally synchronized — Archiver<T> serializes all calls.
+class ArchiveLog {
+ public:
+  // `base_path` is the logical archive name; segments live at
+  // `<base_path>.<seq>.wal`. Call Open() before anything else.
+  ArchiveLog(std::string base_path, std::uint32_t payload_size,
+             WalConfig config);
+  ~ArchiveLog();
+
+  ArchiveLog(const ArchiveLog&) = delete;
+  ArchiveLog& operator=(const ArchiveLog&) = delete;
+
+  // Scans existing segments (recovering valid prefixes, truncating torn
+  // tails, quarantining unreadable segments) and opens the newest for
+  // append. Creates the first segment when none exist.
+  Status Open();
+
+  // Appends one payload_size-byte record. Atomic: on any write/flush/fsync
+  // failure the segment is rolled back to its pre-record length and an
+  // error is returned, so a retry cannot duplicate the record.
+  Status Append(const void* payload);
+
+  // Flushes and fsyncs the active segment regardless of policy.
+  Status Sync();
+
+  // Visits every record payload across live segments in append order.
+  // Stops early (and reports kIoError) if a segment cannot be read back.
+  Status ForEach(const std::function<void(const void* payload)>& fn);
+
+  // Like ForEach but only the last `n` records, skipping whole segments
+  // that lie entirely before the tail.
+  Status ForEachTail(std::uint64_t n,
+                     const std::function<void(const void* payload)>& fn);
+
+  std::uint64_t record_count() const { return record_count_; }
+  const ArchiveRecoveryStats& recovery() const { return recovery_; }
+  const std::string& base_path() const { return base_path_; }
+  std::vector<std::string> SegmentPaths() const;
+  std::string ActiveSegmentPath() const;
+  std::uint64_t rotations() const { return rotations_; }
+  std::uint64_t fsyncs() const { return fsyncs_; }
+
+  // kArchiveFsync faults are evaluated against `label` before each real
+  // fsync. Not owned; may be null.
+  void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
+  void set_fault_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  struct Segment {
+    std::uint64_t seq = 0;
+    std::string path;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::string SegmentPathFor(std::uint64_t seq) const;
+  Status OpenActive(bool fresh);
+  Status RotateLocked();
+  Status ApplyRetentionLocked();
+  Status SyncLocked();
+  // Truncates the active segment back to `offset` after a failed append.
+  void RollbackActive(std::uint64_t offset);
+  Status ScanSegmentFile(const std::string& path,
+                         std::vector<std::uint8_t>& buf,
+                         wal::ScanResult& result,
+                         const std::function<void(const void*)>& fn) const;
+
+  std::string base_path_;
+  std::uint32_t payload_size_;
+  WalConfig config_;
+  std::string label_;
+  FaultInjector* fault_ = nullptr;
+
+  std::vector<Segment> segments_;  // seq-ascending; back() is active
+  std::FILE* active_ = nullptr;
+  std::uint64_t record_count_ = 0;       // live records across segments
+  std::uint64_t appends_since_sync_ = 0;
+  TimeNs last_sync_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  ArchiveRecoveryStats recovery_;
+  std::vector<std::uint8_t> frame_;  // scratch encode buffer
+};
 
 template <typename T>
 class Archiver {
@@ -42,27 +174,39 @@ class Archiver {
     T payload;
   };
 
-  // Opens (creates/truncates) the archive file. An empty path keeps the
-  // archive purely in memory — convenient for tests and sim runs.
-  explicit Archiver(std::string path = "") : path_(std::move(path)) {
+  // Opens the archive append-safe, recovering any records a previous
+  // process left in the segment files (see ArchiveLog). An empty path
+  // keeps the archive purely in memory — convenient for tests and sim
+  // runs. A path that cannot be opened degrades to in-memory (check
+  // OpenStatus()).
+  explicit Archiver(std::string path = "", WalConfig config = {})
+      : path_(std::move(path)) {
     if (!path_.empty()) {
-      file_ = std::fopen(path_.c_str(), "wb+");
+      auto log = std::make_unique<ArchiveLog>(
+          path_, static_cast<std::uint32_t>(sizeof(Record)), config);
+      open_status_ = log->Open();
+      if (open_status_.ok()) log_ = std::move(log);
     }
   }
 
-  ~Archiver() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
+  ~Archiver() = default;
 
   Archiver(const Archiver&) = delete;
   Archiver& operator=(const Archiver&) = delete;
 
-  // Chaos-test hooks: injected faults fire at kArchiveWrite, filtered by
-  // `label` (defaults to the file path). Not owned; may be null.
+  // Chaos-test hooks: injected faults fire at kArchiveWrite (pre-append)
+  // and kArchiveFsync (pre-fsync), filtered by `label` (defaults to the
+  // file path). Not owned; may be null.
   void AttachFaultInjector(FaultInjector* injector) {
     fault_.store(injector, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (log_ != nullptr) log_->AttachFaultInjector(injector);
   }
-  void set_fault_label(std::string label) { label_ = std::move(label); }
+  void set_fault_label(std::string label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    label_ = label;
+    if (log_ != nullptr) log_->set_fault_label(std::move(label));
+  }
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
   Status Append(std::uint64_t id, TimeNs timestamp, const T& payload) {
@@ -72,7 +216,8 @@ class Archiver {
 
   // Append with the archiver's retry policy: transient failures back off
   // exponentially (real sleep — archiver flushes run off the stream lock),
-  // and the final outcome is recorded in failures()/last_error().
+  // and the final outcome is recorded in failures()/last_error(). Safe to
+  // retry: a failed file append leaves no partial record behind.
   Status AppendWithRetry(std::uint64_t id, TimeNs timestamp,
                          const T& payload) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -91,23 +236,21 @@ class Archiver {
   }
 
   // Reads every archived record with timestamp in [from_ts, to_ts].
-  // Sequential scan — archives are cold storage, latency is acceptable.
+  // Sequential scan over all live segments — archives are cold storage,
+  // latency is acceptable. Every record re-validates its checksum on the
+  // way back in.
   Expected<std::vector<Record>> ReadRange(TimeNs from_ts, TimeNs to_ts) {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<Record> out;
-    if (file_ != nullptr) {
-      std::fflush(file_);
-      std::FILE* reader = std::fopen(path_.c_str(), "rb");
-      if (reader == nullptr) {
-        return Error(ErrorCode::kIoError, "archive open failed: " + path_);
-      }
-      Record rec;
-      while (std::fread(&rec, sizeof(rec), 1, reader) == 1) {
+    if (log_ != nullptr) {
+      Status status = log_->ForEach([&](const void* payload) {
+        Record rec;
+        std::memcpy(&rec, payload, sizeof(rec));
         if (rec.timestamp >= from_ts && rec.timestamp <= to_ts) {
           out.push_back(rec);
         }
-      }
-      std::fclose(reader);
+      });
+      if (!status.ok()) return Error(status.code(), status.message());
       return out;
     }
     for (const Record& rec : memory_) {
@@ -118,9 +261,41 @@ class Archiver {
     return out;
   }
 
+  // The newest `n` archived records in append order — the recovery path
+  // uses this to rebuild a stream's in-memory window.
+  Expected<std::vector<Record>> TailRecords(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Record> out;
+    if (log_ != nullptr) {
+      Status status = log_->ForEachTail(n, [&](const void* payload) {
+        Record rec;
+        std::memcpy(&rec, payload, sizeof(rec));
+        out.push_back(rec);
+      });
+      if (!status.ok()) return Error(status.code(), status.message());
+      // ForEachTail skips whole leading segments; trim the in-segment
+      // overshoot.
+      if (out.size() > n) out.erase(out.begin(), out.end() - n);
+      return out;
+    }
+    const std::size_t take =
+        std::min<std::size_t>(memory_.size(), static_cast<std::size_t>(n));
+    out.assign(memory_.end() - take, memory_.end());
+    return out;
+  }
+
+  // Forces the active segment to disk regardless of fsync policy.
+  Status Sync() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (log_ == nullptr) return Status::Ok();
+    return log_->Sync();
+  }
+
+  // Records reachable in the archive: recovered history plus this
+  // lifetime's appends, minus anything retention has expired.
   std::uint64_t Count() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return count_;
+    return log_ != nullptr ? log_->record_count() : count_;
   }
 
   // Writes that stayed failed after retries, and the most recent error.
@@ -132,8 +307,32 @@ class Archiver {
     return last_error_;
   }
 
+  // Fsyncs actually issued on the active segment (policy + explicit).
+  std::uint64_t Fsyncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->fsyncs() : 0;
+  }
+
+  // What the append-safe open found (file mode; zeroes in memory mode).
+  ArchiveRecoveryStats RecoveryStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->recovery() : ArchiveRecoveryStats{};
+  }
+
+  std::vector<std::string> SegmentPaths() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->SegmentPaths()
+                           : std::vector<std::string>{};
+  }
+  std::string ActiveSegmentPath() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->ActiveSegmentPath() : std::string();
+  }
+
   const std::string& path() const { return path_; }
-  bool InMemory() const { return file_ == nullptr; }
+  bool InMemory() const { return log_ == nullptr; }
+  // Why a file-backed open fell back to memory mode (Ok when healthy).
+  Status OpenStatus() const { return open_status_; }
 
  private:
   Status AppendLocked(std::uint64_t id, TimeNs timestamp, const T& payload) {
@@ -141,16 +340,22 @@ class Archiver {
       const std::string_view label = label_.empty() ? path_ : label_;
       if (auto action = injector->Evaluate(FaultSite::kArchiveWrite, label);
           action.has_value() && action->fails()) {
+        GlobalTelemetry().archive_write_errors.fetch_add(
+            1, std::memory_order_relaxed);
         return Status(ErrorCode::kIoError,
                       "injected archive write failure: " + path_);
       }
     }
-    if (file_ != nullptr) {
-      Record rec{id, timestamp, payload};
-      if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) {
-        return Status(ErrorCode::kIoError, "archive write failed: " + path_);
-      }
-      ++count_;
+    if (log_ != nullptr) {
+      Record rec;
+      // Zero padding bytes so the on-disk CRC is deterministic (Record is
+      // trivially copyable; the cast silences -Wclass-memaccess).
+      std::memset(static_cast<void*>(&rec), 0, sizeof(rec));
+      rec.id = id;
+      rec.timestamp = timestamp;
+      rec.payload = payload;
+      Status status = log_->Append(&rec);
+      if (!status.ok()) return status;
       GlobalTelemetry().archive_writes.fetch_add(1,
                                                  std::memory_order_relaxed);
       return Status::Ok();
@@ -171,7 +376,8 @@ class Archiver {
 
   std::string path_;
   std::string label_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<ArchiveLog> log_;
+  Status open_status_;
   std::vector<Record> memory_;
   std::uint64_t count_ = 0;
   std::atomic<FaultInjector*> fault_{nullptr};

@@ -30,6 +30,14 @@ Expected<TelemetryStream*> Broker::GetTopic(const std::string& name) const {
   return it->second.stream.get();
 }
 
+Status Broker::RestoreTopic(
+    const std::string& name,
+    const std::vector<TelemetryStream::Entry>& entries) {
+  auto stream = GetTopic(name);
+  if (!stream.ok()) return stream.status();
+  return stream.value()->RestoreWindow(entries);
+}
+
 Expected<TopicHandle> Broker::Resolve(const std::string& name) const {
   // Read the version before the lookup: a topic created/removed after this
   // load at worst leaves the handle conservatively stale (it re-resolves on

@@ -116,6 +116,13 @@ class Broker {
   // Looks up an existing topic's stream.
   Expected<TelemetryStream*> GetTopic(const std::string& name) const;
 
+  // Recovery path: seeds an existing topic's (still-empty) stream with
+  // entries replayed from its archive, oldest first. Delegates to
+  // Stream::RestoreWindow — fails if the stream has already been appended
+  // to or the batch exceeds its capacity.
+  Status RestoreTopic(const std::string& name,
+                      const std::vector<TelemetryStream::Entry>& entries);
+
   // Resolves a stable handle for steady-state access (deploy/plan time).
   Expected<TopicHandle> Resolve(const std::string& name) const;
 

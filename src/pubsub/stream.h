@@ -93,7 +93,11 @@ class Stream {
     const std::uint64_t id = next_id_++;
     if (id - first_id_ == capacity_) {
       Entry& victim = ring_[first_id_ & mask_];
-      if (archiver_ != nullptr) evict_pending_.push_back(victim);
+      // Entries below restore_limit_ were replayed from the archive at
+      // startup — re-archiving them would duplicate history.
+      if (archiver_ != nullptr && victim.id >= restore_limit_) {
+        evict_pending_.push_back(victim);
+      }
       if constexpr (kHasAggregateIndex) IndexEvict(victim);
       ++first_id_;
     } else if (id - first_id_ == ring_.size()) {
@@ -276,6 +280,37 @@ class Stream {
     return FlushLocked();
   }
 
+  // Recovery path: seeds an empty stream with entries replayed from the
+  // archive tail, oldest first. Ids are reassigned contiguously from 0
+  // (archived ids can have gaps where appends were dropped) and the
+  // restored prefix is excluded from future archiver evictions — those
+  // records are already on disk. Fails with kFailedPrecondition on a
+  // stream that has ever been appended to, and kInvalidArgument when
+  // `entries` exceeds the capacity.
+  Status RestoreWindow(const std::vector<Entry>& entries) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (next_id_ != 0) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "RestoreWindow requires an empty stream");
+    }
+    if (entries.size() > capacity_) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "restore batch exceeds stream capacity");
+    }
+    while (ring_.size() < entries.size()) Grow();
+    for (const Entry& entry : entries) {
+      const std::uint64_t id = next_id_++;
+      Entry& slot = ring_[id & mask_];
+      slot = entry;
+      slot.id = id;
+      if constexpr (kHasAggregateIndex) IndexAppend(slot);
+    }
+    restore_limit_ = next_id_;
+    lock.unlock();
+    cv_.notify_all();
+    return Status::Ok();
+  }
+
  private:
   static std::size_t RoundUpPow2(std::size_t n) {
     std::size_t p = 1;
@@ -398,6 +433,9 @@ class Stream {
   std::size_t mask_ = 0;
   std::uint64_t first_id_ = 0;
   std::uint64_t next_id_ = 0;
+  // Ids below this were restored from the archive (see RestoreWindow) and
+  // must not be re-archived on eviction.
+  std::uint64_t restore_limit_ = 0;
   std::vector<Entry> evict_pending_;
 
   // Rolling aggregate index (Sample streams only; guarded by mu_). Wedges

@@ -53,6 +53,19 @@ struct TelemetryCounters {
   std::atomic<std::uint64_t> archive_writes{0};
   std::atomic<std::uint64_t> archive_retries{0};
   std::atomic<std::uint64_t> archive_write_failures{0};  // retries exhausted
+  // Every failed fwrite/fflush/fsync attempt (before any retry), so a
+  // struggling disk is visible even while retries are still absorbing it.
+  std::atomic<std::uint64_t> archive_write_errors{0};
+  std::atomic<std::uint64_t> archive_fsyncs{0};
+  std::atomic<std::uint64_t> archive_fsync_failures{0};
+  std::atomic<std::uint64_t> archive_rotations{0};
+  std::atomic<std::uint64_t> archive_read_errors{0};  // query-path scans
+
+  // WAL recovery (startup scans of existing segments).
+  std::atomic<std::uint64_t> archive_recovered_records{0};
+  std::atomic<std::uint64_t> archive_truncated_bytes{0};
+  std::atomic<std::uint64_t> archive_corrupt_segments{0};
+  std::atomic<std::uint64_t> archive_quarantined_segments{0};
 
   // Supervision (SCoRe vertex lifecycle).
   std::atomic<std::uint64_t> vertex_crashes{0};
@@ -73,6 +86,15 @@ struct TelemetryCounters {
     archive_writes = 0;
     archive_retries = 0;
     archive_write_failures = 0;
+    archive_write_errors = 0;
+    archive_fsyncs = 0;
+    archive_fsync_failures = 0;
+    archive_rotations = 0;
+    archive_read_errors = 0;
+    archive_recovered_records = 0;
+    archive_truncated_bytes = 0;
+    archive_corrupt_segments = 0;
+    archive_quarantined_segments = 0;
     vertex_crashes = 0;
     vertex_stalls = 0;
     vertex_restarts = 0;

@@ -1,0 +1,104 @@
+#include "pubsub/wal_format.h"
+
+#include <array>
+#include <cstring>
+
+namespace apollo::wal {
+
+namespace {
+
+// Byte-at-a-time CRC32C table (poly 0x82F63B78, reflected).
+constexpr std::array<std::uint32_t, 256> kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+void PutU32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kCrcTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void EncodeHeader(std::uint8_t* out, std::uint32_t payload_size) {
+  PutU32(out, kMagic);
+  PutU32(out + 4, kVersion);
+  PutU32(out + 8, payload_size);
+  PutU32(out + 12, Crc32c(out, 12));
+}
+
+bool DecodeHeader(const std::uint8_t* data, std::size_t size,
+                  std::uint32_t* payload_size) {
+  if (size < kHeaderSize) return false;
+  if (GetU32(data) != kMagic) return false;
+  if (GetU32(data + 4) != kVersion) return false;
+  if (GetU32(data + 12) != Crc32c(data, 12)) return false;
+  const std::uint32_t hint = GetU32(data + 8);
+  if (hint > kMaxRecordLen) return false;
+  if (payload_size != nullptr) *payload_size = hint;
+  return true;
+}
+
+std::size_t EncodeRecord(std::uint8_t* out, const void* payload,
+                         std::uint32_t len) {
+  PutU32(out, len);
+  PutU32(out + 4, Crc32c(payload, len));
+  std::memcpy(out + kFrameOverhead, payload, len);
+  return kFrameOverhead + len;
+}
+
+ScanResult ScanBuffer(
+    const std::uint8_t* data, std::size_t size,
+    const std::function<void(const std::uint8_t* payload,
+                             std::uint32_t len)>& visit) {
+  ScanResult result;
+  std::uint32_t payload_size = 0;
+  if (!DecodeHeader(data, size, &payload_size)) {
+    result.dropped_bytes = size;
+    return result;
+  }
+  result.header_ok = true;
+  std::size_t pos = kHeaderSize;
+  while (size - pos >= kFrameOverhead) {
+    const std::uint32_t len = GetU32(data + pos);
+    if (len > kMaxRecordLen) break;
+    if (payload_size != 0 && len != payload_size) break;
+    if (size - pos - kFrameOverhead < len) break;  // torn tail
+    const std::uint8_t* payload = data + pos + kFrameOverhead;
+    if (GetU32(data + pos + 4) != Crc32c(payload, len)) break;
+    if (visit) visit(payload, len);
+    ++result.records;
+    pos += kFrameOverhead + len;
+  }
+  result.valid_bytes = pos;
+  result.dropped_bytes = size - pos;
+  result.clean = result.dropped_bytes == 0;
+  return result;
+}
+
+}  // namespace apollo::wal

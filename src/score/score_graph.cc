@@ -104,6 +104,15 @@ std::vector<std::string> ScoreGraph::InsightTopics() const {
   return out;
 }
 
+std::vector<std::string> ScoreGraph::AllTopics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(facts_.size() + insights_.size());
+  for (const auto& [topic, vertex] : facts_) out.push_back(topic);
+  for (const auto& [topic, vertex] : insights_) out.push_back(topic);
+  return out;
+}
+
 std::size_t ScoreGraph::NumVertices() const {
   std::lock_guard<std::mutex> lock(mu_);
   return facts_.size() + insights_.size();

@@ -49,6 +49,9 @@ class ScoreGraph {
 
   std::vector<std::string> FactTopics() const;
   std::vector<std::string> InsightTopics() const;
+  // Every registered topic, facts then insights (each sorted). The recovery
+  // path uses this to decide which archives belong to live vertices.
+  std::vector<std::string> AllTopics() const;
   std::size_t NumVertices() const;
 
   // Deploys every registered vertex on `loop`; undeploys all.

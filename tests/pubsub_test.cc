@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "pubsub/archiver.h"
@@ -149,10 +150,17 @@ TEST(Stream, ConcurrentAppendersAllLand) {
 // --- Archiver file-backed ---
 
 TEST(Archiver, FileBackedRoundTrip) {
-  const std::string path = testing::TempDir() + "/apollo_archive_test.bin";
+  // Fresh scratch dir: opening an archiver recovers whatever a previous
+  // (possibly aborted) run left at the same path.
+  const std::string dir = testing::TempDir() + "/apollo_archive_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/archive.bin";
+  std::vector<std::string> segments;
   {
     Archiver<Sample> archiver(path);
     EXPECT_FALSE(archiver.InMemory());
+    ASSERT_EQ(archiver.Count(), 0u);
     for (int i = 0; i < 100; ++i) {
       ASSERT_TRUE(
           archiver.Append(i, Seconds(i), S(Seconds(i), i * 1.5)).ok());
@@ -165,8 +173,10 @@ TEST(Archiver, FileBackedRoundTrip) {
     auto some = archiver.ReadRange(Seconds(10), Seconds(19));
     ASSERT_TRUE(some.ok());
     EXPECT_EQ(some->size(), 10u);
+    segments = archiver.SegmentPaths();
   }
-  std::remove(path.c_str());
+  EXPECT_FALSE(segments.empty());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Archiver, EmptyRangeReadOk) {

@@ -1,0 +1,425 @@
+// Durability & recovery tests: append-safe archiver opens, segment
+// rotation/retention, torn-tail truncation, quarantine, injected
+// write/fsync failures, and full-service restart recovery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apollo/apollo_service.h"
+#include "common/fault.h"
+#include "pubsub/archiver.h"
+#include "pubsub/stream.h"
+#include "pubsub/telemetry.h"
+#include "score/monitor_hook.h"
+
+namespace apollo {
+namespace {
+
+namespace fs = std::filesystem;
+
+Sample S(TimeNs ts, double v) {
+  return Sample{ts, v, Provenance::kMeasured};
+}
+
+// Fresh per-test scratch directory (archivers recover whatever segments
+// already exist at their path, so tests must never share one).
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Appends `len` garbage bytes to `path` — a torn in-flight write.
+void AppendGarbage(const std::string& path, std::size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  for (std::size_t i = 0; i < len; ++i) std::fputc(0x5A, f);
+  std::fclose(f);
+}
+
+// Regression for the truncate-on-open bug: the old "wb+" open wiped the
+// file, so a second Archiver lifetime silently destroyed all history.
+TEST(ArchiveRecovery, TwoLifetimesPreserveRecords) {
+  const std::string dir = FreshDir("wal_two_lifetimes");
+  const std::string base = dir + "/metric.log";
+  {
+    Archiver<Sample> first(base);
+    ASSERT_FALSE(first.InMemory());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(first.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+    }
+  }
+  Archiver<Sample> second(base);
+  ASSERT_FALSE(second.InMemory());
+  EXPECT_EQ(second.Count(), 10u);
+  EXPECT_EQ(second.RecoveryStats().records_recovered, 10u);
+  EXPECT_EQ(second.RecoveryStats().bytes_truncated, 0u);
+  for (int i = 10; i < 15; ++i) {
+    ASSERT_TRUE(second.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+  }
+  auto all = second.ReadRange(0, Seconds(1000));
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 15u);
+  EXPECT_EQ((*all)[0].payload.value, 0.0);
+  EXPECT_EQ((*all)[14].payload.value, 14.0);
+}
+
+// sizeof(Archiver<Sample>::Record) = 40; one frame = 48 bytes on disk, the
+// segment header 16, so segment_bytes = 120 fits exactly two records.
+constexpr std::size_t kTwoRecordSegment = 120;
+
+TEST(ArchiveRecovery, RotationAndRetention) {
+  const std::string dir = FreshDir("wal_rotation");
+  WalConfig config;
+  config.segment_bytes = kTwoRecordSegment;
+  config.max_segments = 2;
+  Archiver<Sample> archiver(dir + "/metric.log", config);
+  ASSERT_FALSE(archiver.InMemory());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(archiver.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+  }
+  // 10 records at 2/segment = 5 segments written; retention keeps 2.
+  EXPECT_EQ(archiver.SegmentPaths().size(), 2u);
+  EXPECT_EQ(archiver.Count(), 4u);
+  auto all = archiver.ReadRange(0, Seconds(1000));
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ(all->front().payload.value, 6.0);  // oldest surviving record
+  EXPECT_EQ(all->back().payload.value, 9.0);
+  // Expired segment files are really gone.
+  std::size_t wal_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".wal") ++wal_files;
+  }
+  EXPECT_EQ(wal_files, 2u);
+}
+
+TEST(ArchiveRecovery, TornTailTruncatedOnOpen) {
+  const std::string dir = FreshDir("wal_torn_tail");
+  const std::string base = dir + "/metric.log";
+  std::string active;
+  {
+    Archiver<Sample> first(base);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(first.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+    }
+    active = first.ActiveSegmentPath();
+  }
+  AppendGarbage(active, 7);  // a write SIGKILL'd mid-frame
+
+  Archiver<Sample> second(base);
+  ASSERT_FALSE(second.InMemory());
+  const ArchiveRecoveryStats stats = second.RecoveryStats();
+  EXPECT_EQ(stats.records_recovered, 5u);
+  EXPECT_EQ(stats.bytes_truncated, 7u);
+  EXPECT_EQ(stats.corrupt_segments, 1u);
+  EXPECT_EQ(stats.quarantined_segments, 0u);
+  // The archive keeps working where it left off.
+  for (int i = 5; i < 8; ++i) {
+    ASSERT_TRUE(second.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+  }
+  auto all = second.ReadRange(0, Seconds(1000));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 8u);
+}
+
+TEST(ArchiveRecovery, BadHeaderSegmentQuarantined) {
+  const std::string dir = FreshDir("wal_quarantine");
+  const std::string base = dir + "/metric.log";
+  WalConfig config;
+  config.segment_bytes = kTwoRecordSegment;
+  std::vector<std::string> segments;
+  {
+    Archiver<Sample> first(base, config);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(first.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+    }
+    segments = first.SegmentPaths();
+  }
+  ASSERT_EQ(segments.size(), 3u);
+  // Smash the middle segment's magic: the whole file is unreadable.
+  {
+    std::FILE* f = std::fopen(segments[1].c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0x00, f);
+    std::fclose(f);
+  }
+
+  Archiver<Sample> second(base, config);
+  const ArchiveRecoveryStats stats = second.RecoveryStats();
+  EXPECT_EQ(stats.segments_scanned, 3u);
+  EXPECT_EQ(stats.quarantined_segments, 1u);
+  EXPECT_EQ(stats.corrupt_segments, 1u);
+  EXPECT_EQ(stats.records_recovered, 4u);
+  EXPECT_EQ(second.Count(), 4u);
+  // Quarantined, not deleted: moved aside under .corrupt for forensics.
+  EXPECT_FALSE(fs::exists(segments[1]));
+  EXPECT_TRUE(fs::exists(segments[1] + ".corrupt"));
+}
+
+TEST(ArchiveRecovery, InjectedWriteFailureSurfacesStatusAndCounter) {
+  GlobalTelemetry().Reset();
+  const std::string dir = FreshDir("wal_write_fault");
+  Archiver<Sample> archiver(dir + "/metric.log");
+  FaultInjector injector;
+  injector.Arm(FaultSpec{.site = FaultSite::kArchiveWrite,
+                         .fire_on_hits = {0}});
+  archiver.AttachFaultInjector(&injector);
+
+  Status status = archiver.Append(0, Seconds(1), S(Seconds(1), 1.0));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(archiver.Count(), 0u);
+  EXPECT_GE(GlobalTelemetry().archive_write_errors.load(), 1u);
+
+  // The failure left no partial frame: the next append lands cleanly.
+  ASSERT_TRUE(archiver.Append(0, Seconds(1), S(Seconds(1), 1.0)).ok());
+  EXPECT_EQ(archiver.Count(), 1u);
+}
+
+TEST(ArchiveRecovery, RetryAppendsExactlyOnceAfterInjectedFailure) {
+  GlobalTelemetry().Reset();
+  const std::string dir = FreshDir("wal_write_retry");
+  Archiver<Sample> archiver(dir + "/metric.log");
+  FaultInjector injector;
+  injector.Arm(FaultSpec{.site = FaultSite::kArchiveWrite,
+                         .fire_on_hits = {0}});
+  archiver.AttachFaultInjector(&injector);
+
+  ASSERT_TRUE(archiver.AppendWithRetry(0, Seconds(1), S(Seconds(1), 7.0)).ok());
+  EXPECT_EQ(archiver.Count(), 1u);
+  EXPECT_EQ(archiver.Failures(), 0u);
+  EXPECT_GE(GlobalTelemetry().archive_retries.load(), 1u);
+  auto all = archiver.ReadRange(0, Seconds(1000));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);  // exactly once, no duplicate from the retry
+}
+
+TEST(ArchiveRecovery, InjectedFsyncFailureRollsBackRecord) {
+  GlobalTelemetry().Reset();
+  const std::string dir = FreshDir("wal_fsync_fault");
+  WalConfig config;
+  config.fsync_policy = FsyncPolicy::kEveryN;
+  config.fsync_every_n = 1;
+  Archiver<Sample> archiver(dir + "/metric.log", config);
+  FaultInjector injector;
+  injector.Arm(FaultSpec{.site = FaultSite::kArchiveFsync,
+                         .fire_on_hits = {0}});
+  archiver.AttachFaultInjector(&injector);
+
+  Status status = archiver.Append(0, Seconds(1), S(Seconds(1), 1.0));
+  EXPECT_FALSE(status.ok());
+  // The record was written but could not be made durable: it must be
+  // rolled back so a retry cannot double-append it.
+  EXPECT_EQ(archiver.Count(), 0u);
+  EXPECT_GE(GlobalTelemetry().archive_fsync_failures.load(), 1u);
+
+  ASSERT_TRUE(archiver.AppendWithRetry(0, Seconds(1), S(Seconds(1), 1.0)).ok());
+  EXPECT_EQ(archiver.Count(), 1u);
+  EXPECT_GE(archiver.Fsyncs(), 1u);
+}
+
+TEST(ArchiveRecovery, EveryNPolicySyncsOnSchedule) {
+  const std::string dir = FreshDir("wal_fsync_every_n");
+  WalConfig config;
+  config.fsync_policy = FsyncPolicy::kEveryN;
+  config.fsync_every_n = 4;
+  Archiver<Sample> archiver(dir + "/metric.log", config);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(archiver.Append(i, Seconds(i), S(Seconds(i), i)).ok());
+  }
+  EXPECT_EQ(archiver.Fsyncs(), 2u);  // after records 4 and 8
+}
+
+TEST(StreamRestore, RestoredEntriesAreNotReArchived) {
+  Archiver<Sample> archiver;  // in-memory
+  TelemetryStream stream(4, &archiver);
+  std::vector<TelemetryStream::Entry> entries;
+  for (int i = 0; i < 4; ++i) {
+    entries.push_back({static_cast<std::uint64_t>(i), Seconds(i),
+                       S(Seconds(i), i)});
+  }
+  ASSERT_TRUE(stream.RestoreWindow(entries).ok());
+  EXPECT_EQ(stream.Size(), 4u);
+  EXPECT_EQ(archiver.Count(), 0u);  // restore is not an append
+
+  // Six more appends evict the 4 restored entries (gated: already on
+  // disk) then 2 live ones (archived normally).
+  for (int i = 4; i < 10; ++i) {
+    stream.Append(Seconds(i), S(Seconds(i), i));
+  }
+  ASSERT_TRUE(stream.FlushEvictions().ok());
+  EXPECT_EQ(archiver.Count(), 2u);
+  auto archived = archiver.ReadRange(0, Seconds(1000));
+  ASSERT_TRUE(archived.ok());
+  ASSERT_EQ(archived->size(), 2u);
+  EXPECT_EQ(archived->front().payload.value, 4.0);
+  EXPECT_EQ(archived->back().payload.value, 5.0);
+}
+
+TEST(StreamRestore, RebuildsAggregateIndex) {
+  TelemetryStream stream(8);
+  std::vector<TelemetryStream::Entry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back({static_cast<std::uint64_t>(i), Seconds(i),
+                       S(Seconds(i), 10.0 + i)});
+  }
+  ASSERT_TRUE(stream.RestoreWindow(entries).ok());
+  auto agg = stream.Aggregates();
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->count, 5u);
+  EXPECT_DOUBLE_EQ(agg->min_value, 10.0);
+  EXPECT_DOUBLE_EQ(agg->max_value, 14.0);
+  EXPECT_DOUBLE_EQ(agg->sum_value, 60.0);
+  EXPECT_EQ(agg->latest.value.value, 14.0);
+}
+
+TEST(StreamRestore, RefusesNonEmptyStream) {
+  TelemetryStream stream(8);
+  stream.Append(Seconds(1), S(Seconds(1), 1.0));
+  std::vector<TelemetryStream::Entry> entries{
+      {0, Seconds(0), S(Seconds(0), 0.0)}};
+  Status status = stream.RestoreWindow(entries);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(stream.Size(), 1u);  // untouched
+}
+
+TEST(StreamRestore, RefusesOversizeBatch) {
+  TelemetryStream stream(2);
+  std::vector<TelemetryStream::Entry> entries(3);
+  EXPECT_EQ(stream.RestoreWindow(entries).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// --- full-service restart recovery ---
+
+FactDeployment CountingDeployment(const std::string& topic) {
+  FactDeployment deployment;
+  deployment.topic = topic;
+  deployment.queue_capacity = 4;
+  deployment.publish_only_on_change = false;
+  return deployment;
+}
+
+MonitorHook CountingHook(const std::string& name, TimeNs* tick) {
+  return MonitorHook{
+      name, [tick](TimeNs) { return static_cast<double>((*tick)++); }, 0};
+}
+
+TEST(ServiceRecovery, RebuildsWindowsAndAnswersQueries) {
+  const std::string dir = FreshDir("service_recovery");
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  options.archive_dir = dir;
+
+  // First lifetime: 31 samples published (t = 0..30s), window capacity 4,
+  // so 27 evicted records reach the archive before "the process dies".
+  {
+    ApolloService apollo(options);
+    TimeNs tick = 0;
+    ASSERT_TRUE(apollo
+                    .DeployFact(CountingHook("metric", &tick),
+                                CountingDeployment("metric"))
+                    .ok());
+    apollo.RunFor(Seconds(30));
+    auto rs = apollo.Query("SELECT COUNT(*) FROM metric WHERE timestamp >= 0");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 31.0);
+  }
+
+  // Second lifetime: deploy the same fact, recover before running.
+  ApolloService apollo(options);
+  TimeNs tick = 0;
+  ASSERT_TRUE(apollo
+                  .DeployFact(CountingHook("metric", &tick),
+                              CountingDeployment("metric"))
+                  .ok());
+  auto report = apollo.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->topics_recovered, 1u);
+  EXPECT_EQ(report->topics_skipped, 0u);
+  EXPECT_EQ(report->records_recovered, 27u);
+  EXPECT_EQ(report->records_replayed, 4u);  // window capacity
+  EXPECT_EQ(report->bytes_truncated, 0u);
+  EXPECT_EQ(report->corrupt_segments, 0u);
+
+  // Queries answer immediately, merging the restored window with the
+  // archive below it: all 27 persisted records are reachable.
+  auto count = apollo.Query("SELECT COUNT(*) FROM metric WHERE timestamp >= 0");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->rows[0].values[0], 27.0);
+  EXPECT_FALSE(count->degraded);
+
+  auto agg = apollo.Query(
+      "SELECT MAX(metric), MIN(metric), AVG(metric) FROM metric "
+      "WHERE timestamp >= 0");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE(agg->degraded);
+  EXPECT_DOUBLE_EQ(agg->rows[0].values[0], 26.0);  // newest archived value
+  EXPECT_DOUBLE_EQ(agg->rows[0].values[1], 0.0);
+  EXPECT_DOUBLE_EQ(agg->rows[0].values[2], 13.0);  // mean of 0..26
+
+  // Last-known-good value is restored too.
+  auto latest = apollo.LatestValue("metric");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_DOUBLE_EQ(*latest, 26.0);
+
+  // A second pass must refuse to clobber the now-live stream.
+  auto again = apollo.Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->topics_recovered, 0u);
+  EXPECT_EQ(again->topics_skipped, 1u);
+}
+
+TEST(ServiceRecovery, TornArchiveTailCountedInReport) {
+  const std::string dir = FreshDir("service_recovery_torn");
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  options.archive_dir = dir;
+
+  {
+    ApolloService apollo(options);
+    TimeNs tick = 0;
+    ASSERT_TRUE(apollo
+                    .DeployFact(CountingHook("metric", &tick),
+                                CountingDeployment("metric"))
+                    .ok());
+    apollo.RunFor(Seconds(30));
+  }
+  // Tear the active segment's tail, as a mid-write SIGKILL would.
+  AppendGarbage(dir + "/metric.log.000001.wal", 11);
+
+  ApolloService apollo(options);
+  TimeNs tick = 0;
+  ASSERT_TRUE(apollo
+                  .DeployFact(CountingHook("metric", &tick),
+                              CountingDeployment("metric"))
+                  .ok());
+  auto report = apollo.Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_recovered, 27u);  // every whole record survives
+  EXPECT_EQ(report->bytes_truncated, 11u);
+  EXPECT_EQ(report->corrupt_segments, 1u);
+  auto count = apollo.Query("SELECT COUNT(*) FROM metric WHERE timestamp >= 0");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->rows[0].values[0], 27.0);
+}
+
+TEST(ServiceRecovery, RequiresConfiguredDirectory) {
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  ApolloService apollo(options);
+  auto report = apollo.Recover();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "apollo/apollo_service.h"
@@ -164,10 +165,15 @@ TEST(ArchiveOption, MemoryArchiveKeepsEvictedHistory) {
 }
 
 TEST(ArchiveOption, FileArchiveUnderArchiveDir) {
+  // Fresh subdir: archivers recover any segments already present at their
+  // path, so a reused directory would leak records across test runs.
+  const std::string dir = testing::TempDir() + "/archive_option_filed";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
   ApolloOptions options;
   options.mode = ApolloOptions::Mode::kSimulated;
   options.query_threads = 0;
-  options.archive_dir = testing::TempDir();
+  options.archive_dir = dir;
   ApolloService apollo(options);
 
   TimeNs tick = 0;
@@ -184,11 +190,12 @@ TEST(ArchiveOption, FileArchiveUnderArchiveDir) {
   auto rs = apollo.Query("SELECT COUNT(*) FROM filed WHERE timestamp >= 0");
   ASSERT_TRUE(rs.ok());
   EXPECT_DOUBLE_EQ(rs->rows[0].values[0], 31.0);
-  const std::string path = testing::TempDir() + "/filed.log";
+  // Evicted entries landed in WAL segments under <dir>/filed.log.*.wal.
+  const std::string path = dir + "/filed.log.000001.wal";
   std::FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_NE(f, nullptr);
   if (f != nullptr) std::fclose(f);
-  std::remove(path.c_str());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ArchiveOption, NoneDropsEvictedEntries) {
