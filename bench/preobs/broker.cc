@@ -1,10 +1,11 @@
-#include "pubsub/broker.h"
+// Extracted verbatim from the pre-observability tree state (namespace
+// renamed to apollo::benchpre). Only consumed by bench_hotpath's lane (d)
+// as the uninstrumented publish baseline. Do not use outside the bench.
+#include "bench/preobs/broker.h"
 
 #include <algorithm>
 
-#include "obs/trace.h"
-
-namespace apollo {
+namespace apollo::benchpre {
 
 Expected<TelemetryStream*> Broker::CreateTopic(const std::string& name,
                                                NodeId home_node,
@@ -108,10 +109,9 @@ Expected<Sample> Broker::LatestValue(const std::string& topic,
 Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
                                         TimeNs timestamp,
                                         const Sample& sample) {
-  TRACE_SPAN("broker.publish", handle.name_);
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
-  publishes_.fetch_add(1, std::memory_order_relaxed);
+  GlobalTelemetry().publishes.fetch_add(1, std::memory_order_relaxed);
   status = EvaluateFault(FaultSite::kPublish, handle.name_);
   if (!status.ok()) {
     GlobalTelemetry().publish_drops.fetch_add(1, std::memory_order_relaxed);
@@ -124,7 +124,6 @@ Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
     std::size_t max_entries) {
-  TRACE_SPAN("broker.fetch", handle.name_);
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
   status = EvaluateFault(FaultSite::kFetch, handle.name_);
@@ -139,7 +138,6 @@ Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
 Expected<std::size_t> Broker::FetchInto(
     TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
     std::vector<TelemetryStream::Entry>& out, std::size_t max_entries) {
-  TRACE_SPAN("broker.fetch", handle.name_);
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
   status = EvaluateFault(FaultSite::kFetch, handle.name_);
@@ -152,7 +150,6 @@ Expected<std::size_t> Broker::FetchInto(
 }
 
 Expected<Sample> Broker::LatestValue(TopicHandle& handle, NodeId to_node) {
-  TRACE_SPAN("broker.latest", handle.name_);
   Status status = Refresh(handle);
   if (!status.ok()) return Error(status.code(), status.message());
   status = EvaluateFault(FaultSite::kFetch, handle.name_);
@@ -269,4 +266,4 @@ Status Broker::EvaluateFault(FaultSite site, const std::string& topic) {
                     " fault: " + topic);
 }
 
-}  // namespace apollo
+}  // namespace apollo::benchpre

@@ -1,3 +1,6 @@
+// Extracted verbatim from the pre-observability tree state (namespace
+// renamed to apollo::benchpre). Only consumed by bench_hotpath's lane (d)
+// as the uninstrumented publish baseline. Do not use outside the bench.
 // Broker: named-stream registry plus a simple network cost model.
 //
 // SCoRe vertices on different (simulated) nodes communicate through broker
@@ -26,9 +29,9 @@
 #include "common/clock.h"
 #include "common/expected.h"
 #include "common/fault.h"
-#include "pubsub/stream.h"
+#include "bench/preobs/stream.h"
 
-namespace apollo {
+namespace apollo::benchpre {
 
 using NodeId = std::int32_t;
 constexpr NodeId kLocalNode = -1;
@@ -101,9 +104,7 @@ class Broker {
   // network model makes every hop free.
   explicit Broker(Clock& clock,
                   std::shared_ptr<const NetworkModel> network = nullptr)
-      : clock_(clock),
-        network_(std::move(network)),
-        publishes_(GlobalTelemetry().publishes) {}
+      : clock_(clock), network_(std::move(network)) {}
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -242,14 +243,9 @@ class Broker {
 
   Clock& clock_;
   std::shared_ptr<const NetworkModel> network_;
-  // Publish-path counter handle, resolved once at construction. Bumping a
-  // copied handle skips GlobalTelemetry()'s function-local-static guard on
-  // every publish (it shares the same registry cell, so the facade and
-  // Prometheus exposition see every increment).
-  obs::Counter publishes_;
   std::atomic<std::uint64_t> version_{1};
   std::atomic<FaultInjector*> fault_{nullptr};
   mutable std::array<Stripe, kStripes> stripes_;
 };
 
-}  // namespace apollo
+}  // namespace apollo::benchpre

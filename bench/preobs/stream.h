@@ -1,3 +1,6 @@
+// Extracted verbatim from the pre-observability tree state (namespace
+// renamed to apollo::benchpre). Only consumed by bench_hotpath's lane (d)
+// as the uninstrumented publish baseline. Do not use outside the bench.
 // Stream<T>: in-memory append-only timestamped log with cursor-based
 // consumption — the Redis Streams substitute.
 //
@@ -32,11 +35,10 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "obs/trace.h"
 #include "pubsub/archiver.h"
-#include "pubsub/telemetry.h"
+#include "bench/preobs/telemetry.h"
 
-namespace apollo {
+namespace apollo::benchpre {
 
 template <typename T>
 struct StreamEntry {
@@ -406,10 +408,6 @@ class Stream {
       std::lock_guard<std::mutex> lock(mu_);
       batch.swap(evict_pending_);
     }
-    if (batch.empty()) return Status::Ok();
-    TRACE_SPAN("stream.flush_evictions");
-    GlobalTelemetry().stream_evictions.fetch_add(batch.size(),
-                                                 std::memory_order_relaxed);
     Status result = Status::Ok();
     for (const Entry& entry : batch) {
       Status status =
@@ -456,4 +454,4 @@ class Stream {
 // The telemetry stream type used throughout SCoRe.
 using TelemetryStream = Stream<Sample>;
 
-}  // namespace apollo
+}  // namespace apollo::benchpre

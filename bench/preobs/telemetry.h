@@ -1,0 +1,100 @@
+// Pre-observability telemetry counters, extracted verbatim from the tree
+// state before the obs layer landed (plain shared atomics instead of the
+// MetricsRegistry facade). Used only by the bench's uninstrumented publish
+// lane (bench/preobs/) so lane (d) of bench_hotpath measures exactly the
+// instrumentation delta. Do not use outside the bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/clock.h"
+#include "pubsub/telemetry.h"  // live Sample/Provenance (unchanged)
+
+namespace apollo::benchpre {
+
+using apollo::Provenance;
+using apollo::Sample;
+
+// Fabric self-telemetry: how the monitoring plane itself is doing. Every
+// counter is an independent atomic, so the counters are safe to bump from
+// producers, the event loop, and query threads concurrently.
+//
+// A failed persist or a dropped publish used to vanish silently; these
+// counters make every loss surface observable (and testable under chaos).
+struct TelemetryCounters {
+  // Broker publish path.
+  std::atomic<std::uint64_t> publishes{0};
+  std::atomic<std::uint64_t> publish_drops{0};     // injected drops
+  std::atomic<std::uint64_t> publish_retries{0};   // backoff retries
+  std::atomic<std::uint64_t> publish_failures{0};  // retries exhausted
+
+  // Broker fetch path.
+  std::atomic<std::uint64_t> fetch_timeouts{0};  // injected timeouts
+  std::atomic<std::uint64_t> fetch_retries{0};
+  std::atomic<std::uint64_t> fetch_failures{0};
+
+  // Archiver path.
+  std::atomic<std::uint64_t> archive_writes{0};
+  std::atomic<std::uint64_t> archive_retries{0};
+  std::atomic<std::uint64_t> archive_write_failures{0};  // retries exhausted
+  // Every failed fwrite/fflush/fsync attempt (before any retry), so a
+  // struggling disk is visible even while retries are still absorbing it.
+  std::atomic<std::uint64_t> archive_write_errors{0};
+  std::atomic<std::uint64_t> archive_fsyncs{0};
+  std::atomic<std::uint64_t> archive_fsync_failures{0};
+  std::atomic<std::uint64_t> archive_rotations{0};
+  std::atomic<std::uint64_t> archive_read_errors{0};  // query-path scans
+
+  // WAL recovery (startup scans of existing segments).
+  std::atomic<std::uint64_t> archive_recovered_records{0};
+  std::atomic<std::uint64_t> archive_truncated_bytes{0};
+  std::atomic<std::uint64_t> archive_corrupt_segments{0};
+  std::atomic<std::uint64_t> archive_quarantined_segments{0};
+
+  // Supervision (SCoRe vertex lifecycle).
+  std::atomic<std::uint64_t> vertex_crashes{0};
+  std::atomic<std::uint64_t> vertex_stalls{0};
+  std::atomic<std::uint64_t> vertex_restarts{0};
+  std::atomic<std::uint64_t> vertex_give_ups{0};
+  std::atomic<std::uint64_t> degraded_marked{0};
+  std::atomic<std::uint64_t> degraded_cleared{0};
+
+  void Reset() {
+    publishes = 0;
+    publish_drops = 0;
+    publish_retries = 0;
+    publish_failures = 0;
+    fetch_timeouts = 0;
+    fetch_retries = 0;
+    fetch_failures = 0;
+    archive_writes = 0;
+    archive_retries = 0;
+    archive_write_failures = 0;
+    archive_write_errors = 0;
+    archive_fsyncs = 0;
+    archive_fsync_failures = 0;
+    archive_rotations = 0;
+    archive_read_errors = 0;
+    archive_recovered_records = 0;
+    archive_truncated_bytes = 0;
+    archive_corrupt_segments = 0;
+    archive_quarantined_segments = 0;
+    vertex_crashes = 0;
+    vertex_stalls = 0;
+    vertex_restarts = 0;
+    vertex_give_ups = 0;
+    degraded_marked = 0;
+    degraded_cleared = 0;
+  }
+};
+
+// Process-wide counters. Tests Reset() them at setup; concurrent bumps are
+// exact (atomics), reads are racy-by-design snapshots.
+inline TelemetryCounters& GlobalTelemetry() {
+  static TelemetryCounters counters;
+  return counters;
+}
+
+}  // namespace apollo::benchpre

@@ -5,9 +5,13 @@
 //
 //   run <seconds>         advance virtual time
 //   query <sql>           execute an AQE query and print the rows
+//                         (EXPLAIN / EXPLAIN ANALYZE prefixes profile it)
+//   explain <sql>         shorthand for query EXPLAIN ANALYZE <sql>
 //   latest <topic>        print a topic's newest value
 //   topics                list broker topics
 //   stats                 print service self-telemetry
+//   \metrics              Prometheus text exposition of the registry
+//   \trace on|off|dump    toggle span tracing / dump Chrome trace JSON
 //   write <device> <MB>   issue a write against a device (e.g. compute0.nvme)
 //   fail <node> / heal <node>   toggle a node offline/online
 //   dot                   print the SCoRe DAG in Graphviz format
@@ -23,12 +27,18 @@
 #include "apollo/apollo_service.h"
 #include "apollo/deployment_plan.h"
 #include "cluster/cluster.h"
+#include "obs/trace.h"
 
 using namespace apollo;
 
 namespace {
 
 void PrintResult(const aqe::ResultSet& rs) {
+  // Profile result sets ("plan" column) are plain text, one line per row.
+  if (rs.columns.size() == 1 && rs.columns.front() == "plan") {
+    for (const auto& row : rs.rows) std::printf("%s\n", row.source.c_str());
+    return;
+  }
   std::printf("%-32s", "source");
   for (const std::string& column : rs.columns) {
     std::printf("%-24s", column.c_str());
@@ -43,8 +53,9 @@ void PrintResult(const aqe::ResultSet& rs) {
 
 void PrintHelp() {
   std::printf(
-      "commands: run <sec> | query <sql> | latest <topic> | topics | "
-      "stats | write <device> <MB> | fail <node> | heal <node> | dot | "
+      "commands: run <sec> | query <sql> | explain <sql> | latest <topic> | "
+      "topics | stats | \\metrics | \\trace on|off|dump | "
+      "write <device> <MB> | fail <node> | heal <node> | dot | "
       "help | quit\n");
 }
 
@@ -85,14 +96,34 @@ int main() {
       input >> seconds;
       apollo.RunFor(Seconds(seconds));
       std::printf("t=%.1fs\n", ToSeconds(apollo.clock().Now()));
-    } else if (command == "query") {
+    } else if (command == "query" || command == "explain") {
       std::string sql;
       std::getline(input, sql);
+      if (command == "explain") sql = "EXPLAIN ANALYZE " + sql;
       auto rs = apollo.Query(sql);
       if (rs.ok()) {
         PrintResult(*rs);
       } else {
         std::printf("error: %s\n", rs.error().ToString().c_str());
+      }
+    } else if (command == "\\metrics" || command == "metrics") {
+      std::fputs(apollo.DumpMetrics().c_str(), stdout);
+    } else if (command == "\\trace" || command == "trace") {
+      std::string arg;
+      input >> arg;
+      auto& recorder = obs::TraceRecorder::Global();
+      if (arg == "on") {
+        recorder.Enable();
+        std::printf("tracing on\n");
+      } else if (arg == "off") {
+        recorder.Disable();
+        std::printf("tracing off (%zu spans buffered)\n",
+                    recorder.SpanCount());
+      } else if (arg == "dump") {
+        std::fputs(recorder.ExportChromeTrace().c_str(), stdout);
+        std::printf("\n");
+      } else {
+        std::printf("usage: \\trace on|off|dump\n");
       }
     } else if (command == "latest") {
       std::string topic;

@@ -1,6 +1,8 @@
 #include "apollo/apollo_service.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace apollo {
 
@@ -9,6 +11,9 @@ ApolloService::ApolloService(ApolloOptions options)
   if (options_.mode == ApolloOptions::Mode::kSimulated) {
     sim_clock_ = std::make_unique<SimClock>();
     clock_ = sim_clock_.get();
+    // Trace spans stamp this service's virtual clock, so exported traces
+    // are deterministic under simulation (uninstalled in the destructor).
+    obs::TraceRecorder::Global().SetClock(sim_clock_.get());
     loop_ = std::make_unique<EventLoop>(*clock_, /*auto_advance=*/true,
                                         sim_clock_.get());
   } else {
@@ -32,6 +37,12 @@ ApolloService::ApolloService(ApolloOptions options)
 
 ApolloService::~ApolloService() {
   Stop();
+  // Drop the trace clock if it still points at this service's SimClock
+  // (another live service may have installed its own since).
+  if (sim_clock_ != nullptr &&
+      obs::TraceRecorder::Global().clock() == sim_clock_.get()) {
+    obs::TraceRecorder::Global().SetClock(nullptr);
+  }
   if (supervisor_ != nullptr) supervisor_->Stop();
   // Vertices must be undeployed (their timers cancelled) before the loop is
   // destroyed.
@@ -218,6 +229,15 @@ Expected<ApolloService::RecoveryReport> ApolloService::Recover(
 
 Expected<aqe::ResultSet> ApolloService::Query(const std::string& query_text) {
   return executor_->Execute(query_text);
+}
+
+Expected<aqe::QueryProfile> ApolloService::Explain(
+    const std::string& query_text, bool analyze) {
+  return executor_->Explain(query_text, analyze);
+}
+
+std::string ApolloService::DumpMetrics() const {
+  return obs::MetricsRegistry::Global().RenderPrometheus();
 }
 
 ApolloService::SubscriptionId ApolloService::Subscribe(

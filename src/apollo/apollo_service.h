@@ -143,8 +143,20 @@ class ApolloService {
   Expected<RecoveryReport> Recover(const std::string& dir = "");
 
   // --- query surface ---
+  // Also accepts EXPLAIN / EXPLAIN ANALYZE prefixes (profile rendered as a
+  // one-column result set).
   Expected<aqe::ResultSet> Query(const std::string& query_text);
   Expected<double> LatestValue(const std::string& topic);
+
+  // Query profiler (see aqe::Executor::Explain). `query_text` is the bare
+  // SELECT; analyze=true executes it and fills per-vertex timings/rows.
+  Expected<aqe::QueryProfile> Explain(const std::string& query_text,
+                                      bool analyze = true);
+
+  // Prometheus text exposition of the process-wide metrics registry —
+  // every counter/gauge/histogram the fabric, vertices, archivers, and AQE
+  // registered, including the TelemetryCounters facade.
+  std::string DumpMetrics() const;
 
   // --- push-style subscriptions ---
   // Delivers every new entry of `topic` to `callback`, polled from the

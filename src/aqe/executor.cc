@@ -1,10 +1,13 @@
 #include "aqe/executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <future>
 #include <limits>
 #include <numeric>
+
+#include "obs/trace.h"
 
 namespace apollo::aqe {
 
@@ -128,16 +131,64 @@ double IndexCell(const SelectItem& item,
 }  // namespace
 
 Executor::Executor(Broker& broker, ThreadPool* pool, ExecutorOptions options)
-    : broker_(broker), pool_(pool), options_(options) {}
+    : broker_(broker),
+      pool_(pool),
+      options_(options),
+      queries_(obs::MetricsRegistry::Global().GetCounter(
+          "apollo_aqe_queries_total", "AQE queries executed")),
+      plan_cache_hits_(obs::MetricsRegistry::Global().GetCounter(
+          "apollo_aqe_plan_cache_hits_total",
+          "Queries answered from a cached plan")),
+      plan_cache_misses_(obs::MetricsRegistry::Global().GetCounter(
+          "apollo_aqe_plan_cache_misses_total",
+          "Queries that parsed and planned from scratch")),
+      query_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          "apollo_aqe_query_duration_ns",
+          "AQE query end-to-end latency (broker clock)")) {}
 
-Expected<ResultSet> Executor::Execute(const std::string& query_text) {
+bool Executor::StripExplainPrefix(std::string_view text,
+                                  std::string_view& rest, bool& analyze) {
+  auto skip_ws = [](std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.remove_prefix(1);
+    }
+    return s;
+  };
+  // Case-insensitive word match followed by whitespace or end.
+  auto eat_word = [&](std::string_view s, std::string_view word,
+                      std::string_view& after) {
+    if (s.size() < word.size()) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(s[i])) != word[i]) {
+        return false;
+      }
+    }
+    if (s.size() > word.size() &&
+        !std::isspace(static_cast<unsigned char>(s[word.size()]))) {
+      return false;
+    }
+    after = skip_ws(s.substr(word.size()));
+    return true;
+  };
+  std::string_view s = skip_ws(text);
+  std::string_view after;
+  if (!eat_word(s, "EXPLAIN", after)) return false;
+  analyze = eat_word(after, "ANALYZE", after);
+  rest = after;
+  return true;
+}
+
+Expected<std::shared_ptr<const Executor::Plan>> Executor::ResolvePlan(
+    const std::string& query_text, bool* cache_hit) {
   std::shared_ptr<const Plan> plan;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(query_text);
     if (it != plan_cache_.end()) plan = it->second;
   }
+  if (cache_hit != nullptr) *cache_hit = plan != nullptr;
   if (plan == nullptr) {
+    plan_cache_misses_.Inc();
     auto parsed = Parse(query_text);
     if (!parsed.ok()) return parsed.error();
     auto fresh = std::make_shared<Plan>();
@@ -150,6 +201,7 @@ Expected<ResultSet> Executor::Execute(const std::string& query_text) {
     plan_cache_[query_text] = fresh;
     plan = std::move(fresh);
   } else if (plan->broker_version != broker_.RegistryVersion()) {
+    plan_cache_hits_.Inc();
     // Topic churn since plan time: re-resolve the handles once, keep the
     // parse.
     auto fresh = std::make_shared<Plan>(*plan);
@@ -157,8 +209,99 @@ Expected<ResultSet> Executor::Execute(const std::string& query_text) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     plan_cache_[query_text] = fresh;
     plan = std::move(fresh);
+  } else {
+    plan_cache_hits_.Inc();
   }
-  return ExecutePlan(*plan);
+  return plan;
+}
+
+Expected<ResultSet> Executor::Execute(const std::string& query_text) {
+  // EXPLAIN routing: profile instead of answering, rendered as rows so the
+  // shell and ApolloService::Query callers need no new entry point.
+  std::string_view bare;
+  bool analyze = false;
+  if (StripExplainPrefix(query_text, bare, analyze)) {
+    auto profile = Explain(std::string(bare), analyze);
+    if (!profile.ok()) return profile.error();
+    ResultSet result;
+    result.columns = {"plan"};
+    for (std::string& line : profile->ToLines()) {
+      ResultRow row;
+      row.source = std::move(line);
+      row.degraded = profile->degraded;
+      row.staleness_ns = profile->max_staleness_ns;
+      result.rows.push_back(std::move(row));
+    }
+    result.degraded = profile->degraded;
+    result.max_staleness_ns = profile->max_staleness_ns;
+    return result;
+  }
+
+  TRACE_SPAN("aqe.execute", query_text);
+  queries_.Inc();
+  auto plan = ResolvePlan(query_text, nullptr);
+  if (!plan.ok()) return plan.error();
+  const TimeNs start = broker_.clock().Now();
+  auto result = ExecutePlan(**plan);
+  query_latency_.Record(broker_.clock().Now() - start);
+  return result;
+}
+
+Expected<QueryProfile> Executor::Explain(const std::string& query_text,
+                                         bool analyze) {
+  TRACE_SPAN("aqe.explain", query_text);
+  QueryProfile profile;
+  profile.query_text = query_text;
+  profile.analyzed = analyze;
+  auto plan = ResolvePlan(query_text, &profile.plan_cache_hit);
+  if (!plan.ok()) return plan.error();
+
+  if (analyze) {
+    queries_.Inc();
+    const TimeNs start = broker_.clock().Now();
+    auto result = ExecutePlan(**plan, &profile);
+    const TimeNs elapsed = broker_.clock().Now() - start;
+    query_latency_.Record(elapsed);
+    if (!result.ok()) return result.error();
+    profile.total_ns = elapsed;
+    profile.total_rows = result->NumRows();
+    profile.degraded = result->degraded;
+    profile.max_staleness_ns = result->max_staleness_ns;
+    return profile;
+  }
+
+  // Plan-only: report each branch's topic, whether its handle resolved,
+  // and the statically-knowable strategy (runtime state — archive contents,
+  // index trust — can still demote an "index" plan to a scan at exec time).
+  const Plan& resolved = **plan;
+  profile.parallel =
+      pool_ != nullptr && resolved.query.selects.size() > 1;
+  for (std::size_t i = 0; i < resolved.query.selects.size(); ++i) {
+    const Select& select = resolved.query.selects[i];
+    VertexProfile vp;
+    vp.topic = select.table;
+    vp.resolved = resolved.handles[i].valid();
+    const bool has_aggregate =
+        std::any_of(select.items.begin(), select.items.end(),
+                    [](const SelectItem& item) {
+                      return item.aggregate != Aggregate::kNone;
+                    });
+    if (select.where.empty() && !select.items.empty() && has_aggregate) {
+      const bool latest_only = std::all_of(
+          select.items.begin(), select.items.end(),
+          [](const SelectItem& item) {
+            return item.aggregate == Aggregate::kLast ||
+                   item.aggregate == Aggregate::kNone ||
+                   (item.aggregate == Aggregate::kMax &&
+                    item.column == Column::kTimestamp);
+          });
+      vp.strategy = latest_only ? "latest" : "index";
+    } else {
+      vp.strategy = "scan";
+    }
+    profile.vertices.push_back(std::move(vp));
+  }
+  return profile;
 }
 
 Expected<ResultSet> Executor::ExecuteQuery(const Query& query) {
@@ -185,7 +328,8 @@ void Executor::ResolveHandles(Plan& plan) const {
   }
 }
 
-Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
+Expected<ResultSet> Executor::ExecutePlan(const Plan& plan,
+                                          QueryProfile* profile) {
   const Query& query = plan.query;
   if (query.selects.empty()) {
     return Error(ErrorCode::kInvalidArgument, "empty query");
@@ -194,15 +338,21 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
   for (const SelectItem& item : query.selects.front().items) {
     result.columns.push_back(LabelOf(item));
   }
+  if (profile != nullptr) {
+    profile->vertices.assign(query.selects.size(), VertexProfile{});
+  }
 
   if (pool_ != nullptr && query.selects.size() > 1) {
+    if (profile != nullptr) profile->parallel = true;
     std::vector<std::future<Expected<std::vector<ResultRow>>>> futures;
     futures.reserve(query.selects.size());
     for (std::size_t i = 0; i < query.selects.size(); ++i) {
       const Select& select = query.selects[i];
-      futures.push_back(
-          pool_->Submit([this, &select, handle = plan.handles[i]]() mutable {
-            return ExecuteSelect(select, std::move(handle));
+      VertexProfile* vp =
+          profile != nullptr ? &profile->vertices[i] : nullptr;
+      futures.push_back(pool_->Submit(
+          [this, &select, vp, handle = plan.handles[i]]() mutable {
+            return ExecuteSelect(select, std::move(handle), vp);
           }));
     }
     for (auto& future : futures) {
@@ -219,7 +369,8 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
   }
 
   for (std::size_t i = 0; i < query.selects.size(); ++i) {
-    auto rows = ExecuteSelect(query.selects[i], plan.handles[i]);
+    VertexProfile* vp = profile != nullptr ? &profile->vertices[i] : nullptr;
+    auto rows = ExecuteSelect(query.selects[i], plan.handles[i], vp);
     if (!rows.ok()) return rows.error();
     for (auto& row : *rows) {
       result.degraded |= row.degraded;
@@ -232,12 +383,16 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan) {
 }
 
 Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
-    const Select& select, TopicHandle handle) const {
+    const Select& select, TopicHandle handle, VertexProfile* vp) const {
+  TRACE_SPAN("aqe.select", select.table);
+  const TimeNs exec_start = vp != nullptr ? broker_.clock().Now() : 0;
+  if (vp != nullptr) vp->topic = select.table;
   if (!handle.valid()) {
     auto resolved = broker_.Resolve(select.table);
     if (!resolved.ok()) return resolved.error();
     handle = *std::move(resolved);
   }
+  if (vp != nullptr) vp->resolved = true;
   TelemetryStream* stream = handle.stream();
 
   // Charge the client->vertex network hop once per table access — a pure
@@ -260,6 +415,12 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     for (ResultRow& row : rows) {
       row.degraded = is_degraded;
       row.staleness_ns = staleness_ns;
+    }
+    if (vp != nullptr) {
+      vp->degraded = is_degraded;
+      vp->staleness_ns = staleness_ns;
+      vp->rows_returned = rows.size();
+      vp->exec_ns = broker_.clock().Now() - exec_start;
     }
     return rows;
   };
@@ -291,6 +452,11 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         row.values.push_back(latest.has_value() ? CellOf(item.column, *latest)
                                                 : kNan);
       }
+      if (vp != nullptr) {
+        vp->strategy = "latest";
+        vp->rows_scanned = latest.has_value() ? 1 : 0;
+        vp->rows_matched = vp->rows_scanned;
+      }
       return stamped(std::vector<ResultRow>{std::move(row)});
     }
 
@@ -320,6 +486,10 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         row.source = select.table;
         for (const SelectItem& item : select.items) {
           row.values.push_back(IndexCell(item, agg));
+        }
+        if (vp != nullptr) {
+          vp->strategy = "index";
+          vp->rows_matched = agg.has_value() ? agg->count : 0;
         }
         return stamped(std::vector<ResultRow>{std::move(row)});
       }
@@ -367,6 +537,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
   thread_local std::vector<StreamEntry<Sample>> scratch;
   std::vector<StreamEntry<Sample>> merged;
   bool use_merged = false;
+  std::size_t archived_count = 0;
   if (archive_has_rows) {
     stream->RangeByTime(from_ts, to_ts, scratch);
     // Archive rows strictly older than the in-memory ones; when the window
@@ -376,6 +547,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     if (from_ts <= archive_to) {
       auto archived = archiver->ReadRange(from_ts, archive_to);
       if (archived.ok()) {
+        archived_count = archived->size();
         merged.reserve(archived->size() + scratch.size());
         for (const auto& rec : *archived) {
           merged.push_back(
@@ -407,6 +579,10 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
       stream->ForEachInRange(from_ts, to_ts, visit);
     }
   };
+  if (vp != nullptr) {
+    vp->strategy = archived_count > 0 ? "scan+archive" : "scan";
+    vp->archive_rows = archived_count;
+  }
 
   if (has_aggregate) {
     // One row; bare columns in an aggregate select resolve against the
@@ -422,6 +598,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     bool has_latest = false;
 
     scan([&](const StreamEntry<Sample>& entry) {
+      if (vp != nullptr) ++vp->rows_scanned;
       if (!MatchesAll(select.where, entry)) return true;
       ++matched;
       if (!has_latest || entry.value.timestamp >= latest.value.timestamp) {
@@ -443,6 +620,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
       }
       return true;
     });
+    if (vp != nullptr) vp->rows_matched = matched;
 
     ResultRow row;
     row.source = select.table;
@@ -487,7 +665,9 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
   std::vector<double> keys;  // sort keys, parallel to rows (ORDER BY only)
 
   scan([&](const StreamEntry<Sample>& entry) {
+    if (vp != nullptr) ++vp->rows_scanned;
     if (!MatchesAll(select.where, entry)) return true;
+    if (vp != nullptr) ++vp->rows_matched;
     if (!ordered && rows.size() >= limit) return false;
     ResultRow row;
     row.source = select.table;

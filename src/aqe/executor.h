@@ -23,8 +23,10 @@
 
 #include "aqe/ast.h"
 #include "aqe/parser.h"
+#include "aqe/profile.h"
 #include "common/expected.h"
 #include "concurrent/thread_pool.h"
+#include "obs/metrics.h"
 #include "pubsub/broker.h"
 
 namespace apollo::aqe {
@@ -66,11 +68,25 @@ class Executor {
   Executor(Broker& broker, ThreadPool* pool,
            ExecutorOptions options = {});
 
-  // Parses (or fetches the cached plan) and executes.
+  // Parses (or fetches the cached plan) and executes. A query starting
+  // with EXPLAIN [ANALYZE] is routed through Explain() and its profile is
+  // rendered as a one-column ("plan") result set, one line per row — so
+  // every surface that can run a query can also profile one.
   Expected<ResultSet> Execute(const std::string& query_text);
 
   // Executes a pre-parsed query (no plan caching).
   Expected<ResultSet> ExecuteQuery(const Query& query);
+
+  // Query profiler. `query_text` is the bare SELECT (no EXPLAIN prefix).
+  // analyze=false resolves the plan and reports the chosen strategy per
+  // branch without executing; analyze=true executes and fills per-vertex
+  // row counts, degradation, staleness, and broker-clock timings.
+  Expected<QueryProfile> Explain(const std::string& query_text, bool analyze);
+
+  // Strips a leading EXPLAIN / EXPLAIN ANALYZE (case-insensitive).
+  // Returns true when a prefix was present; `rest` is the bare query.
+  static bool StripExplainPrefix(std::string_view text, std::string_view& rest,
+                                 bool& analyze);
 
   // Cached plans currently held (observability/tests).
   std::size_t PlanCacheSize() const;
@@ -85,17 +101,27 @@ class Executor {
     std::uint64_t broker_version = 0;
   };
 
-  std::shared_ptr<const Plan> PlanFor(const std::string& query_text,
-                                      Expected<Query>&& parsed);
-  Expected<ResultSet> ExecutePlan(const Plan& plan);
-  Expected<std::vector<ResultRow>> ExecuteSelect(const Select& select,
-                                                 TopicHandle handle) const;
+  // Cache lookup + parse-on-miss, shared by Execute and Explain.
+  Expected<std::shared_ptr<const Plan>> ResolvePlan(
+      const std::string& query_text, bool* cache_hit);
+  Expected<ResultSet> ExecutePlan(const Plan& plan,
+                                  QueryProfile* profile = nullptr);
+  Expected<std::vector<ResultRow>> ExecuteSelect(
+      const Select& select, TopicHandle handle,
+      VertexProfile* profile = nullptr) const;
 
   void ResolveHandles(Plan& plan) const;
 
   Broker& broker_;
   ThreadPool* pool_;
   ExecutorOptions options_;
+
+  // Registry handles, resolved once at construction (hot-path bumps are
+  // single relaxed atomics).
+  obs::Counter queries_;
+  obs::Counter plan_cache_hits_;
+  obs::Counter plan_cache_misses_;
+  obs::Histogram query_latency_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<std::string, std::shared_ptr<const Plan>> plan_cache_;

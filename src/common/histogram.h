@@ -47,11 +47,12 @@ class LatencyHistogram {
                              static_cast<double>(count_);
   }
 
-  // Percentile in [0, 100]. Returns the upper bound of the bucket holding
-  // the p-th sample (log-bucket resolution: within 2x of the true value).
+  // Percentile in [0, 100]. p=0 returns the exact minimum; other ranks
+  // return the lower bound of the bucket holding the p-th sample
+  // (log-bucket resolution: within 2x of the true value).
   std::int64_t PercentileNs(double p) const {
     if (count_ == 0) return 0;
-    if (p < 0) p = 0;
+    if (p <= 0) return MinNs();
     if (p > 100) p = 100;
     const std::uint64_t rank = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));
@@ -85,6 +86,28 @@ class LatencyHistogram {
     sum_ns_ = 0;
     min_ns_ = 0;
     max_ns_ = 0;
+  }
+
+  // Rebuilds a histogram from externally maintained log2 bucket counts
+  // (the obs::Histogram atomic cells). `buckets` uses this class's
+  // bucketing; extra buckets beyond 64 are ignored, count is derived from
+  // the bucket sums. `min_ns` is ignored when empty (obs cells park min at
+  // INT64_MAX until the first sample).
+  static LatencyHistogram FromBuckets(const std::uint64_t* buckets,
+                                      std::size_t n, std::int64_t sum_ns,
+                                      std::int64_t min_ns,
+                                      std::int64_t max_ns) {
+    LatencyHistogram h;
+    for (std::size_t b = 0; b < n && b < h.buckets_.size(); ++b) {
+      h.buckets_[b] = buckets[b];
+      h.count_ += buckets[b];
+    }
+    if (h.count_ > 0) {
+      h.sum_ns_ = sum_ns;
+      h.min_ns_ = min_ns;
+      h.max_ns_ = max_ns;
+    }
+    return h;
   }
 
   // "mean=12.3us p50=8.2us p99=130us max=1.2ms (n=1000)"

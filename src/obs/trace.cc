@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace apollo::obs {
+
+namespace {
+
+// Per-thread nesting depth. Kept outside ThreadRing so EnterSpan/ExitSpan
+// stay static (no recorder lookup while a span opens).
+thread_local std::uint32_t t_depth = 0;
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with nanosecond precision, trailing zeros kept simple.
+std::string FormatUs(TimeNs ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+TimeNs TraceRecorder::Now() const {
+  Clock* clock = clock_.load(std::memory_order_acquire);
+  return clock != nullptr ? clock->Now() : RealClock::Instance().Now();
+}
+
+std::uint32_t TraceRecorder::EnterSpan() { return t_depth++; }
+
+void TraceRecorder::ExitSpan() {
+  if (t_depth > 0) --t_depth;
+}
+
+TraceRecorder::ThreadRing& TraceRecorder::RingForThisThread() {
+  // The shared_ptr keeps a ring alive in the recorder's list even after
+  // its thread exits, so spans from finished workers survive into the
+  // export.
+  thread_local std::shared_ptr<ThreadRing> ring = [this] {
+    auto fresh = std::make_shared<ThreadRing>();
+    fresh->slots.resize(kRingCapacity);
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    fresh->tid = next_tid_++;
+    rings_.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+void TraceRecorder::Record(const SpanRecord& span) {
+  ThreadRing& ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mu);  // uncontended except vs export
+  ring.slots[ring.next] = span;
+  ring.next = (ring.next + 1) % ring.slots.size();
+  ring.size = std::min(ring.size + 1, ring.slots.size());
+  ++ring.total;
+}
+
+std::size_t TraceRecorder::SpanCount() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::size_t count = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    count += ring->size;
+  }
+  return count;
+}
+
+std::uint64_t TraceRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->total;
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->size = 0;
+    ring->next = 0;
+  }
+}
+
+std::string TraceRecorder::ExportChromeTrace() const {
+  struct Snapshot {
+    SpanRecord span;
+    std::uint32_t tid;
+  };
+  std::vector<Snapshot> spans;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      // Oldest-first: the ring holds `size` spans ending at `next`.
+      const std::size_t capacity = ring->slots.size();
+      std::size_t idx = (ring->next + capacity - ring->size) % capacity;
+      for (std::size_t i = 0; i < ring->size; ++i) {
+        spans.push_back({ring->slots[idx], ring->tid});
+        idx = (idx + 1) % capacity;
+      }
+    }
+  }
+  // Chrome sorts internally, but a ts-ordered file is stable for golden
+  // tests and friendlier to other tooling. Ties broken by depth so parents
+  // precede their children.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Snapshot& a, const Snapshot& b) {
+                     if (a.span.start != b.span.start) {
+                       return a.span.start < b.span.start;
+                     }
+                     return a.span.depth < b.span.depth;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const Snapshot& snap : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, snap.span.name);
+    out += "\",\"cat\":\"apollo\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(snap.tid);
+    out += ",\"ts\":";
+    out += FormatUs(snap.span.start);
+    out += ",\"dur\":";
+    out += FormatUs(snap.span.dur);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(snap.span.depth);
+    if (snap.span.detail[0] != '\0') {
+      out += ",\"detail\":\"";
+      AppendJsonEscaped(out, snap.span.detail_view());
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace apollo::obs

@@ -1,0 +1,179 @@
+// Lightweight scoped span tracing with Chrome trace_event JSON export.
+//
+// Usage on an instrumented path:
+//
+//   void Broker::Publish(...) {
+//     TRACE_SPAN("broker.publish", handle.name());
+//     ...
+//   }
+//
+// When tracing is disabled (the default) a span costs one relaxed atomic
+// load. When enabled, spans are recorded into fixed-capacity per-thread
+// ring buffers (oldest spans overwritten), so recording never allocates on
+// the hot path and never blocks one thread on another. ExportChromeTrace()
+// snapshots every thread's ring into the Chrome trace_event JSON format —
+// load the file in chrome://tracing or https://ui.perfetto.dev.
+//
+// Timestamps come from the recorder's clock, which defaults to the
+// process-wide RealClock but can be pointed at a SimClock so traces (and
+// the tests over them) are fully deterministic: a span's ts/dur then move
+// only when simulated time is advanced or charged.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace apollo::obs {
+
+// Process-wide tracing switch. An inline variable (one instance across all
+// TUs, no function-local-static guard) so the disabled-path check in
+// TraceSpan compiles down to a single inlined relaxed load + branch instead
+// of an out-of-line call into TraceRecorder::Global(). Flip it only through
+// TraceRecorder::Enable()/Disable().
+inline std::atomic<bool> g_trace_enabled{false};
+
+// One completed span. Fixed-size (the detail is truncated into an inline
+// buffer) so ring slots are assignment-only — no allocation at record time.
+struct SpanRecord {
+  static constexpr std::size_t kDetailCapacity = 48;
+
+  // Deliberately trivially-constructible (no default member initializers):
+  // TraceSpan embeds a SpanRecord and fills every field only when tracing
+  // is enabled, so a span constructed on a disabled hot path writes nothing
+  // at all. Only records that passed through Record() are ever read back.
+  const char* name;  // static string (macro literal)
+  char detail[kDetailCapacity];
+  TimeNs start;
+  TimeNs dur;
+  std::uint32_t depth;  // nesting depth on the recording thread
+
+  std::string_view detail_view() const {
+    return std::string_view(detail, ::strnlen(detail, kDetailCapacity));
+  }
+};
+
+class TraceRecorder {
+ public:
+  // Spans kept per thread; older spans are overwritten.
+  static constexpr std::size_t kRingCapacity = 8192;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& Global();
+
+  void Enable() { g_trace_enabled.store(true, std::memory_order_release); }
+  void Disable() { g_trace_enabled.store(false, std::memory_order_release); }
+  bool enabled() const {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Points timestamps at `clock` (null restores the RealClock). The clock
+  // must outlive its installation; ApolloService installs its SimClock in
+  // simulated mode and uninstalls it on destruction.
+  void SetClock(Clock* clock) {
+    clock_.store(clock, std::memory_order_release);
+  }
+  Clock* clock() const { return clock_.load(std::memory_order_acquire); }
+
+  TimeNs Now() const;
+
+  // Records a completed span into the calling thread's ring.
+  void Record(const SpanRecord& span);
+
+  // Spans currently retained across all thread rings.
+  std::size_t SpanCount() const;
+
+  // Total spans ever recorded (including ones the rings have overwritten).
+  std::uint64_t TotalRecorded() const;
+
+  // Drops every retained span (rings stay registered).
+  void Clear();
+
+  // Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  // Complete events carry ts/dur in microseconds (fractional, so
+  // nanosecond precision survives); tid is a small per-thread ordinal.
+  std::string ExportChromeTrace() const;
+
+  // Nesting depth bookkeeping for the calling thread (used by TraceSpan).
+  static std::uint32_t EnterSpan();
+  static void ExitSpan();
+
+ private:
+  TraceRecorder() = default;
+
+  struct ThreadRing {
+    std::mutex mu;
+    std::vector<SpanRecord> slots;
+    std::size_t size = 0;   // live spans (<= capacity)
+    std::size_t next = 0;   // ring write position
+    std::uint64_t total = 0;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadRing& RingForThisThread();
+
+  std::atomic<Clock*> clock_{nullptr};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  std::uint32_t next_tid_ = 1;
+};
+
+// RAII span: stamps the start on construction, records on destruction.
+// Constructing while tracing is disabled records nothing (and skips the
+// clock read); a trace enabled mid-span records nothing for that span.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::string_view detail = {}) {
+    // Fast path: one inlined relaxed load. Reaching Global() (a function
+    // call) only happens once tracing is actually on.
+    if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+    TraceRecorder& recorder = TraceRecorder::Global();
+    active_ = true;
+    span_.name = name;
+    const std::size_t n =
+        std::min(detail.size(), SpanRecord::kDetailCapacity - 1);
+    if (n > 0) std::memcpy(span_.detail, detail.data(), n);
+    span_.detail[n] = '\0';
+    span_.depth = TraceRecorder::EnterSpan();
+    span_.start = recorder.Now();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (!active_) return;
+    TraceRecorder& recorder = TraceRecorder::Global();
+    span_.dur = recorder.Now() - span_.start;
+    if (span_.dur < 0) span_.dur = 0;
+    TraceRecorder::ExitSpan();
+    recorder.Record(span_);
+  }
+
+ private:
+  bool active_ = false;
+  SpanRecord span_;
+};
+
+#define APOLLO_TRACE_CONCAT_(a, b) a##b
+#define APOLLO_TRACE_CONCAT(a, b) APOLLO_TRACE_CONCAT_(a, b)
+
+// TRACE_SPAN("broker.publish") or TRACE_SPAN("broker.publish", topic).
+#define TRACE_SPAN(...)                                        \
+  ::apollo::obs::TraceSpan APOLLO_TRACE_CONCAT(trace_span_,    \
+                                               __COUNTER__) { \
+    __VA_ARGS__                                                \
+  }
+
+}  // namespace apollo::obs

@@ -9,6 +9,9 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace apollo {
 
 namespace fs = std::filesystem;
@@ -93,6 +96,7 @@ Status ArchiveLog::ScanSegmentFile(
 }
 
 Status ArchiveLog::Open() {
+  TRACE_SPAN("archiver.recover", base_path_);
   // Discover existing segments of this base path.
   const fs::path base(base_path_);
   const std::string prefix = base.filename().string() + ".";
@@ -195,6 +199,7 @@ Status ArchiveLog::OpenActive(bool fresh) {
 }
 
 Status ArchiveLog::RotateLocked() {
+  TRACE_SPAN("archiver.rotate", base_path_);
   Status status = SyncLocked();  // rotation is a durability barrier
   if (!status.ok()) return status;
   std::fclose(active_);
@@ -228,6 +233,7 @@ Status ArchiveLog::ApplyRetentionLocked() {
 }
 
 Status ArchiveLog::SyncLocked() {
+  TRACE_SPAN("archiver.fsync");
   if (fault_ != nullptr) {
     const std::string_view label = label_.empty() ? base_path_ : label_;
     if (auto action = fault_->Evaluate(FaultSite::kArchiveFsync, label);
@@ -238,6 +244,9 @@ Status ArchiveLog::SyncLocked() {
                     "injected archive fsync failure: " + base_path_);
     }
   }
+  static obs::Histogram fsync_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "apollo_archive_fsync_duration_ns", "Archive segment fsync latency");
+  const TimeNs fsync_start = RealClock::Instance().Now();
   if (std::fflush(active_) != 0 || ::fsync(::fileno(active_)) != 0) {
     GlobalTelemetry().archive_fsync_failures.fetch_add(
         1, std::memory_order_relaxed);
@@ -245,6 +254,7 @@ Status ArchiveLog::SyncLocked() {
         1, std::memory_order_relaxed);
     return IoError("archive fsync failed", segments_.back().path);
   }
+  fsync_hist.Record(RealClock::Instance().Now() - fsync_start);
   ++fsyncs_;
   GlobalTelemetry().archive_fsyncs.fetch_add(1, std::memory_order_relaxed);
   appends_since_sync_ = 0;

@@ -1,0 +1,87 @@
+#include "pubsub/telemetry.h"
+
+namespace apollo {
+
+obs::Counter TelemetryCounters::Reg(const char* field, const char* metric,
+                                    const char* help) {
+  obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(metric, help);
+  fields_.emplace_back(field, counter);
+  return counter;
+}
+
+TelemetryCounters::TelemetryCounters() {
+  publishes = Reg("publishes", "apollo_publishes_total",
+                  "Broker publishes attempted");
+  publish_drops = Reg("publish_drops", "apollo_publish_drops_total",
+                      "Publishes dropped by injected faults");
+  publish_retries = Reg("publish_retries", "apollo_publish_retries_total",
+                        "Publish backoff retries");
+  publish_failures = Reg("publish_failures", "apollo_publish_failures_total",
+                         "Publishes failed after retries");
+  fetch_timeouts = Reg("fetch_timeouts", "apollo_fetch_timeouts_total",
+                       "Fetches timed out by injected faults");
+  fetch_retries = Reg("fetch_retries", "apollo_fetch_retries_total",
+                      "Fetch backoff retries");
+  fetch_failures = Reg("fetch_failures", "apollo_fetch_failures_total",
+                       "Fetches failed after retries");
+  archive_writes = Reg("archive_writes", "apollo_archive_writes_total",
+                       "Archive records appended");
+  archive_retries = Reg("archive_retries", "apollo_archive_retries_total",
+                        "Archive append backoff retries");
+  archive_write_failures =
+      Reg("archive_write_failures", "apollo_archive_write_failures_total",
+          "Archive appends failed after retries");
+  archive_write_errors =
+      Reg("archive_write_errors", "apollo_archive_write_errors_total",
+          "Archive write/flush/fsync errors before retry");
+  archive_fsyncs = Reg("archive_fsyncs", "apollo_archive_fsyncs_total",
+                       "Archive segment fsyncs issued");
+  archive_fsync_failures =
+      Reg("archive_fsync_failures", "apollo_archive_fsync_failures_total",
+          "Archive segment fsync failures");
+  archive_rotations = Reg("archive_rotations",
+                          "apollo_archive_rotations_total",
+                          "Archive segment rotations");
+  archive_read_errors =
+      Reg("archive_read_errors", "apollo_archive_read_errors_total",
+          "Archive scans that failed on the query path");
+  archive_recovered_records =
+      Reg("archive_recovered_records", "apollo_archive_recovered_records_total",
+          "Valid records recovered by startup WAL scans");
+  archive_truncated_bytes =
+      Reg("archive_truncated_bytes", "apollo_archive_truncated_bytes_total",
+          "Torn/corrupt tail bytes truncated at startup");
+  archive_corrupt_segments =
+      Reg("archive_corrupt_segments", "apollo_archive_corrupt_segments_total",
+          "Segments with any truncation or quarantine");
+  archive_quarantined_segments =
+      Reg("archive_quarantined_segments",
+          "apollo_archive_quarantined_segments_total",
+          "Segments renamed *.corrupt on open");
+  vertex_crashes = Reg("vertex_crashes", "apollo_vertex_crashes_total",
+                       "SCoRe vertex crashes observed");
+  vertex_stalls = Reg("vertex_stalls", "apollo_vertex_stalls_total",
+                      "Silent vertex stalls converted to crashes");
+  vertex_restarts = Reg("vertex_restarts", "apollo_vertex_restarts_total",
+                        "Supervisor restarts issued");
+  vertex_give_ups = Reg("vertex_give_ups", "apollo_vertex_give_ups_total",
+                        "Vertices given up on after max restarts");
+  degraded_marked = Reg("degraded_marked", "apollo_degraded_marked_total",
+                        "Streams marked degraded");
+  degraded_cleared = Reg("degraded_cleared", "apollo_degraded_cleared_total",
+                         "Streams cleared from degraded");
+  stream_evictions = Reg("stream_evictions", "apollo_stream_evictions_total",
+                         "Window entries evicted to an archiver");
+}
+
+void TelemetryCounters::Reset() {
+  for (auto& [name, counter] : fields_) counter.store(0);
+}
+
+TelemetryCounters& GlobalTelemetry() {
+  static TelemetryCounters* counters = new TelemetryCounters();
+  return *counters;
+}
+
+}  // namespace apollo

@@ -6,11 +6,14 @@
 // Archiver can persist it as a fixed binary record.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace apollo {
 
@@ -31,84 +34,83 @@ struct Sample {
 
 static_assert(std::is_trivially_copyable_v<Sample>);
 
-// Fabric self-telemetry: how the monitoring plane itself is doing. Every
-// counter is an independent atomic, so the counters are safe to bump from
-// producers, the event loop, and query threads concurrently.
+// Fabric self-telemetry: how the monitoring plane itself is doing. A thin
+// façade over the process-wide obs::MetricsRegistry — every field is a
+// handle to a named counter in the registry, so the same numbers appear in
+// the Prometheus exposition (ApolloService::DumpMetrics) that the code and
+// tests read here. Bumps are relaxed atomics, safe from producers, the
+// event loop, and query threads concurrently.
 //
 // A failed persist or a dropped publish used to vanish silently; these
 // counters make every loss surface observable (and testable under chaos).
+//
+// Each field registers itself through Reg() in the constructor, which also
+// records it in fields_ — Reset() and the snapshot-completeness test walk
+// that list, so a new counter cannot be added without being reset (and a
+// handle member cannot exist without being registered: it has no default
+// constructor path here).
 struct TelemetryCounters {
+  TelemetryCounters();
+
   // Broker publish path.
-  std::atomic<std::uint64_t> publishes{0};
-  std::atomic<std::uint64_t> publish_drops{0};     // injected drops
-  std::atomic<std::uint64_t> publish_retries{0};   // backoff retries
-  std::atomic<std::uint64_t> publish_failures{0};  // retries exhausted
+  obs::Counter publishes;
+  obs::Counter publish_drops;     // injected drops
+  obs::Counter publish_retries;   // backoff retries
+  obs::Counter publish_failures;  // retries exhausted
 
   // Broker fetch path.
-  std::atomic<std::uint64_t> fetch_timeouts{0};  // injected timeouts
-  std::atomic<std::uint64_t> fetch_retries{0};
-  std::atomic<std::uint64_t> fetch_failures{0};
+  obs::Counter fetch_timeouts;  // injected timeouts
+  obs::Counter fetch_retries;
+  obs::Counter fetch_failures;
 
   // Archiver path.
-  std::atomic<std::uint64_t> archive_writes{0};
-  std::atomic<std::uint64_t> archive_retries{0};
-  std::atomic<std::uint64_t> archive_write_failures{0};  // retries exhausted
+  obs::Counter archive_writes;
+  obs::Counter archive_retries;
+  obs::Counter archive_write_failures;  // retries exhausted
   // Every failed fwrite/fflush/fsync attempt (before any retry), so a
   // struggling disk is visible even while retries are still absorbing it.
-  std::atomic<std::uint64_t> archive_write_errors{0};
-  std::atomic<std::uint64_t> archive_fsyncs{0};
-  std::atomic<std::uint64_t> archive_fsync_failures{0};
-  std::atomic<std::uint64_t> archive_rotations{0};
-  std::atomic<std::uint64_t> archive_read_errors{0};  // query-path scans
+  obs::Counter archive_write_errors;
+  obs::Counter archive_fsyncs;
+  obs::Counter archive_fsync_failures;
+  obs::Counter archive_rotations;
+  obs::Counter archive_read_errors;  // query-path scans
 
   // WAL recovery (startup scans of existing segments).
-  std::atomic<std::uint64_t> archive_recovered_records{0};
-  std::atomic<std::uint64_t> archive_truncated_bytes{0};
-  std::atomic<std::uint64_t> archive_corrupt_segments{0};
-  std::atomic<std::uint64_t> archive_quarantined_segments{0};
+  obs::Counter archive_recovered_records;
+  obs::Counter archive_truncated_bytes;
+  obs::Counter archive_corrupt_segments;
+  obs::Counter archive_quarantined_segments;
 
   // Supervision (SCoRe vertex lifecycle).
-  std::atomic<std::uint64_t> vertex_crashes{0};
-  std::atomic<std::uint64_t> vertex_stalls{0};
-  std::atomic<std::uint64_t> vertex_restarts{0};
-  std::atomic<std::uint64_t> vertex_give_ups{0};
-  std::atomic<std::uint64_t> degraded_marked{0};
-  std::atomic<std::uint64_t> degraded_cleared{0};
+  obs::Counter vertex_crashes;
+  obs::Counter vertex_stalls;
+  obs::Counter vertex_restarts;
+  obs::Counter vertex_give_ups;
+  obs::Counter degraded_marked;
+  obs::Counter degraded_cleared;
 
-  void Reset() {
-    publishes = 0;
-    publish_drops = 0;
-    publish_retries = 0;
-    publish_failures = 0;
-    fetch_timeouts = 0;
-    fetch_retries = 0;
-    fetch_failures = 0;
-    archive_writes = 0;
-    archive_retries = 0;
-    archive_write_failures = 0;
-    archive_write_errors = 0;
-    archive_fsyncs = 0;
-    archive_fsync_failures = 0;
-    archive_rotations = 0;
-    archive_read_errors = 0;
-    archive_recovered_records = 0;
-    archive_truncated_bytes = 0;
-    archive_corrupt_segments = 0;
-    archive_quarantined_segments = 0;
-    vertex_crashes = 0;
-    vertex_stalls = 0;
-    vertex_restarts = 0;
-    vertex_give_ups = 0;
-    degraded_marked = 0;
-    degraded_cleared = 0;
+  // Stream eviction -> archive handoff.
+  obs::Counter stream_evictions;
+
+  // Zeroes every registered counter (walks fields_, so it cannot go stale
+  // when a counter is added).
+  void Reset();
+
+  // (field name, handle) for every counter this façade registered, in
+  // declaration order. The snapshot-completeness test iterates this to
+  // prove Reset() covers the whole struct.
+  const std::vector<std::pair<std::string, obs::Counter>>& fields() const {
+    return fields_;
   }
+
+ private:
+  obs::Counter Reg(const char* field, const char* metric, const char* help);
+
+  std::vector<std::pair<std::string, obs::Counter>> fields_;
 };
 
 // Process-wide counters. Tests Reset() them at setup; concurrent bumps are
 // exact (atomics), reads are racy-by-design snapshots.
-inline TelemetryCounters& GlobalTelemetry() {
-  static TelemetryCounters counters;
-  return counters;
-}
+TelemetryCounters& GlobalTelemetry();
 
 }  // namespace apollo

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace apollo {
 
@@ -150,6 +152,13 @@ TimeNs FactVertex::DoRealPoll(TimeNs /*now*/) {
 void FactVertex::DoPrediction(TimeNs now) {
   if (predictor_ == nullptr) return;
   (void)now;  // kept for symmetry; publish stamps the clock's Now()
+  TRACE_SPAN("delphi.predict", config_.topic);
+  static obs::Counter predictions = obs::MetricsRegistry::Global().GetCounter(
+      "apollo_delphi_predictions_total", "Delphi PredictNext calls that produced a value");
+  static obs::Histogram predict_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "apollo_delphi_predict_duration_ns", "Delphi PredictNext latency");
+  const std::int64_t predict_start = stats_.predict_time_ns;
   std::optional<double> predicted;
   {
     ScopedTimer timer(stats_.predict_time_ns);
@@ -159,7 +168,9 @@ void FactVertex::DoPrediction(TimeNs now) {
       ++stats_.predictions;
     }
   }
+  predict_hist.Record(stats_.predict_time_ns - predict_start);
   if (predicted.has_value()) {
+    predictions.Inc();
     PublishSample(now, *predicted, Provenance::kPredicted);
   }
 }

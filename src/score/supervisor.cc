@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "pubsub/telemetry.h"
 
 namespace apollo {
@@ -109,6 +110,7 @@ void VertexSupervisor::SuperviseLocked(V& vertex, TimeNs now) {
 }
 
 void VertexSupervisor::Poll(TimeNs now) {
+  TRACE_SPAN("supervisor.poll");
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::string& topic : graph_.FactTopics()) {
     auto vertex = graph_.FindFact(topic);
