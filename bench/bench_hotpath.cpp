@@ -16,6 +16,10 @@
 //     bench/preobs/). The delta isolates exactly what the obs layer added
 //     to the publish path — the TRACE_SPAN disabled-check and the
 //     registry-backed counters — and must stay under 5%.
+// (e) network fabric: loopback apollod daemon on an ephemeral port —
+//     round-trip-acked publish throughput and query RTT p50/p99 with 1 and
+//     4 concurrent clients. Puts a number on the wire-protocol tax over
+//     lanes (a)/(b)'s in-process cost.
 //
 // Results are printed as tables and written to BENCH_hotpath.json.
 #include <algorithm>
@@ -30,6 +34,8 @@
 
 #include "aqe/executor.h"
 #include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/daemon.h"
 #include "pubsub/archiver.h"
 #include "bench/preobs/broker.h"
 #include "pubsub/broker.h"
@@ -282,6 +288,104 @@ RecoveryPoint ColdRecoveryReplayRate(std::uint64_t records) {
           elapsed * 1e3};
 }
 
+// ---- network fabric (loopback daemon) ------------------------------------
+
+std::uint64_t g_net_publishes = 20'000;  // per client, round-trip acked
+int g_net_queries = 2'000;               // per client, RTT sampled
+
+struct NetPoint {
+  int clients;
+  double publish_events_per_sec;
+  double rtt_p50_ns;
+  double rtt_p99_ns;
+};
+
+double PercentileNs(std::vector<double>& samples, double pct) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const auto index = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+NetPoint MeasureLoopback(int clients) {
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  std::vector<std::string> topics;
+  for (int c = 0; c < clients; ++c) {
+    topics.push_back("netbench.c" + std::to_string(c));
+    broker.CreateTopic(topics.back(), kLocalNode, 4096);
+  }
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  net::ApolloDaemon daemon(broker, executor);
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "loopback daemon failed to start\n");
+    return {clients, -1.0, -1.0, -1.0};
+  }
+
+  const std::uint64_t per_client =
+      g_net_publishes / static_cast<std::uint64_t>(clients);
+  const int queries_per_client = g_net_queries / clients;
+  std::vector<std::vector<double>> rtts(static_cast<std::size_t>(clients));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  Stopwatch publish_watch;
+  double publish_elapsed = 0.0;
+  {
+    std::atomic<int> publishing{clients};
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        net::ClientConfig config;
+        config.port = daemon.port();
+        config.client_name = "bench-" + std::to_string(c);
+        net::ApolloClient client(config);
+        const std::string& topic = topics[static_cast<std::size_t>(c)];
+        const std::string sql = "SELECT LAST(Metric) FROM " + topic;
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        // Publish phase: every event is round-trip acknowledged.
+        for (std::uint64_t i = 0; i < per_client; ++i) {
+          const TimeNs ts = static_cast<TimeNs>(i);
+          (void)client.Publish(topic, ts,
+                               Sample{ts, 1.0, Provenance::kMeasured});
+        }
+        publishing.fetch_sub(1, std::memory_order_acq_rel);
+        // Query phase: sample per-request wall time for the percentiles.
+        auto& samples = rtts[static_cast<std::size_t>(c)];
+        samples.reserve(static_cast<std::size_t>(queries_per_client));
+        for (int i = 0; i < queries_per_client; ++i) {
+          const TimeNs start = clock.Now();
+          auto reply = client.Query(sql);
+          if (reply.ok()) {
+            samples.push_back(static_cast<double>(clock.Now() - start));
+          }
+        }
+      });
+    }
+    publish_watch = Stopwatch();
+    go.store(true, std::memory_order_release);
+    while (publishing.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    publish_elapsed = publish_watch.ElapsedSeconds();
+    for (auto& worker : workers) worker.join();
+  }
+  daemon.Stop();
+
+  std::vector<double> all_rtts;
+  for (auto& samples : rtts) {
+    all_rtts.insert(all_rtts.end(), samples.begin(), samples.end());
+  }
+  NetPoint point;
+  point.clients = clients;
+  point.publish_events_per_sec =
+      static_cast<double>(per_client) * clients / publish_elapsed;
+  point.rtt_p50_ns = PercentileNs(all_rtts, 50.0);
+  point.rtt_p99_ns = PercentileNs(all_rtts, 99.0);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +404,8 @@ int main(int argc, char** argv) {
     g_query_iters = 2'000;
     g_archive_records_nosync = 20'000;
     g_archive_records_sync = 5'000;
+    g_net_publishes = 2'000;
+    g_net_queries = 400;
     std::printf("quick mode: %llu events, best of %d, %d query iters\n",
                 static_cast<unsigned long long>(g_total_events),
                 g_publish_reps, g_query_iters);
@@ -394,6 +500,26 @@ int main(int argc, char** argv) {
       "trace check is one relaxed load, so the instrumented path tracks "
       "the raw replica within noise\n");
 
+  PrintHeader("Hot path (e)",
+              "network fabric: loopback apollod on an ephemeral port; "
+              "round-trip-acked publish throughput and query RTT "
+              "percentiles per concurrent-client count");
+  PrintRow({"clients", "publish ev/s", "query RTT p50 us", "p99 us"});
+  std::vector<NetPoint> net_points;
+  for (int clients : {1, 4}) {
+    const NetPoint point = MeasureLoopback(clients);
+    net_points.push_back(point);
+    PrintRow({std::to_string(clients),
+              Fmt("%.0f", point.publish_events_per_sec),
+              Fmt("%.1f", point.rtt_p50_ns / 1e3),
+              Fmt("%.1f", point.rtt_p99_ns / 1e3)});
+  }
+  std::printf(
+      "expected shape: wire round trips cost microseconds where lane (b) "
+      "costs nanoseconds — the daemon serializes queries on its loop "
+      "thread, so p50 grows with client count while aggregate publish "
+      "throughput scales until the loop saturates\n");
+
   std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"host_hw_threads\": %u,\n",
@@ -443,6 +569,16 @@ int main(int argc, char** argv) {
                    "%.2f}%s\n",
                    o.producers, o.instrumented, o.raw, o.overhead_pct,
                    i + 1 < overhead_points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"net_loopback\": [\n");
+    for (std::size_t i = 0; i < net_points.size(); ++i) {
+      const auto& n = net_points[i];
+      std::fprintf(json,
+                   "    {\"clients\": %d, \"publish_events_per_sec\": %.0f, "
+                   "\"query_rtt_p50_ns\": %.0f, \"query_rtt_p99_ns\": "
+                   "%.0f}%s\n",
+                   n.clients, n.publish_events_per_sec, n.rtt_p50_ns,
+                   n.rtt_p99_ns, i + 1 < net_points.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

@@ -19,7 +19,13 @@
 //
 // Try:
 //   printf 'run 10\nstats\nquit\n' | ./build/examples/apollo_shell
+//
+// Remote mode: `apollo_shell --connect host:port` attaches to a running
+// apollod over the wire protocol instead of simulating locally; query,
+// explain, topics, publish, \metrics, and ping work against the daemon.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +33,7 @@
 #include "apollo/apollo_service.h"
 #include "apollo/deployment_plan.h"
 #include "cluster/cluster.h"
+#include "net/client.h"
 #include "obs/trace.h"
 
 using namespace apollo;
@@ -59,9 +66,95 @@ void PrintHelp() {
       "help | quit\n");
 }
 
+int RunRemoteShell(const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  net::ClientConfig config;
+  config.host = target.substr(0, colon);
+  config.port = static_cast<std::uint16_t>(
+      std::atoi(target.c_str() + colon + 1));
+  config.client_name = "apollo_shell";
+  net::ApolloClient client(config);
+  if (Status status = client.Connect(); !status.ok()) {
+    std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s (%s). commands: query <sql> | explain <sql> "
+              "| topics | publish <topic> <value> | \\metrics | ping | "
+              "quit\n",
+              target.c_str(), client.server_name().c_str());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    if (!(input >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "query" || command == "explain") {
+      std::string sql;
+      std::getline(input, sql);
+      if (command == "explain") sql = "EXPLAIN ANALYZE " + sql;
+      auto reply = client.Query(sql);
+      if (reply.ok()) {
+        PrintResult(reply->result);
+      } else {
+        std::printf("error: %s\n", reply.error().ToString().c_str());
+      }
+    } else if (command == "topics") {
+      auto topics = client.ListTopics();
+      if (!topics.ok()) {
+        std::printf("error: %s\n", topics.error().ToString().c_str());
+        continue;
+      }
+      for (const TopicInfo& info : *topics) {
+        std::printf("%s (node %d)\n", info.name.c_str(), info.home_node);
+      }
+    } else if (command == "publish") {
+      std::string topic;
+      double value = 0.0;
+      input >> topic >> value;
+      Sample sample;
+      sample.timestamp = RealClock::Instance().Now();
+      sample.value = value;
+      auto id = client.Publish(topic, sample.timestamp, sample);
+      if (id.ok()) {
+        std::printf("published %s = %.6g (entry %llu)\n", topic.c_str(),
+                    value, static_cast<unsigned long long>(*id));
+      } else {
+        std::printf("error: %s\n", id.error().ToString().c_str());
+      }
+    } else if (command == "\\metrics" || command == "metrics") {
+      auto text = client.FetchMetricsText();
+      if (text.ok()) {
+        std::fputs(text->c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", text.error().ToString().c_str());
+      }
+    } else if (command == "ping") {
+      Status status = client.Ping();
+      std::printf("%s\n", status.ok() ? "pong" : status.ToString().c_str());
+    } else {
+      std::printf("remote commands: query <sql> | explain <sql> | topics | "
+                  "publish <topic> <value> | \\metrics | ping | quit\n");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      return RunRemoteShell(argv[i + 1]);
+    }
+  }
+
   ClusterConfig cluster_config;
   cluster_config.compute_nodes = 2;
   cluster_config.storage_nodes = 2;

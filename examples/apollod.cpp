@@ -1,0 +1,75 @@
+// apollod: the per-node Apollo daemon.
+//
+// Deploys the standard monitoring plan over a small simulated cluster,
+// starts the real-time service, and serves its topics, streams, and AQE
+// queries over the wire protocol. Connect with:
+//
+//   ./build/examples/apollod --port 7401 &
+//   ./build/examples/apollo_shell --connect 127.0.0.1:7401
+//
+// With --port 0 (the default) the kernel picks a free port, printed on the
+// first line as "apollod listening on <host>:<port>". The daemon runs
+// until stdin reaches EOF or a "quit" line arrives.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apollo/apollo_service.h"
+#include "apollo/deployment_plan.h"
+#include "cluster/cluster.h"
+
+using namespace apollo;
+
+int main(int argc, char** argv) {
+  net::DaemonConfig config;
+  std::string name = "apollod";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      config.server.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--port N] [--name NAME]\n", argv[0]);
+      return 2;
+    }
+  }
+  config.server.server_name = name;
+
+  ClusterConfig cluster_config;
+  cluster_config.compute_nodes = 2;
+  cluster_config.storage_nodes = 2;
+  auto cluster = Cluster::MakeAresLike(cluster_config);
+
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kRealTime;
+  ApolloService apollo(options);
+  auto plan = DeployStandardMonitoring(apollo, *cluster);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 plan.error().ToString().c_str());
+    return 1;
+  }
+  if (Status status = apollo.Start(); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto port = apollo.StartDaemon(config);
+  if (!port.ok()) {
+    std::fprintf(stderr, "daemon failed: %s\n",
+                 port.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("apollod listening on %s:%u (%zu facts + %zu insights)\n",
+              config.server.bind_address.c_str(), *port,
+              plan->fact_topics.size(), plan->insight_topics.size());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+  }
+  apollo.Stop();
+  return 0;
+}

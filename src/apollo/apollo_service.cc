@@ -55,6 +55,7 @@ void ApolloService::AttachFaultInjector(FaultInjector* injector) {
   for (auto& archiver : archivers_) {
     archiver->AttachFaultInjector(injector);
   }
+  if (daemon_ != nullptr) daemon_->server().AttachFaultInjector(injector);
 }
 
 Expected<FactVertex*> ApolloService::DeployFact(
@@ -152,10 +153,30 @@ Status ApolloService::Start() {
 }
 
 void ApolloService::Stop() {
+  StopDaemon();
   if (!running_) return;
   loop_->Stop();
   if (loop_thread_.joinable()) loop_thread_.join();
   running_ = false;
+}
+
+Expected<std::uint16_t> ApolloService::StartDaemon(net::DaemonConfig config) {
+  if (daemon_ != nullptr) {
+    return Error(ErrorCode::kFailedPrecondition, "daemon already running");
+  }
+  auto daemon =
+      std::make_unique<net::ApolloDaemon>(*broker_, *executor_, config);
+  Status status = daemon->Start();
+  if (!status.ok()) return Error(status.code(), status.message());
+  if (fault_ != nullptr) daemon->server().AttachFaultInjector(fault_);
+  daemon_ = std::move(daemon);
+  return daemon_->port();
+}
+
+void ApolloService::StopDaemon() {
+  if (daemon_ == nullptr) return;
+  daemon_->Stop();
+  daemon_.reset();
 }
 
 Status ApolloService::RunFor(TimeNs duration) {

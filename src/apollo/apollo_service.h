@@ -38,6 +38,7 @@
 #include "delphi/delphi_model.h"
 #include "common/fault.h"
 #include "eventloop/event_loop.h"
+#include "net/daemon.h"
 #include "pubsub/broker.h"
 #include "score/score_graph.h"
 #include "score/supervisor.h"
@@ -199,6 +200,15 @@ class ApolloService {
   };
   ServiceStats Stats() const;
 
+  // --- network fabric ---
+  // Serves this service's broker topics, streams, and queries over the
+  // wire protocol on its own real-clock loop thread (see net/daemon.h).
+  // config.server.port 0 binds an ephemeral port; the bound port is
+  // returned. One daemon per service.
+  Expected<std::uint16_t> StartDaemon(net::DaemonConfig config = {});
+  void StopDaemon();
+  net::ApolloDaemon* daemon() { return daemon_.get(); }
+
   // --- fault tolerance ---
   // Routes injected faults into the broker and every service-owned
   // archiver (current and future deployments). Pass nullptr to detach.
@@ -232,6 +242,7 @@ class ApolloService {
   // Declared after loop_/graph_ so it is destroyed (timer cancelled)
   // first.
   std::unique_ptr<VertexSupervisor> supervisor_;
+  std::unique_ptr<net::ApolloDaemon> daemon_;
   FaultInjector* fault_ = nullptr;
 
   std::thread loop_thread_;

@@ -1,0 +1,43 @@
+#include "aqe/remote.h"
+
+#include <algorithm>
+
+namespace apollo::aqe {
+
+Query FilterQuery(const Query& query,
+                  const std::function<bool(const std::string&)>& serves,
+                  std::vector<std::string>* served) {
+  Query kept;
+  for (const Select& select : query.selects) {
+    if (!serves(select.table)) continue;
+    kept.selects.push_back(select);
+    if (served != nullptr) served->push_back(select.table);
+  }
+  return kept;
+}
+
+Status MergeResult(ResultSet& merged, const ResultSet& part) {
+  if (part.columns.empty() && part.rows.empty()) return Status::Ok();
+  if (merged.columns.empty()) {
+    merged.columns = part.columns;
+  } else if (!part.columns.empty() && merged.columns != part.columns) {
+    return Status(ErrorCode::kInternal,
+                  "partial results disagree on column set");
+  }
+  merged.rows.insert(merged.rows.end(), part.rows.begin(), part.rows.end());
+  merged.degraded = merged.degraded || part.degraded;
+  merged.max_staleness_ns =
+      std::max(merged.max_staleness_ns, part.max_staleness_ns);
+  return Status::Ok();
+}
+
+void MarkDegraded(ResultSet& result, TimeNs staleness_ns) {
+  result.degraded = true;
+  result.max_staleness_ns = std::max(result.max_staleness_ns, staleness_ns);
+  for (ResultRow& row : result.rows) {
+    row.degraded = true;
+    row.staleness_ns = std::max(row.staleness_ns, staleness_ns);
+  }
+}
+
+}  // namespace apollo::aqe

@@ -19,6 +19,12 @@ const char* FaultSiteName(FaultSite site) {
       return "vertex_stall";
     case FaultSite::kArchiveFsync:
       return "archive_fsync";
+    case FaultSite::kNetSend:
+      return "net_send";
+    case FaultSite::kNetRecv:
+      return "net_recv";
+    case FaultSite::kConnDrop:
+      return "conn_drop";
   }
   return "unknown";
 }

@@ -35,8 +35,11 @@ enum class FaultSite : std::uint8_t {
   kVertexPoll,     // vertex timer body: crash (timer dies, crash flagged)
   kVertexStall,    // vertex timer body: silent stall (timer dies, no flag)
   kArchiveFsync,   // archiver segment fsync: durability barrier failure
+  kNetSend,        // wire frame send: failure, or added latency
+  kNetRecv,        // wire frame receive/dispatch: drop, or added latency
+  kConnDrop,       // connection: abrupt close before dispatching a frame
 };
-inline constexpr std::size_t kNumFaultSites = 6;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
 

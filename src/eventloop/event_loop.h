@@ -1,4 +1,4 @@
-// Timer-driven event loop — the libuv substitute.
+// Timer- and fd-driven event loop — the libuv substitute.
 //
 // SCoRe's Monitor Hooks re-arm themselves with a new interval after every
 // poll (adaptive AIMD intervals), so timer callbacks here return the delay
@@ -8,12 +8,23 @@
 // over a SimClock, the loop fast-forwards virtual time to the next deadline
 // instead of sleeping, which lets a 30-minute monitoring replay finish in
 // milliseconds (Figures 8-10).
+//
+// File descriptors: AddFd() registers a non-blocking fd with an epoll
+// instance owned by the loop; while any fd is registered, the loop waits in
+// epoll_wait instead of sleeping, dispatching readiness callbacks between
+// timer firings. Fd watching is a real-time facility (epoll timeouts are
+// wall-clock), so it is not available on an auto-advancing SimClock loop —
+// the network fabric runs daemons on RealClock loops. Registrations carry a
+// generation token, so a callback that removes or closes any fd (including
+// its own) during a dispatch batch never causes a stale or misdirected
+// callback: pending events whose token no longer resolves are skipped.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -28,15 +39,24 @@ using TimerId = std::uint64_t;
 // kStopTimer to cancel the timer.
 constexpr TimeNs kStopTimer = -1;
 
+// Readiness bits passed to fd callbacks (mirrors EPOLLIN/EPOLLOUT plus an
+// error/hangup summary so callers need not include <sys/epoll.h>).
+inline constexpr std::uint32_t kFdReadable = 1u << 0;
+inline constexpr std::uint32_t kFdWritable = 1u << 1;
+inline constexpr std::uint32_t kFdError = 1u << 2;  // EPOLLERR | EPOLLHUP
+
 class EventLoop {
  public:
   using TimerCallback = std::function<TimeNs(TimeNs now)>;
   using Task = std::function<void()>;
+  // Invoked on the loop thread with the kFd* readiness bits that fired.
+  using FdCallback = std::function<void(std::uint32_t events)>;
 
   // `clock` must outlive the loop. When `auto_advance` is true, `clock` must
   // be a SimClock and the loop advances it to each next deadline.
   explicit EventLoop(Clock& clock, bool auto_advance = false,
                      SimClock* sim = nullptr);
+  ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -47,18 +67,42 @@ class EventLoop {
   // Cancels a timer. Safe to call from inside a callback or another thread.
   void CancelTimer(TimerId id);
 
-  // Enqueues a task to run before the next timer dispatch.
+  // Enqueues a task to run before the next timer dispatch. Wakes the loop
+  // if it is blocked in epoll_wait.
   void Post(Task task);
 
+  // --- fd watching (real-time loops) ---
+
+  // Watches a non-blocking fd for the kFd* events in `events`; `callback`
+  // runs on the loop thread each time the fd is ready. The fd is not owned:
+  // call RemoveFd before closing it (calling RemoveFd from inside the fd's
+  // own callback — or any other callback of the same batch — is safe).
+  // Fails on an auto-advancing sim loop or if the fd is already watched.
+  bool AddFd(int fd, std::uint32_t events, FdCallback callback);
+
+  // Changes the watched event set of a registered fd.
+  bool UpdateFd(int fd, std::uint32_t events);
+
+  // Stops watching `fd`. Safe from inside callbacks; pending readiness
+  // events for the removed registration are discarded, so the caller may
+  // close the fd immediately after.
+  bool RemoveFd(int fd);
+
+  // Number of watched fds.
+  std::size_t FdCount() const;
+
   // Runs the loop on the calling thread until Stop() or, when
-  // stop_when_idle, until no timers/tasks remain. `end_time` bounds the
+  // stop_when_idle, until no timers/tasks/fds remain. `end_time` bounds the
   // clock time processed (timers due after end_time do not fire).
   void Run(TimeNs end_time = std::numeric_limits<TimeNs>::max(),
            bool stop_when_idle = true);
 
-  // Requests Run() to return as soon as possible. Thread-safe. The stop
-  // request persists across Run() calls; callers that restart the loop must
-  // ClearStop() before the next Run() (done by ApolloService::Start).
+  // Requests Run() to return as soon as possible — before any further
+  // timer or fd callback is dispatched, including the rest of the current
+  // batch. Thread-safe and safe from inside callbacks (re-entrant stop).
+  // The stop request persists across Run() calls; callers that restart the
+  // loop must ClearStop() before the next Run() (done by
+  // ApolloService::Start).
   void Stop();
 
   // Clears a pending stop request. Call from the owning thread before
@@ -81,6 +125,23 @@ class EventLoop {
     }
   };
 
+  struct FdEntry {
+    std::uint64_t token;  // generation stamp carried in epoll_data
+    std::uint32_t events;
+    std::shared_ptr<FdCallback> callback;
+  };
+
+  // Creates the epoll instance + wakeup eventfd on first use. Caller holds
+  // mu_. Returns false if the kernel refuses (loop then has no fd support).
+  bool EnsureEpollLocked();
+
+  // Blocks in epoll_wait until `deadline` (bounded by the stop-poll chunk),
+  // then dispatches ready fd callbacks. Returns after one wait+dispatch
+  // round.
+  void WaitAndDispatchFds(TimeNs deadline);
+
+  void Wake();
+
   Clock& clock_;
   SimClock* sim_;
   bool auto_advance_;
@@ -94,6 +155,14 @@ class EventLoop {
   TimerId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   bool stop_requested_ = false;
+
+  // Fd registry. Keyed by fd; tokens invalidate stale epoll events after a
+  // RemoveFd (or an fd number reused by a fresh AddFd).
+  std::map<int, FdEntry> fds_;
+  std::map<std::uint64_t, int> fd_by_token_;
+  std::uint64_t next_token_ = 1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
 };
 
 }  // namespace apollo

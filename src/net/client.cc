@@ -1,0 +1,419 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/transport.h"
+#include "obs/trace.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo::net {
+
+namespace {
+
+// poll() timeout for an absolute deadline, clamped to >= 1ms so a nearly
+// expired deadline still makes one attempt instead of busy-spinning.
+int PollTimeoutMs(Clock& clock, TimeNs deadline) {
+  const TimeNs remaining = deadline - clock.Now();
+  if (remaining <= 0) return 0;
+  return static_cast<int>(std::max<TimeNs>(remaining / kNsPerMs, 1));
+}
+
+}  // namespace
+
+ApolloClient::ApolloClient(ClientConfig config)
+    : config_(std::move(config)),
+      clock_(RealClock::Instance()),
+      rtt_(obs::MetricsRegistry::Global().GetHistogram(
+          "apollo_net_request_rtt_ns",
+          "Client request round-trip time (ns)")) {}
+
+ApolloClient::~ApolloClient() { Close(); }
+
+Status ApolloClient::Connect() {
+  if (connected()) return Status::Ok();
+  const RetryPolicy& policy = config_.connect_retry;
+  const TimeNs start = clock_.Now();
+  Status last(ErrorCode::kUnavailable, "connect not attempted");
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = ConnectOnce();
+    if (last.ok()) return last;
+    if (!RetryableError(last.code())) return last;
+    if (attempt == policy.max_attempts) break;
+    const TimeNs backoff = BackoffForAttempt(policy, attempt);
+    if (policy.deadline > 0 &&
+        clock_.Now() + backoff - start >= policy.deadline) {
+      break;
+    }
+    clock_.SleepFor(backoff);
+  }
+  return last;
+}
+
+Status ApolloClient::ConnectOnce() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError, "fcntl O_NONBLOCK failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(ErrorCode::kInvalidArgument,
+                  "bad host address: " + config_.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable, "connect: " + err);
+  }
+  // Wait for the connect to resolve, then check SO_ERROR.
+  const TimeNs deadline = clock_.Now() + config_.connect_timeout;
+  pollfd pfd{fd, POLLOUT, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, PollTimeoutMs(clock_, deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      ::close(fd);
+      return Status(ErrorCode::kUnavailable, "connect timed out");
+    }
+    break;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+      so_error != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kUnavailable,
+                  std::string("connect: ") +
+                      std::strerror(so_error != 0 ? so_error : errno));
+  }
+
+  fd_ = fd;
+  parser_ = FrameParser();
+  pending_.clear();
+  GlobalTelemetry().net_connections_opened.Inc();
+
+  HelloMsg hello;
+  hello.client_name = config_.client_name;
+  Payload payload;
+  hello.Encode(payload);
+  auto reply = Roundtrip(MsgType::kHello, payload, MsgType::kHelloAck);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  HelloAckMsg ack;
+  if (!HelloAckMsg::Decode(reply->payload, ack)) {
+    return FailClose(ErrorCode::kParseError, "bad hello ack");
+  }
+  if (ack.protocol_version != kProtocolVersion) {
+    return FailClose(ErrorCode::kFailedPrecondition,
+                     "server speaks protocol version " +
+                         std::to_string(ack.protocol_version));
+  }
+  server_name_ = ack.server_name;
+  return Status::Ok();
+}
+
+void ApolloClient::Close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  GlobalTelemetry().net_connections_closed.Inc();
+}
+
+Status ApolloClient::FailClose(ErrorCode code, const std::string& message) {
+  Close();
+  return Status(code, message);
+}
+
+Status ApolloClient::SendRequest(MsgType type, std::uint32_t request_id,
+                                 const Payload& payload, std::uint16_t flags) {
+  TRACE_SPAN("net.send", MsgTypeName(type));
+  auto& telemetry = GlobalTelemetry();
+  if (FaultInjector* injector = fault_.load(std::memory_order_acquire)) {
+    if (auto action =
+            injector->Evaluate(FaultSite::kNetSend, MsgTypeName(type))) {
+      if (action->fails()) {
+        telemetry.net_send_failures.Inc();
+        return Status(ErrorCode::kUnavailable, "injected send failure");
+      }
+      clock_.Charge(action->delay_ns);
+    }
+  }
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(bytes, type, request_id, payload, flags);
+  const TimeNs deadline = clock_.Now() + config_.request_timeout;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, PollTimeoutMs(clock_, deadline));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        telemetry.net_send_failures.Inc();
+        return FailClose(ErrorCode::kUnavailable, "send timed out");
+      }
+      continue;
+    }
+    telemetry.net_send_failures.Inc();
+    return FailClose(ErrorCode::kIoError,
+                     std::string("write: ") + std::strerror(errno));
+  }
+  telemetry.net_bytes_sent.Inc(bytes.size());
+  telemetry.net_messages_sent.Inc();
+  return Status::Ok();
+}
+
+Status ApolloClient::ReadSome(TimeNs deadline) {
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, PollTimeoutMs(clock_, deadline));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc == 0) return Status(ErrorCode::kUnavailable, "request timed out");
+    if (rc < 0) {
+      return FailClose(ErrorCode::kIoError,
+                       std::string("poll: ") + std::strerror(errno));
+    }
+    break;
+  }
+  auto& telemetry = GlobalTelemetry();
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return FailClose(ErrorCode::kIoError,
+                       std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return FailClose(ErrorCode::kUnavailable, "connection closed by peer");
+    }
+    telemetry.net_bytes_received.Inc(static_cast<std::uint64_t>(n));
+    if (!parser_.Feed(buf, static_cast<std::size_t>(n))) {
+      telemetry.net_protocol_errors.Inc();
+      return FailClose(ErrorCode::kIoError,
+                       "protocol error: " + parser_.error());
+    }
+    if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+  }
+  FaultInjector* injector = fault_.load(std::memory_order_acquire);
+  Frame frame;
+  while (parser_.Next(frame)) {
+    TRACE_SPAN("net.recv", MsgTypeName(frame.type));
+    const char* label = MsgTypeName(frame.type);
+    if (injector != nullptr) {
+      if (auto action = injector->Evaluate(FaultSite::kConnDrop, label)) {
+        if (action->fails()) {
+          telemetry.net_conn_drops.Inc();
+          return FailClose(ErrorCode::kUnavailable,
+                           "injected connection drop");
+        }
+        clock_.Charge(action->delay_ns);
+      }
+      if (auto action = injector->Evaluate(FaultSite::kNetRecv, label)) {
+        if (action->fails()) {
+          telemetry.net_recv_drops.Inc();
+          continue;  // frame lost in flight
+        }
+        clock_.Charge(action->delay_ns);
+      }
+    }
+    telemetry.net_messages_received.Inc();
+    if (frame.type == MsgType::kDeliver && frame.request_id == 0) {
+      DeliverMsg deliver;
+      if (DeliverMsg::Decode(frame.payload, deliver)) {
+        deliveries_.push_back(std::move(deliver));
+      }
+      continue;
+    }
+    pending_.push_back(std::move(frame));
+  }
+  return Status::Ok();
+}
+
+Expected<Frame> ApolloClient::WaitFrame(std::uint32_t request_id,
+                                        TimeNs deadline) {
+  while (true) {
+    while (!pending_.empty()) {
+      Frame frame = std::move(pending_.front());
+      pending_.pop_front();
+      if (request_id != 0 && frame.request_id == request_id) return frame;
+      // Stale response to a request that already timed out: drop it.
+    }
+    if (request_id == 0 && !deliveries_.empty()) {
+      return Frame{};  // sentinel: caller only wanted deliveries
+    }
+    if (!connected()) {
+      return Error(ErrorCode::kUnavailable, "not connected");
+    }
+    if (clock_.Now() >= deadline) {
+      return Error(ErrorCode::kUnavailable, "request timed out");
+    }
+    Status status = ReadSome(deadline);
+    if (!status.ok()) return Error(status.code(), status.message());
+  }
+}
+
+Expected<Frame> ApolloClient::Roundtrip(MsgType type, const Payload& payload,
+                                        MsgType expect, std::uint16_t flags) {
+  if (!connected() && type != MsgType::kHello) {
+    Status status = Connect();
+    if (!status.ok()) return Error(status.code(), status.message());
+  }
+  const std::uint32_t request_id = next_request_id_++;
+  const TimeNs start = clock_.Now();
+  Status sent = SendRequest(type, request_id, payload, flags);
+  if (!sent.ok()) return Error(sent.code(), sent.message());
+  auto reply = WaitFrame(request_id, start + config_.request_timeout);
+  if (!reply.ok()) return reply;
+  rtt_.Record(clock_.Now() - start);
+  if (reply->type == MsgType::kError) {
+    ErrorMsg err;
+    if (!ErrorMsg::Decode(reply->payload, err)) {
+      return Error(ErrorCode::kParseError, "bad error frame");
+    }
+    return err.ToError();
+  }
+  if (reply->type != expect) {
+    return Error(ErrorCode::kInternal,
+                 std::string("unexpected reply type: ") +
+                     MsgTypeName(reply->type));
+  }
+  return reply;
+}
+
+Status ApolloClient::Ping() {
+  auto reply = Roundtrip(MsgType::kPing, {}, MsgType::kPong);
+  return reply.status();
+}
+
+Expected<std::uint64_t> ApolloClient::Publish(const std::string& topic,
+                                              TimeNs timestamp,
+                                              const Sample& sample) {
+  PublishMsg msg;
+  msg.topic = topic;
+  msg.timestamp = timestamp;
+  msg.sample = sample;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply = Roundtrip(MsgType::kPublish, payload, MsgType::kPublishAck);
+  if (!reply.ok()) return reply.error();
+  PublishAckMsg ack;
+  if (!PublishAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad publish ack");
+  }
+  return ack.entry_id;
+}
+
+Expected<SubscribeAckMsg> ApolloClient::Subscribe(const std::string& topic,
+                                                  std::uint64_t cursor) {
+  SubscribeMsg msg;
+  msg.topic = topic;
+  msg.cursor = cursor;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply = Roundtrip(MsgType::kSubscribe, payload, MsgType::kSubscribeAck);
+  if (!reply.ok()) return reply.error();
+  SubscribeAckMsg ack;
+  if (!SubscribeAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad subscribe ack");
+  }
+  return ack;
+}
+
+Expected<WindowMsg> ApolloClient::FetchWindow(const std::string& topic,
+                                              std::uint64_t cursor,
+                                              std::uint64_t max_entries) {
+  FetchWindowMsg msg;
+  msg.topic = topic;
+  msg.cursor = cursor;
+  msg.max_entries = max_entries;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply = Roundtrip(MsgType::kFetchWindow, payload, MsgType::kWindow);
+  if (!reply.ok()) return reply.error();
+  WindowMsg window;
+  if (!WindowMsg::Decode(reply->payload, window)) {
+    return Error(ErrorCode::kParseError, "bad window");
+  }
+  return window;
+}
+
+Expected<ResultMsg> ApolloClient::Query(const std::string& sql, bool partial) {
+  QueryMsg msg;
+  msg.sql = sql;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply = Roundtrip(MsgType::kQuery, payload, MsgType::kResult,
+                         partial ? kFlagPartial : 0);
+  if (!reply.ok()) return reply.error();
+  ResultMsg result;
+  if (!ResultMsg::Decode(reply->payload, result)) {
+    return Error(ErrorCode::kParseError, "bad result");
+  }
+  return result;
+}
+
+Expected<std::vector<TopicInfo>> ApolloClient::ListTopics() {
+  auto reply = Roundtrip(MsgType::kListTopics, {}, MsgType::kTopicList);
+  if (!reply.ok()) return reply.error();
+  TopicListMsg msg;
+  if (!TopicListMsg::Decode(reply->payload, msg)) {
+    return Error(ErrorCode::kParseError, "bad topic list");
+  }
+  return msg.topics;
+}
+
+Expected<std::string> ApolloClient::FetchMetricsText() {
+  auto reply = Roundtrip(MsgType::kMetrics, {}, MsgType::kMetricsText);
+  if (!reply.ok()) return reply.error();
+  MetricsTextMsg msg;
+  if (!MetricsTextMsg::Decode(reply->payload, msg)) {
+    return Error(ErrorCode::kParseError, "bad metrics text");
+  }
+  return msg.text;
+}
+
+std::vector<DeliverMsg> ApolloClient::TakeDeliveries() {
+  std::vector<DeliverMsg> out;
+  out.swap(deliveries_);
+  return out;
+}
+
+bool ApolloClient::WaitForDeliveries(TimeNs timeout) {
+  if (!deliveries_.empty()) return true;
+  if (!connected()) return false;
+  auto frame = WaitFrame(0, clock_.Now() + timeout);
+  (void)frame;
+  return !deliveries_.empty();
+}
+
+}  // namespace apollo::net

@@ -1,0 +1,122 @@
+// ApolloClient: synchronous client for the wire protocol.
+//
+// The client owns one non-blocking socket and drives it with poll(2)
+// deadlines, so a stalled or dead daemon can never hang a caller past the
+// configured request timeout. Connect() retries with the shared
+// RetryPolicy/BackoffForAttempt plumbing (the same backoff the broker's
+// publish path uses) and then performs the Hello/HelloAck version
+// handshake.
+//
+// Request/response correlation is by frame request_id; unsolicited
+// kDeliver frames that arrive while a response is awaited are buffered and
+// drained with TakeDeliveries(). Round-trip times are recorded into the
+// apollo_net_request_rtt_ns histogram.
+//
+// Thread contract: one thread per client (no internal locking) — the
+// scatter-gather engine gives each node its own client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/expected.h"
+#include "common/fault.h"
+#include "net/messages.h"
+#include "obs/metrics.h"
+
+namespace apollo::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string client_name = "apollo-client";
+  // Deadline for one request/response round trip.
+  TimeNs request_timeout = 5 * kNsPerSec;
+  // Deadline for one TCP connect attempt; attempts retry per connect_retry.
+  TimeNs connect_timeout = kNsPerSec;
+  RetryPolicy connect_retry;
+};
+
+class ApolloClient {
+ public:
+  explicit ApolloClient(ClientConfig config);
+  ~ApolloClient();
+
+  ApolloClient(const ApolloClient&) = delete;
+  ApolloClient& operator=(const ApolloClient&) = delete;
+
+  // Connects with retry/backoff and handshakes. Idempotent when connected.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- requests (auto-connect if needed; kError replies surface as the
+  // carried Error) ---
+
+  Status Ping();
+  Expected<std::uint64_t> Publish(const std::string& topic, TimeNs timestamp,
+                                  const Sample& sample);
+  Expected<SubscribeAckMsg> Subscribe(const std::string& topic,
+                                      std::uint64_t cursor = kCursorTail);
+  Expected<WindowMsg> FetchWindow(const std::string& topic,
+                                  std::uint64_t cursor,
+                                  std::uint64_t max_entries = UINT64_MAX);
+  // `partial` sets kFlagPartial: the daemon executes only the UNION
+  // branches it serves (scatter-gather).
+  Expected<ResultMsg> Query(const std::string& sql, bool partial = false);
+  Expected<std::vector<TopicInfo>> ListTopics();
+  // One Prometheus text-exposition scrape of the daemon's registry.
+  Expected<std::string> FetchMetricsText();
+
+  // --- pushed deliveries ---
+
+  // Drains kDeliver frames buffered so far (including any received while
+  // waiting for responses).
+  std::vector<DeliverMsg> TakeDeliveries();
+  // Reads the socket until at least one delivery is buffered or `timeout`
+  // elapses. Returns true when a delivery is available.
+  bool WaitForDeliveries(TimeNs timeout);
+
+  // Injector consulted at kNetSend/kNetRecv/kConnDrop on this client's
+  // side of the connection (not owned; null detaches).
+  void AttachFaultInjector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+
+  const std::string& server_name() const { return server_name_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  Status ConnectOnce();
+  Status SendRequest(MsgType type, std::uint32_t request_id,
+                     const Payload& payload, std::uint16_t flags);
+  // Sends `type` and waits for the response frame with the same request
+  // id, surfacing kError replies. `expect` is the success frame type.
+  Expected<Frame> Roundtrip(MsgType type, const Payload& payload,
+                            MsgType expect, std::uint16_t flags = 0);
+  // Reads frames until one with `request_id` arrives or `deadline` (abs
+  // clock time) passes. request_id 0 returns on the first buffered
+  // delivery instead. Buffers kDeliver frames either way.
+  Expected<Frame> WaitFrame(std::uint32_t request_id, TimeNs deadline);
+  // One poll+read step; feeds the parser and fans frames into pending_ /
+  // deliveries_.
+  Status ReadSome(TimeNs deadline);
+  Status FailClose(ErrorCode code, const std::string& message);
+
+  ClientConfig config_;
+  Clock& clock_;
+  int fd_ = -1;
+  std::uint32_t next_request_id_ = 1;
+  FrameParser parser_;
+  std::deque<Frame> pending_;
+  std::vector<DeliverMsg> deliveries_;
+  std::string server_name_;
+  std::atomic<FaultInjector*> fault_{nullptr};
+  obs::Histogram rtt_;
+};
+
+}  // namespace apollo::net

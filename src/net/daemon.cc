@@ -1,0 +1,270 @@
+#include "net/daemon.h"
+
+#include <limits>
+#include <utility>
+
+#include "aqe/parser.h"
+#include "aqe/query_builder.h"
+#include "aqe/remote.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo::net {
+
+ApolloDaemon::ApolloDaemon(Broker& broker, aqe::Executor& executor,
+                           DaemonConfig config)
+    : broker_(broker),
+      executor_(executor),
+      config_(std::move(config)),
+      loop_(RealClock::Instance()),
+      server_(loop_, config_.server, *this) {}
+
+ApolloDaemon::~ApolloDaemon() { Stop(); }
+
+Status ApolloDaemon::Start() {
+  if (running_) {
+    return Status(ErrorCode::kFailedPrecondition, "daemon already running");
+  }
+  loop_.ClearStop();
+  Status status = server_.Start();
+  if (!status.ok()) return status;
+  pump_timer_ = loop_.AddTimer(config_.delivery_interval, [this](TimeNs) {
+    PumpSubscriptions();
+    return config_.delivery_interval;
+  });
+  running_ = true;
+  thread_ = std::thread([this] {
+    loop_.Run(std::numeric_limits<TimeNs>::max(), /*stop_when_idle=*/false);
+  });
+  return Status::Ok();
+}
+
+void ApolloDaemon::Stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_.Stop();
+  if (thread_.joinable()) thread_.join();
+  loop_.CancelTimer(pump_timer_);
+  pump_timer_ = 0;
+  server_.Stop();  // loop no longer running: safe off-thread
+  subs_.clear();
+}
+
+void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHello:
+      HandleHello(conn, frame);
+      return;
+    case MsgType::kPing:
+      conn.SendFrame(MsgType::kPong, frame.request_id, {});
+      return;
+    case MsgType::kPublish:
+      HandlePublish(conn, frame);
+      return;
+    case MsgType::kSubscribe:
+      HandleSubscribe(conn, frame);
+      return;
+    case MsgType::kFetchWindow:
+      HandleFetchWindow(conn, frame);
+      return;
+    case MsgType::kQuery:
+      HandleQuery(conn, frame);
+      return;
+    case MsgType::kListTopics:
+      HandleListTopics(conn, frame);
+      return;
+    case MsgType::kMetrics:
+      HandleMetrics(conn, frame);
+      return;
+    default:
+      SendError(conn, frame.request_id, ErrorCode::kInvalidArgument,
+                std::string("unexpected message type: ") +
+                    MsgTypeName(frame.type));
+  }
+}
+
+void ApolloDaemon::OnClose(Connection& conn) { subs_.erase(conn.id()); }
+
+void ApolloDaemon::HandleHello(Connection& conn, const Frame& frame) {
+  HelloMsg hello;
+  if (!HelloMsg::Decode(frame.payload, hello)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad hello");
+    conn.Close();
+    return;
+  }
+  if (hello.protocol_version != kProtocolVersion) {
+    SendError(conn, frame.request_id, ErrorCode::kFailedPrecondition,
+              "unsupported protocol version " +
+                  std::to_string(hello.protocol_version));
+    conn.Close();
+    return;
+  }
+  HelloAckMsg ack;
+  ack.server_name = config_.server.server_name;
+  ack.topic_count = broker_.ListTopics().size();
+  SendMsg(conn, MsgType::kHelloAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandlePublish(Connection& conn, const Frame& frame) {
+  PublishMsg msg;
+  if (!PublishMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad publish");
+    return;
+  }
+  auto id = broker_.Publish(msg.topic, config_.node, msg.timestamp,
+                            msg.sample);
+  if (!id.ok()) {
+    SendError(conn, frame.request_id, id.error().code(),
+              id.error().message());
+    return;
+  }
+  PublishAckMsg ack;
+  ack.entry_id = *id;
+  SendMsg(conn, MsgType::kPublishAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleSubscribe(Connection& conn, const Frame& frame) {
+  SubscribeMsg msg;
+  if (!SubscribeMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad subscribe");
+    return;
+  }
+  auto stream = broker_.GetTopic(msg.topic);
+  if (!stream.ok()) {
+    SendError(conn, frame.request_id, stream.error().code(),
+              stream.error().message());
+    return;
+  }
+  Subscription sub;
+  sub.id = next_sub_id_++;
+  sub.topic = msg.topic;
+  sub.cursor = msg.cursor == kCursorTail ? (*stream)->NextId() : msg.cursor;
+  SubscribeAckMsg ack;
+  ack.subscription_id = sub.id;
+  ack.start_cursor = sub.cursor;
+  subs_[conn.id()].push_back(std::move(sub));
+  SendMsg(conn, MsgType::kSubscribeAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleFetchWindow(Connection& conn, const Frame& frame) {
+  FetchWindowMsg msg;
+  if (!FetchWindowMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad fetch");
+    return;
+  }
+  std::uint64_t cursor = msg.cursor;
+  auto entries = broker_.Fetch(msg.topic, config_.node, cursor,
+                               msg.max_entries);
+  if (!entries.ok()) {
+    SendError(conn, frame.request_id, entries.error().code(),
+              entries.error().message());
+    return;
+  }
+  WindowMsg window;
+  window.next_cursor = cursor;
+  window.entries = std::move(*entries);
+  SendMsg(conn, MsgType::kWindow, frame.request_id, window);
+}
+
+void ApolloDaemon::HandleQuery(Connection& conn, const Frame& frame) {
+  TRACE_SPAN("net.query");
+  QueryMsg msg;
+  if (!QueryMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad query");
+    return;
+  }
+  ResultMsg reply;
+  std::string text = msg.sql;
+  if (frame.flags & kFlagPartial) {
+    // Scatter-gather: keep only the UNION branches this daemon serves.
+    std::string_view bare = text;
+    bool analyze = false;
+    const bool is_explain =
+        aqe::Executor::StripExplainPrefix(text, bare, analyze);
+    auto parsed = aqe::Parse(std::string(bare));
+    if (!parsed.ok()) {
+      SendError(conn, frame.request_id, parsed.error().code(),
+                parsed.error().message());
+      return;
+    }
+    aqe::Query kept = aqe::FilterQuery(
+        *parsed, [this](const std::string& t) { return broker_.HasTopic(t); },
+        &reply.served_tables);
+    if (kept.selects.empty()) {
+      // Nothing served here: an empty partial answer, not an error.
+      SendMsg(conn, MsgType::kResult, frame.request_id, reply);
+      return;
+    }
+    if (kept.selects.size() != parsed->selects.size()) {
+      // Re-render the surviving branches so EXPLAIN routing and the plan
+      // cache see a plain query string.
+      text = aqe::ToString(kept);
+      if (is_explain) {
+        text = (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") + text;
+      }
+    }
+  }
+  auto result = executor_.Execute(text);
+  if (!result.ok()) {
+    SendError(conn, frame.request_id, result.error().code(),
+              result.error().message());
+    return;
+  }
+  reply.result = std::move(*result);
+  SendMsg(conn, MsgType::kResult, frame.request_id, reply);
+}
+
+void ApolloDaemon::HandleListTopics(Connection& conn, const Frame& frame) {
+  TopicListMsg msg;
+  msg.topics = broker_.ListTopics();
+  SendMsg(conn, MsgType::kTopicList, frame.request_id, msg);
+}
+
+void ApolloDaemon::HandleMetrics(Connection& conn, const Frame& frame) {
+  MetricsTextMsg msg;
+  msg.text = obs::MetricsRegistry::Global().RenderPrometheus();
+  SendMsg(conn, MsgType::kMetricsText, frame.request_id, msg);
+}
+
+void ApolloDaemon::PumpSubscriptions() {
+  for (auto& [conn_id, subs] : subs_) {
+    for (Subscription& sub : subs) {
+      std::uint64_t cursor = sub.cursor;
+      auto entries = broker_.Fetch(sub.topic, config_.node, cursor,
+                                   config_.delivery_batch);
+      if (!entries.ok() || entries->empty()) continue;
+      DeliverMsg deliver;
+      deliver.subscription_id = sub.id;
+      deliver.topic = sub.topic;
+      deliver.entries = std::move(*entries);
+      // A skipped (backpressured) delivery keeps the old cursor: the
+      // entries stay in the window and are re-sent next pump.
+      auto it = server_.FindConnection(conn_id);
+      if (it == nullptr) continue;
+      if (SendMsg(*it, MsgType::kDeliver, /*request_id=*/0, deliver,
+                  /*droppable=*/true)) {
+        sub.cursor = cursor;
+      }
+    }
+  }
+}
+
+void ApolloDaemon::SendError(Connection& conn, std::uint32_t request_id,
+                             ErrorCode code, const std::string& message) {
+  ErrorMsg msg;
+  msg.code = code;
+  msg.message = message;
+  SendMsg(conn, MsgType::kError, request_id, msg);
+}
+
+template <typename Msg>
+bool ApolloDaemon::SendMsg(Connection& conn, MsgType type,
+                           std::uint32_t request_id, const Msg& msg,
+                           bool droppable) {
+  Payload payload;
+  msg.Encode(payload);
+  return conn.SendFrame(type, request_id, payload, /*flags=*/0, droppable);
+}
+
+}  // namespace apollo::net

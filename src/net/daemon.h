@@ -1,0 +1,102 @@
+// ApolloDaemon: serves one node's broker topics and streams over the wire
+// protocol — the process role the paper calls the per-node observer.
+//
+// The daemon owns a real-clock EventLoop on a dedicated thread; the Server
+// and every request handler run there. Requests map onto the local fabric:
+//   kPublish      -> Broker::Publish (the daemon's node perspective)
+//   kFetchWindow  -> Broker::Fetch (cursor window reads)
+//   kSubscribe    -> pushed kDeliver frames from a periodic pump timer;
+//                    backpressured deliveries do not advance the cursor,
+//                    so a slow subscriber loses nothing while the entries
+//                    stay in the stream window
+//   kQuery        -> aqe::Executor. EXPLAIN [ANALYZE] works unchanged. A
+//                    kFlagPartial query executes only the UNION branches
+//                    whose topics this daemon serves and reports them in
+//                    ResultMsg::served_tables (scatter-gather).
+//   kListTopics   -> Broker::ListTopics
+//   kMetrics      -> MetricsRegistry::Global().RenderPrometheus() scrape
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "common/clock.h"
+#include "common/expected.h"
+#include "eventloop/event_loop.h"
+#include "net/messages.h"
+#include "net/transport.h"
+#include "pubsub/broker.h"
+
+namespace apollo::net {
+
+struct DaemonConfig {
+  ServerConfig server;
+  // Subscription pump period: how often new stream entries are pushed.
+  TimeNs delivery_interval = 2 * kNsPerMs;
+  // Max entries per kDeliver frame.
+  std::size_t delivery_batch = 512;
+  // Node identity used for broker latency charging.
+  NodeId node = kLocalNode;
+};
+
+class ApolloDaemon final : public FrameHandler {
+ public:
+  // `broker` and `executor` are shared with the in-process fabric (an
+  // ApolloService typically owns them) and must outlive the daemon.
+  ApolloDaemon(Broker& broker, aqe::Executor& executor,
+               DaemonConfig config = {});
+  ~ApolloDaemon() override;
+
+  // Binds the server and starts the loop thread. port() is valid after.
+  Status Start();
+  void Stop();
+
+  std::uint16_t port() const { return server_.port(); }
+  bool running() const { return running_; }
+  Server& server() { return server_; }
+  EventLoop& loop() { return loop_; }
+
+ private:
+  struct Subscription {
+    std::uint64_t id = 0;
+    std::string topic;
+    std::uint64_t cursor = 0;
+  };
+
+  void OnFrame(Connection& conn, const Frame& frame) override;
+  void OnClose(Connection& conn) override;
+
+  void HandleHello(Connection& conn, const Frame& frame);
+  void HandlePublish(Connection& conn, const Frame& frame);
+  void HandleSubscribe(Connection& conn, const Frame& frame);
+  void HandleFetchWindow(Connection& conn, const Frame& frame);
+  void HandleQuery(Connection& conn, const Frame& frame);
+  void HandleListTopics(Connection& conn, const Frame& frame);
+  void HandleMetrics(Connection& conn, const Frame& frame);
+
+  void PumpSubscriptions();
+  void SendError(Connection& conn, std::uint32_t request_id, ErrorCode code,
+                 const std::string& message);
+  template <typename Msg>
+  bool SendMsg(Connection& conn, MsgType type, std::uint32_t request_id,
+               const Msg& msg, bool droppable = false);
+
+  Broker& broker_;
+  aqe::Executor& executor_;
+  DaemonConfig config_;
+  EventLoop loop_;
+  Server server_;
+  std::thread thread_;
+  bool running_ = false;
+
+  // Loop-thread state.
+  std::uint64_t next_sub_id_ = 1;
+  std::map<std::uint64_t, std::vector<Subscription>> subs_;  // by conn id
+  TimerId pump_timer_ = 0;
+};
+
+}  // namespace apollo::net

@@ -1,0 +1,283 @@
+#include "net/messages.h"
+
+namespace apollo::net {
+
+namespace {
+
+// Entry lists are capped well under kMaxFrameLen: 28 bytes each + frame
+// overhead keeps a full 4096-entry window comfortably inside one frame.
+constexpr std::uint64_t kMaxWireEntries = 256 * 1024;
+
+void EncodeEntries(WireWriter& w,
+                   const std::vector<TelemetryStream::Entry>& entries) {
+  w.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    w.U64(entry.id);
+    w.I64(entry.timestamp);
+    w.I64(entry.value.timestamp);
+    w.F64(entry.value.value);
+    w.U8(static_cast<std::uint8_t>(entry.value.provenance));
+  }
+}
+
+bool DecodeEntries(WireReader& r,
+                   std::vector<TelemetryStream::Entry>& entries) {
+  const std::uint32_t count = r.U32();
+  if (count > kMaxWireEntries) return false;
+  entries.clear();
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    TelemetryStream::Entry entry;
+    entry.id = r.U64();
+    entry.timestamp = r.I64();
+    entry.value.timestamp = r.I64();
+    entry.value.value = r.F64();
+    entry.value.provenance = static_cast<Provenance>(r.U8());
+    entries.push_back(entry);
+  }
+  return r.ok();
+}
+
+bool Finish(const WireReader& r) { return r.ok() && r.AtEnd(); }
+
+}  // namespace
+
+void HelloMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U32(protocol_version);
+  w.Str(client_name);
+}
+
+bool HelloMsg::Decode(const Payload& in, HelloMsg& msg) {
+  WireReader r(in);
+  msg.protocol_version = r.U32();
+  msg.client_name = r.Str();
+  return Finish(r);
+}
+
+void HelloAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U32(protocol_version);
+  w.Str(server_name);
+  w.U64(topic_count);
+}
+
+bool HelloAckMsg::Decode(const Payload& in, HelloAckMsg& msg) {
+  WireReader r(in);
+  msg.protocol_version = r.U32();
+  msg.server_name = r.Str();
+  msg.topic_count = r.U64();
+  return Finish(r);
+}
+
+void PublishMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(topic);
+  w.I64(timestamp);
+  w.I64(sample.timestamp);
+  w.F64(sample.value);
+  w.U8(static_cast<std::uint8_t>(sample.provenance));
+}
+
+bool PublishMsg::Decode(const Payload& in, PublishMsg& msg) {
+  WireReader r(in);
+  msg.topic = r.Str();
+  msg.timestamp = r.I64();
+  msg.sample.timestamp = r.I64();
+  msg.sample.value = r.F64();
+  msg.sample.provenance = static_cast<Provenance>(r.U8());
+  return Finish(r);
+}
+
+void PublishAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(entry_id);
+}
+
+bool PublishAckMsg::Decode(const Payload& in, PublishAckMsg& msg) {
+  WireReader r(in);
+  msg.entry_id = r.U64();
+  return Finish(r);
+}
+
+void SubscribeMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(topic);
+  w.U64(cursor);
+}
+
+bool SubscribeMsg::Decode(const Payload& in, SubscribeMsg& msg) {
+  WireReader r(in);
+  msg.topic = r.Str();
+  msg.cursor = r.U64();
+  return Finish(r);
+}
+
+void SubscribeAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(subscription_id);
+  w.U64(start_cursor);
+}
+
+bool SubscribeAckMsg::Decode(const Payload& in, SubscribeAckMsg& msg) {
+  WireReader r(in);
+  msg.subscription_id = r.U64();
+  msg.start_cursor = r.U64();
+  return Finish(r);
+}
+
+void DeliverMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(subscription_id);
+  w.Str(topic);
+  EncodeEntries(w, entries);
+}
+
+bool DeliverMsg::Decode(const Payload& in, DeliverMsg& msg) {
+  WireReader r(in);
+  msg.subscription_id = r.U64();
+  msg.topic = r.Str();
+  if (!DecodeEntries(r, msg.entries)) return false;
+  return Finish(r);
+}
+
+void FetchWindowMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(topic);
+  w.U64(cursor);
+  w.U64(max_entries);
+}
+
+bool FetchWindowMsg::Decode(const Payload& in, FetchWindowMsg& msg) {
+  WireReader r(in);
+  msg.topic = r.Str();
+  msg.cursor = r.U64();
+  msg.max_entries = r.U64();
+  return Finish(r);
+}
+
+void WindowMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(next_cursor);
+  EncodeEntries(w, entries);
+}
+
+bool WindowMsg::Decode(const Payload& in, WindowMsg& msg) {
+  WireReader r(in);
+  msg.next_cursor = r.U64();
+  if (!DecodeEntries(r, msg.entries)) return false;
+  return Finish(r);
+}
+
+void QueryMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(sql);
+}
+
+bool QueryMsg::Decode(const Payload& in, QueryMsg& msg) {
+  WireReader r(in);
+  msg.sql = r.Str();
+  return Finish(r);
+}
+
+void ResultMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U8(result.degraded ? 1 : 0);
+  w.I64(result.max_staleness_ns);
+  w.U32(static_cast<std::uint32_t>(result.columns.size()));
+  for (const std::string& column : result.columns) w.Str(column);
+  w.U32(static_cast<std::uint32_t>(result.rows.size()));
+  for (const aqe::ResultRow& row : result.rows) {
+    w.Str(row.source);
+    w.U8(row.degraded ? 1 : 0);
+    w.I64(row.staleness_ns);
+    w.U32(static_cast<std::uint32_t>(row.values.size()));
+    for (double v : row.values) w.F64(v);
+  }
+  w.U32(static_cast<std::uint32_t>(served_tables.size()));
+  for (const std::string& table : served_tables) w.Str(table);
+}
+
+bool ResultMsg::Decode(const Payload& in, ResultMsg& msg) {
+  WireReader r(in);
+  msg.result = aqe::ResultSet{};
+  msg.served_tables.clear();
+  msg.result.degraded = r.U8() != 0;
+  msg.result.max_staleness_ns = r.I64();
+  const std::uint32_t columns = r.U32();
+  if (columns > kMaxWireEntries) return false;
+  for (std::uint32_t i = 0; i < columns && r.ok(); ++i) {
+    msg.result.columns.push_back(r.Str());
+  }
+  const std::uint32_t rows = r.U32();
+  if (rows > kMaxWireEntries) return false;
+  msg.result.rows.reserve(rows);
+  for (std::uint32_t i = 0; i < rows && r.ok(); ++i) {
+    aqe::ResultRow row;
+    row.source = r.Str();
+    row.degraded = r.U8() != 0;
+    row.staleness_ns = r.I64();
+    const std::uint32_t values = r.U32();
+    if (values > kMaxWireEntries) return false;
+    row.values.reserve(values);
+    for (std::uint32_t j = 0; j < values && r.ok(); ++j) {
+      row.values.push_back(r.F64());
+    }
+    msg.result.rows.push_back(std::move(row));
+  }
+  const std::uint32_t tables = r.U32();
+  if (tables > kMaxWireEntries) return false;
+  for (std::uint32_t i = 0; i < tables && r.ok(); ++i) {
+    msg.served_tables.push_back(r.Str());
+  }
+  return Finish(r);
+}
+
+void TopicListMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U32(static_cast<std::uint32_t>(topics.size()));
+  for (const TopicInfo& info : topics) {
+    w.Str(info.name);
+    w.I64(info.home_node);
+  }
+}
+
+bool TopicListMsg::Decode(const Payload& in, TopicListMsg& msg) {
+  WireReader r(in);
+  const std::uint32_t count = r.U32();
+  if (count > kMaxWireEntries) return false;
+  msg.topics.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    TopicInfo info;
+    info.name = r.Str();
+    info.home_node = static_cast<NodeId>(r.I64());
+    msg.topics.push_back(std::move(info));
+  }
+  return Finish(r);
+}
+
+void MetricsTextMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(text);
+}
+
+bool MetricsTextMsg::Decode(const Payload& in, MetricsTextMsg& msg) {
+  WireReader r(in);
+  msg.text = r.Str();
+  return Finish(r);
+}
+
+void ErrorMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U16(static_cast<std::uint16_t>(code));
+  w.Str(message);
+}
+
+bool ErrorMsg::Decode(const Payload& in, ErrorMsg& msg) {
+  WireReader r(in);
+  msg.code = static_cast<ErrorCode>(r.U16());
+  msg.message = r.Str();
+  return Finish(r);
+}
+
+}  // namespace apollo::net

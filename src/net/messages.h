@@ -1,0 +1,142 @@
+// Typed messages carried in wire frames (see net/frame.h for the framing).
+//
+// Every message has Encode(payload_out) and a static Decode(payload) that
+// returns false on malformed input (short payload, trailing garbage).
+// Encodings are versioned by the frame header's protocol version; fields
+// are appended LE with u32-length-prefixed strings (WireWriter/WireReader).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "net/frame.h"
+#include "pubsub/broker.h"
+#include "pubsub/stream.h"
+
+namespace apollo::net {
+
+using Payload = std::vector<std::uint8_t>;
+
+struct HelloMsg {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string client_name;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, HelloMsg& msg);
+};
+
+struct HelloAckMsg {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string server_name;
+  std::uint64_t topic_count = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, HelloAckMsg& msg);
+};
+
+struct PublishMsg {
+  std::string topic;
+  TimeNs timestamp = 0;
+  Sample sample;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, PublishMsg& msg);
+};
+
+struct PublishAckMsg {
+  std::uint64_t entry_id = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, PublishAckMsg& msg);
+};
+
+// cursor == kCursorTail starts the subscription at the stream's next id
+// (only future entries are delivered).
+inline constexpr std::uint64_t kCursorTail = UINT64_MAX;
+
+struct SubscribeMsg {
+  std::string topic;
+  std::uint64_t cursor = kCursorTail;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, SubscribeMsg& msg);
+};
+
+struct SubscribeAckMsg {
+  std::uint64_t subscription_id = 0;
+  std::uint64_t start_cursor = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, SubscribeAckMsg& msg);
+};
+
+struct DeliverMsg {
+  std::uint64_t subscription_id = 0;
+  std::string topic;
+  std::vector<TelemetryStream::Entry> entries;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, DeliverMsg& msg);
+};
+
+struct FetchWindowMsg {
+  std::string topic;
+  std::uint64_t cursor = 0;
+  std::uint64_t max_entries = UINT64_MAX;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, FetchWindowMsg& msg);
+};
+
+struct WindowMsg {
+  std::uint64_t next_cursor = 0;
+  std::vector<TelemetryStream::Entry> entries;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, WindowMsg& msg);
+};
+
+struct QueryMsg {
+  std::string sql;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, QueryMsg& msg);
+};
+
+struct ResultMsg {
+  aqe::ResultSet result;
+  // Tables this daemon actually executed (partial queries skip branches
+  // whose topics live elsewhere; the scatter-gather merge checks coverage).
+  std::vector<std::string> served_tables;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ResultMsg& msg);
+};
+
+struct TopicListMsg {
+  std::vector<TopicInfo> topics;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, TopicListMsg& msg);
+};
+
+struct MetricsTextMsg {
+  std::string text;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, MetricsTextMsg& msg);
+};
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ErrorMsg& msg);
+
+  Error ToError() const { return Error(code, message); }
+};
+
+}  // namespace apollo::net

@@ -1,0 +1,103 @@
+#include "net/remote_query.h"
+
+#include <thread>
+#include <utility>
+
+#include "aqe/remote.h"
+#include "obs/trace.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo::net {
+
+RemoteQueryEngine::RemoteQueryEngine(std::vector<RemoteNode> nodes,
+                                     RemoteQueryOptions options)
+    : nodes_(std::move(nodes)), options_(options) {}
+
+Expected<aqe::ResultSet> RemoteQueryEngine::Execute(const std::string& sql) {
+  TRACE_SPAN("net.remote_query", sql);
+  struct NodeReply {
+    Expected<ResultMsg> reply{Error(ErrorCode::kUnavailable, "not run")};
+  };
+  std::vector<NodeReply> replies(nodes_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    threads.emplace_back([this, i, &sql, &replies] {
+      ClientConfig config;
+      config.host = nodes_[i].host;
+      config.port = nodes_[i].port;
+      config.client_name = "remote-query:" + nodes_[i].name;
+      config.request_timeout = options_.node_deadline;
+      config.connect_timeout = options_.connect_timeout;
+      config.connect_retry = options_.connect_retry;
+      // The whole scatter leg — retries included — stays inside the node
+      // deadline so one dead node cannot stretch the gather.
+      config.connect_retry.deadline = options_.node_deadline;
+      ApolloClient client(std::move(config));
+      client.AttachFaultInjector(fault_);
+      replies[i].reply = client.Query(sql, /*partial=*/true);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  auto& telemetry = GlobalTelemetry();
+  Clock& clock = RealClock::Instance();
+  const TimeNs now = clock.Now();
+  aqe::ResultSet merged;
+  std::vector<NodeOutcome> outcomes(nodes_.size());
+  bool any_fresh = false;
+  Error first_error(ErrorCode::kUnavailable, "no nodes configured");
+  bool have_error = false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeOutcome& outcome = outcomes[i];
+    outcome.node = nodes_[i].name;
+    auto& reply = replies[i].reply;
+    const auto cache_key = std::make_pair(nodes_[i].name, sql);
+    if (reply.ok()) {
+      Status status = aqe::MergeResult(merged, reply->result);
+      if (!status.ok()) return Error(status.code(), status.message());
+      outcome.ok = true;
+      outcome.served_tables = reply->served_tables;
+      any_fresh = true;
+      cache_[cache_key] = CachedResult{reply->result, now};
+      continue;
+    }
+    outcome.error = reply.error().ToString();
+    if (!have_error) {
+      first_error = reply.error();
+      have_error = true;
+    }
+    telemetry.net_node_timeouts.Inc();
+    auto cached = cache_.find(cache_key);
+    if (cached != cache_.end()) {
+      // Last-known-good fallback: stale rows beat a failed query.
+      aqe::ResultSet stale = cached->second.result;
+      aqe::MarkDegraded(stale, now - cached->second.fetched_at);
+      Status status = aqe::MergeResult(merged, stale);
+      if (!status.ok()) return Error(status.code(), status.message());
+      outcome.from_cache = true;
+      telemetry.net_degraded_fallbacks.Inc();
+    } else {
+      // Nothing to serve for this node; the merged answer is degraded.
+      merged.degraded = true;
+    }
+  }
+  last_outcomes_ = std::move(outcomes);
+
+  // Only when every node failed and none had a cached answer does the
+  // query itself fail (e.g. a parse error rejected everywhere).
+  if (!any_fresh && merged.rows.empty() && merged.columns.empty() &&
+      (have_error || nodes_.empty())) {
+    return first_error;
+  }
+  return merged;
+}
+
+std::vector<NodeOutcome> RemoteQueryEngine::LastOutcomes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_outcomes_;
+}
+
+}  // namespace apollo::net

@@ -1,0 +1,90 @@
+// RemoteQueryEngine: scatter-gather AQE queries across N apollod daemons.
+//
+// Execute() sends one query to every node with kFlagPartial (each daemon
+// executes only the UNION branches whose topics it serves) on one thread
+// per node, bounded by a per-node deadline, then merges the partial
+// ResultSets with aqe::MergeResult.
+//
+// Degraded answers instead of failed queries: a node that misses its
+// deadline (stalled daemon, dropped connection, network fault) contributes
+// its last-known-good rows from a per-(node, query) cache, marked
+// degraded=true with staleness = age of the cached answer — the same
+// graceful-degradation contract the local executor applies to crashed
+// vertices. A node with no cached answer contributes nothing and the merged
+// set is flagged degraded, but the query still returns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "common/clock.h"
+#include "common/expected.h"
+#include "common/fault.h"
+#include "net/client.h"
+
+namespace apollo::net {
+
+struct RemoteNode {
+  std::string name;  // label reported in outcomes
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RemoteQueryOptions {
+  // Per-node budget for connect + query; a node past it falls back to the
+  // last-known-good cache.
+  TimeNs node_deadline = 2 * kNsPerSec;
+  TimeNs connect_timeout = 500 * kNsPerMs;
+  RetryPolicy connect_retry;
+};
+
+// Per-node account of the last Execute() (tests and EXPLAIN-style
+// introspection).
+struct NodeOutcome {
+  std::string node;
+  bool ok = false;          // fresh answer merged
+  bool from_cache = false;  // degraded last-known-good answer merged
+  std::vector<std::string> served_tables;
+  std::string error;  // failure detail when !ok
+};
+
+class RemoteQueryEngine {
+ public:
+  explicit RemoteQueryEngine(std::vector<RemoteNode> nodes,
+                             RemoteQueryOptions options = {});
+
+  // Scatter-gathers `sql` (plain or EXPLAIN [ANALYZE]) across every node.
+  // Fails only when the query itself is bad (every node rejects it) —
+  // unreachable nodes degrade the answer instead.
+  Expected<aqe::ResultSet> Execute(const std::string& sql);
+
+  // Outcomes of the most recent Execute(), one per node in node order.
+  std::vector<NodeOutcome> LastOutcomes() const;
+
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+  // Injector attached to every per-node client (kNetSend/kNetRecv/
+  // kConnDrop on the client side).
+  void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+ private:
+  struct CachedResult {
+    aqe::ResultSet result;
+    TimeNs fetched_at = 0;
+  };
+
+  std::vector<RemoteNode> nodes_;
+  RemoteQueryOptions options_;
+  FaultInjector* fault_ = nullptr;
+
+  mutable std::mutex mu_;
+  // Last-known-good answers keyed by (node name, query text).
+  std::map<std::pair<std::string, std::string>, CachedResult> cache_;
+  std::vector<NodeOutcome> last_outcomes_;
+};
+
+}  // namespace apollo::net

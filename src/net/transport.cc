@@ -1,0 +1,316 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo::net {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Expected<int> TcpListen(const std::string& address, std::uint16_t port,
+                        std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kIoError,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error(ErrorCode::kInvalidArgument, "bad bind address: " + address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Error(ErrorCode::kIoError, "bind " + address + ": " + err);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Error(ErrorCode::kIoError, "listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Error(ErrorCode::kIoError, "getsockname: " + err);
+  }
+  if (!SetNonBlocking(fd)) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Error(ErrorCode::kIoError, "fcntl: " + err);
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+// --- Connection ---
+
+void Connection::Close() {
+  if (closing_) return;
+  closing_ = true;
+  // A close outside a dispatch (e.g. backpressure during the subscription
+  // pump) has no OnConnEvent epilogue to reap it — post the teardown.
+  Server& server = server_;
+  const std::uint64_t id = id_;
+  server.loop_.Post([&server, id] { server.DestroyConn(id); });
+}
+
+bool Connection::SendFrame(MsgType type, std::uint32_t request_id,
+                           const std::vector<std::uint8_t>& payload,
+                           std::uint16_t flags, bool droppable) {
+  TRACE_SPAN("net.send", MsgTypeName(type));
+  if (closing_) return false;
+  auto& telemetry = GlobalTelemetry();
+  if (auto action =
+          server_.EvaluateFault(FaultSite::kNetSend, MsgTypeName(type))) {
+    if (action->fails()) {
+      telemetry.net_send_failures.Inc();
+      if (droppable) return false;
+      Close();  // the peer is waiting for this frame; fail loudly
+      return false;
+    }
+    server_.loop().clock().Charge(action->delay_ns);
+  }
+  const std::size_t pending = OutboundBytes();
+  if (pending + kHeaderSize + payload.size() >
+      server_.config().max_outbound_bytes) {
+    if (droppable) {
+      telemetry.net_backpressure_skips.Inc();
+      return false;
+    }
+    telemetry.net_send_failures.Inc();
+    Close();
+    return false;
+  }
+  // Compact the sent prefix before it dominates the buffer.
+  if (out_pos_ > 0 && out_pos_ >= outbound_.size() - out_pos_) {
+    outbound_.erase(outbound_.begin(),
+                    outbound_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
+    out_pos_ = 0;
+  }
+  EncodeFrame(outbound_, type, request_id, payload, flags);
+  telemetry.net_messages_sent.Inc();
+  server_.FlushConn(*this);
+  return true;
+}
+
+// --- Server ---
+
+Server::Server(EventLoop& loop, ServerConfig config, FrameHandler& handler)
+    : loop_(loop), config_(std::move(config)), handler_(handler) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) {
+    return Status(ErrorCode::kFailedPrecondition, "server already started");
+  }
+  std::uint16_t bound = 0;
+  auto fd = TcpListen(config_.bind_address, config_.port, bound);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
+  port_.store(bound, std::memory_order_release);
+  if (!loop_.AddFd(listen_fd_, kFdReadable, [this](std::uint32_t) {
+        OnAcceptable();
+      })) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status(ErrorCode::kFailedPrecondition,
+                  "loop does not support fd watching");
+  }
+  if (config_.idle_timeout > 0) {
+    const TimeNs sweep = std::max<TimeNs>(config_.idle_timeout / 4, kNsPerMs);
+    idle_timer_ = loop_.AddTimer(sweep, [this, sweep](TimeNs now) {
+      SweepIdle(now);
+      return sweep;
+    });
+  }
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (idle_timer_ != 0) {
+    loop_.CancelTimer(idle_timer_);
+    idle_timer_ = 0;
+  }
+  if (listen_fd_ >= 0) {
+    loop_.RemoveFd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  while (!conns_.empty()) DestroyConn(conns_.begin()->first);
+}
+
+void Server::OnAcceptable() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept errors (ECONNABORTED etc.): keep serving
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::unique_ptr<Connection>(new Connection(*this, id, fd));
+    conn->last_activity_ = loop_.clock().Now();
+    if (!loop_.AddFd(fd, kFdReadable, [this, id](std::uint32_t events) {
+          OnConnEvent(id, events);
+        })) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    conn_count_.store(conns_.size(), std::memory_order_release);
+    GlobalTelemetry().net_connections_opened.Inc();
+  }
+}
+
+Connection* Server::FindConnection(std::uint64_t id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void Server::OnConnEvent(std::uint64_t conn_id, std::uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (events & kFdError) {
+    DestroyConn(conn_id);
+    return;
+  }
+  if (events & kFdWritable) FlushConn(conn);
+  if (!conn.closing_ && (events & kFdReadable)) ReadConn(conn);
+  if (conn.closing_) DestroyConn(conn_id);
+}
+
+void Server::ReadConn(Connection& conn) {
+  TRACE_SPAN("net.recv", "server");
+  auto& telemetry = GlobalTelemetry();
+  std::uint8_t buf[64 * 1024];
+  while (!conn.closing_) {
+    const ssize_t n = ::read(conn.fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.Close();
+      return;
+    }
+    if (n == 0) {  // peer closed
+      conn.Close();
+      return;
+    }
+    conn.last_activity_ = loop_.clock().Now();
+    telemetry.net_bytes_received.Inc(static_cast<std::uint64_t>(n));
+    if (!conn.parser_.Feed(buf, static_cast<std::size_t>(n))) {
+      telemetry.net_protocol_errors.Inc();
+      conn.Close();
+      return;
+    }
+    Frame frame;
+    while (!conn.closing_ && conn.parser_.Next(frame)) {
+      const char* label = MsgTypeName(frame.type);
+      if (auto action = EvaluateFault(FaultSite::kConnDrop, label)) {
+        if (action->fails()) {
+          telemetry.net_conn_drops.Inc();
+          conn.Close();
+          return;
+        }
+        loop_.clock().Charge(action->delay_ns);
+      }
+      if (auto action = EvaluateFault(FaultSite::kNetRecv, label)) {
+        if (action->fails()) {
+          telemetry.net_recv_drops.Inc();
+          continue;  // frame lost in flight
+        }
+        loop_.clock().Charge(action->delay_ns);
+      }
+      telemetry.net_messages_received.Inc();
+      TRACE_SPAN("net.dispatch", label);
+      handler_.OnFrame(conn, frame);
+    }
+  }
+}
+
+void Server::FlushConn(Connection& conn) {
+  while (conn.out_pos_ < conn.outbound_.size()) {
+    const ssize_t n =
+        ::write(conn.fd_, conn.outbound_.data() + conn.out_pos_,
+                conn.outbound_.size() - conn.out_pos_);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.Close();
+      return;
+    }
+    conn.out_pos_ += static_cast<std::size_t>(n);
+    conn.last_activity_ = loop_.clock().Now();
+    GlobalTelemetry().net_bytes_sent.Inc(static_cast<std::uint64_t>(n));
+  }
+  if (conn.out_pos_ >= conn.outbound_.size()) {
+    conn.outbound_.clear();
+    conn.out_pos_ = 0;
+    if (conn.want_write_) {
+      conn.want_write_ = false;
+      loop_.UpdateFd(conn.fd_, kFdReadable);
+    }
+  } else if (!conn.want_write_) {
+    conn.want_write_ = true;
+    loop_.UpdateFd(conn.fd_, kFdReadable | kFdWritable);
+  }
+}
+
+void Server::DestroyConn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  handler_.OnClose(conn);
+  loop_.RemoveFd(conn.fd_);
+  ::close(conn.fd_);
+  conns_.erase(it);
+  conn_count_.store(conns_.size(), std::memory_order_release);
+  GlobalTelemetry().net_connections_closed.Inc();
+}
+
+void Server::SweepIdle(TimeNs now) {
+  std::vector<std::uint64_t> idle;
+  for (auto& [id, conn] : conns_) {
+    if (now - conn->last_activity_ >= config_.idle_timeout) idle.push_back(id);
+  }
+  for (std::uint64_t id : idle) {
+    GlobalTelemetry().net_idle_closes.Inc();
+    DestroyConn(id);
+  }
+}
+
+std::optional<FaultAction> Server::EvaluateFault(FaultSite site,
+                                                std::string_view label) {
+  FaultInjector* injector = fault_.load(std::memory_order_acquire);
+  if (injector == nullptr) return std::nullopt;
+  return injector->Evaluate(site, label);
+}
+
+}  // namespace apollo::net

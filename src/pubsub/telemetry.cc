@@ -73,6 +73,43 @@ TelemetryCounters::TelemetryCounters() {
                          "Streams cleared from degraded");
   stream_evictions = Reg("stream_evictions", "apollo_stream_evictions_total",
                          "Window entries evicted to an archiver");
+  net_bytes_sent = Reg("net_bytes_sent", "apollo_net_bytes_sent_total",
+                       "Wire bytes written to sockets");
+  net_bytes_received =
+      Reg("net_bytes_received", "apollo_net_bytes_received_total",
+          "Wire bytes read from sockets");
+  net_messages_sent = Reg("net_messages_sent", "apollo_net_messages_sent_total",
+                          "Wire frames sent");
+  net_messages_received =
+      Reg("net_messages_received", "apollo_net_messages_received_total",
+          "Wire frames received and dispatched");
+  net_connections_opened =
+      Reg("net_connections_opened", "apollo_net_connections_opened_total",
+          "Connections accepted or established");
+  net_connections_closed =
+      Reg("net_connections_closed", "apollo_net_connections_closed_total",
+          "Connections closed (any reason)");
+  net_conn_drops = Reg("net_conn_drops", "apollo_net_conn_drops_total",
+                       "Connections dropped by injected kConnDrop faults");
+  net_send_failures =
+      Reg("net_send_failures", "apollo_net_send_failures_total",
+          "Frame sends failed (injected or socket error)");
+  net_recv_drops = Reg("net_recv_drops", "apollo_net_recv_drops_total",
+                       "Received frames dropped by injected kNetRecv faults");
+  net_protocol_errors =
+      Reg("net_protocol_errors", "apollo_net_protocol_errors_total",
+          "Connections closed on bad magic/version/CRC");
+  net_backpressure_skips =
+      Reg("net_backpressure_skips", "apollo_net_backpressure_skips_total",
+          "Subscription deliveries skipped: outbound queue full");
+  net_idle_closes = Reg("net_idle_closes", "apollo_net_idle_closes_total",
+                        "Connections reaped by the idle timeout");
+  net_node_timeouts =
+      Reg("net_node_timeouts", "apollo_net_node_timeouts_total",
+          "Scatter-gather node queries past their deadline");
+  net_degraded_fallbacks =
+      Reg("net_degraded_fallbacks", "apollo_net_degraded_fallbacks_total",
+          "Node answers served from last-known-good cache");
 }
 
 void TelemetryCounters::Reset() {

@@ -92,6 +92,23 @@ struct TelemetryCounters {
   // Stream eviction -> archive handoff.
   obs::Counter stream_evictions;
 
+  // Network fabric (src/net): wire traffic and loss surfaces. Byte counters
+  // cover framed payload + header bytes actually written/read on sockets.
+  obs::Counter net_bytes_sent;
+  obs::Counter net_bytes_received;
+  obs::Counter net_messages_sent;
+  obs::Counter net_messages_received;
+  obs::Counter net_connections_opened;
+  obs::Counter net_connections_closed;
+  obs::Counter net_conn_drops;        // injected kConnDrop closes
+  obs::Counter net_send_failures;     // injected kNetSend + socket errors
+  obs::Counter net_recv_drops;        // injected kNetRecv frame drops
+  obs::Counter net_protocol_errors;   // bad magic/version/CRC on a conn
+  obs::Counter net_backpressure_skips;  // deliveries skipped: outbuf full
+  obs::Counter net_idle_closes;       // connections reaped by idle timeout
+  obs::Counter net_node_timeouts;     // scatter-gather nodes past deadline
+  obs::Counter net_degraded_fallbacks;  // node answers served from cache
+
   // Zeroes every registered counter (walks fields_, so it cannot go stale
   // when a counter is added).
   void Reset();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -212,6 +214,199 @@ TEST(EventLoopReal, RepeatingTimerApproximatesInterval) {
   });
   loop.Run();
   EXPECT_EQ(fired.load(), 5);
+}
+
+// --- fd watching (real-time loops only) ---
+
+// A pipe pair for fd-readiness tests.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int reader() const { return fds[0]; }
+  int writer() const { return fds[1]; }
+};
+
+TEST(EventLoopFd, ReadableCallbackFires) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  std::uint32_t seen_events = 0;
+  ASSERT_TRUE(loop.AddFd(pipe.reader(), kFdReadable, [&](std::uint32_t ev) {
+    seen_events = ev;
+    char buf[8];
+    EXPECT_EQ(::read(pipe.reader(), buf, sizeof(buf)), 1);
+    loop.Stop();
+  }));
+  EXPECT_EQ(loop.FdCount(), 1u);
+  ASSERT_EQ(::write(pipe.writer(), "x", 1), 1);
+  loop.Run(std::numeric_limits<TimeNs>::max(), /*stop_when_idle=*/false);
+  EXPECT_TRUE(seen_events & kFdReadable);
+  EXPECT_TRUE(loop.RemoveFd(pipe.reader()));
+  EXPECT_EQ(loop.FdCount(), 0u);
+}
+
+TEST(EventLoopFd, WritableCallbackFires) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  std::atomic<int> fired{0};
+  // An empty pipe's write end is immediately writable.
+  ASSERT_TRUE(loop.AddFd(pipe.writer(), kFdWritable, [&](std::uint32_t ev) {
+    EXPECT_TRUE(ev & kFdWritable);
+    ++fired;
+    loop.RemoveFd(pipe.writer());
+    loop.Stop();
+  }));
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(loop.FdCount(), 0u);
+}
+
+TEST(EventLoopFd, CallbackClosesItsOwnFd) {
+  // Regression: a callback that removes and closes its own fd mid-dispatch
+  // must not crash the loop or corrupt the registry.
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  int fired = 0;
+  ASSERT_TRUE(loop.AddFd(pipe.reader(), kFdReadable, [&](std::uint32_t) {
+    ++fired;
+    EXPECT_TRUE(loop.RemoveFd(pipe.reader()));
+    ::close(pipe.reader());
+    pipe.fds[0] = -1;
+    loop.Stop();
+  }));
+  ASSERT_EQ(::write(pipe.writer(), "x", 1), 1);
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.FdCount(), 0u);
+  // The loop stays healthy: a fresh registration still dispatches.
+  loop.ClearStop();
+  Pipe second;
+  ASSERT_TRUE(loop.AddFd(second.reader(), kFdReadable, [&](std::uint32_t) {
+    ++fired;
+    loop.RemoveFd(second.reader());
+    loop.Stop();
+  }));
+  ASSERT_EQ(::write(second.writer(), "y", 1), 1);
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopFd, CallbackRemovesSiblingFdInSameBatch) {
+  // Two fds become ready in the same epoll batch; the first callback
+  // dispatched removes (and closes) BOTH fds. The generation tokens must
+  // discard the sibling's now-stale event instead of dispatching it.
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe a;
+  Pipe b;
+  std::atomic<int> invocations{0};
+  auto nuke_both = [&](std::uint32_t) {
+    ++invocations;
+    loop.RemoveFd(a.reader());
+    loop.RemoveFd(b.reader());
+    loop.Stop();
+  };
+  ASSERT_TRUE(loop.AddFd(a.reader(), kFdReadable, nuke_both));
+  ASSERT_TRUE(loop.AddFd(b.reader(), kFdReadable, nuke_both));
+  ASSERT_EQ(::write(a.writer(), "x", 1), 1);
+  ASSERT_EQ(::write(b.writer(), "x", 1), 1);
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(invocations.load(), 1);
+  EXPECT_EQ(loop.FdCount(), 0u);
+}
+
+TEST(EventLoopFd, ReentrantStopSkipsRestOfBatch) {
+  // Stop() from inside an fd callback must return from Run() without
+  // dispatching the remaining ready callbacks of the same batch.
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe a;
+  Pipe b;
+  std::atomic<int> invocations{0};
+  auto stop_now = [&](std::uint32_t) {
+    ++invocations;
+    loop.Stop();
+  };
+  ASSERT_TRUE(loop.AddFd(a.reader(), kFdReadable, stop_now));
+  ASSERT_TRUE(loop.AddFd(b.reader(), kFdReadable, stop_now));
+  ASSERT_EQ(::write(a.writer(), "x", 1), 1);
+  ASSERT_EQ(::write(b.writer(), "x", 1), 1);
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(invocations.load(), 1);
+  // Level-triggered: after ClearStop the undispatched sibling fires.
+  loop.ClearStop();
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(invocations.load(), 2);
+  loop.RemoveFd(a.reader());
+  loop.RemoveFd(b.reader());
+}
+
+TEST(EventLoopFd, PostWakesLoopBlockedOnFds) {
+  // With an fd registered (and never ready) the loop blocks in epoll_wait;
+  // Post() from another thread must wake it promptly.
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  ASSERT_TRUE(loop.AddFd(pipe.reader(), kFdReadable, [](std::uint32_t) {}));
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    loop.Post([&] { loop.Stop(); });
+  });
+  const auto start = std::chrono::steady_clock::now();
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  poster.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  loop.RemoveFd(pipe.reader());
+}
+
+TEST(EventLoopFd, AddFdRejectedOnAutoAdvanceLoop) {
+  // Fd watching is wall-clock; an auto-advancing sim loop must refuse it.
+  SimClock clock;
+  EventLoop loop(clock, /*auto_advance=*/true, &clock);
+  Pipe pipe;
+  EXPECT_FALSE(loop.AddFd(pipe.reader(), kFdReadable, [](std::uint32_t) {}));
+  EXPECT_EQ(loop.FdCount(), 0u);
+}
+
+TEST(EventLoopFd, AddFdRejectsDuplicateRegistration) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  ASSERT_TRUE(loop.AddFd(pipe.reader(), kFdReadable, [](std::uint32_t) {}));
+  EXPECT_FALSE(loop.AddFd(pipe.reader(), kFdReadable, [](std::uint32_t) {}));
+  EXPECT_EQ(loop.FdCount(), 1u);
+  EXPECT_TRUE(loop.RemoveFd(pipe.reader()));
+  EXPECT_FALSE(loop.RemoveFd(pipe.reader()));
+}
+
+TEST(EventLoopFd, UpdateFdSwitchesInterestSet) {
+  RealClock& clock = RealClock::Instance();
+  EventLoop loop(clock);
+  Pipe pipe;
+  std::atomic<int> fired{0};
+  // Start watching readability only: the empty pipe is quiet.
+  ASSERT_TRUE(loop.AddFd(pipe.writer(), kFdReadable, [&](std::uint32_t ev) {
+    EXPECT_TRUE(ev & kFdWritable);
+    ++fired;
+    loop.Stop();
+  }));
+  // A timer flips the interest to writability, which is instantly ready.
+  loop.AddTimer(Millis(5), [&](TimeNs) {
+    EXPECT_TRUE(loop.UpdateFd(pipe.writer(), kFdWritable));
+    return kStopTimer;
+  });
+  loop.Run(std::numeric_limits<TimeNs>::max(), false);
+  EXPECT_EQ(fired.load(), 1);
+  loop.RemoveFd(pipe.writer());
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Wire-frame codec tests: roundtrips, split-across-reads reassembly, and a
+// table-driven damage sweep (mirrors wal_format_test.cc: every mutation of
+// a valid byte stream must be rejected, and a byte stream never resyncs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "net/frame.h"
+#include "net/messages.h"
+
+namespace apollo::net {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(NetFrame, EncodeDecodeRoundtrip) {
+  std::vector<std::uint8_t> wire;
+  const std::vector<std::uint8_t> payload = Bytes({1, 2, 3, 4, 5});
+  const std::size_t encoded =
+      EncodeFrame(wire, MsgType::kQuery, 42, payload, kFlagPartial);
+  EXPECT_EQ(encoded, kHeaderSize + payload.size());
+  EXPECT_EQ(wire.size(), encoded);
+
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.type, MsgType::kQuery);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.flags, kFlagPartial);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(parser.Next(frame));
+  EXPECT_TRUE(parser.ok());
+  EXPECT_EQ(parser.PendingBytes(), 0u);
+}
+
+TEST(NetFrame, EmptyPayloadFrame) {
+  std::vector<std::uint8_t> wire;
+  EncodeFrame(wire, MsgType::kPing, 7, {});
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetFrame, SplitAcrossReadsReassembly) {
+  std::vector<std::uint8_t> wire;
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  EncodeFrame(wire, MsgType::kDeliver, 9, payload);
+  EncodeFrame(wire, MsgType::kPong, 10, Bytes({7}));
+
+  // One byte at a time: frames must reassemble exactly once each.
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (std::uint8_t byte : wire) {
+    ASSERT_TRUE(parser.Feed(&byte, 1));
+    Frame frame;
+    while (parser.Next(frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MsgType::kDeliver);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_EQ(frames[1].type, MsgType::kPong);
+  EXPECT_EQ(frames[1].request_id, 10u);
+}
+
+TEST(NetFrame, TruncatedHeaderIsJustPending) {
+  std::vector<std::uint8_t> wire;
+  EncodeFrame(wire, MsgType::kHello, 1, Bytes({1, 2, 3}));
+  FrameParser parser;
+  // Half a header: not an error, just an incomplete frame.
+  ASSERT_TRUE(parser.Feed(wire.data(), kHeaderSize / 2));
+  Frame frame;
+  EXPECT_FALSE(parser.Next(frame));
+  EXPECT_TRUE(parser.ok());
+  EXPECT_EQ(parser.PendingBytes(), kHeaderSize / 2);
+  // The rest arrives: the frame completes.
+  ASSERT_TRUE(
+      parser.Feed(wire.data() + kHeaderSize / 2, wire.size() - kHeaderSize / 2));
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.payload, Bytes({1, 2, 3}));
+}
+
+struct DamageCase {
+  const char* name;
+  std::size_t offset;       // byte to mutate
+  std::uint8_t xor_mask;    // flip these bits
+};
+
+// Mutating any load-bearing header byte (or the payload under the CRC)
+// must poison the stream permanently.
+TEST(NetFrame, DamageSweepRejectsAndLatches) {
+  const DamageCase kCases[] = {
+      {"flipped magic", 0, 0xFF},
+      {"bad version", 4, 0x02},
+      {"oversized length", 10, 0xFF},  // length byte 2 -> ~16 MiB
+      {"flipped length low bit", 8, 0x01},
+      {"flipped crc", 16, 0x01},
+      {"flipped payload byte", kHeaderSize, 0x80},
+      {"flipped flags", 6, 0x01},       // flags are CRC-covered
+      {"flipped request id", 12, 0x01}, // request id is CRC-covered
+  };
+  for (const DamageCase& damage : kCases) {
+    SCOPED_TRACE(damage.name);
+    std::vector<std::uint8_t> wire;
+    EncodeFrame(wire, MsgType::kPublish, 5, Bytes({10, 20, 30}));
+    ASSERT_LT(damage.offset, wire.size());
+    wire[damage.offset] ^= damage.xor_mask;
+
+    FrameParser parser;
+    EXPECT_FALSE(parser.Feed(wire.data(), wire.size()));
+    EXPECT_FALSE(parser.ok());
+    EXPECT_FALSE(parser.error().empty());
+    Frame frame;
+    EXPECT_FALSE(parser.Next(frame));
+
+    // Permanent error state: even a pristine frame is refused now.
+    std::vector<std::uint8_t> good;
+    EncodeFrame(good, MsgType::kPing, 6, {});
+    EXPECT_FALSE(parser.Feed(good.data(), good.size()));
+    EXPECT_FALSE(parser.Next(frame));
+  }
+}
+
+TEST(NetFrame, GarbageAfterValidFramePoisonsStream) {
+  std::vector<std::uint8_t> wire;
+  EncodeFrame(wire, MsgType::kPing, 1, {});
+  std::vector<std::uint8_t> garbage(kHeaderSize, 0xEE);
+  wire.insert(wire.end(), garbage.begin(), garbage.end());
+  FrameParser parser;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size()));
+  // The valid frame parsed before the stream died.
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  EXPECT_FALSE(parser.ok());
+}
+
+TEST(NetFrame, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  std::vector<std::uint8_t> wire;
+  EncodeFrame(wire, MsgType::kPublish, 1, Bytes({1}));
+  // Declare a payload just past the cap; the parser must refuse without
+  // waiting for (kMaxFrameLen + 1) bytes to arrive.
+  const std::uint32_t huge = kMaxFrameLen + 1;
+  wire[8] = static_cast<std::uint8_t>(huge);
+  wire[9] = static_cast<std::uint8_t>(huge >> 8);
+  wire[10] = static_cast<std::uint8_t>(huge >> 16);
+  wire[11] = static_cast<std::uint8_t>(huge >> 24);
+  FrameParser parser;
+  EXPECT_FALSE(parser.Feed(wire.data(), kHeaderSize));
+  EXPECT_FALSE(parser.ok());
+}
+
+TEST(NetFrame, WireReaderLatchesOnShortRead) {
+  const std::vector<std::uint8_t> three = Bytes({1, 2, 3});
+  WireReader reader(three);
+  EXPECT_EQ(reader.U16(), 0x0201u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.U32(), 0u);  // short: latches
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.U8(), 0u);  // stays latched
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(NetFrame, WireWriterReaderRoundtrip) {
+  std::vector<std::uint8_t> buf;
+  WireWriter writer(buf);
+  writer.U8(0x12);
+  writer.U16(0x3456);
+  writer.U32(0x789ABCDE);
+  writer.U64(0x1122334455667788ULL);
+  writer.I64(-42);
+  writer.F64(3.25);
+  writer.Str("apollo");
+  WireReader reader(buf);
+  EXPECT_EQ(reader.U8(), 0x12u);
+  EXPECT_EQ(reader.U16(), 0x3456u);
+  EXPECT_EQ(reader.U32(), 0x789ABCDEu);
+  EXPECT_EQ(reader.U64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.I64(), -42);
+  EXPECT_EQ(reader.F64(), 3.25);
+  EXPECT_EQ(reader.Str(), "apollo");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(NetMessages, PublishRoundtrip) {
+  PublishMsg msg;
+  msg.topic = "compute0.cpu_load";
+  msg.timestamp = 123456789;
+  msg.sample.timestamp = 123456789;
+  msg.sample.value = 0.75;
+  msg.sample.provenance = Provenance::kPredicted;
+  Payload payload;
+  msg.Encode(payload);
+  PublishMsg decoded;
+  ASSERT_TRUE(PublishMsg::Decode(payload, decoded));
+  EXPECT_EQ(decoded.topic, msg.topic);
+  EXPECT_EQ(decoded.timestamp, msg.timestamp);
+  EXPECT_EQ(decoded.sample.value, msg.sample.value);
+  EXPECT_EQ(decoded.sample.provenance, Provenance::kPredicted);
+}
+
+TEST(NetMessages, DeliverRoundtripCarriesEntries) {
+  DeliverMsg msg;
+  msg.subscription_id = 3;
+  msg.topic = "t";
+  for (int i = 0; i < 5; ++i) {
+    TelemetryStream::Entry entry;
+    entry.id = static_cast<std::uint64_t>(i);
+    entry.timestamp = i * 1000;
+    entry.value.timestamp = i * 1000;
+    entry.value.value = i * 0.5;
+    entry.value.provenance = Provenance::kMeasured;
+    msg.entries.push_back(entry);
+  }
+  Payload payload;
+  msg.Encode(payload);
+  DeliverMsg decoded;
+  ASSERT_TRUE(DeliverMsg::Decode(payload, decoded));
+  ASSERT_EQ(decoded.entries.size(), 5u);
+  EXPECT_EQ(decoded.entries[4].id, 4u);
+  EXPECT_EQ(decoded.entries[4].value.value, 2.0);
+}
+
+TEST(NetMessages, ResultRoundtripCarriesDegradedRollups) {
+  ResultMsg msg;
+  msg.result.columns = {"MAX(timestamp)", "LAST(metric)"};
+  aqe::ResultRow row;
+  row.source = "storage0.hdd.utilization";
+  row.values = {1.0, 2.0};
+  row.degraded = true;
+  row.staleness_ns = 777;
+  msg.result.rows.push_back(row);
+  msg.result.degraded = true;
+  msg.result.max_staleness_ns = 777;
+  msg.served_tables = {"storage0.hdd.utilization"};
+  Payload payload;
+  msg.Encode(payload);
+  ResultMsg decoded;
+  ASSERT_TRUE(ResultMsg::Decode(payload, decoded));
+  EXPECT_EQ(decoded.result.columns, msg.result.columns);
+  ASSERT_EQ(decoded.result.rows.size(), 1u);
+  EXPECT_EQ(decoded.result.rows[0].source, row.source);
+  EXPECT_EQ(decoded.result.rows[0].values, row.values);
+  EXPECT_TRUE(decoded.result.rows[0].degraded);
+  EXPECT_EQ(decoded.result.rows[0].staleness_ns, 777);
+  EXPECT_TRUE(decoded.result.degraded);
+  EXPECT_EQ(decoded.served_tables, msg.served_tables);
+}
+
+TEST(NetMessages, DecodeRejectsTrailingGarbage) {
+  PublishAckMsg msg;
+  msg.entry_id = 5;
+  Payload payload;
+  msg.Encode(payload);
+  payload.push_back(0xFF);
+  PublishAckMsg decoded;
+  EXPECT_FALSE(PublishAckMsg::Decode(payload, decoded));
+}
+
+TEST(NetMessages, DecodeRejectsTruncation) {
+  SubscribeMsg msg;
+  msg.topic = "topic";
+  msg.cursor = 12;
+  Payload payload;
+  msg.Encode(payload);
+  payload.pop_back();
+  SubscribeMsg decoded;
+  EXPECT_FALSE(SubscribeMsg::Decode(payload, decoded));
+}
+
+TEST(NetMessages, ErrorRoundtripPreservesCode) {
+  ErrorMsg msg;
+  msg.code = ErrorCode::kNotFound;
+  msg.message = "no such topic";
+  Payload payload;
+  msg.Encode(payload);
+  ErrorMsg decoded;
+  ASSERT_TRUE(ErrorMsg::Decode(payload, decoded));
+  EXPECT_EQ(decoded.code, ErrorCode::kNotFound);
+  EXPECT_EQ(decoded.ToError().message(), "no such topic");
+}
+
+}  // namespace
+}  // namespace apollo::net

@@ -1,0 +1,358 @@
+// Loopback client <-> daemon integration tests. Every test binds port 0
+// and discovers the kernel-assigned port through ApolloDaemon::port() — no
+// fixed ports, no sleeps on the request paths.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aqe/executor.h"
+#include "common/clock.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "pubsub/broker.h"
+#include "pubsub/telemetry.h"
+
+namespace apollo::net {
+namespace {
+
+Sample MakeSample(TimeNs timestamp, double value,
+                  Provenance provenance = Provenance::kMeasured) {
+  Sample sample;
+  sample.timestamp = timestamp;
+  sample.value = value;
+  sample.provenance = provenance;
+  return sample;
+}
+
+// Broker + sequential executor + daemon on an ephemeral port, with two
+// seeded topics so aggregate queries have deterministic answers.
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  NetLoopbackTest()
+      : clock_(RealClock::Instance()),
+        broker_(clock_),
+        executor_(broker_, /*pool=*/nullptr) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(broker_.CreateTopic("alpha.cpu").ok());
+    ASSERT_TRUE(broker_.CreateTopic("alpha.mem").ok());
+    const TimeNs base = clock_.Now();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(broker_
+                      .Publish("alpha.cpu", kLocalNode, base + i,
+                               MakeSample(base + i, 10.0 + i))
+                      .ok());
+      ASSERT_TRUE(broker_
+                      .Publish("alpha.mem", kLocalNode, base + i,
+                               MakeSample(base + i, 100.0 + 2 * i))
+                      .ok());
+    }
+    StartDaemon({});
+  }
+
+  void StartDaemon(DaemonConfig config) {
+    daemon_ = std::make_unique<ApolloDaemon>(broker_, executor_, config);
+    ASSERT_TRUE(daemon_->Start().ok());
+    ASSERT_NE(daemon_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (daemon_ != nullptr) daemon_->Stop();
+  }
+
+  ClientConfig ClientFor(const char* name) {
+    ClientConfig config;
+    config.host = "127.0.0.1";
+    config.port = daemon_->port();
+    config.client_name = name;
+    return config;
+  }
+
+  RealClock& clock_;
+  Broker broker_;
+  aqe::Executor executor_;
+  std::unique_ptr<ApolloDaemon> daemon_;
+};
+
+void ExpectSameRows(const aqe::ResultSet& remote, const aqe::ResultSet& local) {
+  EXPECT_EQ(remote.columns, local.columns);
+  ASSERT_EQ(remote.rows.size(), local.rows.size());
+  for (std::size_t i = 0; i < local.rows.size(); ++i) {
+    EXPECT_EQ(remote.rows[i].source, local.rows[i].source) << "row " << i;
+    EXPECT_EQ(remote.rows[i].values, local.rows[i].values) << "row " << i;
+    EXPECT_EQ(remote.rows[i].degraded, local.rows[i].degraded) << "row " << i;
+  }
+  EXPECT_EQ(remote.degraded, local.degraded);
+}
+
+TEST(NetLoopbackHandshake, HelloCarriesServerName) {
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  aqe::Executor executor(broker, nullptr);
+  DaemonConfig config;
+  config.server.server_name = "node-a";
+  ApolloDaemon daemon(broker, executor, config);
+  ASSERT_TRUE(daemon.Start().ok());
+  ClientConfig client_config;
+  client_config.port = daemon.port();
+  ApolloClient client(client_config);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.server_name(), "node-a");
+  EXPECT_TRUE(client.Ping().ok());
+  daemon.Stop();
+}
+
+TEST_F(NetLoopbackTest, QueryMatchesInProcessExecutor) {
+  ApolloClient client(ClientFor("query-test"));
+  const char* kQueries[] = {
+      "SELECT MAX(Timestamp), LAST(Metric) FROM alpha.cpu",
+      "SELECT AVG(Metric), MIN(Metric), MAX(Metric) FROM alpha.cpu",
+      "SELECT SUM(Metric) FROM alpha.mem",
+      "SELECT LAST(Metric) FROM alpha.cpu UNION "
+      "SELECT LAST(Metric) FROM alpha.mem",
+  };
+  for (const char* sql : kQueries) {
+    SCOPED_TRACE(sql);
+    auto local = executor_.Execute(sql);
+    ASSERT_TRUE(local.ok()) << local.error().ToString();
+    auto remote = client.Query(sql);
+    ASSERT_TRUE(remote.ok()) << remote.error().ToString();
+    ExpectSameRows(remote->result, *local);
+  }
+}
+
+TEST_F(NetLoopbackTest, ExplainAnalyzeMatchesRowCounts) {
+  ApolloClient client(ClientFor("explain-test"));
+  const std::string sql =
+      "EXPLAIN ANALYZE SELECT AVG(Metric), MAX(Timestamp) FROM alpha.cpu";
+  // Warm the shared plan cache so both profiles report the same cache line.
+  ASSERT_TRUE(executor_.Execute(sql).ok());
+  auto local = executor_.Execute(sql);
+  ASSERT_TRUE(local.ok());
+  auto remote = client.Query(sql);
+  ASSERT_TRUE(remote.ok()) << remote.error().ToString();
+  ASSERT_EQ(remote->result.columns, std::vector<std::string>{"plan"});
+  ASSERT_EQ(remote->result.rows.size(), local->rows.size());
+  // The plan text must agree on every row-count token; only timing differs.
+  const std::regex rows_token("rows[a-z_]*=[0-9]+");
+  for (std::size_t i = 0; i < local->rows.size(); ++i) {
+    const std::string& local_line = local->rows[i].source;
+    const std::string& remote_line = remote->result.rows[i].source;
+    std::vector<std::string> local_counts{
+        std::sregex_token_iterator(local_line.begin(), local_line.end(),
+                                   rows_token),
+        std::sregex_token_iterator()};
+    std::vector<std::string> remote_counts{
+        std::sregex_token_iterator(remote_line.begin(), remote_line.end(),
+                                   rows_token),
+        std::sregex_token_iterator()};
+    EXPECT_EQ(remote_counts, local_counts) << "plan line " << i;
+  }
+}
+
+TEST_F(NetLoopbackTest, PublishThenFetchWindowRoundtrip) {
+  ASSERT_TRUE(broker_.CreateTopic("net.ingest").ok());
+  ApolloClient client(ClientFor("publish-test"));
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = client.Publish("net.ingest", clock_.Now(),
+                             MakeSample(clock_.Now(), 1.5 * i));
+    ASSERT_TRUE(id.ok()) << id.error().ToString();
+    ids.push_back(*id);
+  }
+  auto window = client.FetchWindow("net.ingest", 0);
+  ASSERT_TRUE(window.ok()) << window.error().ToString();
+  ASSERT_EQ(window->entries.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(window->entries[i].id, ids[i]);
+    EXPECT_EQ(window->entries[i].value.value, 1.5 * static_cast<double>(i));
+  }
+  // The returned cursor resumes exactly past the window.
+  auto rest = client.FetchWindow("net.ingest", window->next_cursor);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->entries.empty());
+}
+
+TEST_F(NetLoopbackTest, SubscribeDeliversSubsequentPublishes) {
+  ASSERT_TRUE(broker_.CreateTopic("net.live").ok());
+  ApolloClient client(ClientFor("subscribe-test"));
+  auto ack = client.Subscribe("net.live");
+  ASSERT_TRUE(ack.ok()) << ack.error().ToString();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client
+                    .Publish("net.live", clock_.Now(),
+                             MakeSample(clock_.Now(), 7.0 + i))
+                    .ok());
+  }
+  std::vector<TelemetryStream::Entry> received;
+  const TimeNs deadline = clock_.Now() + 5 * kNsPerSec;
+  while (received.size() < 3 && clock_.Now() < deadline) {
+    client.WaitForDeliveries(100 * kNsPerMs);
+    for (DeliverMsg& delivery : client.TakeDeliveries()) {
+      EXPECT_EQ(delivery.subscription_id, ack->subscription_id);
+      EXPECT_EQ(delivery.topic, "net.live");
+      for (auto& entry : delivery.entries) received.push_back(entry);
+    }
+  }
+  ASSERT_EQ(received.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(received[i].value.value, 7.0 + i);
+  }
+}
+
+TEST_F(NetLoopbackTest, SubscribeFromCursorZeroReplaysHistory) {
+  ApolloClient client(ClientFor("replay-test"));
+  auto ack = client.Subscribe("alpha.cpu", /*cursor=*/0);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->start_cursor, 0u);
+  std::size_t received = 0;
+  const TimeNs deadline = clock_.Now() + 5 * kNsPerSec;
+  while (received < 8 && clock_.Now() < deadline) {
+    client.WaitForDeliveries(100 * kNsPerMs);
+    for (DeliverMsg& delivery : client.TakeDeliveries()) {
+      received += delivery.entries.size();
+    }
+  }
+  EXPECT_EQ(received, 8u);
+}
+
+TEST_F(NetLoopbackTest, ListTopicsMatchesBroker) {
+  ApolloClient client(ClientFor("topics-test"));
+  auto remote = client.ListTopics();
+  ASSERT_TRUE(remote.ok());
+  std::set<std::string> remote_names;
+  for (const TopicInfo& info : *remote) remote_names.insert(info.name);
+  std::set<std::string> local_names;
+  for (const TopicInfo& info : broker_.ListTopics()) {
+    local_names.insert(info.name);
+  }
+  EXPECT_EQ(remote_names, local_names);
+}
+
+TEST_F(NetLoopbackTest, MetricsScrapeServesRegistry) {
+  ApolloClient client(ClientFor("metrics-test"));
+  ASSERT_TRUE(client.Ping().ok());
+  auto text = client.FetchMetricsText();
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("apollo_net_messages_received_total"),
+            std::string::npos);
+  EXPECT_NE(text->find("apollo_net_connections_opened_total"),
+            std::string::npos);
+}
+
+TEST_F(NetLoopbackTest, QueryErrorsSurfaceAndConnectionSurvives) {
+  ApolloClient client(ClientFor("error-test"));
+  auto reply = client.Query("SELECT LAST(Metric) FROM no.such.topic");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code(), ErrorCode::kNotFound);
+  auto bad = client.Query("SELEKT nonsense");
+  ASSERT_FALSE(bad.ok());
+  // The connection is still healthy after server-side errors.
+  EXPECT_TRUE(client.Ping().ok());
+  auto good = client.Query("SELECT LAST(Metric) FROM alpha.cpu");
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(NetLoopbackTest, PartialQuerySkipsUnservedBranches) {
+  ApolloClient client(ClientFor("partial-test"));
+  const std::string sql =
+      "SELECT LAST(Metric) FROM alpha.cpu UNION "
+      "SELECT LAST(Metric) FROM beta.remote_only";
+  // Non-partial: the unknown topic is an error.
+  ASSERT_FALSE(client.Query(sql).ok());
+  // Partial: the daemon executes only the branch it serves.
+  auto partial = client.Query(sql, /*partial=*/true);
+  ASSERT_TRUE(partial.ok()) << partial.error().ToString();
+  ASSERT_EQ(partial->result.rows.size(), 1u);
+  EXPECT_EQ(partial->result.rows[0].source, "alpha.cpu");
+  EXPECT_EQ(partial->served_tables,
+            std::vector<std::string>{"alpha.cpu"});
+  // A partial query served entirely elsewhere returns an empty result, not
+  // an error.
+  auto none = client.Query("SELECT LAST(Metric) FROM beta.remote_only",
+                           /*partial=*/true);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->result.rows.empty());
+  EXPECT_TRUE(none->served_tables.empty());
+}
+
+TEST_F(NetLoopbackTest, MalformedFrameCountsProtocolError) {
+  ApolloClient client(ClientFor("proto-test"));
+  ASSERT_TRUE(client.Ping().ok());
+  const std::uint64_t before = GlobalTelemetry().net_protocol_errors.Value();
+  // A raw socket spews garbage: the daemon must count a protocol error and
+  // close that connection without disturbing the healthy client.
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon_->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  struct timeval read_timeout = {5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &read_timeout,
+               sizeof(read_timeout));
+  const char garbage_bytes[32] = {'n', 'o', 't', ' ', 'a', ' ', 'f', 'r',
+                                  'a', 'm', 'e'};
+  ASSERT_EQ(::write(fd, garbage_bytes, sizeof(garbage_bytes)),
+            static_cast<ssize_t>(sizeof(garbage_bytes)));
+  // The daemon closes the connection; read() observing EOF proves it.
+  char buf[16];
+  ssize_t n = ::read(fd, buf, sizeof(buf));
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_GE(GlobalTelemetry().net_protocol_errors.Value(), before + 1);
+  // The well-behaved client is unaffected.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetLoopbackTest, IdleConnectionsAreReaped) {
+  daemon_->Stop();
+  DaemonConfig config;
+  config.server.idle_timeout = 50 * kNsPerMs;
+  StartDaemon(config);
+
+  const std::uint64_t before = GlobalTelemetry().net_idle_closes.Value();
+  ApolloClient client(ClientFor("idle-test"));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_EQ(daemon_->server().ConnectionCount(), 1u);
+  // No further traffic: the sweep must reap the connection.
+  const TimeNs deadline = clock_.Now() + 5 * kNsPerSec;
+  while (daemon_->server().ConnectionCount() > 0 && clock_.Now() < deadline) {
+    clock_.SleepFor(kNsPerMs);
+  }
+  EXPECT_EQ(daemon_->server().ConnectionCount(), 0u);
+  EXPECT_GE(GlobalTelemetry().net_idle_closes.Value(), before + 1);
+}
+
+TEST_F(NetLoopbackTest, CountersAccountBytesAndMessages) {
+  const std::uint64_t sent_before =
+      GlobalTelemetry().net_messages_sent.Value();
+  const std::uint64_t received_before =
+      GlobalTelemetry().net_messages_received.Value();
+  const std::uint64_t bytes_before = GlobalTelemetry().net_bytes_sent.Value();
+  ApolloClient client(ClientFor("counter-test"));
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Ping().ok());
+  // Hello + 2 pings arrived; ack + 2 pongs went out (server side counters).
+  EXPECT_GE(GlobalTelemetry().net_messages_received.Value(),
+            received_before + 3);
+  EXPECT_GE(GlobalTelemetry().net_messages_sent.Value(), sent_before + 3);
+  EXPECT_GE(GlobalTelemetry().net_bytes_sent.Value(),
+            bytes_before + 3 * kHeaderSize);
+}
+
+}  // namespace
+}  // namespace apollo::net
