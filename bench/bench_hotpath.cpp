@@ -20,6 +20,11 @@
 //     round-trip-acked publish throughput and query RTT p50/p99 with 1 and
 //     4 concurrent clients. Puts a number on the wire-protocol tax over
 //     lanes (a)/(b)'s in-process cost.
+// (f) batched ingest: round-trip-acked kPublishBatch throughput at batch
+//     sizes 1/16/256/4096 against the same loopback daemon (the per-frame
+//     syscall + ack tax amortized N ways), plus the shared-memory lane
+//     end-to-end (PublishAsync into the SPSC ring, daemon drain into the
+//     stream). batch=256 must beat batch=1 by >= 5x.
 //
 // Results are printed as tables and written to BENCH_hotpath.json.
 #include <algorithm>
@@ -386,6 +391,112 @@ NetPoint MeasureLoopback(int clients) {
   return point;
 }
 
+// ---- batched ingest (lane f) ---------------------------------------------
+
+std::uint64_t g_batch_events = 200'000;  // target per batch size (clamped)
+
+struct BatchPoint {
+  std::size_t batch;
+  std::uint64_t events;
+  double events_per_sec;
+};
+
+BatchPoint MeasureBatchPublish(std::size_t batch) {
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  const std::string topic = "batchbench.t0";
+  broker.CreateTopic(topic, kLocalNode, 8192);
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  net::ApolloDaemon daemon(broker, executor);
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "loopback daemon failed to start\n");
+    return {batch, 0, -1.0};
+  }
+  net::ClientConfig config;
+  config.port = daemon.port();
+  config.client_name = "bench-batch";
+  net::ApolloClient client(config);
+
+  // Bound the wall time per size: small batches get more round trips (so
+  // the timing is stable), huge ones fewer.
+  const std::uint64_t trips = std::clamp<std::uint64_t>(
+      g_batch_events / batch, std::uint64_t{50}, std::uint64_t{2000});
+  net::PublishBatchMsg msg;
+  msg.runs.emplace_back();
+  msg.runs.back().topic = topic;
+  auto& entries = msg.runs.back().entries;
+  entries.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    entries[i].timestamp = ts;
+    entries[i].value = Sample{ts, 1.0, Provenance::kMeasured};
+  }
+  Stopwatch watch;
+  for (std::uint64_t t = 0; t < trips; ++t) {
+    auto ack = client.PublishBatch(msg);
+    if (!ack.ok() || ack->error_count != 0) {
+      std::fprintf(stderr, "batch publish failed\n");
+      daemon.Stop();
+      return {batch, 0, -1.0};
+    }
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  daemon.Stop();
+  const std::uint64_t events = trips * batch;
+  return {batch, events, static_cast<double>(events) / elapsed};
+}
+
+double MeasureShmLane(std::uint64_t total) {
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  const std::string topic = "batchbench.shm";
+  broker.CreateTopic(topic, kLocalNode, 8192);
+  TelemetryStream* stream = *broker.GetTopic(topic);
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  net::DaemonConfig daemon_config;
+  daemon_config.delivery_interval = kNsPerMs;  // drain tick
+  daemon_config.shm_drain_batch = 65536;
+  net::ApolloDaemon daemon(broker, executor, daemon_config);
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "loopback daemon failed to start\n");
+    return -1.0;
+  }
+  net::ClientConfig config;
+  config.port = daemon.port();
+  config.client_name = "bench-shm";
+  net::ApolloClient client(config);
+  Status attached = client.EnableShmLane({topic});
+  if (!attached.ok()) {
+    std::fprintf(stderr, "shm attach failed: %s\n",
+                 attached.message().c_str());
+    daemon.Stop();
+    return -1.0;
+  }
+  // End to end: producer pushes into the ring (full ring falls back to the
+  // TCP batch queue), daemon drains into the stream; the clock stops when
+  // every sample is appended.
+  Stopwatch watch;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    (void)client.PublishAsync(topic, ts,
+                              Sample{ts, 1.0, Provenance::kMeasured});
+  }
+  (void)client.Flush();
+  while (stream->NextId() < total && watch.ElapsedSeconds() < 60.0) {
+    std::this_thread::yield();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  const std::uint64_t arrived = stream->NextId();
+  daemon.Stop();
+  if (arrived < total) {
+    std::fprintf(stderr, "shm lane drain incomplete: %llu/%llu\n",
+                 static_cast<unsigned long long>(arrived),
+                 static_cast<unsigned long long>(total));
+    return -1.0;
+  }
+  return static_cast<double>(total) / elapsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +517,7 @@ int main(int argc, char** argv) {
     g_archive_records_sync = 5'000;
     g_net_publishes = 2'000;
     g_net_queries = 400;
+    g_batch_events = 20'000;
     std::printf("quick mode: %llu events, best of %d, %d query iters\n",
                 static_cast<unsigned long long>(g_total_events),
                 g_publish_reps, g_query_iters);
@@ -520,6 +632,42 @@ int main(int argc, char** argv) {
       "thread, so p50 grows with client count while aggregate publish "
       "throughput scales until the loop saturates\n");
 
+  PrintHeader("Hot path (f)",
+              "batched ingest: round-trip-acked kPublishBatch throughput by "
+              "batch size (one frame, one CRC, one cumulative ack), plus "
+              "the shared-memory SPSC lane end to end");
+  PrintRow({"batch", "events", "events/s", "vs batch=1"});
+  std::vector<BatchPoint> batch_points;
+  double batch1_rate = 0.0;
+  for (std::size_t batch :
+       {std::size_t{1}, std::size_t{16}, std::size_t{256},
+        std::size_t{4096}}) {
+    const BatchPoint point = MeasureBatchPublish(batch);
+    batch_points.push_back(point);
+    if (batch == 1) batch1_rate = point.events_per_sec;
+    PrintRow({std::to_string(batch), std::to_string(point.events),
+              Fmt("%.0f", point.events_per_sec),
+              batch1_rate > 0.0
+                  ? Fmt("%.2fx", point.events_per_sec / batch1_rate)
+                  : "-"});
+  }
+  const double shm_total = g_batch_events;
+  const double shm_rate = MeasureShmLane(
+      static_cast<std::uint64_t>(shm_total));
+  PrintRow({"shm", Fmt("%.0f", shm_total), Fmt("%.0f", shm_rate),
+            batch1_rate > 0.0 ? Fmt("%.2fx", shm_rate / batch1_rate) : "-"});
+  double batch256_speedup = 0.0;
+  for (const auto& b : batch_points) {
+    if (b.batch == 256 && batch1_rate > 0.0) {
+      batch256_speedup = b.events_per_sec / batch1_rate;
+    }
+  }
+  std::printf(
+      "expected shape: throughput grows with batch size as the per-frame "
+      "round trip amortizes; batch=256 must clear 5x over batch=1 "
+      "(measured %.2fx — %s)\n",
+      batch256_speedup, batch256_speedup >= 5.0 ? "PASS" : "FAIL");
+
   std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"host_hw_threads\": %u,\n",
@@ -580,7 +728,23 @@ int main(int argc, char** argv) {
                    n.clients, n.publish_events_per_sec, n.rtt_p50_ns,
                    n.rtt_p99_ns, i + 1 < net_points.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json, "  ],\n  \"batched_ingest\": [\n");
+    for (std::size_t i = 0; i < batch_points.size(); ++i) {
+      const auto& b = batch_points[i];
+      std::fprintf(json,
+                   "    {\"batch\": %zu, \"events\": %llu, "
+                   "\"events_per_sec\": %.0f, \"speedup_vs_batch1\": "
+                   "%.3f}%s\n",
+                   b.batch, static_cast<unsigned long long>(b.events),
+                   b.events_per_sec,
+                   batch1_rate > 0.0 ? b.events_per_sec / batch1_rate : -1.0,
+                   i + 1 < batch_points.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"shm_lane\": {\"events\": %.0f, "
+                 "\"events_per_sec\": %.0f}\n",
+                 shm_total, shm_rate);
+    std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_hotpath.json\n");
   }

@@ -23,12 +23,16 @@
 // Remote mode: `apollo_shell --connect host:port` attaches to a running
 // apollod over the wire protocol instead of simulating locally; query,
 // explain, topics, publish, \metrics, and ping work against the daemon.
+// Adding `--shm` offers the daemon a shared-memory lane for its topic
+// set (colocated producers only): accepted publishes bypass TCP via the
+// SPSC ring, a refusal falls back to ordinary wire publishes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apollo/apollo_service.h"
 #include "apollo/deployment_plan.h"
@@ -66,7 +70,7 @@ void PrintHelp() {
       "help | quit\n");
 }
 
-int RunRemoteShell(const std::string& target) {
+int RunRemoteShell(const std::string& target, bool use_shm) {
   const std::size_t colon = target.rfind(':');
   if (colon == std::string::npos) {
     std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
@@ -88,6 +92,33 @@ int RunRemoteShell(const std::string& target) {
               "| topics | publish <topic> <value> | \\metrics | ping | "
               "quit\n",
               target.c_str(), client.server_name().c_str());
+
+  if (use_shm) {
+    // A shm lane needs its topic set fixed up front; offer the daemon's
+    // whole topic list. Refusal (or a non-colocated daemon failing to map
+    // the segment) just leaves us on the TCP path.
+    client.SetPublishErrorCallback(
+        [](const std::string& topic, TimeNs, const Sample&,
+           const Error& error) {
+          std::printf("publish error: %s: %s\n", topic.c_str(),
+                      error.ToString().c_str());
+        });
+    auto topics = client.ListTopics();
+    if (!topics.ok()) {
+      std::printf("--shm: topic listing failed (%s), staying on TCP\n",
+                  topics.error().ToString().c_str());
+    } else {
+      std::vector<std::string> names;
+      names.reserve(topics->size());
+      for (const TopicInfo& info : *topics) names.push_back(info.name);
+      if (Status status = client.EnableShmLane(names); status.ok()) {
+        std::printf("shm lane active (%zu topics)\n", names.size());
+      } else {
+        std::printf("--shm refused (%s), staying on TCP\n",
+                    status.ToString().c_str());
+      }
+    }
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -121,12 +152,25 @@ int RunRemoteShell(const std::string& target) {
       Sample sample;
       sample.timestamp = RealClock::Instance().Now();
       sample.value = value;
-      auto id = client.Publish(topic, sample.timestamp, sample);
-      if (id.ok()) {
-        std::printf("published %s = %.6g (entry %llu)\n", topic.c_str(),
-                    value, static_cast<unsigned long long>(*id));
+      if (client.shm_active()) {
+        // Fire-and-forget through the ring (full ring falls back to the
+        // TCP batch queue); Flush pushes any fallback samples now.
+        Status status = client.PublishAsync(topic, sample.timestamp, sample);
+        if (status.ok()) status = client.Flush();
+        if (status.ok()) {
+          std::printf("published %s = %.6g (shm lane)\n", topic.c_str(),
+                      value);
+        } else {
+          std::printf("error: %s\n", status.ToString().c_str());
+        }
       } else {
-        std::printf("error: %s\n", id.error().ToString().c_str());
+        auto id = client.Publish(topic, sample.timestamp, sample);
+        if (id.ok()) {
+          std::printf("published %s = %.6g (entry %llu)\n", topic.c_str(),
+                      value, static_cast<unsigned long long>(*id));
+        } else {
+          std::printf("error: %s\n", id.error().ToString().c_str());
+        }
       }
     } else if (command == "\\metrics" || command == "metrics") {
       auto text = client.FetchMetricsText();
@@ -149,10 +193,21 @@ int RunRemoteShell(const std::string& target) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool use_shm = false;
+  const char* connect_target = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
-      return RunRemoteShell(argv[i + 1]);
+      connect_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--shm") == 0) {
+      use_shm = true;
     }
+  }
+  if (connect_target != nullptr) {
+    return RunRemoteShell(connect_target, use_shm);
+  }
+  if (use_shm) {
+    std::fprintf(stderr, "--shm requires --connect host:port\n");
+    return 2;
   }
 
   ClusterConfig cluster_config;

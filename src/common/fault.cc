@@ -25,6 +25,10 @@ const char* FaultSiteName(FaultSite site) {
       return "net_recv";
     case FaultSite::kConnDrop:
       return "conn_drop";
+    case FaultSite::kBatchDecode:
+      return "batch_decode";
+    case FaultSite::kShmAttach:
+      return "shm_attach";
   }
   return "unknown";
 }

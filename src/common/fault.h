@@ -38,8 +38,11 @@ enum class FaultSite : std::uint8_t {
   kNetSend,        // wire frame send: failure, or added latency
   kNetRecv,        // wire frame receive/dispatch: drop, or added latency
   kConnDrop,       // connection: abrupt close before dispatching a frame
+  kBatchDecode,    // daemon batch-publish decode: whole batch rejected
+  kShmAttach,      // shm-lane handshake: attach refused (client falls
+                   // back to TCP batching)
 };
-inline constexpr std::size_t kNumFaultSites = 9;
+inline constexpr std::size_t kNumFaultSites = 11;
 
 const char* FaultSiteName(FaultSite site);
 

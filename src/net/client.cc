@@ -35,9 +35,17 @@ ApolloClient::ApolloClient(ClientConfig config)
       clock_(RealClock::Instance()),
       rtt_(obs::MetricsRegistry::Global().GetHistogram(
           "apollo_net_request_rtt_ns",
-          "Client request round-trip time (ns)")) {}
+          "Client request round-trip time (ns)")),
+      batch_size_(obs::MetricsRegistry::Global().GetHistogram(
+          "apollo_net_batch_size", "Samples per flushed publish batch")),
+      flush_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          "apollo_net_flush_latency_ns",
+          "PublishAsync flush latency, send to cumulative ack (ns)")) {}
 
-ApolloClient::~ApolloClient() { Close(); }
+ApolloClient::~ApolloClient() {
+  if (connected() && !queue_.empty()) (void)Flush();
+  Close();
+}
 
 Status ApolloClient::Connect() {
   if (connected()) return Status::Ok();
@@ -140,6 +148,18 @@ void ApolloClient::Close() {
   ::close(fd_);
   fd_ = -1;
   GlobalTelemetry().net_connections_closed.Inc();
+  // The shm lane dies with the connection (the daemon drains what made it
+  // into the ring before unmapping, so ring contents are not lost).
+  shm_producer_.reset();
+  shm_topic_ids_.clear();
+  // The reconnect fix: samples still queued are definitively unacked on
+  // this connection — surface every one instead of dropping silently.
+  if (!queue_.empty()) {
+    std::vector<QueuedSample> orphans;
+    orphans.swap(queue_);
+    SurfaceErrors(orphans, Error(ErrorCode::kUnavailable,
+                                 "connection closed with samples queued"));
+  }
 }
 
 Status ApolloClient::FailClose(ErrorCode code, const std::string& message) {
@@ -331,6 +351,164 @@ Expected<std::uint64_t> ApolloClient::Publish(const std::string& topic,
     return Error(ErrorCode::kParseError, "bad publish ack");
   }
   return ack.entry_id;
+}
+
+void ApolloClient::SurfaceErrors(const std::vector<QueuedSample>& samples,
+                                 const Error& error) {
+  if (!publish_error_) return;
+  for (const QueuedSample& q : samples) {
+    publish_error_(q.topic, q.entry.timestamp, q.entry.value, error);
+  }
+}
+
+Status ApolloClient::PublishAsync(const std::string& topic, TimeNs timestamp,
+                                  const Sample& sample) {
+  if (shm_producer_ != nullptr) {
+    auto it = shm_topic_ids_.find(topic);
+    if (it != shm_topic_ids_.end()) {
+      ShmSlot slot;
+      slot.entry_ts = timestamp;
+      slot.sample_ts = sample.timestamp;
+      slot.value = sample.value;
+      slot.topic_id = it->second;
+      slot.provenance = static_cast<std::uint8_t>(sample.provenance);
+      if (shm_producer_->TryPush(slot)) return Status::Ok();
+      // Ring full (consumer behind): this sample rides the TCP queue.
+      GlobalTelemetry().net_shm_fallbacks.Inc();
+    }
+  }
+  if (queue_.empty()) oldest_queued_ = clock_.Now();
+  QueuedSample q;
+  q.topic = topic;
+  q.entry.timestamp = timestamp;
+  q.entry.value = sample;
+  queue_.push_back(std::move(q));
+  if (queue_.size() >= config_.batch_max_samples ||
+      clock_.Now() - oldest_queued_ >= config_.batch_max_delay) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status ApolloClient::Flush() {
+  while (!queue_.empty()) {
+    Status status = FlushChunk();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status ApolloClient::FlushChunk() {
+  if (queue_.empty()) return Status::Ok();
+  const std::size_t n = std::min<std::size_t>(queue_.size(), kMaxBatchSamples);
+  // Move the chunk out before the round trip: a failure path that lands in
+  // Close() must only see (and surface) samples *not* already in flight.
+  std::vector<QueuedSample> inflight(
+      std::make_move_iterator(queue_.begin()),
+      std::make_move_iterator(queue_.begin() + static_cast<std::ptrdiff_t>(n)));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+
+  PublishBatchMsg msg;
+  for (QueuedSample& q : inflight) {
+    if (msg.runs.empty() || msg.runs.back().topic != q.topic) {
+      msg.runs.emplace_back();
+      msg.runs.back().topic = q.topic;
+    }
+    msg.runs.back().entries.push_back(q.entry);
+  }
+  batch_size_.Record(static_cast<std::int64_t>(n));
+  const TimeNs start = clock_.Now();
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kPublishBatch, payload, MsgType::kPublishBatchAck);
+  if (!reply.ok()) {
+    SurfaceErrors(inflight, reply.error());
+    return reply.status();
+  }
+  PublishBatchAckMsg ack;
+  if (!PublishBatchAckMsg::Decode(reply->payload, ack)) {
+    const Error err(ErrorCode::kParseError, "bad batch ack");
+    SurfaceErrors(inflight, err);
+    return Status(err.code(), err.message());
+  }
+  flush_latency_.Record(clock_.Now() - start);
+  if (ack.error_count > 0 && publish_error_) {
+    const Error err(ack.first_error_code, ack.first_error.empty()
+                                              ? "sample rejected by daemon"
+                                              : ack.first_error);
+    const std::size_t covered = std::min<std::size_t>(ack.count, n);
+    for (std::size_t i = 0; i < covered; ++i) {
+      if (ack.Failed(static_cast<std::uint32_t>(i))) {
+        publish_error_(inflight[i].topic, inflight[i].entry.timestamp,
+                       inflight[i].entry.value, err);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Expected<PublishBatchAckMsg> ApolloClient::PublishBatch(
+    const PublishBatchMsg& msg) {
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kPublishBatch, payload, MsgType::kPublishBatchAck);
+  if (!reply.ok()) return reply.error();
+  PublishBatchAckMsg ack;
+  if (!PublishBatchAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad batch ack");
+  }
+  return ack;
+}
+
+Status ApolloClient::EnableShmLane(const std::vector<std::string>& topics) {
+  auto& telemetry = GlobalTelemetry();
+  if (topics.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no topics for shm lane");
+  }
+  if (shm_producer_ != nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "shm lane already active");
+  }
+  Status status = Connect();
+  if (!status.ok()) return status;
+  static std::atomic<std::uint64_t> lane_seq{0};
+  const std::string name =
+      "/apollo-lane-" + std::to_string(::getpid()) + "-" +
+      std::to_string(lane_seq.fetch_add(1, std::memory_order_relaxed));
+  auto producer = ShmLaneProducer::Create(name, config_.shm_slots);
+  if (!producer.ok()) {
+    telemetry.net_shm_fallbacks.Inc();
+    return producer.status();
+  }
+  ShmAttachMsg offer;
+  offer.segment_name = name;
+  offer.slot_count = config_.shm_slots;
+  offer.topics = topics;
+  Payload payload;
+  offer.Encode(payload);
+  auto reply = Roundtrip(MsgType::kShmAttach, payload, MsgType::kShmAttachAck);
+  if (!reply.ok()) {
+    telemetry.net_shm_fallbacks.Inc();
+    return reply.status();
+  }
+  ShmAttachAckMsg ack;
+  if (!ShmAttachAckMsg::Decode(reply->payload, ack)) {
+    telemetry.net_shm_fallbacks.Inc();
+    return Status(ErrorCode::kParseError, "bad shm attach ack");
+  }
+  if (!ack.accepted) {
+    // The fallback handshake: the producer (and its segment) go away and
+    // every PublishAsync rides the TCP batch path.
+    telemetry.net_shm_fallbacks.Inc();
+    return Status(ErrorCode::kUnavailable,
+                  ack.message.empty() ? "shm offer refused" : ack.message);
+  }
+  shm_producer_ = std::move(*producer);
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    shm_topic_ids_[topics[i]] = static_cast<std::uint32_t>(i);
+  }
+  return Status::Ok();
 }
 
 Expected<SubscribeAckMsg> ApolloClient::Subscribe(const std::string& topic,

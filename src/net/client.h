@@ -12,6 +12,16 @@
 // drained with TakeDeliveries(). Round-trip times are recorded into the
 // apollo_net_request_rtt_ns histogram.
 //
+// Batched ingest: PublishAsync queues samples and flushes them as one
+// kPublishBatch frame when the queue reaches batch_max_samples or the
+// oldest queued sample has waited batch_max_delay — one round trip and one
+// ack for the whole batch instead of one per sample. Samples that were
+// queued or in flight when the connection dies are never dropped silently:
+// each one is surfaced through the publish-error callback. EnableShmLane
+// offers the daemon a shared-memory SPSC ring (net/shm_lane.h) for a fixed
+// topic set; accepted lanes bypass TCP entirely and a refused offer (or a
+// full ring) falls back to the TCP batch path.
+//
 // Thread contract: one thread per client (no internal locking) — the
 // scatter-gather engine gives each node its own client.
 #pragma once
@@ -19,13 +29,17 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/expected.h"
 #include "common/fault.h"
 #include "net/messages.h"
+#include "net/shm_lane.h"
 #include "obs/metrics.h"
 
 namespace apollo::net {
@@ -39,6 +53,14 @@ struct ClientConfig {
   // Deadline for one TCP connect attempt; attempts retry per connect_retry.
   TimeNs connect_timeout = kNsPerSec;
   RetryPolicy connect_retry;
+  // --- PublishAsync flush policy ---
+  // Flush when this many samples are queued...
+  std::size_t batch_max_samples = 256;
+  // ...or when the oldest queued sample has waited this long (checked on
+  // each PublishAsync; sparse producers should call Flush explicitly).
+  TimeNs batch_max_delay = 2 * kNsPerMs;
+  // Ring capacity offered by EnableShmLane (power of two).
+  std::uint32_t shm_slots = 4096;
 };
 
 class ApolloClient {
@@ -60,6 +82,40 @@ class ApolloClient {
   Status Ping();
   Expected<std::uint64_t> Publish(const std::string& topic, TimeNs timestamp,
                                   const Sample& sample);
+
+  // --- batched ingest ---
+
+  // Invoked once per sample that was accepted into the queue (or shm ring)
+  // but definitively not acked: per-sample batch rejections, flush
+  // failures, and samples still queued when the connection closes.
+  using PublishErrorCallback = std::function<void(
+      const std::string& topic, TimeNs timestamp, const Sample& sample,
+      const Error& error)>;
+  void SetPublishErrorCallback(PublishErrorCallback callback) {
+    publish_error_ = std::move(callback);
+  }
+
+  // Queues one sample for the next batch flush (see ClientConfig flush
+  // policy). When a shm lane is active and covers `topic`, the sample goes
+  // straight into the ring instead (fire-and-forget; a full ring falls back
+  // to the TCP queue). Errors from a triggered flush are returned here but
+  // the per-sample accounting always goes through the error callback.
+  Status PublishAsync(const std::string& topic, TimeNs timestamp,
+                      const Sample& sample);
+
+  // Flushes every queued sample now (chunked at kMaxBatchSamples).
+  Status Flush();
+  std::size_t PendingSamples() const { return queue_.size(); }
+
+  // One explicit batch round trip (callers that pre-build runs; the bench
+  // uses this to pin the batch size exactly).
+  Expected<PublishBatchAckMsg> PublishBatch(const PublishBatchMsg& msg);
+
+  // Offers the daemon a shared-memory lane for this fixed topic set.
+  // On refusal the client counts a fallback and stays on TCP batching.
+  Status EnableShmLane(const std::vector<std::string>& topics);
+  bool shm_active() const { return shm_producer_ != nullptr; }
+
   Expected<SubscribeAckMsg> Subscribe(const std::string& topic,
                                       std::uint64_t cursor = kCursorTail);
   Expected<WindowMsg> FetchWindow(const std::string& topic,
@@ -91,7 +147,17 @@ class ApolloClient {
   const ClientConfig& config() const { return config_; }
 
  private:
+  struct QueuedSample {
+    std::string topic;
+    TelemetryStream::Entry entry;  // id unused
+  };
+
   Status ConnectOnce();
+  // Flushes the first min(queue size, kMaxBatchSamples) queued samples.
+  Status FlushChunk();
+  // Reports `error` through the callback for each sample in `samples`.
+  void SurfaceErrors(const std::vector<QueuedSample>& samples,
+                     const Error& error);
   Status SendRequest(MsgType type, std::uint32_t request_id,
                      const Payload& payload, std::uint16_t flags);
   // Sends `type` and waits for the response frame with the same request
@@ -117,6 +183,17 @@ class ApolloClient {
   std::string server_name_;
   std::atomic<FaultInjector*> fault_{nullptr};
   obs::Histogram rtt_;
+
+  // Batching state.
+  std::vector<QueuedSample> queue_;
+  TimeNs oldest_queued_ = 0;  // Now() when queue_ went non-empty
+  PublishErrorCallback publish_error_;
+  obs::Histogram batch_size_;
+  obs::Histogram flush_latency_;
+
+  // Shm lane state (set by a successful EnableShmLane; torn down on Close).
+  std::unique_ptr<ShmLaneProducer> shm_producer_;
+  std::unordered_map<std::string, std::uint32_t> shm_topic_ids_;
 };
 
 }  // namespace apollo::net

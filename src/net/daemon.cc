@@ -49,6 +49,7 @@ void ApolloDaemon::Stop() {
   pump_timer_ = 0;
   server_.Stop();  // loop no longer running: safe off-thread
   subs_.clear();
+  shm_lanes_.clear();
 }
 
 void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
@@ -61,6 +62,12 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
       return;
     case MsgType::kPublish:
       HandlePublish(conn, frame);
+      return;
+    case MsgType::kPublishBatch:
+      HandlePublishBatch(conn, frame);
+      return;
+    case MsgType::kShmAttach:
+      HandleShmAttach(conn, frame);
       return;
     case MsgType::kSubscribe:
       HandleSubscribe(conn, frame);
@@ -84,7 +91,17 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
   }
 }
 
-void ApolloDaemon::OnClose(Connection& conn) { subs_.erase(conn.id()); }
+void ApolloDaemon::OnClose(Connection& conn) {
+  subs_.erase(conn.id());
+  // Drain whatever the producer managed to push before unmapping — samples
+  // already in the ring are acked by the shm contract (push succeeded), so
+  // they must reach the broker even when the TCP side dies first.
+  auto lane = shm_lanes_.find(conn.id());
+  if (lane != shm_lanes_.end()) {
+    DrainShmLanes();
+    shm_lanes_.erase(lane);
+  }
+}
 
 void ApolloDaemon::HandleHello(Connection& conn, const Frame& frame) {
   HelloMsg hello;
@@ -122,6 +139,127 @@ void ApolloDaemon::HandlePublish(Connection& conn, const Frame& frame) {
   PublishAckMsg ack;
   ack.entry_id = *id;
   SendMsg(conn, MsgType::kPublishAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandlePublishBatch(Connection& conn, const Frame& frame) {
+  TRACE_SPAN("net.publish_batch");
+  auto& telemetry = GlobalTelemetry();
+  PublishBatchMsg msg;
+  if (!PublishBatchMsg::Decode(frame.payload, msg)) {
+    telemetry.net_batch_decode_errors.Inc();
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad batch");
+    return;
+  }
+  // kBatchDecode: a firing fault rejects the whole (well-formed) batch as
+  // if it had been corrupted in flight. Topic filter is the first run's
+  // topic so chaos scripts can target one producer.
+  if (FaultInjector* injector = broker_.fault_injector()) {
+    if (auto action =
+            injector->Evaluate(FaultSite::kBatchDecode, msg.runs[0].topic)) {
+      if (action->fails()) {
+        telemetry.net_batch_decode_errors.Inc();
+        SendError(conn, frame.request_id, ErrorCode::kUnavailable,
+                  "batch decode fault injected");
+        return;
+      }
+      broker_.clock().Charge(action->delay_ns);
+    }
+  }
+  const std::size_t total = msg.SampleCount();
+  PublishBatchAckMsg ack;
+  ack.Resize(static_cast<std::uint32_t>(total));
+  std::size_t base = 0;
+  for (const PublishBatchMsg::Run& run : msg.runs) {
+    const std::size_t n = run.entries.size();
+    auto handle = broker_.Resolve(run.topic);
+    if (!handle.ok()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ack.MarkFailed(static_cast<std::uint32_t>(base + i));
+      }
+      if (ack.first_error.empty()) {
+        ack.first_error_code = handle.error().code();
+        ack.first_error = handle.error().message();
+      }
+      base += n;
+      continue;
+    }
+    auto result = broker_.PublishBatch(*handle, config_.node,
+                                       run.entries.data(), n,
+                                       &ack.error_bits, base);
+    if (!result.ok()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ack.MarkFailed(static_cast<std::uint32_t>(base + i));
+      }
+      if (ack.first_error.empty()) {
+        ack.first_error_code = result.error().code();
+        ack.first_error = result.error().message();
+      }
+      base += n;
+      continue;
+    }
+    // PublishBatch set per-entry bits directly; fold its count and first
+    // failure into the ack.
+    ack.error_count += static_cast<std::uint32_t>(n - result->accepted);
+    if (result->accepted < n && ack.first_error.empty()) {
+      ack.first_error_code = result->first_error_code;
+      ack.first_error = result->first_error;
+    }
+    if (result->accepted > 0) ack.last_entry_id = result->last_entry_id;
+    base += n;
+  }
+  telemetry.net_batch_publishes.Inc();
+  telemetry.net_batch_samples.Inc(total);
+  if (ack.error_count > 0) {
+    telemetry.net_batch_sample_errors.Inc(ack.error_count);
+  }
+  SendMsg(conn, MsgType::kPublishBatchAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleShmAttach(Connection& conn, const Frame& frame) {
+  auto& telemetry = GlobalTelemetry();
+  ShmAttachMsg msg;
+  ShmAttachAckMsg ack;
+  auto refuse = [&](const std::string& why) {
+    telemetry.net_shm_attach_failures.Inc();
+    ack.accepted = false;
+    ack.message = why;
+    SendMsg(conn, MsgType::kShmAttachAck, frame.request_id, ack);
+  };
+  if (!ShmAttachMsg::Decode(frame.payload, msg)) {
+    refuse("bad shm attach message");
+    return;
+  }
+  if (!config_.accept_shm) {
+    refuse("shm ingest disabled on this daemon");
+    return;
+  }
+  if (msg.topics.empty()) {
+    refuse("shm offer carries no topics");
+    return;
+  }
+  if (FaultInjector* injector = broker_.fault_injector()) {
+    if (auto action =
+            injector->Evaluate(FaultSite::kShmAttach, msg.segment_name)) {
+      if (action->fails()) {
+        refuse("shm attach fault injected");
+        return;
+      }
+      broker_.clock().Charge(action->delay_ns);
+    }
+  }
+  auto consumer = ShmLaneConsumer::Attach(msg.segment_name, msg.slot_count);
+  if (!consumer.ok()) {
+    refuse(consumer.error().message());
+    return;
+  }
+  ShmLane lane;
+  lane.consumer = std::move(*consumer);
+  lane.topics = std::move(msg.topics);
+  lane.handles.resize(lane.topics.size());
+  shm_lanes_[conn.id()] = std::move(lane);
+  telemetry.net_shm_attaches.Inc();
+  ack.accepted = true;
+  SendMsg(conn, MsgType::kShmAttachAck, frame.request_id, ack);
 }
 
 void ApolloDaemon::HandleSubscribe(Connection& conn, const Frame& frame) {
@@ -228,7 +366,13 @@ void ApolloDaemon::HandleMetrics(Connection& conn, const Frame& frame) {
 }
 
 void ApolloDaemon::PumpSubscriptions() {
+  DrainShmLanes();
   for (auto& [conn_id, subs] : subs_) {
+    Connection* conn = server_.FindConnection(conn_id);
+    if (conn == nullptr) continue;
+    // Cork while this connection's subscriptions are pumped: every kDeliver
+    // frame queued below leaves in one writev at Uncork.
+    conn->Cork();
     for (Subscription& sub : subs) {
       std::uint64_t cursor = sub.cursor;
       auto entries = broker_.Fetch(sub.topic, config_.node, cursor,
@@ -240,12 +384,50 @@ void ApolloDaemon::PumpSubscriptions() {
       deliver.entries = std::move(*entries);
       // A skipped (backpressured) delivery keeps the old cursor: the
       // entries stay in the window and are re-sent next pump.
-      auto it = server_.FindConnection(conn_id);
-      if (it == nullptr) continue;
-      if (SendMsg(*it, MsgType::kDeliver, /*request_id=*/0, deliver,
+      if (SendMsg(*conn, MsgType::kDeliver, /*request_id=*/0, deliver,
                   /*droppable=*/true)) {
         sub.cursor = cursor;
       }
+    }
+    conn->Uncork();
+  }
+}
+
+void ApolloDaemon::DrainShmLanes() {
+  auto& telemetry = GlobalTelemetry();
+  for (auto& [conn_id, lane] : shm_lanes_) {
+    lane.scratch.clear();
+    if (lane.consumer->Drain(lane.scratch, config_.shm_drain_batch) == 0) {
+      continue;
+    }
+    telemetry.net_shm_samples.Inc(lane.scratch.size());
+    // Group consecutive same-topic slots into one PublishBatch run each —
+    // the same lock-once-per-run handoff the TCP batch path takes.
+    std::vector<TelemetryStream::Entry> run;
+    std::size_t i = 0;
+    while (i < lane.scratch.size()) {
+      const std::uint32_t topic_id = lane.scratch[i].topic_id;
+      run.clear();
+      while (i < lane.scratch.size() &&
+             lane.scratch[i].topic_id == topic_id) {
+        const ShmSlot& slot = lane.scratch[i];
+        TelemetryStream::Entry entry;
+        entry.timestamp = slot.entry_ts;
+        entry.value.timestamp = slot.sample_ts;
+        entry.value.value = slot.value;
+        entry.value.provenance = static_cast<Provenance>(slot.provenance);
+        run.push_back(entry);
+        ++i;
+      }
+      if (topic_id >= lane.topics.size()) continue;  // malformed producer
+      TopicHandle& handle = lane.handles[topic_id];
+      if (!handle.valid()) {
+        auto resolved = broker_.Resolve(lane.topics[topic_id]);
+        if (!resolved.ok()) continue;  // topic gone: drop the run
+        handle = *resolved;
+      }
+      (void)broker_.PublishBatch(handle, config_.node, run.data(),
+                                 run.size());
     }
   }
 }

@@ -44,6 +44,14 @@ const char* MsgTypeName(MsgType type) {
       return "metrics_text";
     case MsgType::kError:
       return "error";
+    case MsgType::kPublishBatch:
+      return "publish_batch";
+    case MsgType::kPublishBatchAck:
+      return "publish_batch_ack";
+    case MsgType::kShmAttach:
+      return "shm_attach";
+    case MsgType::kShmAttachAck:
+      return "shm_attach_ack";
   }
   return "unknown";
 }

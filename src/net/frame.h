@@ -55,6 +55,10 @@ enum class MsgType : std::uint8_t {
   kMetrics,      // client -> server: Prometheus text exposition scrape
   kMetricsText,
   kError,        // server -> client: request failed
+  kPublishBatch,     // client -> server: N samples, one frame CRC32C
+  kPublishBatchAck,  // server -> client: cumulative ack + error bitmap
+  kShmAttach,        // client -> server: shared-memory ingest lane offer
+  kShmAttachAck,     // server -> client: accepted or fall back to TCP
 };
 
 const char* MsgTypeName(MsgType type);

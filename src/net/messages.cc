@@ -100,6 +100,123 @@ bool PublishAckMsg::Decode(const Payload& in, PublishAckMsg& msg) {
   return Finish(r);
 }
 
+std::size_t PublishBatchMsg::SampleCount() const {
+  std::size_t n = 0;
+  for (const Run& run : runs) n += run.entries.size();
+  return n;
+}
+
+void PublishBatchMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U32(static_cast<std::uint32_t>(runs.size()));
+  for (const Run& run : runs) {
+    w.Str(run.topic);
+    w.U32(static_cast<std::uint32_t>(run.entries.size()));
+    for (const auto& entry : run.entries) {
+      w.I64(entry.timestamp);
+      w.I64(entry.value.timestamp);
+      w.F64(entry.value.value);
+      w.U8(static_cast<std::uint8_t>(entry.value.provenance));
+    }
+  }
+}
+
+bool PublishBatchMsg::Decode(const Payload& in, PublishBatchMsg& msg) {
+  WireReader r(in);
+  msg.runs.clear();
+  const std::uint32_t run_count = r.U32();
+  // A batch with no samples (or an empty run) is malformed, not a no-op:
+  // the client never sends one, so it can only come from corruption.
+  if (run_count == 0 || run_count > kMaxBatchSamples) return false;
+  std::uint64_t total = 0;
+  msg.runs.reserve(run_count);
+  for (std::uint32_t i = 0; i < run_count && r.ok(); ++i) {
+    Run run;
+    run.topic = r.Str();
+    const std::uint32_t count = r.U32();
+    if (count == 0) return false;
+    total += count;
+    if (total > kMaxBatchSamples) return false;
+    if (!r.ok()) return false;
+    run.entries.reserve(count);
+    for (std::uint32_t j = 0; j < count && r.ok(); ++j) {
+      TelemetryStream::Entry entry;
+      entry.timestamp = r.I64();
+      entry.value.timestamp = r.I64();
+      entry.value.value = r.F64();
+      entry.value.provenance = static_cast<Provenance>(r.U8());
+      run.entries.push_back(entry);
+    }
+    msg.runs.push_back(std::move(run));
+  }
+  return Finish(r);
+}
+
+void PublishBatchAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U32(count);
+  w.U64(last_entry_id);
+  w.U32(error_count);
+  w.U32(static_cast<std::uint32_t>(error_bits.size()));
+  for (std::uint8_t byte : error_bits) w.U8(byte);
+  w.U16(static_cast<std::uint16_t>(first_error_code));
+  w.Str(first_error);
+}
+
+bool PublishBatchAckMsg::Decode(const Payload& in, PublishBatchAckMsg& msg) {
+  WireReader r(in);
+  msg.count = r.U32();
+  msg.last_entry_id = r.U64();
+  msg.error_count = r.U32();
+  const std::uint32_t bitmap_bytes = r.U32();
+  if (msg.count > kMaxBatchSamples || msg.error_count > msg.count ||
+      bitmap_bytes != (msg.count + 7) / 8) {
+    return false;
+  }
+  msg.error_bits.clear();
+  msg.error_bits.reserve(bitmap_bytes);
+  for (std::uint32_t i = 0; i < bitmap_bytes && r.ok(); ++i) {
+    msg.error_bits.push_back(r.U8());
+  }
+  msg.first_error_code = static_cast<ErrorCode>(r.U16());
+  msg.first_error = r.Str();
+  return Finish(r);
+}
+
+void ShmAttachMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(segment_name);
+  w.U32(slot_count);
+  w.U32(static_cast<std::uint32_t>(topics.size()));
+  for (const std::string& topic : topics) w.Str(topic);
+}
+
+bool ShmAttachMsg::Decode(const Payload& in, ShmAttachMsg& msg) {
+  WireReader r(in);
+  msg.segment_name = r.Str();
+  msg.slot_count = r.U32();
+  const std::uint32_t count = r.U32();
+  if (count > kMaxWireEntries) return false;
+  msg.topics.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    msg.topics.push_back(r.Str());
+  }
+  return Finish(r);
+}
+
+void ShmAttachAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U8(accepted ? 1 : 0);
+  w.Str(message);
+}
+
+bool ShmAttachAckMsg::Decode(const Payload& in, ShmAttachAckMsg& msg) {
+  WireReader r(in);
+  msg.accepted = r.U8() != 0;
+  msg.message = r.Str();
+  return Finish(r);
+}
+
 void SubscribeMsg::Encode(Payload& out) const {
   WireWriter w(out);
   w.Str(topic);

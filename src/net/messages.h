@@ -52,6 +52,78 @@ struct PublishAckMsg {
   static bool Decode(const Payload& in, PublishAckMsg& msg);
 };
 
+// Upper bound on samples in one kPublishBatch frame. 25 wire bytes per
+// sample keeps a full batch far below kMaxFrameLen while still amortizing
+// the per-frame syscall + ack round trip ~10^4 times.
+inline constexpr std::uint32_t kMaxBatchSamples = 64 * 1024;
+
+// Batched publish: samples grouped into runs of consecutive same-topic
+// samples (order-preserving), so the daemon resolves each topic — and takes
+// its stream lock — once per run instead of once per sample. The frame
+// header's CRC32C covers the whole batch; there is no per-sample checksum.
+// Entry ids are not carried (the broker assigns them on append).
+struct PublishBatchMsg {
+  struct Run {
+    std::string topic;
+    std::vector<TelemetryStream::Entry> entries;  // id fields ignored
+  };
+  std::vector<Run> runs;
+
+  std::size_t SampleCount() const;
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, PublishBatchMsg& msg);
+};
+
+// Cumulative ack: one reply for the whole batch. Bit i of `error_bits`
+// (LSB-first within each byte, indexing samples in batch order across runs)
+// set means sample i failed; `first_error` describes the first failure so
+// the client can surface a meaningful Error per rejected sample.
+struct PublishBatchAckMsg {
+  std::uint32_t count = 0;          // samples covered by this ack
+  std::uint64_t last_entry_id = 0;  // id of the last accepted sample
+  std::uint32_t error_count = 0;
+  std::vector<std::uint8_t> error_bits;  // ceil(count / 8) bytes
+  ErrorCode first_error_code = ErrorCode::kInternal;
+  std::string first_error;
+
+  void Resize(std::uint32_t n) {
+    count = n;
+    error_bits.assign((n + 7) / 8, 0);
+  }
+  void MarkFailed(std::uint32_t i) {
+    error_bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    ++error_count;
+  }
+  bool Failed(std::uint32_t i) const {
+    return (error_bits[i / 8] >> (i % 8)) & 1u;
+  }
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, PublishBatchAckMsg& msg);
+};
+
+// Shared-memory ingest lane offer: the client has created and initialized a
+// POSIX shm segment holding one SPSC ring (see net/shm_lane.h) and asks the
+// daemon to attach as its consumer. Slot topic ids are indices into
+// `topics`. A refusal (or any decode/attach failure) is the fallback
+// handshake: the client keeps publishing over TCP batches.
+struct ShmAttachMsg {
+  std::string segment_name;      // POSIX shm name ("/apollo-shm-…")
+  std::uint32_t slot_count = 0;  // ring capacity; must be a power of two
+  std::vector<std::string> topics;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ShmAttachMsg& msg);
+};
+
+struct ShmAttachAckMsg {
+  bool accepted = false;
+  std::string message;  // refusal reason
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ShmAttachAckMsg& msg);
+};
+
 // cursor == kCursorTail starts the subscription at the stream's next id
 // (only future entries are delivered).
 inline constexpr std::uint64_t kCursorTail = UINT64_MAX;

@@ -1,0 +1,130 @@
+// Shared-memory ingest lane: a single-producer single-consumer ring of
+// fixed-size sample slots in a POSIX shm segment, bypassing the TCP hot
+// path for same-host producers.
+//
+// Ownership protocol: the *client* creates the segment (shm_open with
+// O_CREAT|O_EXCL so a stale name cannot be hijacked), initialises the
+// header, and offers it to the daemon with a kShmAttach frame carrying the
+// segment name, slot count, and the fixed topic table (slot.topic_id is an
+// index into that table). The daemon validates magic/version/slot_count,
+// maps the segment, and acks; on refusal (or a kShmAttach fault) the client
+// falls back to TCP batching. The client unlinks the segment on teardown,
+// so a crashed producer leaves at most one name to reap.
+//
+// Memory ordering is the classic SPSC pair: the producer publishes a slot
+// with a release store of head, the consumer acquires head before reading
+// slots and releases tail after consuming; each side only ever stores its
+// own index.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace apollo::net {
+
+inline constexpr std::uint32_t kShmLaneMagic = 0x4d535041u;  // "APSM" LE
+inline constexpr std::uint32_t kShmLaneVersion = 1;
+inline constexpr std::uint32_t kShmLaneMaxSlots = 1u << 20;
+
+// One published sample. 32 bytes, trivially copyable — written in place in
+// the shared ring.
+struct ShmSlot {
+  std::int64_t entry_ts = 0;   // ingest timestamp (TimeNs)
+  std::int64_t sample_ts = 0;  // sample's own timestamp
+  double value = 0.0;
+  std::uint32_t topic_id = 0;  // index into the attach-time topic table
+  std::uint8_t provenance = 0;
+  std::uint8_t pad[3] = {};
+};
+static_assert(sizeof(ShmSlot) == 32, "slot layout is part of the protocol");
+
+// Segment layout: three cache lines of header (magic block, producer head,
+// consumer tail) followed by slot_count slots.
+struct ShmLaneHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t slot_count = 0;  // power of two
+  std::uint32_t reserved = 0;
+  alignas(64) std::atomic<std::uint64_t> head;  // next write (producer-owned)
+  alignas(64) std::atomic<std::uint64_t> tail;  // next read (consumer-owned)
+};
+inline constexpr std::size_t kShmLaneHeaderBytes = 192;
+static_assert(sizeof(ShmLaneHeader) <= kShmLaneHeaderBytes);
+
+inline std::size_t ShmLaneBytes(std::uint32_t slot_count) {
+  return kShmLaneHeaderBytes + sizeof(ShmSlot) * slot_count;
+}
+
+// Client side: creates + owns the segment (unlinked on destruction).
+class ShmLaneProducer {
+ public:
+  // `name` must be a valid shm name ("/apollo-..."); slot_count a power of
+  // two in [2, kShmLaneMaxSlots].
+  static Expected<std::unique_ptr<ShmLaneProducer>> Create(
+      const std::string& name, std::uint32_t slot_count);
+  ~ShmLaneProducer();
+
+  ShmLaneProducer(const ShmLaneProducer&) = delete;
+  ShmLaneProducer& operator=(const ShmLaneProducer&) = delete;
+
+  // Returns false when the ring is full (consumer behind) — the caller
+  // falls back to the TCP batch path for this sample.
+  bool TryPush(const ShmSlot& slot);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t slot_count() const { return slots_; }
+
+ private:
+  ShmLaneProducer(std::string name, int fd, void* map, std::uint32_t slots)
+      : name_(std::move(name)), fd_(fd), map_(map), slots_(slots) {}
+
+  ShmLaneHeader* header() { return static_cast<ShmLaneHeader*>(map_); }
+  ShmSlot* slot_array() {
+    return reinterpret_cast<ShmSlot*>(static_cast<std::uint8_t*>(map_) +
+                                      kShmLaneHeaderBytes);
+  }
+
+  std::string name_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::uint32_t slots_ = 0;
+};
+
+// Daemon side: maps an offered segment read-write (tail is ours to store);
+// never unlinks — the producer owns the name.
+class ShmLaneConsumer {
+ public:
+  static Expected<std::unique_ptr<ShmLaneConsumer>> Attach(
+      const std::string& name, std::uint32_t expected_slots);
+  ~ShmLaneConsumer();
+
+  ShmLaneConsumer(const ShmLaneConsumer&) = delete;
+  ShmLaneConsumer& operator=(const ShmLaneConsumer&) = delete;
+
+  // Appends up to `max` pending slots to `out` (not cleared) and advances
+  // tail. Returns the number drained.
+  std::size_t Drain(std::vector<ShmSlot>& out, std::size_t max);
+
+  std::uint32_t slot_count() const { return slots_; }
+
+ private:
+  ShmLaneConsumer(int fd, void* map, std::uint32_t slots)
+      : fd_(fd), map_(map), slots_(slots) {}
+
+  ShmLaneHeader* header() { return static_cast<ShmLaneHeader*>(map_); }
+  const ShmSlot* slot_array() const {
+    return reinterpret_cast<const ShmSlot*>(
+        static_cast<const std::uint8_t*>(map_) + kShmLaneHeaderBytes);
+  }
+
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::uint32_t slots_ = 0;
+};
+
+}  // namespace apollo::net

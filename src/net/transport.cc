@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -93,8 +94,7 @@ bool Connection::SendFrame(MsgType type, std::uint32_t request_id,
     }
     server_.loop().clock().Charge(action->delay_ns);
   }
-  const std::size_t pending = OutboundBytes();
-  if (pending + kHeaderSize + payload.size() >
+  if (out_bytes_ + kHeaderSize + payload.size() >
       server_.config().max_outbound_bytes) {
     if (droppable) {
       telemetry.net_backpressure_skips.Inc();
@@ -104,16 +104,21 @@ bool Connection::SendFrame(MsgType type, std::uint32_t request_id,
     Close();
     return false;
   }
-  // Compact the sent prefix before it dominates the buffer.
-  if (out_pos_ > 0 && out_pos_ >= outbound_.size() - out_pos_) {
-    outbound_.erase(outbound_.begin(),
-                    outbound_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
-    out_pos_ = 0;
-  }
-  EncodeFrame(outbound_, type, request_id, payload, flags);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kHeaderSize + payload.size());
+  EncodeFrame(buf, type, request_id, payload, flags);
+  out_bytes_ += buf.size();
+  outbound_.push_back(std::move(buf));
   telemetry.net_messages_sent.Inc();
-  server_.FlushConn(*this);
+  if (cork_depth_ == 0) server_.FlushConn(*this);
   return true;
+}
+
+void Connection::Uncork() {
+  if (cork_depth_ > 0 && --cork_depth_ == 0 && !closing_ &&
+      !outbound_.empty()) {
+    server_.FlushConn(*this);
+  }
 }
 
 // --- Server ---
@@ -256,23 +261,44 @@ void Server::ReadConn(Connection& conn) {
 }
 
 void Server::FlushConn(Connection& conn) {
-  while (conn.out_pos_ < conn.outbound_.size()) {
+  // One gathered writev per pass over the queue: every pending frame (up
+  // to kMaxIov) goes out in a single syscall instead of one write each.
+  constexpr std::size_t kMaxIov = 64;
+  while (!conn.outbound_.empty()) {
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    for (const auto& frame : conn.outbound_) {
+      if (iov_count == kMaxIov) break;
+      const std::size_t skip = iov_count == 0 ? conn.out_pos_ : 0;
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(frame.data()) + skip;
+      iov[iov_count].iov_len = frame.size() - skip;
+      ++iov_count;
+    }
     const ssize_t n =
-        ::write(conn.fd_, conn.outbound_.data() + conn.out_pos_,
-                conn.outbound_.size() - conn.out_pos_);
+        ::writev(conn.fd_, iov, static_cast<int>(iov_count));
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       conn.Close();
       return;
     }
-    conn.out_pos_ += static_cast<std::size_t>(n);
     conn.last_activity_ = loop_.clock().Now();
     GlobalTelemetry().net_bytes_sent.Inc(static_cast<std::uint64_t>(n));
+    conn.out_bytes_ -= static_cast<std::size_t>(n);
+    std::size_t sent = static_cast<std::size_t>(n);
+    while (sent > 0) {
+      const std::size_t remain = conn.outbound_.front().size() - conn.out_pos_;
+      if (sent < remain) {
+        conn.out_pos_ += sent;
+        break;
+      }
+      sent -= remain;
+      conn.out_pos_ = 0;
+      conn.outbound_.pop_front();
+    }
   }
-  if (conn.out_pos_ >= conn.outbound_.size()) {
-    conn.outbound_.clear();
-    conn.out_pos_ = 0;
+  if (conn.outbound_.empty()) {
     if (conn.want_write_) {
       conn.want_write_ = false;
       loop_.UpdateFd(conn.fd_, kFdReadable);

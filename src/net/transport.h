@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -82,7 +83,14 @@ class Connection {
   void Close();
   bool closing() const { return closing_; }
 
-  std::size_t OutboundBytes() const { return outbound_.size() - out_pos_; }
+  std::size_t OutboundBytes() const { return out_bytes_; }
+
+  // Cork/uncork: while corked, SendFrame only queues — the flush (one
+  // writev over every queued frame) happens at Uncork. The daemon corks
+  // around multi-frame work (subscription pumps, batch acks) so a burst
+  // drains in one syscall instead of one write per frame.
+  void Cork() { ++cork_depth_; }
+  void Uncork();
 
   // Arbitrary per-connection state owned by the handler (e.g. the daemon's
   // subscription table), destroyed with the connection.
@@ -100,10 +108,14 @@ class Connection {
   std::uint64_t id_;
   int fd_;
   FrameParser parser_;
-  // Byte queue of encoded frames; [out_pos_, size) is unsent. The prefix
-  // is compacted once it outgrows the unsent remainder.
-  std::vector<std::uint8_t> outbound_;
+  // Queue of encoded frames, drained by one writev per flush (gathered
+  // iovecs, capped at kMaxIov entries per syscall). out_pos_ is the sent
+  // prefix of the front frame after a partial write; out_bytes_ is the
+  // total unsent byte count (the backpressure measure).
+  std::deque<std::vector<std::uint8_t>> outbound_;
   std::size_t out_pos_ = 0;
+  std::size_t out_bytes_ = 0;
+  int cork_depth_ = 0;
   bool want_write_ = false;
   bool closing_ = false;
   TimeNs last_activity_ = 0;

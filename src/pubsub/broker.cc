@@ -121,6 +121,51 @@ Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
   return handle.stream_->Append(timestamp, sample);
 }
 
+Expected<Broker::BatchPublishResult> Broker::PublishBatch(
+    TopicHandle& handle, NodeId from_node,
+    const TelemetryStream::Entry* entries, std::size_t n,
+    std::vector<std::uint8_t>* error_bits, std::size_t bitmap_base) {
+  TRACE_SPAN("broker.publish_batch", handle.name_);
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  publishes_.fetch_add(n, std::memory_order_relaxed);
+  ChargeLatency(from_node, handle.home_);
+  BatchPublishResult result;
+  if (n == 0) return result;
+  // Fast path: nothing armed — hand the whole run to the stream in one go.
+  if (fault_.load(std::memory_order_acquire) == nullptr) {
+    result.last_entry_id = handle.stream_->AppendBatch(entries, n);
+    result.accepted = n;
+    return result;
+  }
+  // Injector attached: evaluate kPublish per entry (exact chaos
+  // accounting), compacting survivors so they still append under one lock.
+  std::vector<TelemetryStream::Entry> accepted;
+  accepted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Status verdict = EvaluateFault(FaultSite::kPublish, handle.name_);
+    if (verdict.ok()) {
+      accepted.push_back(entries[i]);
+      continue;
+    }
+    GlobalTelemetry().publish_drops.fetch_add(1, std::memory_order_relaxed);
+    if (result.first_error.empty()) {
+      result.first_error_code = verdict.code();
+      result.first_error = verdict.message();
+    }
+    if (error_bits != nullptr) {
+      const std::size_t bit = bitmap_base + i;
+      (*error_bits)[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  if (!accepted.empty()) {
+    result.last_entry_id =
+        handle.stream_->AppendBatch(accepted.data(), accepted.size());
+  }
+  result.accepted = accepted.size();
+  return result;
+}
+
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
     std::size_t max_entries) {

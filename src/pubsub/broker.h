@@ -157,6 +157,30 @@ class Broker {
   Expected<std::uint64_t> Publish(TopicHandle& handle, NodeId from_node,
                                   TimeNs timestamp, const Sample& sample);
 
+  // Result of a batched publish to one topic run.
+  struct BatchPublishResult {
+    std::uint64_t last_entry_id = 0;  // valid when accepted > 0
+    std::size_t accepted = 0;
+    // First per-entry failure (injected drops), when accepted < n.
+    ErrorCode first_error_code = ErrorCode::kUnavailable;
+    std::string first_error;
+  };
+
+  // Batched publish of `n` entries (id fields ignored) to one topic — the
+  // wire/shm ingest handoff. One handle refresh, one network-latency charge
+  // (the run arrived as one wire message), and one stream-lock acquisition
+  // via Stream::AppendBatch instead of n. With a fault injector attached,
+  // FaultSite::kPublish is still evaluated per entry so chaos accounting
+  // stays exact: a failing entry sets bit (bitmap_base + i) in `error_bits`
+  // (when non-null; the caller sizes it) and is skipped while the rest of
+  // the run proceeds. An error return (unknown topic) means the whole run
+  // failed and no bits were set.
+  Expected<BatchPublishResult> PublishBatch(
+      TopicHandle& handle, NodeId from_node,
+      const TelemetryStream::Entry* entries, std::size_t n,
+      std::vector<std::uint8_t>* error_bits = nullptr,
+      std::size_t bitmap_base = 0);
+
   Expected<std::vector<TelemetryStream::Entry>> Fetch(
       TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
       std::size_t max_entries = SIZE_MAX);

@@ -116,6 +116,41 @@ class Stream {
     return id;
   }
 
+  // Appends `n` entries under one lock acquisition — the batched-ingest
+  // fast path. Entry `id` fields in `entries` are ignored; ids are assigned
+  // contiguously and the id of the last appended entry is returned (first
+  // is `returned - n + 1`). Eviction, aggregate-index, and archiver
+  // bookkeeping match n repeated Append() calls, but waiters are notified
+  // once and the eviction flush is attempted once at the end.
+  // Precondition: n > 0.
+  std::uint64_t AppendBatch(const Entry* entries, std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      id = next_id_++;
+      if (id - first_id_ == capacity_) {
+        Entry& victim = ring_[first_id_ & mask_];
+        if (archiver_ != nullptr && victim.id >= restore_limit_) {
+          evict_pending_.push_back(victim);
+        }
+        if constexpr (kHasAggregateIndex) IndexEvict(victim);
+        ++first_id_;
+      } else if (id - first_id_ == ring_.size()) {
+        Grow();
+      }
+      Entry& slot = ring_[id & mask_];
+      slot.id = id;
+      slot.timestamp = entries[i].timestamp;
+      slot.value = entries[i].value;
+      if constexpr (kHasAggregateIndex) IndexAppend(slot);
+    }
+    const bool flush = archiver_ != nullptr && !evict_pending_.empty();
+    lock.unlock();
+    cv_.notify_all();
+    if (flush) TryFlushEvictions();
+    return id;
+  }
+
   // Reads up to `max_entries` entries with id >= cursor into `out`
   // (cleared first); advances cursor past the last returned entry.
   // Non-blocking, no allocation once `out` has warmed up.

@@ -110,6 +110,28 @@ TelemetryCounters::TelemetryCounters() {
   net_degraded_fallbacks =
       Reg("net_degraded_fallbacks", "apollo_net_degraded_fallbacks_total",
           "Node answers served from last-known-good cache");
+  net_batch_publishes =
+      Reg("net_batch_publishes", "apollo_net_batch_publishes_total",
+          "Batch publish frames handled by daemons");
+  net_batch_samples =
+      Reg("net_batch_samples", "apollo_net_batch_samples_total",
+          "Samples carried in batch publish frames");
+  net_batch_decode_errors =
+      Reg("net_batch_decode_errors", "apollo_net_batch_decode_errors_total",
+          "Batch publish frames rejected before handoff");
+  net_batch_sample_errors =
+      Reg("net_batch_sample_errors", "apollo_net_batch_sample_errors_total",
+          "Per-sample batch failures reported in ack bitmaps");
+  net_shm_attaches = Reg("net_shm_attaches", "apollo_net_shm_attaches_total",
+                         "Shared-memory ingest lanes accepted by daemons");
+  net_shm_attach_failures =
+      Reg("net_shm_attach_failures", "apollo_net_shm_attach_failures_total",
+          "Shared-memory lane handshakes refused or failed");
+  net_shm_samples = Reg("net_shm_samples", "apollo_net_shm_samples_total",
+                        "Samples drained from shared-memory ingest rings");
+  net_shm_fallbacks =
+      Reg("net_shm_fallbacks", "apollo_net_shm_fallbacks_total",
+          "Samples rerouted to TCP because the shm lane was full or down");
 }
 
 void TelemetryCounters::Reset() {

@@ -61,7 +61,7 @@ TEST(VertexStatsTest, ScopedTimerAccumulates) {
   VertexStats stats;
   {
     ScopedTimer timer(stats.hook_time_ns);
-    volatile int sink = 0;
+    volatile long long sink = 0;
     for (int i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(stats.hook_time_ns.load(), 0);

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a BENCH_hotpath.json run against the
+committed baseline and fail when any lane regressed beyond tolerance.
+
+Usage:
+    tools/check_bench.py --baseline bench/baseline/BENCH_hotpath.baseline.json \
+                         --current build-release/bench/BENCH_hotpath.json \
+                         [--tolerance 0.25] [--lane-tolerance net_loopback=0.5]
+
+Every numeric leaf in the JSON is classified by key name as
+higher-is-better (throughput, speedups) or lower-is-better (latencies,
+overhead); counters that only describe the workload (events, records,
+host_hw_threads, ...) are ignored. A metric regresses when it moves in
+the bad direction by more than the lane's tolerance (default +/-25%).
+Improvements never fail the gate.
+
+Prints a diff table to stdout, appends the same table as Markdown to
+$GITHUB_STEP_SUMMARY when set, optionally writes it to --diff-out for
+upload as a CI artifact, and exits 1 on any regression (2 on bad input).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Key-name suffix -> direction. "up" = higher is better, "down" = lower.
+HIGHER_IS_BETTER = (
+    "events_per_sec",
+    "records_per_sec",
+    "replay_per_sec",
+    "mb_per_sec",
+    "speedup",
+    "speedup_vs_batch1",
+)
+LOWER_IS_BETTER = (
+    "_ns",
+    "_ms",
+    "overhead_pct",
+)
+# Workload descriptors, not measurements.
+IGNORED_KEYS = {
+    "host_hw_threads", "quick", "producers", "clients", "window", "batch",
+    "events", "records", "fsync_policy",
+}
+
+# Lanes where the default tolerance is too tight for a noisy shared
+# runner. Latency percentiles and loopback TCP lanes jitter far more than
+# in-process throughput does; overhead_pct hovers near zero so relative
+# comparison is meaningless without a wide band.
+DEFAULT_TOLERANCE = 0.25
+LANE_TOLERANCE = {
+    "query_latency_ns": 0.60,
+    "net_loopback": 0.60,
+    "observability_overhead": 1.50,
+    "archive_recovery": 0.60,
+}
+
+
+def direction_for(key):
+    if key in IGNORED_KEYS:
+        return None
+    for suffix in HIGHER_IS_BETTER:
+        if key == suffix or key.endswith(suffix):
+            return "up"
+    for suffix in LOWER_IS_BETTER:
+        if key.endswith(suffix):
+            return "down"
+    return None
+
+
+def row_label(item):
+    """Discriminator for a list entry, e.g. 'batch=256' or 'producers=4'."""
+    for k in ("producers", "clients", "window", "batch", "fsync_policy"):
+        if isinstance(item, dict) and k in item:
+            return "%s=%s" % (k, item[k])
+    return None
+
+
+def flatten(doc):
+    """Yield (lane, metric_path, key, value) for every numeric leaf."""
+    for lane, node in doc.items():
+        if direction_for(lane) is None and not isinstance(node, (dict, list)):
+            continue
+        if isinstance(node, dict):
+            for k, v in node.items():
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    yield lane, "%s.%s" % (lane, k), k, float(v)
+        elif isinstance(node, list):
+            for i, item in enumerate(node):
+                if not isinstance(item, dict):
+                    continue
+                label = row_label(item) or str(i)
+                for k, v in item.items():
+                    if isinstance(v, (int, float)) and not isinstance(v, bool):
+                        yield lane, "%s[%s].%s" % (lane, label, k), k, float(v)
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            yield lane, lane, lane, float(node)
+
+
+def compare(baseline, current, default_tol, lane_tols):
+    base = {path: (lane, key, v) for lane, path, key, v in flatten(baseline)}
+    cur = {path: (lane, key, v) for lane, path, key, v in flatten(current)}
+    rows = []          # (path, base, cur, delta_pct, tol_pct, verdict)
+    regressions = []
+    for path in sorted(base):
+        lane, key, bval = base[path]
+        dirn = direction_for(key)
+        if dirn is None:
+            continue
+        if path not in cur:
+            rows.append((path, bval, None, None, None, "MISSING"))
+            regressions.append(path)
+            continue
+        cval = cur[path][2]
+        tol = lane_tols.get(lane, default_tol)
+        if bval == 0.0:
+            delta = 0.0 if cval == 0.0 else float("inf")
+        else:
+            delta = (cval - bval) / abs(bval)
+        # Regression = moved in the bad direction past tolerance.
+        bad = delta < -tol if dirn == "up" else delta > tol
+        verdict = "REGRESSED" if bad else "ok"
+        if bad:
+            regressions.append(path)
+        rows.append((path, bval, cval, delta * 100.0, tol * 100.0, verdict))
+    for path in sorted(set(cur) - set(base)):
+        lane, key, cval = cur[path]
+        if direction_for(key) is None:
+            continue
+        rows.append((path, None, cval, None, None, "new"))
+    return rows, regressions
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if abs(v) >= 1000:
+        return "%.0f" % v
+    return "%.3g" % v
+
+
+def render_text(rows):
+    lines = ["%-52s %14s %14s %9s %6s %10s" % (
+        "metric", "baseline", "current", "delta", "tol", "verdict")]
+    for path, b, c, d, t, verdict in rows:
+        lines.append("%-52s %14s %14s %9s %6s %10s" % (
+            path, fmt(b), fmt(c),
+            "-" if d is None else "%+.1f%%" % d,
+            "-" if t is None else "%.0f%%" % t, verdict))
+    return "\n".join(lines)
+
+
+def render_markdown(rows, regressed):
+    out = ["## Bench regression gate: %s" %
+           ("FAIL" if regressed else "PASS"), "",
+           "| metric | baseline | current | delta | tol | verdict |",
+           "|---|---:|---:|---:|---:|---|"]
+    for path, b, c, d, t, verdict in rows:
+        mark = "**%s**" % verdict if verdict == "REGRESSED" else verdict
+        out.append("| `%s` | %s | %s | %s | %s | %s |" % (
+            path, fmt(b), fmt(c),
+            "-" if d is None else "%+.1f%%" % d,
+            "-" if t is None else "%.0f%%" % t, mark))
+    return "\n".join(out) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="default fractional tolerance (0.25 = 25%%)")
+    ap.add_argument("--lane-tolerance", action="append", default=[],
+                    metavar="LANE=FRAC",
+                    help="override tolerance for one top-level lane")
+    ap.add_argument("--diff-out", help="also write the Markdown table here")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, ValueError) as e:
+        print("check_bench: cannot load inputs: %s" % e, file=sys.stderr)
+        return 2
+
+    lane_tols = dict(LANE_TOLERANCE)
+    for spec in args.lane_tolerance:
+        lane, _, frac = spec.partition("=")
+        try:
+            lane_tols[lane] = float(frac)
+        except ValueError:
+            print("check_bench: bad --lane-tolerance %r" % spec,
+                  file=sys.stderr)
+            return 2
+
+    rows, regressions = compare(baseline, current, args.tolerance, lane_tols)
+    if not rows:
+        print("check_bench: no comparable metrics found", file=sys.stderr)
+        return 2
+
+    print(render_text(rows))
+    md = render_markdown(rows, bool(regressions))
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(md)
+    if args.diff_out:
+        with open(args.diff_out, "w") as f:
+            f.write(md)
+
+    if regressions:
+        print("\ncheck_bench: %d regression(s):" % len(regressions))
+        for path in regressions:
+            print("  " + path)
+        return 1
+    print("\ncheck_bench: all lanes within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
