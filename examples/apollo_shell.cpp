@@ -26,6 +26,11 @@
 // Adding `--shm` offers the daemon a shared-memory lane for its topic
 // set (colocated producers only): accepted publishes bypass TCP via the
 // SPSC ring, a refusal falls back to ordinary wire publishes.
+//
+// Cluster mode: `apollo_shell --cluster host:port,host:port,...` drives a
+// replicated apollod cluster. Publishes go through ClusterClient (primary
+// first, failover across survivors), queries through the replica-routed
+// RemoteQueryEngine, and `\cluster` prints the current membership map.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +43,8 @@
 #include "apollo/deployment_plan.h"
 #include "cluster/cluster.h"
 #include "net/client.h"
+#include "net/cluster_client.h"
+#include "net/remote_query.h"
 #include "obs/trace.h"
 
 using namespace apollo;
@@ -190,17 +197,117 @@ int RunRemoteShell(const std::string& target, bool use_shm) {
   return 0;
 }
 
+int RunClusterShell(const std::string& list) {
+  std::vector<net::ClusterPeer> peers;
+  std::vector<net::RemoteNode> nodes;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "--cluster expects host:port,host:port,...\n");
+      return 2;
+    }
+    net::ClusterPeer peer;
+    peer.name = entry;
+    peer.host = entry.substr(0, colon);
+    peer.port = static_cast<std::uint16_t>(
+        std::atoi(entry.c_str() + colon + 1));
+    peers.push_back(peer);
+    nodes.push_back(net::RemoteNode{peer.name, peer.host, peer.port});
+    start = comma + 1;
+    if (comma == list.size()) break;
+  }
+  if (peers.empty()) {
+    std::fprintf(stderr, "--cluster expects host:port,host:port,...\n");
+    return 2;
+  }
+
+  net::ClusterClient publisher(peers);
+  net::RemoteQueryOptions query_options;
+  query_options.cluster_mode = true;
+  net::RemoteQueryEngine queries(nodes, query_options);
+  if (Status status = publisher.RefreshMap(); !status.ok()) {
+    std::printf("warning: no node answered the map fetch yet (%s)\n",
+                status.ToString().c_str());
+  }
+  std::printf("cluster shell over %zu nodes. commands: query <sql> | "
+              "explain <sql> | publish <topic> <value> | \\cluster | quit\n",
+              peers.size());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    if (!(input >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "query" || command == "explain") {
+      std::string sql;
+      std::getline(input, sql);
+      if (command == "explain") sql = "EXPLAIN ANALYZE " + sql;
+      auto rs = queries.Execute(sql);
+      if (rs.ok()) {
+        if (rs->degraded) std::printf("(degraded answer)\n");
+        PrintResult(*rs);
+      } else {
+        std::printf("error: %s\n", rs.error().ToString().c_str());
+      }
+    } else if (command == "publish") {
+      std::string topic;
+      double value = 0.0;
+      input >> topic >> value;
+      Sample sample;
+      sample.timestamp = RealClock::Instance().Now();
+      sample.value = value;
+      auto id = publisher.Publish(topic, sample.timestamp, sample);
+      if (id.ok()) {
+        std::printf("published %s = %.6g (entry %llu)\n", topic.c_str(),
+                    value, static_cast<unsigned long long>(*id));
+      } else {
+        std::printf("error: %s\n", id.error().ToString().c_str());
+      }
+    } else if (command == "\\cluster" || command == "cluster") {
+      (void)publisher.RefreshMap();
+      auto map = publisher.map();
+      if (!map.has_value()) {
+        std::printf("no cluster map (is any node up?)\n");
+        continue;
+      }
+      std::printf("map v%llu rf=%u quorum=%u\n",
+                  static_cast<unsigned long long>(map->version),
+                  map->replication_factor, map->write_quorum);
+      for (const cluster::Member& m : map->members) {
+        std::printf("  %-24s %-8s gen=%llu\n", m.name.c_str(),
+                    cluster::MemberStateName(m.state),
+                    static_cast<unsigned long long>(m.generation));
+      }
+    } else {
+      std::printf("cluster commands: query <sql> | explain <sql> | "
+                  "publish <topic> <value> | \\cluster | quit\n");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool use_shm = false;
   const char* connect_target = nullptr;
+  const char* cluster_list = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
+      cluster_list = argv[++i];
     } else if (std::strcmp(argv[i], "--shm") == 0) {
       use_shm = true;
     }
+  }
+  if (cluster_list != nullptr) {
+    return RunClusterShell(cluster_list);
   }
   if (connect_target != nullptr) {
     return RunRemoteShell(connect_target, use_shm);

@@ -10,11 +10,21 @@
 // With --port 0 (the default) the kernel picks a free port, printed on the
 // first line as "apollod listening on <host>:<port>". The daemon runs
 // until stdin reaches EOF or a "quit" line arrives.
+//
+// Cluster mode: `--cluster host:port,host:port,...` lists the full member
+// set (names are the host:port strings) and `--cluster-self host:port`
+// says which entry this process is (default: the entry whose port matches
+// --port, else the first). Clustered daemons replicate publishes to
+// `--cluster-rf` replicas and ack once `--cluster-quorum` hold the run;
+// the simulated monitoring plan is NOT deployed (local vertices would
+// write one replica behind the cluster's back).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "apollo/apollo_service.h"
 #include "apollo/deployment_plan.h"
@@ -22,35 +32,118 @@
 
 using namespace apollo;
 
+namespace {
+
+// "host:port,host:port,..." -> peers named by their own endpoint string.
+bool ParseClusterList(const std::string& list,
+                      std::vector<net::ClusterPeer>& peers) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0) {
+      return false;
+    }
+    net::ClusterPeer peer;
+    peer.name = entry;
+    peer.host = entry.substr(0, colon);
+    peer.port = static_cast<std::uint16_t>(
+        std::atoi(entry.c_str() + colon + 1));
+    if (peer.port == 0) return false;
+    peers.push_back(std::move(peer));
+    start = comma + 1;
+    if (comma == list.size()) break;
+  }
+  return !peers.empty();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   net::DaemonConfig config;
   std::string name = "apollod";
+  std::string cluster_list;
+  std::string cluster_self;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       config.server.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
       name = argv[++i];
+    } else if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
+      cluster_list = argv[++i];
+    } else if (std::strcmp(argv[i], "--cluster-self") == 0 && i + 1 < argc) {
+      cluster_self = argv[++i];
+    } else if (std::strcmp(argv[i], "--cluster-rf") == 0 && i + 1 < argc) {
+      config.cluster.replication_factor =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cluster-quorum") == 0 &&
+               i + 1 < argc) {
+      config.cluster.write_quorum =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--port N] [--name NAME]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--name NAME]\n"
+                   "          [--cluster host:port,...]"
+                   " [--cluster-self host:port]\n"
+                   "          [--cluster-rf N] [--cluster-quorum N]\n",
+                   argv[0]);
       return 2;
     }
   }
   config.server.server_name = name;
-
-  ClusterConfig cluster_config;
-  cluster_config.compute_nodes = 2;
-  cluster_config.storage_nodes = 2;
-  auto cluster = Cluster::MakeAresLike(cluster_config);
+  if (!cluster_list.empty()) {
+    if (!ParseClusterList(cluster_list, config.cluster.members)) {
+      std::fprintf(stderr, "--cluster expects host:port,host:port,...\n");
+      return 2;
+    }
+    config.cluster.enabled = true;
+    if (cluster_self.empty()) {
+      // Default self: the member whose port matches --port, else first.
+      config.cluster.self = config.cluster.members.front().name;
+      for (const net::ClusterPeer& p : config.cluster.members) {
+        if (p.port == config.server.port) config.cluster.self = p.name;
+      }
+    } else {
+      config.cluster.self = cluster_self;
+    }
+    const net::ClusterPeer* self = nullptr;
+    for (const net::ClusterPeer& p : config.cluster.members) {
+      if (p.name == config.cluster.self) self = &p;
+    }
+    if (self == nullptr) {
+      std::fprintf(stderr, "--cluster-self %s is not in the member list\n",
+                   config.cluster.self.c_str());
+      return 2;
+    }
+    config.server.port = self->port;
+  }
 
   ApolloOptions options;
   options.mode = ApolloOptions::Mode::kRealTime;
   ApolloService apollo(options);
-  auto plan = DeployStandardMonitoring(apollo, *cluster);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "deployment failed: %s\n",
-                 plan.error().ToString().c_str());
-    return 1;
+  std::size_t fact_topics = 0;
+  std::size_t insight_topics = 0;
+  // Must outlive the service: the deployed monitor hooks poll its devices.
+  std::unique_ptr<Cluster> cluster;
+  if (!config.cluster.enabled) {
+    ClusterConfig cluster_config;
+    cluster_config.compute_nodes = 2;
+    cluster_config.storage_nodes = 2;
+    cluster = Cluster::MakeAresLike(cluster_config);
+    auto plan = DeployStandardMonitoring(apollo, *cluster);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "deployment failed: %s\n",
+                   plan.error().ToString().c_str());
+      return 1;
+    }
+    fact_topics = plan->fact_topics.size();
+    insight_topics = plan->insight_topics.size();
   }
+  // Cluster mode serves replicated topics only: the simulated monitoring
+  // vertices publish straight into the local broker, which would put rows
+  // on one replica behind the cluster's back.
   if (Status status = apollo.Start(); !status.ok()) {
     std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
     return 1;
@@ -61,9 +154,15 @@ int main(int argc, char** argv) {
                  port.error().ToString().c_str());
     return 1;
   }
-  std::printf("apollod listening on %s:%u (%zu facts + %zu insights)\n",
-              config.server.bind_address.c_str(), *port,
-              plan->fact_topics.size(), plan->insight_topics.size());
+  if (config.cluster.enabled) {
+    std::printf("apollod listening on %s:%u (cluster %s, %zu members)\n",
+                config.server.bind_address.c_str(), *port,
+                config.cluster.self.c_str(), config.cluster.members.size());
+  } else {
+    std::printf("apollod listening on %s:%u (%zu facts + %zu insights)\n",
+                config.server.bind_address.c_str(), *port, fact_topics,
+                insight_topics);
+  }
   std::fflush(stdout);
 
   std::string line;

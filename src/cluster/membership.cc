@@ -1,0 +1,156 @@
+#include "cluster/membership.h"
+
+#include "cluster/placement.h"
+
+namespace apollo::cluster {
+
+const char* MemberStateName(MemberState state) {
+  switch (state) {
+    case MemberState::kJoining: return "joining";
+    case MemberState::kAlive: return "alive";
+    case MemberState::kSuspect: return "suspect";
+    case MemberState::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+MembershipTable::MembershipTable(std::string self_name,
+                                 std::uint64_t self_generation,
+                                 const std::vector<Member>& members,
+                                 MembershipConfig config)
+    : self_name_(std::move(self_name)), config_(config) {
+  slots_.reserve(members.size());
+  for (const Member& m : members) {
+    Slot slot;
+    slot.member = m;
+    if (slot.member.name == self_name_) {
+      self_index_ = slots_.size();
+      slot.member.generation = self_generation;
+      slot.member.state = MemberState::kJoining;
+    } else {
+      slot.member.generation = 0;
+      slot.member.state = MemberState::kDead;
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void MembershipTable::TransitionLocked(Slot& slot, MemberState next) {
+  if (slot.member.state == next) return;
+  if (next == MemberState::kSuspect) ++suspects_;
+  if (next == MemberState::kDead) ++deaths_;
+  slot.member.state = next;
+  ++version_;
+}
+
+void MembershipTable::Observe(const std::string& name,
+                              std::uint64_t generation, MemberState state,
+                              TimeNs now) {
+  std::lock_guard<std::mutex> g(lock_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i == self_index_ || slots_[i].member.name != name) continue;
+    Slot& slot = slots_[i];
+    if (generation < slot.member.generation) return;  // stale incarnation
+    if (generation > slot.member.generation) {
+      // New incarnation: the old life's state is void. Count it as a
+      // recovery when we had written the peer off.
+      if (slot.member.generation != 0 &&
+          slot.member.state == MemberState::kDead) {
+        ++recoveries_;
+      }
+      slot.member.generation = generation;
+    } else if (slot.member.state == MemberState::kDead &&
+               state != MemberState::kDead) {
+      ++recoveries_;
+    }
+    slot.last_ack = now;
+    slot.ever_acked = true;
+    TransitionLocked(slot, state);
+    return;
+  }
+}
+
+void MembershipTable::ProbeFailed(const std::string& name, TimeNs now) {
+  (void)name;
+  (void)now;
+  // Timeouts in Tick() measure silence since last_ack; an explicit
+  // failure record is not needed, but the hook is kept for symmetry and
+  // future phi-accrual upgrades.
+}
+
+bool MembershipTable::Tick(TimeNs now) {
+  std::lock_guard<std::mutex> g(lock_);
+  const std::uint64_t before = version_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i == self_index_) continue;
+    Slot& slot = slots_[i];
+    if (!slot.ever_acked) continue;  // never joined: stays kDead
+    if (slot.member.state == MemberState::kDead) continue;
+    const TimeNs silent = now - slot.last_ack;
+    if (silent > config_.dead_after) {
+      TransitionLocked(slot, MemberState::kDead);
+    } else if (silent > config_.suspect_after &&
+               slot.member.state == MemberState::kAlive) {
+      TransitionLocked(slot, MemberState::kSuspect);
+    }
+  }
+  return version_ != before;
+}
+
+void MembershipTable::SetSelfState(MemberState state) {
+  std::lock_guard<std::mutex> g(lock_);
+  TransitionLocked(slots_[self_index_], state);
+}
+
+MemberState MembershipTable::SelfState() const {
+  std::lock_guard<std::mutex> g(lock_);
+  return slots_[self_index_].member.state;
+}
+
+ClusterMap MembershipTable::Snapshot() const {
+  std::lock_guard<std::mutex> g(lock_);
+  ClusterMap map;
+  map.version = version_;
+  map.replication_factor = replication_factor_;
+  map.write_quorum = write_quorum_;
+  map.members.reserve(slots_.size());
+  for (const Slot& slot : slots_) map.members.push_back(slot.member);
+  return map;
+}
+
+std::uint64_t MembershipTable::Suspects() const {
+  std::lock_guard<std::mutex> g(lock_);
+  return suspects_;
+}
+
+std::uint64_t MembershipTable::Deaths() const {
+  std::lock_guard<std::mutex> g(lock_);
+  return deaths_;
+}
+
+std::uint64_t MembershipTable::Recoveries() const {
+  std::lock_guard<std::mutex> g(lock_);
+  return recoveries_;
+}
+
+std::vector<const Member*> AliveReplicasFor(const PlacementRing& ring,
+                                            const ClusterMap& map,
+                                            std::string_view topic) {
+  // Walk the ring over eligible nodes only: a dead base replica is
+  // REPLACED by the next clockwise survivor rather than merely dropped,
+  // so the set keeps its full width and write_quorum stays meetable with
+  // any `rf` live nodes. Suspects stay eligible (they may just be slow);
+  // joining and dead members are skipped until resync completes.
+  const std::vector<std::string> names = ring.ReplicasFor(
+      topic, map.replication_factor, [&map](const std::string& name) {
+        const Member* m = map.Find(name);
+        return m != nullptr && (m->state == MemberState::kAlive ||
+                                m->state == MemberState::kSuspect);
+      });
+  std::vector<const Member*> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) out.push_back(map.Find(name));
+  return out;
+}
+
+}  // namespace apollo::cluster

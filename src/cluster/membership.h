@@ -1,0 +1,147 @@
+// Heartbeat-driven cluster membership: who is in the ring, in what state,
+// and at which incarnation.
+//
+// Each node probes every configured peer on a fixed interval. The
+// per-peer state machine is driven by probe outcomes and wall-clock
+// timeouts:
+//
+//     kJoining --resync done--> kAlive
+//     kAlive   --no ack for suspect_after--> kSuspect
+//     kSuspect --no ack for dead_after----> kDead
+//     any      --ack received------------> peer's self-reported state
+//
+// A peer's `generation` is its process-start timestamp: a restarted node
+// comes back with a strictly newer generation, so an ack from the new
+// incarnation is never mistaken for the old one's late reply — the table
+// records the generation bump as a recovery, and the rejoining node
+// re-enters through kJoining (resync) rather than resuming as kAlive.
+//
+// MembershipTable is a passive bookkeeping structure: the owner (the
+// cluster controller) feeds it probe results and calls Tick() to apply
+// timeouts. All methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace apollo::cluster {
+
+enum class MemberState : std::uint8_t {
+  kJoining = 0,  // resyncing from peers; not yet a placement target
+  kAlive = 1,
+  kSuspect = 2,  // missed heartbeats; still a placement target
+  kDead = 3,     // failed over: no longer a placement target
+};
+
+const char* MemberStateName(MemberState state);
+
+struct Member {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t generation = 0;  // process-start stamp; 0 = never seen
+  MemberState state = MemberState::kDead;
+};
+
+// Versioned snapshot of the whole cluster: pushed to clients on change and
+// served on kGetClusterMap. `version` increases monotonically on the node
+// that produced the map; clients keep the freshest map per source node.
+struct ClusterMap {
+  std::uint64_t version = 0;
+  std::uint32_t replication_factor = 2;
+  std::uint32_t write_quorum = 2;
+  std::vector<Member> members;
+
+  const Member* Find(const std::string& name) const {
+    for (const Member& m : members)
+      if (m.name == name) return &m;
+    return nullptr;
+  }
+};
+
+struct MembershipConfig {
+  TimeNs suspect_after = Millis(400);  // alive -> suspect without an ack
+  TimeNs dead_after = Millis(1000);    // -> dead without an ack
+};
+
+class MembershipTable {
+ public:
+  // `self` must be one of `members` (matched by name). Peers start kDead
+  // with generation 0: they join the ring on their first heartbeat, so a
+  // cold-starting cluster never routes to a node that was never up.
+  MembershipTable(std::string self_name, std::uint64_t self_generation,
+                  const std::vector<Member>& members, MembershipConfig config);
+
+  // Records a heartbeat ack (or an observed inbound heartbeat) from
+  // `name` reporting its own `generation` and `state`.
+  void Observe(const std::string& name, std::uint64_t generation,
+               MemberState state, TimeNs now);
+
+  // Records a failed probe round-trip. Failures do not move the state
+  // machine directly — Tick()'s timeouts do — but they stop last-ack
+  // refreshes, which is what the timeouts measure.
+  void ProbeFailed(const std::string& name, TimeNs now);
+
+  // Applies suspect/dead timeouts. Returns true when any state changed
+  // (the caller bumps the map version and pushes the new map).
+  bool Tick(TimeNs now);
+
+  void SetSelfState(MemberState state);
+  MemberState SelfState() const;
+
+  // Current map including self. Bumps the version iff `changed` was
+  // returned by an earlier mutation; callers use Snapshot() freely.
+  ClusterMap Snapshot() const;
+
+  // Counters for telemetry (monotonic since construction).
+  std::uint64_t Suspects() const;
+  std::uint64_t Deaths() const;
+  std::uint64_t Recoveries() const;
+
+ private:
+  struct Slot {
+    Member member;
+    TimeNs last_ack = 0;
+    bool ever_acked = false;
+  };
+
+  // Applies one state transition under lock_, bumping version/counters.
+  void TransitionLocked(Slot& slot, MemberState next);
+
+  mutable std::mutex lock_;
+  std::string self_name_;
+  MembershipConfig config_;
+  std::vector<Slot> slots_;
+  std::size_t self_index_ = 0;
+  std::uint64_t version_ = 1;
+  std::uint32_t replication_factor_ = 2;
+  std::uint32_t write_quorum_ = 2;
+  std::uint64_t suspects_ = 0;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t recoveries_ = 0;
+
+  friend class MembershipTableTestPeer;
+
+ public:
+  void SetQuorum(std::uint32_t rf, std::uint32_t quorum) {
+    std::lock_guard<std::mutex> g(lock_);
+    replication_factor_ = rf;
+    write_quorum_ = quorum;
+  }
+};
+
+// Replica selection over a map: the ring walk restricted to alive-or-
+// suspect members, so a dead base replica is replaced by the next
+// clockwise survivor and the set keeps its full `replication_factor`
+// width while enough nodes live. The first member is the topic's
+// primary. Pointers alias `map.members`.
+class PlacementRing;
+std::vector<const Member*> AliveReplicasFor(const PlacementRing& ring,
+                                            const ClusterMap& map,
+                                            std::string_view topic);
+
+}  // namespace apollo::cluster

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 namespace apollo {
 
@@ -29,6 +31,10 @@ const char* FaultSiteName(FaultSite site) {
       return "batch_decode";
     case FaultSite::kShmAttach:
       return "shm_attach";
+    case FaultSite::kHeartbeatLoss:
+      return "heartbeat_loss";
+    case FaultSite::kReplicaLag:
+      return "replica_lag";
   }
   return "unknown";
 }
@@ -97,6 +103,23 @@ TimeNs BackoffForAttempt(const RetryPolicy& policy, int attempt) {
                    std::pow(policy.multiplier, attempt - 1);
   backoff = std::min(backoff, static_cast<double>(policy.max_backoff));
   return static_cast<TimeNs>(backoff);
+}
+
+TimeNs JitteredBackoffForAttempt(const RetryPolicy& policy, int attempt) {
+  const TimeNs ceiling = BackoffForAttempt(policy, attempt);
+  if (ceiling <= 0) return ceiling;
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0) return ceiling;
+  // Seed each thread from its id so concurrent retriers draw independent
+  // sequences without locking (determinism across runs is not a goal
+  // here: jitter exists precisely to decorrelate).
+  thread_local Rng rng(
+      0x6A177E12ULL ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const double lo = static_cast<double>(ceiling) * (1.0 - jitter);
+  const double span = static_cast<double>(ceiling) - lo;
+  const TimeNs wait = static_cast<TimeNs>(lo + rng.NextDouble() * span);
+  return std::max<TimeNs>(wait, 1);
 }
 
 bool RetryableError(ErrorCode code) {

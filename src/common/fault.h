@@ -41,8 +41,12 @@ enum class FaultSite : std::uint8_t {
   kBatchDecode,    // daemon batch-publish decode: whole batch rejected
   kShmAttach,      // shm-lane handshake: attach refused (client falls
                    // back to TCP batching)
+  kHeartbeatLoss,  // cluster probe round-trip: heartbeat dropped (the
+                   // peer looks silent; drives suspect/dead transitions)
+  kReplicaLag,     // daemon-to-daemon replicate: failure, or added
+                   // latency (a slow replica delays quorum)
 };
-inline constexpr std::size_t kNumFaultSites = 11;
+inline constexpr std::size_t kNumFaultSites = 13;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -122,11 +126,24 @@ struct RetryPolicy {
   // Total time budget across attempts measured from the first attempt;
   // 0 disables the deadline.
   TimeNs deadline = 0;
+  // Fraction of each backoff randomized away ("full jitter" at 1.0): the
+  // actual wait is uniform in [backoff*(1-jitter), backoff]. Randomizing
+  // the wait keeps N clients recovering from the same node death from
+  // hammering it in lockstep on every retry round.
+  double jitter = 1.0;
 };
 
 // Backoff before retry `attempt` (1-based: the wait after the first
-// failure is BackoffForAttempt(policy, 1)).
+// failure is BackoffForAttempt(policy, 1)). Deterministic ceiling —
+// `policy.jitter` is NOT applied here (tests and deadline math rely on
+// the exact exponential); use JitteredBackoffForAttempt on real sleeps.
 TimeNs BackoffForAttempt(const RetryPolicy& policy, int attempt);
+
+// BackoffForAttempt with `policy.jitter` applied: uniform in
+// [ceiling*(1-jitter), ceiling], never below 1ns for a non-zero ceiling.
+// Draws from a thread-local generator seeded per thread, so concurrent
+// retriers decorrelate without sharing state.
+TimeNs JitteredBackoffForAttempt(const RetryPolicy& policy, int attempt);
 
 // Errors worth retrying: transient unavailability (injected drops and
 // timeouts surface as kUnavailable, real I/O hiccups as kIoError).

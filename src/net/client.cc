@@ -57,7 +57,7 @@ Status ApolloClient::Connect() {
     if (last.ok()) return last;
     if (!RetryableError(last.code())) return last;
     if (attempt == policy.max_attempts) break;
-    const TimeNs backoff = BackoffForAttempt(policy, attempt);
+    const TimeNs backoff = JitteredBackoffForAttempt(policy, attempt);
     if (policy.deadline > 0 &&
         clock_.Now() + backoff - start >= policy.deadline) {
       break;
@@ -274,6 +274,15 @@ Status ApolloClient::ReadSome(TimeNs deadline) {
       }
       continue;
     }
+    if (frame.type == MsgType::kClusterMap && frame.request_id == 0) {
+      ClusterMapMsg push;
+      if (ClusterMapMsg::Decode(frame.payload, push) &&
+          (!pushed_map_.has_value() ||
+           push.map.version >= pushed_map_->version)) {
+        pushed_map_ = std::move(push.map);
+      }
+      continue;
+    }
     pending_.push_back(std::move(frame));
   }
   return Status::Ok();
@@ -449,11 +458,11 @@ Status ApolloClient::FlushChunk() {
 }
 
 Expected<PublishBatchAckMsg> ApolloClient::PublishBatch(
-    const PublishBatchMsg& msg) {
+    const PublishBatchMsg& msg, std::uint16_t flags) {
   Payload payload;
   msg.Encode(payload);
-  auto reply =
-      Roundtrip(MsgType::kPublishBatch, payload, MsgType::kPublishBatchAck);
+  auto reply = Roundtrip(MsgType::kPublishBatch, payload,
+                         MsgType::kPublishBatchAck, flags);
   if (!reply.ok()) return reply.error();
   PublishBatchAckMsg ack;
   if (!PublishBatchAckMsg::Decode(reply->payload, ack)) {
@@ -578,6 +587,62 @@ Expected<std::string> ApolloClient::FetchMetricsText() {
     return Error(ErrorCode::kParseError, "bad metrics text");
   }
   return msg.text;
+}
+
+Expected<HeartbeatAckMsg> ApolloClient::Heartbeat(const HeartbeatMsg& msg) {
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kHeartbeat, payload, MsgType::kHeartbeatAck);
+  if (!reply.ok()) return reply.error();
+  HeartbeatAckMsg ack;
+  if (!HeartbeatAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad heartbeat ack");
+  }
+  return ack;
+}
+
+Expected<ReplicateAckMsg> ApolloClient::Replicate(const ReplicateMsg& msg) {
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kReplicate, payload, MsgType::kReplicateAck);
+  if (!reply.ok()) return reply.error();
+  ReplicateAckMsg ack;
+  if (!ReplicateAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad replicate ack");
+  }
+  return ack;
+}
+
+Expected<ResyncChunkMsg> ApolloClient::ResyncPull(const ResyncPullMsg& msg) {
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kResyncPull, payload, MsgType::kResyncChunk);
+  if (!reply.ok()) return reply.error();
+  ResyncChunkMsg chunk;
+  if (!ResyncChunkMsg::Decode(reply->payload, chunk)) {
+    return Error(ErrorCode::kParseError, "bad resync chunk");
+  }
+  return chunk;
+}
+
+Expected<cluster::ClusterMap> ApolloClient::FetchClusterMap() {
+  auto reply =
+      Roundtrip(MsgType::kGetClusterMap, {}, MsgType::kClusterMap);
+  if (!reply.ok()) return reply.error();
+  ClusterMapMsg msg;
+  if (!ClusterMapMsg::Decode(reply->payload, msg)) {
+    return Error(ErrorCode::kParseError, "bad cluster map");
+  }
+  return msg.map;
+}
+
+std::optional<cluster::ClusterMap> ApolloClient::TakeClusterMapPush() {
+  std::optional<cluster::ClusterMap> out;
+  out.swap(pushed_map_);
+  return out;
 }
 
 std::vector<DeliverMsg> ApolloClient::TakeDeliveries() {

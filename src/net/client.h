@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -108,8 +109,10 @@ class ApolloClient {
   std::size_t PendingSamples() const { return queue_.size(); }
 
   // One explicit batch round trip (callers that pre-build runs; the bench
-  // uses this to pin the batch size exactly).
-  Expected<PublishBatchAckMsg> PublishBatch(const PublishBatchMsg& msg);
+  // uses this to pin the batch size exactly). `flags` lets cluster nodes
+  // mark forwarded runs (kFlagForwarded).
+  Expected<PublishBatchAckMsg> PublishBatch(const PublishBatchMsg& msg,
+                                            std::uint16_t flags = 0);
 
   // Offers the daemon a shared-memory lane for this fixed topic set.
   // On refusal the client counts a fallback and stays on TCP batching.
@@ -127,6 +130,18 @@ class ApolloClient {
   Expected<std::vector<TopicInfo>> ListTopics();
   // One Prometheus text-exposition scrape of the daemon's registry.
   Expected<std::string> FetchMetricsText();
+
+  // --- cluster fabric round trips (daemon-to-daemon and map refresh) ---
+
+  Expected<HeartbeatAckMsg> Heartbeat(const HeartbeatMsg& msg);
+  Expected<ReplicateAckMsg> Replicate(const ReplicateMsg& msg);
+  Expected<ResyncChunkMsg> ResyncPull(const ResyncPullMsg& msg);
+  Expected<cluster::ClusterMap> FetchClusterMap();
+
+  // Freshest kClusterMap push received so far (request_id 0 frames are
+  // buffered like deliveries); nullopt when none arrived since the last
+  // take. Higher-version pushes replace buffered lower ones.
+  std::optional<cluster::ClusterMap> TakeClusterMapPush();
 
   // --- pushed deliveries ---
 
@@ -180,6 +195,7 @@ class ApolloClient {
   FrameParser parser_;
   std::deque<Frame> pending_;
   std::vector<DeliverMsg> deliveries_;
+  std::optional<cluster::ClusterMap> pushed_map_;
   std::string server_name_;
   std::atomic<FaultInjector*> fault_{nullptr};
   obs::Histogram rtt_;

@@ -18,7 +18,15 @@ ApolloDaemon::ApolloDaemon(Broker& broker, aqe::Executor& executor,
       executor_(executor),
       config_(std::move(config)),
       loop_(RealClock::Instance()),
-      server_(loop_, config_.server, *this) {}
+      server_(loop_, config_.server, *this) {
+  if (config_.cluster.enabled) {
+    // Shm-lane samples skip the frame path, so they would land on this
+    // replica only — refuse offers and keep every publish on RouteBatch.
+    config_.accept_shm = false;
+    controller_ =
+        std::make_unique<ClusterController>(broker_, config_.cluster);
+  }
+}
 
 ApolloDaemon::~ApolloDaemon() { Stop(); }
 
@@ -26,6 +34,9 @@ Status ApolloDaemon::Start() {
   if (running_) {
     return Status(ErrorCode::kFailedPrecondition, "daemon already running");
   }
+  // A SIGKILLed producer leaks its shm lane until someone unlinks it;
+  // daemon startup is the natural sweep point.
+  ReapOrphanShmLanes();
   loop_.ClearStop();
   Status status = server_.Start();
   if (!status.ok()) return status;
@@ -37,12 +48,62 @@ Status ApolloDaemon::Start() {
   thread_ = std::thread([this] {
     loop_.Run(std::numeric_limits<TimeNs>::max(), /*stop_when_idle=*/false);
   });
+  if (controller_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> g(route_mu_);
+      route_stop_ = false;
+    }
+    route_thread_ = std::thread([this] { RouteLoop(); });
+    status = controller_->Start([this](const cluster::ClusterMap& map) {
+      // Probe or loop thread -> loop thread.
+      loop_.Post([this, map] { BroadcastMap(map); });
+    });
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+  }
   return Status::Ok();
+}
+
+void ApolloDaemon::PostRoute(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> g(route_mu_);
+    route_q_.push_back(std::move(task));
+  }
+  route_cv_.notify_one();
+}
+
+void ApolloDaemon::RouteLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(route_mu_);
+      route_cv_.wait(lock, [this] { return route_stop_ || !route_q_.empty(); });
+      if (route_stop_ && route_q_.empty()) return;
+      task = std::move(route_q_.front());
+      route_q_.pop_front();
+    }
+    task();
+  }
 }
 
 void ApolloDaemon::Stop() {
   if (!running_) return;
   running_ = false;
+  // Route worker first: its queued jobs call into the controller and post
+  // replies to the loop, so both must still be alive while it drains.
+  if (route_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(route_mu_);
+      route_stop_ = true;
+    }
+    route_cv_.notify_all();
+    route_thread_.join();
+  }
+  // Controller next: its probe thread is the only other writer of
+  // cluster state.
+  if (controller_ != nullptr) controller_->Stop();
   loop_.Stop();
   if (thread_.joinable()) thread_.join();
   loop_.CancelTimer(pump_timer_);
@@ -50,9 +111,11 @@ void ApolloDaemon::Stop() {
   server_.Stop();  // loop no longer running: safe off-thread
   subs_.clear();
   shm_lanes_.clear();
+  conns_.clear();
 }
 
 void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
+  conns_.insert(conn.id());
   switch (frame.type) {
     case MsgType::kHello:
       HandleHello(conn, frame);
@@ -84,6 +147,18 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
     case MsgType::kMetrics:
       HandleMetrics(conn, frame);
       return;
+    case MsgType::kHeartbeat:
+      HandleHeartbeat(conn, frame);
+      return;
+    case MsgType::kGetClusterMap:
+      HandleGetClusterMap(conn, frame);
+      return;
+    case MsgType::kReplicate:
+      HandleReplicate(conn, frame);
+      return;
+    case MsgType::kResyncPull:
+      HandleResyncPull(conn, frame);
+      return;
     default:
       SendError(conn, frame.request_id, ErrorCode::kInvalidArgument,
                 std::string("unexpected message type: ") +
@@ -92,7 +167,11 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
 }
 
 void ApolloDaemon::OnClose(Connection& conn) {
+  conns_.erase(conn.id());
   subs_.erase(conn.id());
+  // A closing connection is when a same-host producer most plausibly
+  // just died — sweep for lanes whose owning pid is gone.
+  ReapOrphanShmLanes();
   // Drain whatever the producer managed to push before unmapping — samples
   // already in the ring are acked by the shm contract (push succeeded), so
   // they must reach the broker even when the TCP side dies first.
@@ -127,6 +206,41 @@ void ApolloDaemon::HandlePublish(Connection& conn, const Frame& frame) {
   PublishMsg msg;
   if (!PublishMsg::Decode(frame.payload, msg)) {
     SendError(conn, frame.request_id, ErrorCode::kParseError, "bad publish");
+    return;
+  }
+  if (controller_ != nullptr) {
+    // Cluster mode: one-sample batch through the replication router (on
+    // the route worker — see PostRoute), so single publishes get the same
+    // quorum/forwarding semantics.
+    PublishBatchMsg batch;
+    PublishBatchMsg::Run run;
+    run.topic = msg.topic;
+    TelemetryStream::Entry entry;
+    entry.timestamp = msg.timestamp;
+    entry.value = msg.sample;
+    run.entries.push_back(entry);
+    batch.runs.push_back(std::move(run));
+    const std::uint64_t conn_id = conn.id();
+    const std::uint32_t request_id = frame.request_id;
+    const bool forwarded = (frame.flags & kFlagForwarded) != 0;
+    PostRoute([this, conn_id, request_id, forwarded,
+               batch = std::move(batch)] {
+      PublishBatchAckMsg batch_ack;
+      batch_ack.Resize(1);
+      controller_->RouteBatch(batch, forwarded, batch_ack);
+      loop_.Post([this, conn_id, request_id, batch_ack] {
+        Connection* reply_conn = server_.FindConnection(conn_id);
+        if (reply_conn == nullptr) return;
+        if (batch_ack.error_count > 0) {
+          SendError(*reply_conn, request_id, batch_ack.first_error_code,
+                    batch_ack.first_error);
+          return;
+        }
+        PublishAckMsg ack;
+        ack.entry_id = batch_ack.last_entry_id;
+        SendMsg(*reply_conn, MsgType::kPublishAck, request_id, ack);
+      });
+    });
     return;
   }
   auto id = broker_.Publish(msg.topic, config_.node, msg.timestamp,
@@ -168,6 +282,30 @@ void ApolloDaemon::HandlePublishBatch(Connection& conn, const Frame& frame) {
   const std::size_t total = msg.SampleCount();
   PublishBatchAckMsg ack;
   ack.Resize(static_cast<std::uint32_t>(total));
+  if (controller_ != nullptr) {
+    const std::uint64_t conn_id = conn.id();
+    const std::uint32_t request_id = frame.request_id;
+    const bool forwarded = (frame.flags & kFlagForwarded) != 0;
+    PostRoute([this, conn_id, request_id, forwarded, total,
+               msg = std::move(msg)] {
+      PublishBatchAckMsg route_ack;
+      route_ack.Resize(static_cast<std::uint32_t>(total));
+      controller_->RouteBatch(msg, forwarded, route_ack);
+      auto& counters = GlobalTelemetry();
+      counters.net_batch_publishes.Inc();
+      counters.net_batch_samples.Inc(total);
+      if (route_ack.error_count > 0) {
+        counters.net_batch_sample_errors.Inc(route_ack.error_count);
+      }
+      loop_.Post([this, conn_id, request_id, route_ack] {
+        Connection* reply_conn = server_.FindConnection(conn_id);
+        if (reply_conn == nullptr) return;
+        SendMsg(*reply_conn, MsgType::kPublishBatchAck, request_id,
+                route_ack);
+      });
+    });
+    return;
+  }
   std::size_t base = 0;
   for (const PublishBatchMsg::Run& run : msg.runs) {
     const std::size_t n = run.entries.size();
@@ -363,6 +501,85 @@ void ApolloDaemon::HandleMetrics(Connection& conn, const Frame& frame) {
   MetricsTextMsg msg;
   msg.text = obs::MetricsRegistry::Global().RenderPrometheus();
   SendMsg(conn, MsgType::kMetricsText, frame.request_id, msg);
+}
+
+void ApolloDaemon::HandleHeartbeat(Connection& conn, const Frame& frame) {
+  if (controller_ == nullptr) {
+    SendError(conn, frame.request_id, ErrorCode::kFailedPrecondition,
+              "daemon is not clustered");
+    return;
+  }
+  HeartbeatMsg msg;
+  if (!HeartbeatMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad heartbeat");
+    return;
+  }
+  HeartbeatAckMsg ack;
+  controller_->HandleHeartbeat(msg, ack);
+  SendMsg(conn, MsgType::kHeartbeatAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleGetClusterMap(Connection& conn, const Frame& frame) {
+  if (controller_ == nullptr) {
+    SendError(conn, frame.request_id, ErrorCode::kFailedPrecondition,
+              "daemon is not clustered");
+    return;
+  }
+  ClusterMapMsg msg;
+  msg.map = controller_->Snapshot();
+  SendMsg(conn, MsgType::kClusterMap, frame.request_id, msg);
+}
+
+void ApolloDaemon::HandleReplicate(Connection& conn, const Frame& frame) {
+  if (controller_ == nullptr) {
+    SendError(conn, frame.request_id, ErrorCode::kFailedPrecondition,
+              "daemon is not clustered");
+    return;
+  }
+  ReplicateMsg msg;
+  ReplicateAckMsg ack;
+  if (!ReplicateMsg::Decode(frame.payload, msg)) {
+    ack.verdict = ReplicateAckMsg::Verdict::kRefused;
+    SendMsg(conn, MsgType::kReplicateAck, frame.request_id, ack);
+    return;
+  }
+  controller_->HandleReplicate(msg, ack);
+  SendMsg(conn, MsgType::kReplicateAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleResyncPull(Connection& conn, const Frame& frame) {
+  if (controller_ == nullptr) {
+    SendError(conn, frame.request_id, ErrorCode::kFailedPrecondition,
+              "daemon is not clustered");
+    return;
+  }
+  ResyncPullMsg msg;
+  if (!ResyncPullMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError,
+              "bad resync pull");
+    return;
+  }
+  ResyncChunkMsg chunk;
+  Status status = controller_->HandleResyncPull(msg, chunk);
+  if (!status.ok()) {
+    SendError(conn, frame.request_id, status.code(), status.message());
+    return;
+  }
+  SendMsg(conn, MsgType::kResyncChunk, frame.request_id, chunk);
+}
+
+void ApolloDaemon::BroadcastMap(const cluster::ClusterMap& map) {
+  ClusterMapMsg msg;
+  msg.map = map;
+  Payload payload;
+  msg.Encode(payload);
+  for (const std::uint64_t conn_id : conns_) {
+    Connection* conn = server_.FindConnection(conn_id);
+    if (conn == nullptr) continue;
+    // Droppable: a backpressured client just fetches the map on demand.
+    conn->SendFrame(MsgType::kClusterMap, /*request_id=*/0, payload,
+                    /*flags=*/0, /*droppable=*/true);
+  }
 }
 
 void ApolloDaemon::PumpSubscriptions() {

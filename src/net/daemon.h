@@ -24,8 +24,14 @@
 //   kMetrics      -> MetricsRegistry::Global().RenderPrometheus() scrape
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +40,7 @@
 #include "common/clock.h"
 #include "common/expected.h"
 #include "eventloop/event_loop.h"
+#include "net/cluster_controller.h"
 #include "net/messages.h"
 #include "net/shm_lane.h"
 #include "net/transport.h"
@@ -52,8 +59,16 @@ struct DaemonConfig {
   // Max shm-lane slots drained per pump tick per lane (bounds the time one
   // lane can hold the loop thread).
   std::size_t shm_drain_batch = 4096;
-  // Refuse shm offers entirely (forces TCP fallback) when false.
+  // Refuse shm offers entirely (forces TCP fallback) when false. Forced
+  // false in cluster mode: shm-lane samples would bypass RouteBatch and
+  // land on one replica only.
   bool accept_shm = true;
+  // Cluster membership/replication; disabled (standalone daemon) by
+  // default. When enabled, publishes are routed through the
+  // ClusterController (replicated to write_quorum nodes before acking)
+  // and membership changes are pushed to every connected client as
+  // kClusterMap frames.
+  ClusterNodeConfig cluster;
 };
 
 class ApolloDaemon final : public FrameHandler {
@@ -72,6 +87,8 @@ class ApolloDaemon final : public FrameHandler {
   bool running() const { return running_; }
   Server& server() { return server_; }
   EventLoop& loop() { return loop_; }
+  // Null when cluster mode is disabled.
+  ClusterController* cluster() { return controller_.get(); }
 
  private:
   struct Subscription {
@@ -101,6 +118,26 @@ class ApolloDaemon final : public FrameHandler {
   void HandleQuery(Connection& conn, const Frame& frame);
   void HandleListTopics(Connection& conn, const Frame& frame);
   void HandleMetrics(Connection& conn, const Frame& frame);
+  void HandleHeartbeat(Connection& conn, const Frame& frame);
+  void HandleGetClusterMap(Connection& conn, const Frame& frame);
+  void HandleReplicate(Connection& conn, const Frame& frame);
+  void HandleResyncPull(Connection& conn, const Frame& frame);
+
+  // Loop thread: sends the map to every tracked connection as a
+  // droppable request_id-0 kClusterMap frame.
+  void BroadcastMap(const cluster::ClusterMap& map);
+
+  // Cluster publishes run on a dedicated route thread, never on the loop:
+  // RouteBatch blocks on peer round-trips (forward to the primary,
+  // replicate to secondaries), and a loop thread blocked mid-forward
+  // cannot answer the kReplicate the primary sends back — two daemons
+  // routing to each other would deadlock until their timeouts. The worker
+  // computes the ack off-loop and posts the reply back (by connection id;
+  // a connection gone by then just drops the reply, like any disconnect
+  // between request and response). One worker keeps write routing
+  // serialized exactly as the loop did.
+  void PostRoute(std::function<void()> task);
+  void RouteLoop();
 
   void PumpSubscriptions();
   void DrainShmLanes();
@@ -118,10 +155,23 @@ class ApolloDaemon final : public FrameHandler {
   std::thread thread_;
   bool running_ = false;
 
+  std::unique_ptr<ClusterController> controller_;  // cluster mode only
+
+  // Route worker (cluster mode only).
+  std::thread route_thread_;
+  std::mutex route_mu_;
+  std::condition_variable route_cv_;
+  std::deque<std::function<void()>> route_q_;
+  bool route_stop_ = false;
+
   // Loop-thread state.
   std::uint64_t next_sub_id_ = 1;
   std::map<std::uint64_t, std::vector<Subscription>> subs_;  // by conn id
   std::map<std::uint64_t, ShmLane> shm_lanes_;               // by conn id
+  // Connections seen since start (inserted on first frame, erased on
+  // close): the Server exposes no iteration, and map pushes must reach
+  // every client, not just subscribers.
+  std::set<std::uint64_t> conns_;
   TimerId pump_timer_ = 0;
 };
 

@@ -52,6 +52,22 @@ const char* MsgTypeName(MsgType type) {
       return "shm_attach";
     case MsgType::kShmAttachAck:
       return "shm_attach_ack";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kHeartbeatAck:
+      return "heartbeat_ack";
+    case MsgType::kGetClusterMap:
+      return "get_cluster_map";
+    case MsgType::kClusterMap:
+      return "cluster_map";
+    case MsgType::kReplicate:
+      return "replicate";
+    case MsgType::kReplicateAck:
+      return "replicate_ack";
+    case MsgType::kResyncPull:
+      return "resync_pull";
+    case MsgType::kResyncChunk:
+      return "resync_chunk";
   }
   return "unknown";
 }

@@ -59,6 +59,15 @@ enum class MsgType : std::uint8_t {
   kPublishBatchAck,  // server -> client: cumulative ack + error bitmap
   kShmAttach,        // client -> server: shared-memory ingest lane offer
   kShmAttachAck,     // server -> client: accepted or fall back to TCP
+  kHeartbeat,        // daemon -> daemon: membership probe (name, gen, state)
+  kHeartbeatAck,     // daemon -> daemon: prober learns the peer's state
+  kGetClusterMap,    // client -> server: request the current cluster map
+  kClusterMap,       // server -> client: map reply, or push on change
+                     // (request_id 0)
+  kReplicate,        // primary -> secondary: mirror a publish run
+  kReplicateAck,     // secondary -> primary: applied, or lag/ahead verdict
+  kResyncPull,       // joining node -> peer: WAL-tail catch-up request
+  kResyncChunk,      // peer -> joining node: entries [from_id, high_water)
 };
 
 const char* MsgTypeName(MsgType type);
@@ -66,6 +75,12 @@ const char* MsgTypeName(MsgType type);
 // kQuery flag: execute only the UNION branches whose topics this daemon
 // serves instead of failing on the first unknown topic (scatter-gather).
 inline constexpr std::uint16_t kFlagPartial = 1u << 0;
+
+// kPublish/kPublishBatch flag: this publish was forwarded by another
+// cluster node. The receiver must serve it as the topic's primary or
+// reject it — never forward again (caps any routing disagreement between
+// two nodes' maps at one hop instead of a forwarding loop).
+inline constexpr std::uint16_t kFlagForwarded = 1u << 1;
 
 struct Frame {
   MsgType type = MsgType::kError;

@@ -384,6 +384,148 @@ bool MetricsTextMsg::Decode(const Payload& in, MetricsTextMsg& msg) {
   return Finish(r);
 }
 
+namespace {
+
+void EncodeNodeInfo(WireWriter& w, const std::string& sender,
+                    std::uint64_t generation, std::uint8_t state,
+                    std::uint64_t map_version) {
+  w.Str(sender);
+  w.U64(generation);
+  w.U8(state);
+  w.U64(map_version);
+}
+
+}  // namespace
+
+void HeartbeatMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  EncodeNodeInfo(w, sender, generation, state, map_version);
+}
+
+bool HeartbeatMsg::Decode(const Payload& in, HeartbeatMsg& msg) {
+  WireReader r(in);
+  msg.sender = r.Str();
+  msg.generation = r.U64();
+  msg.state = r.U8();
+  msg.map_version = r.U64();
+  return Finish(r);
+}
+
+void HeartbeatAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  EncodeNodeInfo(w, sender, generation, state, map_version);
+}
+
+bool HeartbeatAckMsg::Decode(const Payload& in, HeartbeatAckMsg& msg) {
+  WireReader r(in);
+  msg.sender = r.Str();
+  msg.generation = r.U64();
+  msg.state = r.U8();
+  msg.map_version = r.U64();
+  return Finish(r);
+}
+
+void ClusterMapMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(map.version);
+  w.U32(map.replication_factor);
+  w.U32(map.write_quorum);
+  w.U32(static_cast<std::uint32_t>(map.members.size()));
+  for (const cluster::Member& m : map.members) {
+    w.Str(m.name);
+    w.Str(m.host);
+    w.U16(m.port);
+    w.U64(m.generation);
+    w.U8(static_cast<std::uint8_t>(m.state));
+  }
+}
+
+bool ClusterMapMsg::Decode(const Payload& in, ClusterMapMsg& msg) {
+  WireReader r(in);
+  msg.map = cluster::ClusterMap{};
+  msg.map.version = r.U64();
+  msg.map.replication_factor = r.U32();
+  msg.map.write_quorum = r.U32();
+  const std::uint32_t count = r.U32();
+  if (count > kMaxWireEntries) return false;
+  msg.map.members.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    cluster::Member m;
+    m.name = r.Str();
+    m.host = r.Str();
+    m.port = r.U16();
+    m.generation = r.U64();
+    const std::uint8_t state = r.U8();
+    if (state > static_cast<std::uint8_t>(cluster::MemberState::kDead))
+      return false;
+    m.state = static_cast<cluster::MemberState>(state);
+    msg.map.members.push_back(std::move(m));
+  }
+  return Finish(r);
+}
+
+void ReplicateMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(origin);
+  w.Str(topic);
+  w.U64(expected_base);
+  EncodeEntries(w, entries);
+}
+
+bool ReplicateMsg::Decode(const Payload& in, ReplicateMsg& msg) {
+  WireReader r(in);
+  msg.origin = r.Str();
+  msg.topic = r.Str();
+  msg.expected_base = r.U64();
+  if (!DecodeEntries(r, msg.entries)) return false;
+  return Finish(r);
+}
+
+void ReplicateAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U8(static_cast<std::uint8_t>(verdict));
+  w.U64(next_id);
+}
+
+bool ReplicateAckMsg::Decode(const Payload& in, ReplicateAckMsg& msg) {
+  WireReader r(in);
+  const std::uint8_t verdict = r.U8();
+  if (verdict > static_cast<std::uint8_t>(Verdict::kRefused)) return false;
+  msg.verdict = static_cast<Verdict>(verdict);
+  msg.next_id = r.U64();
+  return Finish(r);
+}
+
+void ResyncPullMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(topic);
+  w.U64(from_id);
+  w.U32(max_entries);
+}
+
+bool ResyncPullMsg::Decode(const Payload& in, ResyncPullMsg& msg) {
+  WireReader r(in);
+  msg.topic = r.Str();
+  msg.from_id = r.U64();
+  msg.max_entries = r.U32();
+  return Finish(r);
+}
+
+void ResyncChunkMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(high_water);
+  w.U64(first_id);
+  EncodeEntries(w, entries);
+}
+
+bool ResyncChunkMsg::Decode(const Payload& in, ResyncChunkMsg& msg) {
+  WireReader r(in);
+  msg.high_water = r.U64();
+  msg.first_id = r.U64();
+  if (!DecodeEntries(r, msg.entries)) return false;
+  return Finish(r);
+}
+
 void ErrorMsg::Encode(Payload& out) const {
   WireWriter w(out);
   w.U16(static_cast<std::uint16_t>(code));

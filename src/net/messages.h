@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "aqe/executor.h"
+#include "cluster/membership.h"
 #include "net/frame.h"
 #include "pubsub/broker.h"
 #include "pubsub/stream.h"
@@ -199,6 +200,96 @@ struct MetricsTextMsg {
 
   void Encode(Payload& out) const;
   static bool Decode(const Payload& in, MetricsTextMsg& msg);
+};
+
+// --- cluster fabric messages (heartbeat, map, replicate, resync) ---
+
+// Membership probe: carries the sender's identity so the receiving side
+// learns about the prober passively (an inbound heartbeat is as good an
+// aliveness proof as an ack), which is what lets a rejoining node
+// reappear in its peers' maps within one probe interval.
+struct HeartbeatMsg {
+  std::string sender;
+  std::uint64_t generation = 0;  // sender's process-start stamp
+  std::uint8_t state = 0;        // cluster::MemberState of the sender
+  std::uint64_t map_version = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, HeartbeatMsg& msg);
+};
+
+struct HeartbeatAckMsg {
+  std::string sender;
+  std::uint64_t generation = 0;
+  std::uint8_t state = 0;
+  std::uint64_t map_version = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, HeartbeatAckMsg& msg);
+};
+
+// Reply to kGetClusterMap and the push on membership change
+// (request_id 0). Clients keep the highest version seen per source node.
+struct ClusterMapMsg {
+  cluster::ClusterMap map;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ClusterMapMsg& msg);
+};
+
+// Primary -> secondary mirror of one publish run. `expected_base` is the
+// primary's stream NextId before it appends: the secondary applies the
+// entries only when its own NextId matches, so both streams assign the
+// same ids and a divergent replica is detected on the spot instead of
+// silently drifting.
+struct ReplicateMsg {
+  std::string origin;  // primary's node name
+  std::string topic;
+  std::uint64_t expected_base = 0;
+  std::vector<TelemetryStream::Entry> entries;  // id fields ignored
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ReplicateMsg& msg);
+};
+
+struct ReplicateAckMsg {
+  enum class Verdict : std::uint8_t {
+    kApplied = 0,  // entries appended at expected_base
+    kBehind = 1,   // replica's NextId < expected_base: it missed data and
+                   // will resync; the primary still counts the write as
+                   // unreplicated here
+    kAhead = 2,    // replica's NextId > expected_base: the PRIMARY is the
+                   // stale one (it just rejoined); it must abort the
+                   // append and resync before serving writes
+    kRefused = 3,  // not clustered / decode failure
+  };
+  Verdict verdict = Verdict::kRefused;
+  std::uint64_t next_id = 0;  // replica's NextId after handling
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ReplicateAckMsg& msg);
+};
+
+// WAL-tail catch-up: the joining node asks a peer replica for a topic's
+// entries from its own NextId forward, looping until it reaches the
+// peer's high water mark.
+struct ResyncPullMsg {
+  std::string topic;
+  std::uint64_t from_id = 0;
+  std::uint32_t max_entries = 4096;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ResyncPullMsg& msg);
+};
+
+struct ResyncChunkMsg {
+  std::uint64_t high_water = 0;  // peer's NextId at reply time
+  std::uint64_t first_id = 0;    // id of entries[0] (eviction may have
+                                 // advanced past the requested from_id)
+  std::vector<TelemetryStream::Entry> entries;  // ids preserved
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, ResyncChunkMsg& msg);
 };
 
 struct ErrorMsg {

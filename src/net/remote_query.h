@@ -12,15 +12,26 @@
 // graceful-degradation contract the local executor applies to crashed
 // vertices. A node with no cached answer contributes nothing and the merged
 // set is flagged degraded, but the query still returns.
+//
+// Cluster mode (options.cluster_mode): with replication every replica
+// serves a topic, so broadcasting partial queries would double-count
+// rows. Instead the engine keeps a ClusterMap (refreshed from the first
+// reachable node per Execute) and routes each table's branches to the
+// table's current primary; a node that fails its leg gets its tables
+// re-routed once to the next surviving replica before the last-known-good
+// cache is consulted — so queries keep answering through a node death
+// within two bounded rounds.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "aqe/executor.h"
+#include "cluster/membership.h"
 #include "common/clock.h"
 #include "common/expected.h"
 #include "common/fault.h"
@@ -40,6 +51,11 @@ struct RemoteQueryOptions {
   TimeNs node_deadline = 2 * kNsPerSec;
   TimeNs connect_timeout = 500 * kNsPerMs;
   RetryPolicy connect_retry;
+  // Replica-aware routing (see the header comment). Node names must
+  // match the cluster's configured member names.
+  bool cluster_mode = false;
+  // Must match the daemons' placement vnodes for routing to agree.
+  std::uint32_t vnodes = 64;
 };
 
 // Per-node account of the last Execute() (tests and EXPLAIN-style
@@ -71,11 +87,25 @@ class RemoteQueryEngine {
   // kConnDrop on the client side).
   void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  // Cluster map in use (cluster mode; nullopt before the first refresh).
+  std::optional<cluster::ClusterMap> LastMap() const;
+
  private:
   struct CachedResult {
     aqe::ResultSet result;
     TimeNs fetched_at = 0;
   };
+
+  // One scatter leg: sends `sql` to node index `node` and returns the
+  // reply (bounded by node_deadline).
+  Expected<ResultMsg> QueryNode(std::size_t node, const std::string& sql,
+                                bool partial);
+  // Broadcast-partial path (non-cluster and map-less fallback).
+  Expected<aqe::ResultSet> ExecuteBroadcast(const std::string& sql);
+  // Replica-routed path.
+  Expected<aqe::ResultSet> ExecuteCluster(const std::string& sql);
+  // Updates map_ from the first reachable node. Returns true on success.
+  bool RefreshMap();
 
   std::vector<RemoteNode> nodes_;
   RemoteQueryOptions options_;
@@ -85,6 +115,7 @@ class RemoteQueryEngine {
   // Last-known-good answers keyed by (node name, query text).
   std::map<std::pair<std::string, std::string>, CachedResult> cache_;
   std::vector<NodeOutcome> last_outcomes_;
+  std::optional<cluster::ClusterMap> map_;  // cluster mode only
 };
 
 }  // namespace apollo::net

@@ -1,6 +1,8 @@
 #include "net/shm_lane.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -8,6 +10,9 @@
 #include <cerrno>
 #include <cstring>
 #include <new>
+#include <string_view>
+
+#include "pubsub/telemetry.h"
 
 namespace apollo::net {
 
@@ -134,6 +139,53 @@ std::size_t ShmLaneConsumer::Drain(std::vector<ShmSlot>& out,
   }
   if (drained > 0) h->tail.store(tail, std::memory_order_release);
   return drained;
+}
+
+int ShmLaneOwnerPid(const std::string& name) {
+  constexpr std::string_view kPrefix = "apollo-lane-";
+  std::string_view rest = name;
+  if (!rest.empty() && rest[0] == '/') rest.remove_prefix(1);
+  if (rest.substr(0, kPrefix.size()) != kPrefix) return -1;
+  rest.remove_prefix(kPrefix.size());
+  // "<pid>-<seq>": both parts must be non-empty and all digits.
+  const std::size_t dash = rest.find('-');
+  if (dash == 0 || dash == std::string_view::npos ||
+      dash + 1 >= rest.size()) {
+    return -1;
+  }
+  long pid = 0;
+  for (std::size_t i = 0; i < dash; ++i) {
+    if (rest[i] < '0' || rest[i] > '9') return -1;
+    pid = pid * 10 + (rest[i] - '0');
+    if (pid > INT32_MAX) return -1;
+  }
+  for (std::size_t i = dash + 1; i < rest.size(); ++i) {
+    if (rest[i] < '0' || rest[i] > '9') return -1;
+  }
+  return static_cast<int>(pid);
+}
+
+std::size_t ReapOrphanShmLanes() {
+  // POSIX shm names surface as files in /dev/shm on Linux; scanning the
+  // directory is the only portable-enough way to enumerate them.
+  DIR* dir = ::opendir("/dev/shm");
+  if (dir == nullptr) return 0;
+  std::size_t reaped = 0;
+  while (const struct dirent* ent = ::readdir(dir)) {
+    const int pid = ShmLaneOwnerPid(ent->d_name);
+    if (pid <= 0) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      continue;  // producer still alive (or not ours to probe): keep it
+    }
+    const std::string shm_name = std::string("/") + ent->d_name;
+    if (::shm_unlink(shm_name.c_str()) == 0) ++reaped;
+  }
+  ::closedir(dir);
+  if (reaped > 0) {
+    GlobalTelemetry().net_shm_orphans_reaped.fetch_add(
+        reaped, std::memory_order_relaxed);
+  }
+  return reaped;
 }
 
 }  // namespace apollo::net

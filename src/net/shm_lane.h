@@ -127,4 +127,16 @@ class ShmLaneConsumer {
   std::uint32_t slots_ = 0;
 };
 
+// Orphan reaper: client lanes are named "/apollo-lane-<pid>-<seq>" and the
+// producer unlinks on clean teardown, but a SIGKILLed producer leaks the
+// segment until reboot. Scans /dev/shm for lane names whose embedded pid
+// no longer exists (kill(pid, 0) == ESRCH) and shm_unlinks them. Attached
+// consumers keep their mappings valid (unlink only removes the name).
+// Returns the number of segments reaped; bumps net_shm_orphans_reaped.
+std::size_t ReapOrphanShmLanes();
+
+// Parses the producer pid out of a lane name ("/apollo-lane-<pid>-<seq>"
+// or the same without the leading slash). Returns -1 on non-lane names.
+int ShmLaneOwnerPid(const std::string& name);
+
 }  // namespace apollo::net

@@ -227,8 +227,8 @@ class Archiver {
            ++attempt < retry_.max_attempts) {
       GlobalTelemetry().archive_retries.fetch_add(1,
                                                   std::memory_order_relaxed);
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds(BackoffForAttempt(retry_, attempt)));
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          JitteredBackoffForAttempt(retry_, attempt)));
       status = AppendLocked(id, timestamp, payload);
     }
     if (!status.ok()) RecordFailure(status);

@@ -40,6 +40,32 @@ Status Broker::RestoreTopic(
   return stream.value()->RestoreWindow(entries);
 }
 
+Status Broker::RestoreTopicFromPeer(
+    const std::string& name,
+    const std::vector<TelemetryStream::Entry>& entries) {
+  auto stream = GetTopic(name);
+  if (!stream.ok()) return stream.status();
+  return stream.value()->RestoreWindowAt(entries);
+}
+
+Expected<TelemetryStream*> Broker::EnsureTopic(const std::string& name,
+                                               NodeId home_node,
+                                               std::size_t capacity,
+                                               Archiver<Sample>* archiver) {
+  {
+    Stripe& stripe = StripeFor(name);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.topics.find(name);
+    if (it != stripe.topics.end()) return it->second.stream.get();
+  }
+  auto created = CreateTopic(name, home_node, capacity, archiver);
+  if (created.ok()) return created;
+  if (created.error().code() == ErrorCode::kAlreadyExists) {
+    return GetTopic(name);  // lost a creation race: use the winner's
+  }
+  return created;
+}
+
 Expected<TopicHandle> Broker::Resolve(const std::string& name) const {
   // Read the version before the lookup: a topic created/removed after this
   // load at worst leaves the handle conservatively stale (it re-resolves on
@@ -166,6 +192,17 @@ Expected<Broker::BatchPublishResult> Broker::PublishBatch(
   return result;
 }
 
+Expected<std::uint64_t> Broker::AppendReplicated(
+    TopicHandle& handle, const TelemetryStream::Entry* entries,
+    std::size_t n) {
+  TRACE_SPAN("broker.append_replicated", handle.name_);
+  Status status = Refresh(handle);
+  if (!status.ok()) return Error(status.code(), status.message());
+  publishes_.fetch_add(n, std::memory_order_relaxed);
+  if (n == 0) return handle.stream_->NextId();
+  return handle.stream_->AppendBatch(entries, n);
+}
+
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
     TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,
     std::size_t max_entries) {
@@ -225,7 +262,7 @@ Expected<std::uint64_t> Broker::PublishWithRetry(TopicHandle& handle,
          ++attempt < policy.max_attempts) {
     if (policy.deadline > 0 && clock_.Now() - start >= policy.deadline) break;
     GlobalTelemetry().publish_retries.fetch_add(1, std::memory_order_relaxed);
-    clock_.Charge(BackoffForAttempt(policy, attempt));
+    clock_.Charge(JitteredBackoffForAttempt(policy, attempt));
     result = Publish(handle, from_node, timestamp, sample);
   }
   if (!result.ok()) {
@@ -246,7 +283,7 @@ Expected<std::size_t> Broker::FetchIntoWithRetry(
          ++attempt < policy.max_attempts) {
     if (policy.deadline > 0 && clock_.Now() - start >= policy.deadline) break;
     GlobalTelemetry().fetch_retries.fetch_add(1, std::memory_order_relaxed);
-    clock_.Charge(BackoffForAttempt(policy, attempt));
+    clock_.Charge(JitteredBackoffForAttempt(policy, attempt));
     result = FetchInto(handle, to_node, cursor, out, max_entries);
   }
   if (!result.ok()) {

@@ -125,6 +125,20 @@ class Broker {
   Status RestoreTopic(const std::string& name,
                       const std::vector<TelemetryStream::Entry>& entries);
 
+  // Cluster resync path: seeds an existing topic's (still-empty) stream
+  // with a window copied from a peer replica, preserving the peer's entry
+  // ids (Stream::RestoreWindowAt). Ids must be contiguous.
+  Status RestoreTopicFromPeer(
+      const std::string& name,
+      const std::vector<TelemetryStream::Entry>& entries);
+
+  // Creates the topic if absent, otherwise returns the existing stream —
+  // the replication/resync paths materialize topics on replicas on first
+  // contact instead of coordinating creation cluster-wide.
+  Expected<TelemetryStream*> EnsureTopic(
+      const std::string& name, NodeId home_node = kLocalNode,
+      std::size_t capacity = 4096, Archiver<Sample>* archiver = nullptr);
+
   // Resolves a stable handle for steady-state access (deploy/plan time).
   Expected<TopicHandle> Resolve(const std::string& name) const;
 
@@ -180,6 +194,15 @@ class Broker {
       const TelemetryStream::Entry* entries, std::size_t n,
       std::vector<std::uint8_t>* error_bits = nullptr,
       std::size_t bitmap_base = 0);
+
+  // Replication apply: appends `n` entries exactly as decided by the
+  // topic's primary — no fault evaluation, no latency charge, no retry.
+  // A secondary must mirror its primary byte-for-byte; re-rolling fault
+  // dice here would silently fork the replicas' id sequences. Returns the
+  // last assigned entry id.
+  Expected<std::uint64_t> AppendReplicated(TopicHandle& handle,
+                                           const TelemetryStream::Entry* entries,
+                                           std::size_t n);
 
   Expected<std::vector<TelemetryStream::Entry>> Fetch(
       TopicHandle& handle, NodeId to_node, std::uint64_t& cursor,

@@ -347,6 +347,48 @@ class Stream {
     return Status::Ok();
   }
 
+  // Restore-from-peer (cluster resync): seeds an empty stream with a
+  // window copied from a replica, PRESERVING the source entry ids — a
+  // resynced node must assign the same ids as its peers or replication's
+  // expected-base check would flag it divergent forever. `entries` must
+  // be id-contiguous; the stream's window starts at entries.front().id.
+  // Unlike RestoreWindow, nothing here is re-archived on eviction either
+  // (the peer already holds the durable copy; local archiving resumes
+  // with post-resync appends).
+  Status RestoreWindowAt(const std::vector<Entry>& entries) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (next_id_ != 0) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "RestoreWindowAt requires an empty stream");
+    }
+    if (entries.size() > capacity_) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "restore batch exceeds stream capacity");
+    }
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].id != entries[i - 1].id + 1) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "restore batch ids not contiguous");
+      }
+    }
+    while (ring_.size() < entries.size()) Grow();
+    if (!entries.empty()) {
+      first_id_ = entries.front().id;
+      next_id_ = entries.front().id;
+    }
+    for (const Entry& entry : entries) {
+      const std::uint64_t id = next_id_++;
+      Entry& slot = ring_[id & mask_];
+      slot = entry;
+      slot.id = id;
+      if constexpr (kHasAggregateIndex) IndexAppend(slot);
+    }
+    restore_limit_ = next_id_;
+    lock.unlock();
+    cv_.notify_all();
+    return Status::Ok();
+  }
+
  private:
   static std::size_t RoundUpPow2(std::size_t n) {
     std::size_t p = 1;

@@ -132,6 +132,49 @@ TelemetryCounters::TelemetryCounters() {
   net_shm_fallbacks =
       Reg("net_shm_fallbacks", "apollo_net_shm_fallbacks_total",
           "Samples rerouted to TCP because the shm lane was full or down");
+  net_shm_orphans_reaped =
+      Reg("net_shm_orphans_reaped", "apollo_net_shm_orphans_reaped_total",
+          "Orphaned shm lane segments unlinked after their producer died");
+  cluster_heartbeats_sent =
+      Reg("cluster_heartbeats_sent", "apollo_cluster_heartbeats_sent_total",
+          "Membership probes sent to peers");
+  cluster_heartbeat_failures =
+      Reg("cluster_heartbeat_failures",
+          "apollo_cluster_heartbeat_failures_total",
+          "Membership probe round-trips that failed or were dropped");
+  cluster_peer_suspects =
+      Reg("cluster_peer_suspects", "apollo_cluster_peer_suspects_total",
+          "Peer transitions from alive to suspect");
+  cluster_peer_deaths =
+      Reg("cluster_peer_deaths", "apollo_cluster_peer_deaths_total",
+          "Peer transitions to dead (failed over)");
+  cluster_peer_recoveries =
+      Reg("cluster_peer_recoveries", "apollo_cluster_peer_recoveries_total",
+          "Dead peers observed again (restart or partition heal)");
+  cluster_map_pushes =
+      Reg("cluster_map_pushes", "apollo_cluster_map_pushes_total",
+          "Cluster map pushes to connected clients on membership change");
+  cluster_forwarded_publishes =
+      Reg("cluster_forwarded_publishes",
+          "apollo_cluster_forwarded_publishes_total",
+          "Publish runs proxied to the topic's primary");
+  cluster_replication_batches =
+      Reg("cluster_replication_batches",
+          "apollo_cluster_replication_batches_total",
+          "Replicate round-trips sent to secondaries");
+  cluster_replication_failures =
+      Reg("cluster_replication_failures",
+          "apollo_cluster_replication_failures_total",
+          "Replicate round-trips that failed or were refused");
+  cluster_quorum_failures =
+      Reg("cluster_quorum_failures", "apollo_cluster_quorum_failures_total",
+          "Publish runs NACKed because the write quorum was not met");
+  cluster_resync_topics =
+      Reg("cluster_resync_topics", "apollo_cluster_resync_topics_total",
+          "Topics caught up from a peer during resync");
+  cluster_resync_entries =
+      Reg("cluster_resync_entries", "apollo_cluster_resync_entries_total",
+          "Entries copied from peers during resync");
 }
 
 void TelemetryCounters::Reset() {

@@ -119,6 +119,22 @@ struct TelemetryCounters {
   obs::Counter net_shm_samples;       // samples drained from shm rings
   obs::Counter net_shm_fallbacks;     // samples rerouted to TCP (ring full
                                       // or lane unavailable)
+  obs::Counter net_shm_orphans_reaped;  // orphaned lane segments unlinked
+                                        // after their producer died
+
+  // Cluster layer (placement, membership, replication, resync).
+  obs::Counter cluster_heartbeats_sent;
+  obs::Counter cluster_heartbeat_failures;  // probe round-trips that failed
+  obs::Counter cluster_peer_suspects;       // alive -> suspect transitions
+  obs::Counter cluster_peer_deaths;         // -> dead transitions
+  obs::Counter cluster_peer_recoveries;     // dead peer seen again
+  obs::Counter cluster_map_pushes;          // kClusterMap pushes to clients
+  obs::Counter cluster_forwarded_publishes;  // runs proxied to the primary
+  obs::Counter cluster_replication_batches;  // kReplicate round-trips sent
+  obs::Counter cluster_replication_failures;  // failed/refused replicates
+  obs::Counter cluster_quorum_failures;     // publishes NACKed: quorum unmet
+  obs::Counter cluster_resync_topics;       // topics caught up from a peer
+  obs::Counter cluster_resync_entries;      // entries copied during resync
 
   // Zeroes every registered counter (walks fields_, so it cannot go stale
   // when a counter is added).

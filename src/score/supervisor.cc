@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 #include "pubsub/telemetry.h"
@@ -84,7 +85,14 @@ void VertexSupervisor::SuperviseLocked(V& vertex, TimeNs now) {
   }
   if (entry.next_restart_at == 0) {
     if (entry.backoff == 0) entry.backoff = options_.initial_restart_backoff;
-    entry.next_restart_at = now + entry.backoff;
+    // Full jitter on the actual wait (entry.backoff stays the exact
+    // exponential ceiling so the growth schedule is unchanged).
+    RetryPolicy jitter_policy;
+    jitter_policy.initial_backoff = entry.backoff;
+    jitter_policy.multiplier = 1.0;
+    jitter_policy.max_backoff = entry.backoff;
+    jitter_policy.jitter = options_.restart_jitter;
+    entry.next_restart_at = now + JitteredBackoffForAttempt(jitter_policy, 1);
     return;
   }
   if (now < entry.next_restart_at) return;

@@ -40,10 +40,14 @@ struct SupervisorOptions {
   TimeNs stall_timeout = Seconds(2);
   int stall_factor = 4;
   // Restart backoff: first restart waits initial_restart_backoff, each
-  // subsequent one multiplies it, capped at max_restart_backoff.
+  // subsequent one multiplies it, capped at max_restart_backoff. The
+  // actual wait gets full jitter (uniform in [backoff*(1-jitter),
+  // backoff]) so the vertices of a node that died together do not
+  // restart — and re-poll their hardware — in lockstep.
   TimeNs initial_restart_backoff = Millis(10);
   double backoff_multiplier = 2.0;
   TimeNs max_restart_backoff = Seconds(5);
+  double restart_jitter = 1.0;
   // After this many restarts without a healthy stretch the supervisor
   // gives up on the vertex (it stays crashed and its node unavailable).
   int max_restarts = 8;

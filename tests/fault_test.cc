@@ -130,6 +130,40 @@ TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
   EXPECT_EQ(BackoffForAttempt(policy, 20), 10 * kNsPerMs);  // capped
 }
 
+TEST(RetryPolicyTest, JitteredBackoffStaysInBoundsAndDecorrelates) {
+  RetryPolicy policy;
+  policy.initial_backoff = 100 * kNsPerUs;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 10 * kNsPerMs;
+
+  // jitter = 0 degenerates to the deterministic exponential.
+  policy.jitter = 0.0;
+  EXPECT_EQ(JitteredBackoffForAttempt(policy, 3),
+            BackoffForAttempt(policy, 3));
+
+  // Full jitter: every draw lands in (0, ceiling] and the draws are not
+  // all identical (lockstep reconnect is what jitter exists to break).
+  policy.jitter = 1.0;
+  bool varied = false;
+  TimeNs first = 0;
+  for (int i = 0; i < 64; ++i) {
+    const TimeNs w = JitteredBackoffForAttempt(policy, 2);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, BackoffForAttempt(policy, 2));
+    if (i == 0) first = w;
+    if (w != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+
+  // Half jitter keeps the floor at half the ceiling.
+  policy.jitter = 0.5;
+  for (int i = 0; i < 16; ++i) {
+    const TimeNs w = JitteredBackoffForAttempt(policy, 1);
+    EXPECT_GE(w, BackoffForAttempt(policy, 1) / 2);
+    EXPECT_LE(w, BackoffForAttempt(policy, 1));
+  }
+}
+
 TEST(RetryPolicyTest, RetryableErrorClassification) {
   EXPECT_TRUE(RetryableError(ErrorCode::kUnavailable));
   EXPECT_TRUE(RetryableError(ErrorCode::kIoError));
@@ -234,6 +268,7 @@ TEST(BrokerFaultTest, PublishRetryChargesBackoffAndHonorsDeadline) {
   policy.max_attempts = 10;
   policy.initial_backoff = 100 * kNsPerUs;
   policy.deadline = 150 * kNsPerUs;  // allows one backoff, not two
+  policy.jitter = 0.0;  // exact charges: this test does deadline math
 
   const TimeNs start = clock.Now();
   auto published = broker.PublishWithRetry(

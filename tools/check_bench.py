@@ -103,6 +103,15 @@ def compare(baseline, current, default_tol, lane_tols):
     cur = {path: (lane, key, v) for lane, path, key, v in flatten(current)}
     rows = []          # (path, base, cur, delta_pct, tol_pct, verdict)
     regressions = []
+    # A lane that exists in the baseline but not in the run at all is a
+    # hard failure, not a skip: a bench that silently stopped emitting a
+    # lane (renamed, crashed mid-run, compiled out) would otherwise pass
+    # the gate with a shrinking surface. Checked at the lane level so even
+    # lanes whose keys are all workload descriptors are covered.
+    for lane in sorted(set(baseline) - set(current)):
+        path = "%s (lane missing from run)" % lane
+        rows.append((path, None, None, None, None, "LANE MISSING"))
+        regressions.append(path)
     for path in sorted(base):
         lane, key, bval = base[path]
         dirn = direction_for(key)
