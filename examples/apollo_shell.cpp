@@ -72,7 +72,7 @@ void PrintResult(const aqe::ResultSet& rs) {
 void PrintHelp() {
   std::printf(
       "commands: run <sec> | query <sql> | explain <sql> | latest <topic> | "
-      "topics | stats | \\metrics | \\trace on|off|dump | "
+      "topics | stats | compact | \\metrics | \\trace on|off|dump | "
       "write <device> <MB> | fail <node> | heal <node> | dot | "
       "help | quit\n");
 }
@@ -297,11 +297,18 @@ int main(int argc, char** argv) {
   bool use_shm = false;
   const char* connect_target = nullptr;
   const char* cluster_list = nullptr;
+  const char* archive_dir = nullptr;
+  long wal_segment_bytes = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       connect_target = argv[++i];
     } else if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
       cluster_list = argv[++i];
+    } else if (std::strcmp(argv[i], "--archive-dir") == 0 && i + 1 < argc) {
+      archive_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--wal-segment-bytes") == 0 &&
+               i + 1 < argc) {
+      wal_segment_bytes = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--shm") == 0) {
       use_shm = true;
     }
@@ -325,12 +332,37 @@ int main(int argc, char** argv) {
   ApolloOptions options;
   options.mode = ApolloOptions::Mode::kSimulated;
   options.query_threads = 0;
+  if (archive_dir != nullptr) {
+    // Durable shell: evicted rows spill to per-topic WALs, `compact`
+    // folds sealed segments into cold blocks, and time-travel queries
+    // (`query ... WHERE Timestamp BETWEEN ...`) answer from all three
+    // tiers. A restarted shell recovers what the last run persisted.
+    options.archive_dir = archive_dir;
+    options.coldtier_enabled = true;
+    // Small segments seal (and so become compactable) after fewer rows —
+    // the default 4 MiB suits daemons, not short interactive sessions.
+    if (wal_segment_bytes > 0) {
+      options.wal.segment_bytes = static_cast<std::size_t>(wal_segment_bytes);
+    }
+  }
   ApolloService apollo(options);
   auto plan = DeployStandardMonitoring(apollo, *cluster);
   if (!plan.ok()) {
     std::fprintf(stderr, "deployment failed: %s\n",
                  plan.error().ToString().c_str());
     return 1;
+  }
+  if (archive_dir != nullptr) {
+    auto recovered = apollo.Recover();
+    if (recovered.ok() &&
+        (recovered->topics_recovered > 0 || recovered->cold_rows > 0)) {
+      std::printf("recovered %llu topics (%llu rows replayed, %llu cold "
+                  "blocks / %llu cold rows)\n",
+                  static_cast<unsigned long long>(recovered->topics_recovered),
+                  static_cast<unsigned long long>(recovered->records_replayed),
+                  static_cast<unsigned long long>(recovered->cold_blocks),
+                  static_cast<unsigned long long>(recovered->cold_rows));
+    }
   }
   std::printf("apollo_shell: %zu facts + %zu insights deployed over %zu "
               "nodes. 'help' lists commands.\n",
@@ -405,6 +437,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.suppressed),
                   100.0 * stats.SuppressionRatio(),
                   static_cast<unsigned long long>(stats.predictions));
+    } else if (command == "compact") {
+      auto result = apollo.CompactNow();
+      if (result.ok()) {
+        std::printf("compacted %zu segments -> %zu blocks (%llu rows, "
+                    "%llu -> %llu bytes)\n",
+                    result->segments_compacted, result->blocks_written,
+                    static_cast<unsigned long long>(result->rows_compacted),
+                    static_cast<unsigned long long>(result->raw_bytes),
+                    static_cast<unsigned long long>(result->block_bytes));
+      } else {
+        std::printf("error: %s\n", result.error().ToString().c_str());
+      }
     } else if (command == "write") {
       std::string device_name;
       double mb = 1.0;

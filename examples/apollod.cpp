@@ -66,11 +66,22 @@ int main(int argc, char** argv) {
   std::string name = "apollod";
   std::string cluster_list;
   std::string cluster_self;
+  std::string archive_dir;
+  long compact_interval_s = 0;
+  long wal_segment_bytes = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       config.server.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
       name = argv[++i];
+    } else if (std::strcmp(argv[i], "--archive-dir") == 0 && i + 1 < argc) {
+      archive_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact-interval") == 0 &&
+               i + 1 < argc) {
+      compact_interval_s = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wal-segment-bytes") == 0 &&
+               i + 1 < argc) {
+      wal_segment_bytes = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--cluster") == 0 && i + 1 < argc) {
       cluster_list = argv[++i];
     } else if (std::strcmp(argv[i], "--cluster-self") == 0 && i + 1 < argc) {
@@ -85,6 +96,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--name NAME]\n"
+                   "          [--archive-dir DIR] [--compact-interval SECS]\n"
+                   "          [--wal-segment-bytes N]\n"
                    "          [--cluster host:port,...]"
                    " [--cluster-self host:port]\n"
                    "          [--cluster-rf N] [--cluster-quorum N]\n",
@@ -122,6 +135,20 @@ int main(int argc, char** argv) {
 
   ApolloOptions options;
   options.mode = ApolloOptions::Mode::kRealTime;
+  if (!archive_dir.empty()) {
+    // Durable topics: evicted rows land in per-topic WALs under
+    // --archive-dir and the background compactor folds sealed segments
+    // into cold blocks, so range queries reach past every retention tier
+    // and a restarted daemon answers from what the last run persisted.
+    options.archive_dir = archive_dir;
+    options.coldtier_enabled = true;
+    if (compact_interval_s > 0) {
+      options.coldtier_compact_interval = Seconds(compact_interval_s);
+    }
+    if (wal_segment_bytes > 0) {
+      options.wal.segment_bytes = static_cast<std::size_t>(wal_segment_bytes);
+    }
+  }
   ApolloService apollo(options);
   std::size_t fact_topics = 0;
   std::size_t insight_topics = 0;
@@ -140,6 +167,21 @@ int main(int argc, char** argv) {
     }
     fact_topics = plan->fact_topics.size();
     insight_topics = plan->insight_topics.size();
+  }
+  if (!archive_dir.empty()) {
+    auto recovered = apollo.Recover();
+    if (recovered.ok()) {
+      std::printf(
+          "recovered %llu topics (%llu rows replayed, %llu cold blocks / "
+          "%llu cold rows)\n",
+          static_cast<unsigned long long>(recovered->topics_recovered),
+          static_cast<unsigned long long>(recovered->records_replayed),
+          static_cast<unsigned long long>(recovered->cold_blocks),
+          static_cast<unsigned long long>(recovered->cold_rows));
+    } else {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.error().ToString().c_str());
+    }
   }
   // Cluster mode serves replicated topics only: the simulated monitoring
   // vertices publish straight into the local broker, which would put rows

@@ -55,6 +55,10 @@ void ApolloService::AttachFaultInjector(FaultInjector* injector) {
   for (auto& archiver : archivers_) {
     archiver->AttachFaultInjector(injector);
   }
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    for (auto& cold : cold_tiers_) cold->AttachFaultInjector(injector);
+  }
   if (daemon_ != nullptr) daemon_->server().AttachFaultInjector(injector);
 }
 
@@ -103,6 +107,25 @@ Expected<FactVertex*> ApolloService::DeployFact(
     archiver->set_fault_label(config.topic);
     if (fault_ != nullptr) archiver->AttachFaultInjector(fault_);
     archiver_by_topic_[config.topic] = archiver;
+    if (options_.coldtier_enabled && !archiver->InMemory()) {
+      auto cold = std::make_unique<coldtier::ColdTier>(archiver->path());
+      Status opened = cold->Open();
+      if (!opened.ok()) return Error(opened.code(), opened.message());
+      // Finish any compaction a crash interrupted before the archiver
+      // appends again, then let the archiver consult the tier: range
+      // queries merge cold rows and WAL retention only deletes segments
+      // the manifest already covers.
+      Status reconciled = cold->Reconcile(*archiver);
+      if (!reconciled.ok()) {
+        return Error(reconciled.code(), reconciled.message());
+      }
+      cold->set_fault_label(config.topic);
+      if (fault_ != nullptr) cold->AttachFaultInjector(fault_);
+      archiver->AttachColdReader(cold.get());
+      std::lock_guard<std::mutex> lock(cold_mu_);
+      cold_by_topic_[config.topic] = {cold.get(), archiver};
+      cold_tiers_.push_back(std::move(cold));
+    }
   }
   auto vertex = std::make_unique<FactVertex>(
       *broker_, std::move(hook), std::move(controller), std::move(config),
@@ -144,6 +167,17 @@ Status ApolloService::Start() {
     return Status(ErrorCode::kFailedPrecondition, "already started");
   }
   running_ = true;
+  if (options_.coldtier_enabled && !compact_timer_armed_) {
+    // Background compactor: drain sealed WAL segments into cold blocks on
+    // the service's event loop. Best-effort — a failing topic surfaces
+    // through CompactNow()/metrics, never stops the loop.
+    const TimeNs interval = options_.coldtier_compact_interval;
+    compact_timer_ = loop_->AddTimer(interval, [this, interval](TimeNs) {
+      (void)CompactNow();
+      return interval;
+    });
+    compact_timer_armed_ = true;
+  }
   loop_->ClearStop();  // before the thread starts: no race with Stop()
   loop_thread_ = std::thread([this] {
     loop_->Run(std::numeric_limits<TimeNs>::max(),
@@ -221,6 +255,14 @@ Expected<ApolloService::RecoveryReport> ApolloService::Recover(
     report.corrupt_segments += stats.corrupt_segments;
     report.quarantined_segments += stats.quarantined_segments;
 
+    // Cold blocks were loaded (and any interrupted compaction finished)
+    // when the tier opened at deploy time; fold in what is reachable.
+    if (coldtier::ColdTier* cold = cold_tier(topic)) {
+      report.cold_blocks += cold->BlockCount();
+      report.cold_rows += cold->ColdRowCount();
+      report.cold_quarantined_blocks += cold->quarantined_blocks();
+    }
+
     auto stream = broker_->GetTopic(topic);
     if (!stream.ok()) return stream.error();
     const std::size_t capacity = stream.value()->Capacity();
@@ -246,6 +288,35 @@ Expected<ApolloService::RecoveryReport> ApolloService::Recover(
     report.records_replayed += entries.size();
   }
   return report;
+}
+
+Expected<coldtier::CompactResult> ApolloService::CompactNow() {
+  // Snapshot under the lock, compact outside it: CompactOnce does file IO
+  // and must not block deploys. The pointers stay valid — tiers and
+  // archivers live as long as the service.
+  std::vector<std::pair<coldtier::ColdTier*, Archiver<Sample>*>> tiers;
+  {
+    std::lock_guard<std::mutex> lock(cold_mu_);
+    tiers.reserve(cold_by_topic_.size());
+    for (const auto& [topic, pair] : cold_by_topic_) tiers.push_back(pair);
+  }
+  coldtier::CompactResult total;
+  for (const auto& [cold, archiver] : tiers) {
+    auto result = cold->CompactOnce(*archiver);
+    if (!result.ok()) return result.error();
+    total.segments_compacted += result->segments_compacted;
+    total.blocks_written += result->blocks_written;
+    total.rows_compacted += result->rows_compacted;
+    total.raw_bytes += result->raw_bytes;
+    total.block_bytes += result->block_bytes;
+  }
+  return total;
+}
+
+coldtier::ColdTier* ApolloService::cold_tier(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(cold_mu_);
+  auto it = cold_by_topic_.find(topic);
+  return it == cold_by_topic_.end() ? nullptr : it->second.first;
 }
 
 Expected<aqe::ResultSet> ApolloService::Query(const std::string& query_text) {

@@ -32,6 +32,7 @@
 
 #include "adaptive/interval_controller.h"
 #include "aqe/executor.h"
+#include "coldtier/cold_tier.h"
 #include "common/clock.h"
 #include "common/expected.h"
 #include "concurrent/thread_pool.h"
@@ -61,6 +62,15 @@ struct ApolloOptions {
   // Durability knobs for file-backed archivers: segment size/rotation,
   // retention cap, fsync policy (see pubsub/archiver.h).
   WalConfig wal;
+  // Columnar cold tier: when enabled (and archive_dir is set), every
+  // file-backed archiver gets a ColdTier beside it that compacts sealed
+  // WAL segments into compressed immutable blocks (coldtier/cold_tier.h).
+  // AQE range scans then reach past WAL retention via zone-map-pruned
+  // block reads, and WAL retention only deletes compacted segments. In
+  // real-time mode a timer on the event loop compacts every
+  // coldtier_compact_interval; simulated/manual callers use CompactNow().
+  bool coldtier_enabled = false;
+  TimeNs coldtier_compact_interval = Seconds(30);
   // Vertex supervision: crash/stall detection with bounded-backoff
   // restarts (a health-check timer on the service's event loop). Disable
   // for experiments that want crashed vertices to stay down.
@@ -128,6 +138,11 @@ class ApolloService {
     std::uint64_t bytes_truncated = 0;    // torn/corrupt tail bytes cut
     std::uint64_t corrupt_segments = 0;
     std::uint64_t quarantined_segments = 0;
+    // Cold tier (zero unless coldtier_enabled): blocks/rows reachable
+    // after the manifest load + reconcile pass, and blocks quarantined.
+    std::uint64_t cold_blocks = 0;
+    std::uint64_t cold_rows = 0;
+    std::uint64_t cold_quarantined_blocks = 0;
   };
 
   // Replays each deployed topic's on-disk archive tail into its (still
@@ -142,6 +157,15 @@ class ApolloService {
   // archive_dir). Torn/corrupt segment tails were already truncated or
   // quarantined when each archiver opened; this aggregates those counts.
   Expected<RecoveryReport> Recover(const std::string& dir = "");
+
+  // --- cold tier ---
+  // Compacts every topic's sealed WAL segments into cold blocks now (the
+  // same pass the real-time background timer runs). Aggregates across
+  // topics; stops at the first topic that fails. No-op result when the
+  // cold tier is disabled or nothing is sealed.
+  Expected<coldtier::CompactResult> CompactNow();
+  // The topic's cold tier, or null (not deployed / cold tier disabled).
+  coldtier::ColdTier* cold_tier(const std::string& topic) const;
 
   // --- query surface ---
   // Also accepts EXPLAIN / EXPLAIN ANALYZE prefixes (profile rendered as a
@@ -239,6 +263,16 @@ class ApolloService {
   // not erased on Undeploy (the archiver outlives the vertex, like
   // archivers_ itself); Recover() consults the live graph for topics.
   std::map<std::string, Archiver<Sample>*> archiver_by_topic_;
+  // Cold tiers mirror archivers_: one per file-backed archiver when
+  // coldtier_enabled, owned for the service's lifetime. cold_mu_ guards
+  // the containers (deploys vs the loop-thread compaction timer), not the
+  // tiers themselves (ColdTier is internally synchronized).
+  mutable std::mutex cold_mu_;
+  std::vector<std::unique_ptr<coldtier::ColdTier>> cold_tiers_;
+  std::map<std::string, std::pair<coldtier::ColdTier*, Archiver<Sample>*>>
+      cold_by_topic_;
+  TimerId compact_timer_ = 0;
+  bool compact_timer_armed_ = false;
   // Declared after loop_/graph_ so it is destroyed (timer cancelled)
   // first.
   std::unique_ptr<VertexSupervisor> supervisor_;

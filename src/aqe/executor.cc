@@ -469,6 +469,12 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     if (archive_has_rows) {
       stream->FlushEvictions();
       archive_has_rows = archiver->Count() > 0;
+      // Rows compacted into the cold tier left the WAL; the index does
+      // not cover them either, so they force the merging scan too.
+      if (!archive_has_rows) {
+        ColdReaderBase* cold = archiver->cold_reader();
+        archive_has_rows = cold != nullptr && cold->ColdRowCount() > 0;
+      }
     }
     if (!archive_has_rows) {
       auto agg = stream->Aggregates();
@@ -526,11 +532,14 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
   // older archived rows in front of it. Otherwise iterate the window in
   // place — no snapshot, no allocation.
   Archiver<Sample>* archiver = stream->archiver();
+  ColdReaderBase* cold =
+      archiver != nullptr ? archiver->cold_reader() : nullptr;
   bool archive_has_rows = archiver != nullptr;
   if (archive_has_rows) {
     stream->FlushEvictions();
     archive_has_rows = archiver->Count() > 0;
   }
+  const bool cold_has_rows = cold != nullptr && cold->ColdRowCount() > 0;
 
   // Reused across calls on this thread: query execution allocates nothing
   // on the steady-state (no-archive) path.
@@ -538,23 +547,24 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
   std::vector<StreamEntry<Sample>> merged;
   bool use_merged = false;
   std::size_t archived_count = 0;
-  if (archive_has_rows) {
+  std::size_t cold_count = 0;
+  ColdScanStats cold_stats;
+  if (archive_has_rows || cold_has_rows) {
     stream->RangeByTime(from_ts, to_ts, scratch);
     // Archive rows strictly older than the in-memory ones; when the window
     // had no match at all, the whole range comes from the archive.
     const TimeNs archive_to =
         scratch.empty() ? to_ts : scratch.front().timestamp - 1;
-    if (from_ts <= archive_to) {
+    std::vector<StreamEntry<Sample>> wal_rows;
+    if (archive_has_rows && from_ts <= archive_to) {
       auto archived = archiver->ReadRange(from_ts, archive_to);
       if (archived.ok()) {
-        archived_count = archived->size();
-        merged.reserve(archived->size() + scratch.size());
+        wal_rows.reserve(archived->size());
         for (const auto& rec : *archived) {
-          merged.push_back(
+          wal_rows.push_back(
               StreamEntry<Sample>{rec.id, rec.timestamp, rec.payload});
         }
-        merged.insert(merged.end(), scratch.begin(), scratch.end());
-        use_merged = true;
+        archived_count = wal_rows.size();
       } else {
         // Unreadable archive: answer from the in-memory window alone, but
         // never silently — the counter makes the degraded read visible.
@@ -562,10 +572,29 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
             1, std::memory_order_relaxed);
       }
     }
-    if (!use_merged) {
-      merged.assign(scratch.begin(), scratch.end());
-      use_merged = true;
+    // Cold rows are strictly older than everything still in the WAL
+    // (compaction drains oldest segments first), so capping the cold
+    // range below the first WAL row keeps COUNT exact even when a
+    // concurrent compaction moves rows between the two reads: any row
+    // both reads saw is >= the first WAL row and gets excluded here.
+    const TimeNs cold_to =
+        wal_rows.empty() ? archive_to : wal_rows.front().timestamp - 1;
+    if (cold_has_rows && from_ts <= cold_to) {
+      // ScanRange degrades internally (quarantine/skip + stats), so the
+      // status is always Ok; merged collects the cold prefix in place.
+      (void)cold->ScanRange(
+          from_ts, cold_to,
+          [&merged](std::uint64_t id, TimeNs timestamp,
+                    const Sample& sample) {
+            merged.push_back(StreamEntry<Sample>{id, timestamp, sample});
+          },
+          &cold_stats);
+      cold_count = merged.size();
     }
+    merged.reserve(merged.size() + wal_rows.size() + scratch.size());
+    merged.insert(merged.end(), wal_rows.begin(), wal_rows.end());
+    merged.insert(merged.end(), scratch.begin(), scratch.end());
+    use_merged = true;
   }
 
   // Single-pass scan: predicates filter inline (no intermediate pointer
@@ -580,8 +609,13 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
     }
   };
   if (vp != nullptr) {
-    vp->strategy = archived_count > 0 ? "scan+archive" : "scan";
+    vp->strategy = "scan";
+    if (archived_count > 0) vp->strategy += "+archive";
+    if (cold_count > 0) vp->strategy += "+cold";
     vp->archive_rows = archived_count;
+    vp->cold_rows = cold_count;
+    vp->cold_blocks_scanned = cold_stats.blocks_scanned;
+    vp->cold_blocks_pruned = cold_stats.blocks_pruned;
   }
 
   if (has_aggregate) {

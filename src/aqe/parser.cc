@@ -229,9 +229,33 @@ class Parser {
     return item;
   }
 
-  Expected<Condition> ParseCondition() {
+  // Appends one condition — or two for `col BETWEEN lo AND hi`, which
+  // desugars to `col >= lo AND col <= hi`. The BETWEEN owns its AND, so
+  // the WHERE loop never mistakes it for a conjunction.
+  Status ParseCondition(std::vector<Condition>& out) {
     auto column = ParseColumn();
     if (!column.ok()) return column.error();
+    if (MatchKeyword("BETWEEN")) {
+      if (Peek().kind != TokKind::kNumber) {
+        return Error(ErrorCode::kParseError,
+                     "expected number after BETWEEN near '" + Peek().raw +
+                         "'");
+      }
+      const double lo = Advance().number;
+      if (!MatchKeyword("AND")) {
+        return Error(ErrorCode::kParseError,
+                     "expected AND in BETWEEN near '" + Peek().raw + "'");
+      }
+      if (Peek().kind != TokKind::kNumber) {
+        return Error(ErrorCode::kParseError,
+                     "expected number after BETWEEN .. AND near '" +
+                         Peek().raw + "'");
+      }
+      const double hi = Advance().number;
+      out.push_back(Condition{*column, CompareOp::kGe, lo});
+      out.push_back(Condition{*column, CompareOp::kLe, hi});
+      return Status::Ok();
+    }
     if (Peek().kind != TokKind::kSymbol) {
       return Error(ErrorCode::kParseError,
                    "expected comparison operator near '" + Peek().raw + "'");
@@ -252,7 +276,8 @@ class Parser {
                    "expected number near '" + Peek().raw + "'");
     }
     const double value = Advance().number;
-    return Condition{*column, op, value};
+    out.push_back(Condition{*column, op, value});
+    return Status::Ok();
   }
 
   Expected<Select> ParseSelect() {
@@ -279,9 +304,8 @@ class Parser {
 
     if (MatchKeyword("WHERE")) {
       for (;;) {
-        auto cond = ParseCondition();
-        if (!cond.ok()) return cond.error();
-        select.where.push_back(*cond);
+        Status cond = ParseCondition(select.where);
+        if (!cond.ok()) return Error(cond.code(), cond.message());
         if (!MatchKeyword("AND")) break;
       }
     }

@@ -27,6 +27,11 @@ std::vector<std::string> QueryProfile::ToLines() const {
          << " rows_matched=" << v.rows_matched
          << " rows_returned=" << v.rows_returned;
       if (v.archive_rows > 0) os << " archive_rows=" << v.archive_rows;
+      if (v.cold_rows > 0) os << " cold_rows=" << v.cold_rows;
+      if (v.cold_blocks_scanned > 0 || v.cold_blocks_pruned > 0) {
+        os << " cold_blocks_scanned=" << v.cold_blocks_scanned
+           << " cold_blocks_pruned=" << v.cold_blocks_pruned;
+      }
       os << " degraded=" << (v.degraded ? "yes" : "no")
          << " staleness_ns=" << v.staleness_ns << " time_ns=" << v.exec_ns;
     }

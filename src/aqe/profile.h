@@ -17,11 +17,14 @@ namespace apollo::aqe {
 struct VertexProfile {
   std::string topic;
   bool resolved = false;        // handle valid at plan/exec time
-  std::string strategy;         // latest | index | scan | scan+archive
+  std::string strategy;         // latest | index | scan | scan+archive[+cold]
   std::uint64_t rows_scanned = 0;   // window + archive entries visited
   std::uint64_t rows_matched = 0;   // entries passing WHERE
   std::uint64_t rows_returned = 0;  // rows emitted to the result set
   std::uint64_t archive_rows = 0;   // archived entries merged into the scan
+  std::uint64_t cold_rows = 0;      // cold-tier rows merged into the scan
+  std::uint64_t cold_blocks_scanned = 0;  // blocks decoded for this branch
+  std::uint64_t cold_blocks_pruned = 0;   // blocks skipped via zone maps
   bool degraded = false;
   TimeNs staleness_ns = 0;
   TimeNs exec_ns = 0;  // ANALYZE only; broker-clock elapsed

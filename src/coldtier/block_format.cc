@@ -1,0 +1,513 @@
+#include "coldtier/block_format.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "pubsub/wal_format.h"
+
+namespace apollo::coldtier {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive codecs. All readers take (data, size, pos) and fail instead of
+// reading past `size`; all arithmetic on timestamps is done in uint64 so
+// deltas wrap as two's complement without signed overflow.
+// ---------------------------------------------------------------------------
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool GetVarint(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+               std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (*pos < size && shift < 64) {
+    const std::uint8_t byte = data[(*pos)++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical tails that overflow 64 bits.
+      if (shift == 63 && byte > 1) return false;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  // Appends the low `n` bits of `v`, most significant first.
+  void Write(std::uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) {
+      acc_ = (acc_ << 1) | ((v >> i) & 1);
+      if (++filled_ == 8) {
+        out_.push_back(static_cast<std::uint8_t>(acc_));
+        acc_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void Finish() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - filled_)));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), bits_(size * 8) {}
+
+  bool Read(int n, std::uint64_t* v) {
+    if (bits_ - pos_ < static_cast<std::size_t>(n)) return false;
+    std::uint64_t result = 0;
+    for (int i = 0; i < n; ++i) {
+      result = (result << 1) |
+               ((data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1);
+      ++pos_;
+    }
+    *v = result;
+    return true;
+  }
+
+  // Trailing padding must be under one byte and all zero: anything else
+  // means the stream and the row count disagree.
+  bool AtCleanEnd() {
+    if (bits_ - pos_ >= 8) return false;
+    std::uint64_t pad = 0;
+    const int left = static_cast<int>(bits_ - pos_);
+    if (left > 0 && !Read(left, &pad)) return false;
+    return pad == 0;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t bits_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Column encoders/decoders. Decoders get the exact section payload and must
+// consume it fully.
+// ---------------------------------------------------------------------------
+
+void EncodeIds(const std::vector<BlockRow>& rows,
+               std::vector<std::uint8_t>& out) {
+  PutVarint(out, rows[0].id);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    PutVarint(out, rows[i].id - rows[i - 1].id);
+  }
+}
+
+bool DecodeIds(const std::uint8_t* data, std::size_t size,
+               std::vector<BlockRow>& rows) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  if (!GetVarint(data, size, &pos, &v)) return false;
+  rows[0].id = v;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (!GetVarint(data, size, &pos, &v)) return false;
+    if (v == 0) return false;  // ids must strictly increase
+    rows[i].id = rows[i - 1].id + v;
+    if (rows[i].id < rows[i - 1].id) return false;  // wrapped
+  }
+  return pos == size;
+}
+
+void EncodeTimestamps(const std::vector<BlockRow>& rows,
+                      std::vector<std::uint8_t>& out) {
+  PutVarint(out, ZigZag(rows[0].timestamp));
+  std::uint64_t prev_delta = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const std::uint64_t delta =
+        static_cast<std::uint64_t>(rows[i].timestamp) -
+        static_cast<std::uint64_t>(rows[i - 1].timestamp);
+    const std::uint64_t dod = delta - prev_delta;
+    PutVarint(out, ZigZag(static_cast<std::int64_t>(dod)));
+    prev_delta = delta;
+  }
+}
+
+bool DecodeTimestamps(const std::uint8_t* data, std::size_t size,
+                      std::vector<BlockRow>& rows) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  if (!GetVarint(data, size, &pos, &v)) return false;
+  rows[0].timestamp = UnZigZag(v);
+  std::uint64_t prev_delta = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (!GetVarint(data, size, &pos, &v)) return false;
+    const std::uint64_t delta =
+        prev_delta + static_cast<std::uint64_t>(UnZigZag(v));
+    rows[i].timestamp = static_cast<TimeNs>(
+        static_cast<std::uint64_t>(rows[i - 1].timestamp) + delta);
+    prev_delta = delta;
+  }
+  return pos == size;
+}
+
+void EncodeSampleTsOffsets(const std::vector<BlockRow>& rows,
+                           std::vector<std::uint8_t>& out) {
+  for (const BlockRow& row : rows) {
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(row.sample_timestamp) -
+        static_cast<std::uint64_t>(row.timestamp);
+    PutVarint(out, ZigZag(static_cast<std::int64_t>(offset)));
+  }
+}
+
+bool DecodeSampleTsOffsets(const std::uint8_t* data, std::size_t size,
+                           std::vector<BlockRow>& rows) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  for (BlockRow& row : rows) {
+    if (!GetVarint(data, size, &pos, &v)) return false;
+    row.sample_timestamp = static_cast<TimeNs>(
+        static_cast<std::uint64_t>(row.timestamp) +
+        static_cast<std::uint64_t>(UnZigZag(v)));
+  }
+  return pos == size;
+}
+
+void EncodeValues(const std::vector<BlockRow>& rows,
+                  std::vector<std::uint8_t>& out) {
+  BitWriter writer(out);
+  std::uint64_t prev = DoubleBits(rows[0].value);
+  writer.Write(prev, 64);
+  int prev_lead = -1;
+  int prev_sig = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const std::uint64_t bits = DoubleBits(rows[i].value);
+    const std::uint64_t x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      writer.Write(0, 1);
+      continue;
+    }
+    int lead = __builtin_clzll(x);
+    const int trail = __builtin_ctzll(x);
+    if (lead > 31) lead = 31;  // 5-bit field
+    const int sig = 64 - lead - trail;
+    writer.Write(1, 1);
+    if (prev_lead >= 0 && lead >= prev_lead &&
+        lead + sig <= prev_lead + prev_sig) {
+      // Fits in the previous window: reuse it.
+      writer.Write(0, 1);
+      writer.Write(x >> (64 - prev_lead - prev_sig), prev_sig);
+    } else {
+      writer.Write(1, 1);
+      writer.Write(static_cast<std::uint64_t>(lead), 5);
+      writer.Write(static_cast<std::uint64_t>(sig - 1), 6);
+      writer.Write(x >> trail, sig);
+      prev_lead = lead;
+      prev_sig = sig;
+    }
+  }
+  writer.Finish();
+}
+
+bool DecodeValues(const std::uint8_t* data, std::size_t size,
+                  std::vector<BlockRow>& rows) {
+  BitReader reader(data, size);
+  std::uint64_t prev = 0;
+  if (!reader.Read(64, &prev)) return false;
+  rows[0].value = BitsToDouble(prev);
+  int prev_lead = -1;
+  int prev_sig = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    std::uint64_t bit = 0;
+    if (!reader.Read(1, &bit)) return false;
+    if (bit == 0) {
+      rows[i].value = BitsToDouble(prev);
+      continue;
+    }
+    if (!reader.Read(1, &bit)) return false;
+    if (bit != 0) {
+      std::uint64_t lead = 0, sig_minus_1 = 0;
+      if (!reader.Read(5, &lead)) return false;
+      if (!reader.Read(6, &sig_minus_1)) return false;
+      prev_lead = static_cast<int>(lead);
+      prev_sig = static_cast<int>(sig_minus_1) + 1;
+      if (prev_lead + prev_sig > 64) return false;
+    } else if (prev_lead < 0) {
+      return false;  // window reuse before any window was defined
+    }
+    std::uint64_t sigbits = 0;
+    if (!reader.Read(prev_sig, &sigbits)) return false;
+    if (sigbits == 0) return false;  // '1' control bit promised a change
+    prev ^= sigbits << (64 - prev_lead - prev_sig);
+    rows[i].value = BitsToDouble(prev);
+  }
+  return reader.AtCleanEnd();
+}
+
+void EncodeProvenance(const std::vector<BlockRow>& rows,
+                      std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < rows.size()) {
+    std::size_t run = 1;
+    while (i + run < rows.size() &&
+           rows[i + run].provenance == rows[i].provenance) {
+      ++run;
+    }
+    PutVarint(out, run);
+    out.push_back(rows[i].provenance);
+    i += run;
+  }
+}
+
+bool DecodeProvenance(const std::uint8_t* data, std::size_t size,
+                      std::vector<BlockRow>& rows) {
+  std::size_t pos = 0;
+  std::size_t row = 0;
+  while (row < rows.size()) {
+    std::uint64_t run = 0;
+    if (!GetVarint(data, size, &pos, &run)) return false;
+    if (run == 0 || run > rows.size() - row) return false;
+    if (pos >= size) return false;
+    const std::uint8_t value = data[pos++];
+    // Runs must be maximal or the encoding is not canonical.
+    if (row > 0 && rows[row - 1].provenance == value) return false;
+    for (std::uint64_t i = 0; i < run; ++i) rows[row++].provenance = value;
+  }
+  return pos == size;
+}
+
+void PutSection(std::vector<std::uint8_t>& out,
+                const std::vector<std::uint8_t>& payload) {
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, wal::Crc32c(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+// Validates framing + CRC of the section at *pos and returns its payload.
+bool GetSection(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+                const std::uint8_t** payload, std::size_t* payload_size) {
+  if (size - *pos < 8) return false;
+  const std::uint32_t len = GetU32(data + *pos);
+  const std::uint32_t crc = GetU32(data + *pos + 4);
+  if (len > kMaxSectionLen || len > size - *pos - 8) return false;
+  const std::uint8_t* body = data + *pos + 8;
+  if (wal::Crc32c(body, len) != crc) return false;
+  *payload = body;
+  *payload_size = len;
+  *pos += 8 + len;
+  return true;
+}
+
+}  // namespace
+
+double ZoneMap::min_value() const { return BitsToDouble(min_value_bits); }
+double ZoneMap::max_value() const { return BitsToDouble(max_value_bits); }
+double ZoneMap::sum_value() const { return BitsToDouble(sum_value_bits); }
+
+bool ZoneMap::operator==(const ZoneMap& other) const {
+  return min_ts == other.min_ts && max_ts == other.max_ts &&
+         min_value_bits == other.min_value_bits &&
+         max_value_bits == other.max_value_bits &&
+         sum_value_bits == other.sum_value_bits &&
+         first_id == other.first_id && last_id == other.last_id;
+}
+
+ZoneMap ComputeZoneMap(const std::vector<BlockRow>& rows) {
+  ZoneMap zone;
+  if (rows.empty()) return zone;
+  zone.min_ts = rows[0].timestamp;
+  zone.max_ts = rows[0].timestamp;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const BlockRow& row : rows) {
+    if (row.timestamp < zone.min_ts) zone.min_ts = row.timestamp;
+    if (row.timestamp > zone.max_ts) zone.max_ts = row.timestamp;
+    min_v = std::fmin(min_v, row.value);  // fmin/fmax ignore NaN operands
+    max_v = std::fmax(max_v, row.value);
+    sum += row.value;
+  }
+  zone.min_value_bits = DoubleBits(min_v);
+  zone.max_value_bits = DoubleBits(max_v);
+  zone.sum_value_bits = DoubleBits(sum);
+  zone.first_id = rows.front().id;
+  zone.last_id = rows.back().id;
+  return zone;
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+void PutZone(std::vector<std::uint8_t>& out, const ZoneMap& zone) {
+  PutU64(out, static_cast<std::uint64_t>(zone.min_ts));
+  PutU64(out, static_cast<std::uint64_t>(zone.max_ts));
+  PutU64(out, zone.min_value_bits);
+  PutU64(out, zone.max_value_bits);
+  PutU64(out, zone.sum_value_bits);
+  PutU64(out, zone.first_id);
+  PutU64(out, zone.last_id);
+}
+
+ZoneMap GetZone(const std::uint8_t* p) {
+  ZoneMap zone;
+  zone.min_ts = static_cast<TimeNs>(GetU64(p));
+  zone.max_ts = static_cast<TimeNs>(GetU64(p + 8));
+  zone.min_value_bits = GetU64(p + 16);
+  zone.max_value_bits = GetU64(p + 24);
+  zone.sum_value_bits = GetU64(p + 32);
+  zone.first_id = GetU64(p + 40);
+  zone.last_id = GetU64(p + 48);
+  return zone;
+}
+
+bool EncodeBlock(const std::vector<BlockRow>& rows,
+                 std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (rows.empty() || rows.size() > kMaxBlockRows) return false;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].id <= rows[i - 1].id) return false;
+  }
+  out.reserve(kBlockHeaderSize + kZoneMapSize + rows.size() * 4);
+
+  PutU32(out, kBlockMagic);
+  PutU32(out, kBlockVersion);
+  PutU32(out, static_cast<std::uint32_t>(rows.size()));
+  PutU32(out, wal::Crc32c(out.data(), 12));
+
+  const ZoneMap zone = ComputeZoneMap(rows);
+  PutZone(out, zone);
+  PutU32(out, wal::Crc32c(out.data() + kBlockHeaderSize, 56));
+  PutU32(out, 0);  // pad the zone map region to 64 bytes
+
+  std::vector<std::uint8_t> column;
+  EncodeIds(rows, column);
+  PutSection(out, column);
+  column.clear();
+  EncodeTimestamps(rows, column);
+  PutSection(out, column);
+  column.clear();
+  EncodeSampleTsOffsets(rows, column);
+  PutSection(out, column);
+  column.clear();
+  EncodeValues(rows, column);
+  PutSection(out, column);
+  column.clear();
+  EncodeProvenance(rows, column);
+  PutSection(out, column);
+  return true;
+}
+
+bool DecodeZoneMap(const std::uint8_t* data, std::size_t size,
+                   std::uint32_t* row_count, ZoneMap* zone) {
+  if (data == nullptr || size < kBlockHeaderSize + kZoneMapSize) return false;
+  if (GetU32(data) != kBlockMagic) return false;
+  if (GetU32(data + 4) != kBlockVersion) return false;
+  const std::uint32_t rows = GetU32(data + 8);
+  if (GetU32(data + 12) != wal::Crc32c(data, 12)) return false;
+  if (rows == 0 || rows > kMaxBlockRows) return false;
+  const std::uint8_t* zp = data + kBlockHeaderSize;
+  if (GetU32(zp + 56) != wal::Crc32c(zp, 56)) return false;
+  // The 4 pad bytes completing the 64-byte region must be zero: every
+  // accepted image is the unique (canonical) encoding of its rows.
+  if (GetU32(zp + 60) != 0) return false;
+  *row_count = rows;
+  *zone = GetZone(zp);
+  return true;
+}
+
+bool DecodeBlock(const std::uint8_t* data, std::size_t size,
+                 DecodedBlock* out) {
+  std::uint32_t row_count = 0;
+  if (!DecodeZoneMap(data, size, &row_count, &out->zone)) return false;
+
+  out->rows.assign(row_count, BlockRow{});
+  std::size_t pos = kBlockHeaderSize + kZoneMapSize;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  if (!GetSection(data, size, &pos, &payload, &payload_size) ||
+      !DecodeIds(payload, payload_size, out->rows)) {
+    return false;
+  }
+  if (!GetSection(data, size, &pos, &payload, &payload_size) ||
+      !DecodeTimestamps(payload, payload_size, out->rows)) {
+    return false;
+  }
+  if (!GetSection(data, size, &pos, &payload, &payload_size) ||
+      !DecodeSampleTsOffsets(payload, payload_size, out->rows)) {
+    return false;
+  }
+  if (!GetSection(data, size, &pos, &payload, &payload_size) ||
+      !DecodeValues(payload, payload_size, out->rows)) {
+    return false;
+  }
+  if (!GetSection(data, size, &pos, &payload, &payload_size) ||
+      !DecodeProvenance(payload, payload_size, out->rows)) {
+    return false;
+  }
+  if (pos != size) return false;  // trailing bytes
+
+  // The stored zone map must be exactly what the rows produce; a mismatch
+  // means corruption the CRCs happened to miss, so reject the block rather
+  // than return questionable rows.
+  return ComputeZoneMap(out->rows) == out->zone;
+}
+
+}  // namespace apollo::coldtier

@@ -1,0 +1,148 @@
+// ColdTier: immutable columnar blocks compacted from sealed WAL segments.
+//
+// One ColdTier sits beside one Archiver<Sample> (same base path). The
+// compactor drains sealed segments oldest-first, one block per segment:
+//
+//   1. read the sealed segment, decode its records
+//   2. write `<base>.<seq>.blk.tmp`, fsync, rename to `<base>.<seq>.blk`
+//   3. rewrite `<base>.manifest` atomically with the new entry
+//   4. delete the WAL segment
+//
+// The manifest write (step 3) is the commit point. A crash before it
+// leaves the WAL authoritative and at worst an orphan tmp/blk file that
+// Reconcile() sweeps; a crash after it leaves the block authoritative and
+// Reconcile() finishes step 4 idempotently. Either way every acked row is
+// readable from exactly one tier.
+//
+// Reads are mmap'd: ScanRange prunes blocks on the manifest's zone maps
+// (no file IO for a pruned block), decodes survivors, and emits rows in
+// [from_ts, to_ts]. A block that fails its CRC/consistency checks is
+// quarantined (renamed `.corrupt`, dropped from the live set, counted) —
+// a corrupt block can cost rows, never invent them.
+//
+// Thread safety: ScanRange, IsCompacted, and the metadata accessors are
+// safe against a concurrent CompactOnce/Reconcile. Compaction itself is
+// serialized internally, so a background compactor thread and manual
+// CompactNow() calls can overlap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coldtier/block_format.h"
+#include "coldtier/manifest.h"
+#include "common/expected.h"
+#include "common/fault.h"
+#include "pubsub/archiver.h"
+#include "pubsub/cold_reader.h"
+
+namespace apollo::coldtier {
+
+// Crash points inside CompactOnce, in execution order. The kill-restart
+// harness arms a hook at one of these and SIGKILLs itself there.
+inline constexpr const char* kCrashMidBlockWrite = "mid_block_write";
+inline constexpr const char* kCrashPreRename = "pre_rename";
+inline constexpr const char* kCrashPostRename = "post_rename";
+inline constexpr const char* kCrashPreManifest = "pre_manifest";
+inline constexpr const char* kCrashPostManifest = "post_manifest";
+inline constexpr const char* kCrashPreWalDelete = "pre_wal_delete";
+
+struct ColdTierConfig {
+  // Test-only crash-point instrumentation: called at each named point
+  // with the WAL sequence being compacted. Production leaves this empty.
+  std::function<void(const char* point, std::uint64_t wal_seq)> crash_hook;
+};
+
+struct CompactResult {
+  std::size_t segments_compacted = 0;
+  std::size_t blocks_written = 0;
+  std::uint64_t rows_compacted = 0;
+  std::uint64_t raw_bytes = 0;    // WAL segment bytes drained
+  std::uint64_t block_bytes = 0;  // block bytes written
+};
+
+class ColdTier : public ColdReaderBase {
+ public:
+  // `base_path` matches the archiver's: blocks live at `<base>.<seq>.blk`,
+  // the manifest at `<base>.manifest`.
+  explicit ColdTier(std::string base_path, ColdTierConfig config = {});
+
+  // Loads the manifest (missing = empty tier). Must be called before
+  // anything else; a corrupt manifest is an error, not a guess.
+  Status Open();
+
+  // Completes any compaction a crash interrupted: deletes WAL segments
+  // the manifest already covers (step 4 above) and sweeps orphan
+  // *.blk.tmp / unreferenced *.blk files. Idempotent.
+  Status Reconcile(Archiver<Sample>& archiver);
+
+  // Compacts up to `max_segments` sealed WAL segments (oldest first) into
+  // one block each, committing the manifest and deleting each segment as
+  // it lands. Returns how much was compacted; stops at the first failure
+  // with the WAL left authoritative for everything uncommitted.
+  Expected<CompactResult> CompactOnce(Archiver<Sample>& archiver,
+                                      std::size_t max_segments = SIZE_MAX);
+
+  // ColdReaderBase
+  Status ScanRange(TimeNs from_ts, TimeNs to_ts,
+                   const std::function<void(std::uint64_t id, TimeNs timestamp,
+                                            const Sample& sample)>& visit,
+                   ColdScanStats* stats) override;
+  std::uint64_t ColdRowCount() const override {
+    return total_rows_.load(std::memory_order_acquire);
+  }
+  bool IsCompacted(std::uint64_t wal_seq) const override {
+    return wal_seq <= last_compacted_seq_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t BlockCount() const;
+  std::vector<std::string> BlockPaths() const;
+  std::uint64_t LastCompactedSeq() const {
+    return last_compacted_seq_.load(std::memory_order_acquire);
+  }
+  // Zone-map bounds over the whole tier (0,0 when empty).
+  void TsBounds(TimeNs* min_ts, TimeNs* max_ts) const;
+  std::uint64_t quarantined_blocks() const {
+    return quarantined_blocks_.load(std::memory_order_acquire);
+  }
+
+  const std::string& base_path() const { return base_path_; }
+  std::string ManifestPath() const;
+
+  // kCompactWrite / kBlockRead faults are evaluated against `label`
+  // (defaults to the base path). Not owned; may be null.
+  void AttachFaultInjector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+  void set_fault_label(std::string label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    label_ = std::move(label);
+  }
+
+ private:
+  std::string BlockPathFor(std::uint64_t seq) const;
+  bool InjectedFault(FaultSite site);
+  // Removes `entry` from the live set and renames its file `.corrupt`.
+  void QuarantineBlock(const ManifestEntry& entry);
+  // Refreshes total_rows_/last_compacted_seq_ from entries_ (mu_ held).
+  void RefreshTotalsLocked();
+
+  std::string base_path_;
+  ColdTierConfig config_;
+  std::string label_;
+  std::atomic<FaultInjector*> fault_{nullptr};
+
+  mutable std::mutex mu_;        // guards entries_ + label_
+  std::mutex compact_mu_;        // serializes CompactOnce/Reconcile
+  std::vector<ManifestEntry> entries_;
+  std::atomic<std::uint64_t> total_rows_{0};
+  std::atomic<std::uint64_t> last_compacted_seq_{0};
+  std::atomic<std::uint64_t> quarantined_blocks_{0};
+  bool opened_ = false;
+};
+
+}  // namespace apollo::coldtier

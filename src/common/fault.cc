@@ -35,6 +35,10 @@ const char* FaultSiteName(FaultSite site) {
       return "heartbeat_loss";
     case FaultSite::kReplicaLag:
       return "replica_lag";
+    case FaultSite::kCompactWrite:
+      return "compact_write";
+    case FaultSite::kBlockRead:
+      return "block_read";
   }
   return "unknown";
 }

@@ -45,8 +45,12 @@ enum class FaultSite : std::uint8_t {
                    // peer looks silent; drives suspect/dead transitions)
   kReplicaLag,     // daemon-to-daemon replicate: failure, or added
                    // latency (a slow replica delays quorum)
+  kCompactWrite,   // cold-tier compaction: block write / rename /
+                   // manifest commit failure (WAL stays authoritative)
+  kBlockRead,      // cold-tier block read: block skipped, scan degrades
+                   // to whatever the healthy blocks hold
 };
-inline constexpr std::size_t kNumFaultSites = 13;
+inline constexpr std::size_t kNumFaultSites = 15;
 
 const char* FaultSiteName(FaultSite site);
 

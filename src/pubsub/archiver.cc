@@ -223,6 +223,11 @@ Status ArchiveLog::ApplyRetentionLocked() {
   if (config_.max_segments == 0) return Status::Ok();
   while (segments_.size() > config_.max_segments) {
     const Segment oldest = segments_.front();
+    // With a cold tier attached, only manifest-committed segments may
+    // expire: deleting an uncompacted sealed segment would destroy the
+    // sole copy of its rows. Retention simply waits for the compactor
+    // to catch up (segment count may temporarily exceed max_segments).
+    if (retention_gate_ && !retention_gate_(oldest.seq)) break;
     std::error_code ec;
     fs::remove(oldest.path, ec);
     if (ec) return IoError("archive retention remove failed", oldest.path);
@@ -380,6 +385,32 @@ std::vector<std::string> ArchiveLog::SegmentPaths() const {
 
 std::string ArchiveLog::ActiveSegmentPath() const {
   return segments_.empty() ? std::string() : segments_.back().path;
+}
+
+std::vector<ArchiveLog::SealedSegment> ArchiveLog::SealedSegments() const {
+  std::vector<SealedSegment> sealed;
+  if (segments_.size() <= 1) return sealed;
+  sealed.reserve(segments_.size() - 1);
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    sealed.push_back(SealedSegment{segments_[i].seq, segments_[i].path,
+                                   segments_[i].records});
+  }
+  return sealed;
+}
+
+std::uint64_t ArchiveLog::DropSegmentsThrough(std::uint64_t through_seq) {
+  std::uint64_t dropped = 0;
+  while (segments_.size() > 1 && segments_.front().seq <= through_seq) {
+    const Segment oldest = segments_.front();
+    std::error_code ec;
+    fs::remove(oldest.path, ec);
+    // A missing file is fine — a previous crash may have removed it
+    // after the manifest committed; the bookkeeping still advances.
+    record_count_ -= oldest.records;
+    segments_.erase(segments_.begin());
+    ++dropped;
+  }
+  return dropped;
 }
 
 }  // namespace apollo

@@ -43,6 +43,7 @@
 #include "common/clock.h"
 #include "common/expected.h"
 #include "common/fault.h"
+#include "pubsub/cold_reader.h"
 #include "pubsub/telemetry.h"
 #include "pubsub/wal_format.h"
 
@@ -120,6 +121,29 @@ class ArchiveLog {
   std::uint64_t rotations() const { return rotations_; }
   std::uint64_t fsyncs() const { return fsyncs_; }
 
+  // Sealed (non-active) segments as (seq, path, records), seq-ascending.
+  // Sealed files are immutable: the compactor reads them without any lock.
+  struct SealedSegment {
+    std::uint64_t seq;
+    std::string path;
+    std::uint64_t records;
+  };
+  std::vector<SealedSegment> SealedSegments() const;
+
+  // Deletes every sealed segment with seq <= `through_seq` (the active
+  // segment is never dropped). Used after those segments' rows are
+  // manifest-committed to the cold tier; idempotent across crashes.
+  // Returns how many segment files were removed.
+  std::uint64_t DropSegmentsThrough(std::uint64_t through_seq);
+
+  // Retention gate: when set, ApplyRetention only deletes a sealed
+  // segment the gate approves (the cold tier approves manifest-committed
+  // sequences). Without a gate, max_segments deletes blindly — the PR 3
+  // behavior — which can drop a sealed segment that was never compacted.
+  void set_retention_gate(std::function<bool(std::uint64_t)> gate) {
+    retention_gate_ = std::move(gate);
+  }
+
   // kArchiveFsync faults are evaluated against `label` before each real
   // fsync. Not owned; may be null.
   void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
@@ -150,6 +174,7 @@ class ArchiveLog {
   WalConfig config_;
   std::string label_;
   FaultInjector* fault_ = nullptr;
+  std::function<bool(std::uint64_t)> retention_gate_;
 
   std::vector<Segment> segments_;  // seq-ascending; back() is active
   std::FILE* active_ = nullptr;
@@ -334,6 +359,35 @@ class Archiver {
   // Why a file-backed open fell back to memory mode (Ok when healthy).
   Status OpenStatus() const { return open_status_; }
 
+  // ---- cold tier hooks (file mode only; no-ops in memory mode) ----
+
+  // Borrowed pointer to the cold tier that drains this archive. The
+  // executor reads it lock-free on every scan; attach happens at deploy
+  // time before queries run.
+  void AttachColdReader(ColdReaderBase* cold) {
+    cold_.store(cold, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (log_ != nullptr && cold != nullptr) {
+      log_->set_retention_gate(
+          [cold](std::uint64_t seq) { return cold->IsCompacted(seq); });
+    }
+  }
+  ColdReaderBase* cold_reader() const {
+    return cold_.load(std::memory_order_acquire);
+  }
+
+  std::vector<ArchiveLog::SealedSegment> SealedSegments() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->SealedSegments()
+                           : std::vector<ArchiveLog::SealedSegment>{};
+  }
+
+  // Drops manifest-committed sealed segments; see ArchiveLog.
+  std::uint64_t DropSegmentsThrough(std::uint64_t through_seq) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_ != nullptr ? log_->DropSegmentsThrough(through_seq) : 0;
+  }
+
  private:
   Status AppendLocked(std::uint64_t id, TimeNs timestamp, const T& payload) {
     if (FaultInjector* injector = fault_.load(std::memory_order_acquire)) {
@@ -381,6 +435,7 @@ class Archiver {
   std::vector<Record> memory_;
   std::uint64_t count_ = 0;
   std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<ColdReaderBase*> cold_{nullptr};
   RetryPolicy retry_;
   std::atomic<std::uint64_t> failures_{0};
   Status last_error_;

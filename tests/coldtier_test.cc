@@ -1,0 +1,457 @@
+// Cold-tier integration: sealed WAL segments compact into columnar
+// blocks, zone maps prune scans, retention never deletes an uncompacted
+// sealed segment (the PR-3 gap), reconcile sweeps crash debris, the
+// service answers time-travel queries over data evicted from both the
+// ring and the raw WAL tier, and the whole stack survives a
+// compact-while-publish-while-query hammering under TSan
+// (suite names carry "ColdTier" so the tsan name filter picks them up).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "apollo/apollo_service.h"
+#include "coldtier/cold_tier.h"
+#include "common/rng.h"
+#include "pubsub/archiver.h"
+#include "score/monitor_hook.h"
+
+namespace apollo {
+namespace {
+
+namespace fs = std::filesystem;
+using coldtier::ColdTier;
+
+constexpr std::size_t kFrameBytes =
+    wal::kFrameOverhead + sizeof(Archiver<Sample>::Record);
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name + "_" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Rotate every `records_per_segment` appends.
+WalConfig SmallSegments(std::size_t records_per_segment) {
+  WalConfig config;
+  config.segment_bytes =
+      wal::kHeaderSize + records_per_segment * kFrameBytes;
+  return config;
+}
+
+void AppendN(Archiver<Sample>& archiver, std::uint64_t from,
+             std::uint64_t count) {
+  for (std::uint64_t i = from; i < from + count; ++i) {
+    ASSERT_TRUE(archiver
+                    .Append(i, Seconds(static_cast<double>(i + 1)),
+                            Sample{Seconds(static_cast<double>(i + 1)),
+                                   static_cast<double>(i),
+                                   Provenance::kMeasured})
+                    .ok());
+  }
+}
+
+TEST(ColdTierCompaction, SealedSegmentsBecomeBlocksAndWalShrinks) {
+  const std::string dir = FreshDir("coldtier_compact");
+  const std::string base = dir + "/metric.log";
+  Archiver<Sample> archiver(base, SmallSegments(4));
+  ASSERT_FALSE(archiver.InMemory());
+  AppendN(archiver, 0, 22);  // 5 sealed segments + active tail
+
+  ColdTier cold(base);
+  ASSERT_TRUE(cold.Open().ok());
+  EXPECT_EQ(cold.ColdRowCount(), 0u);
+  auto result = cold.CompactOnce(archiver);
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_EQ(result->segments_compacted, 5u);
+  EXPECT_EQ(result->blocks_written, 5u);
+  EXPECT_EQ(result->rows_compacted, 20u);
+  EXPECT_GT(result->raw_bytes, result->block_bytes);
+
+  // Compacted rows left the WAL; the union is exactly what was appended.
+  EXPECT_EQ(cold.ColdRowCount(), 20u);
+  EXPECT_EQ(archiver.Count(), 2u);
+  EXPECT_TRUE(cold.IsCompacted(5));
+  EXPECT_FALSE(cold.IsCompacted(6));
+
+  // Every compacted row comes back, in order, bit-for-bit.
+  std::vector<std::uint64_t> ids;
+  ColdScanStats stats;
+  ASSERT_TRUE(cold.ScanRange(0, Seconds(1000),
+                             [&](std::uint64_t id, TimeNs ts,
+                                 const Sample& sample) {
+                               EXPECT_EQ(ts, sample.timestamp);
+                               EXPECT_DOUBLE_EQ(sample.value,
+                                                static_cast<double>(id));
+                               ids.push_back(id);
+                             },
+                             &stats)
+                  .ok());
+  ASSERT_EQ(ids.size(), 20u);
+  for (std::uint64_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+  EXPECT_EQ(stats.blocks_scanned, 5u);
+  EXPECT_EQ(stats.blocks_pruned, 0u);
+
+  // Idempotent: nothing sealed is left, so a second pass is a no-op.
+  auto again = cold.CompactOnce(archiver);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->segments_compacted, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ColdTierCompaction, ZoneMapsPruneDisjointRanges) {
+  const std::string dir = FreshDir("coldtier_prune");
+  const std::string base = dir + "/metric.log";
+  Archiver<Sample> archiver(base, SmallSegments(8));
+  AppendN(archiver, 0, 65);  // 8 sealed segments, 8 rows each
+
+  ColdTier cold(base);
+  ASSERT_TRUE(cold.Open().ok());
+  ASSERT_TRUE(cold.CompactOnce(archiver).ok());
+  ASSERT_EQ(cold.BlockCount(), 8u);
+
+  // One mid-range segment: rows 24..31 live at t = 25s..32s.
+  ColdScanStats stats;
+  std::uint64_t rows = 0;
+  ASSERT_TRUE(cold.ScanRange(Seconds(25), Seconds(32),
+                             [&](std::uint64_t, TimeNs, const Sample&) {
+                               ++rows;
+                             },
+                             &stats)
+                  .ok());
+  EXPECT_EQ(rows, 8u);
+  EXPECT_EQ(stats.blocks_scanned, 1u);
+  EXPECT_EQ(stats.blocks_pruned, 7u);
+
+  // A range past everything touches no block at all.
+  ColdScanStats none;
+  rows = 0;
+  ASSERT_TRUE(cold.ScanRange(Seconds(5000), Seconds(6000),
+                             [&](std::uint64_t, TimeNs, const Sample&) {
+                               ++rows;
+                             },
+                             &none)
+                  .ok());
+  EXPECT_EQ(rows, 0u);
+  EXPECT_EQ(none.blocks_scanned, 0u);
+  EXPECT_EQ(none.blocks_pruned, 8u);
+  fs::remove_all(dir);
+}
+
+// Regression for the PR-3 retention gap: with max_segments set, rotation
+// used to delete the oldest sealed segment even though it had never been
+// compacted — acked rows silently lost. With a cold tier attached the
+// retention gate defers deletion until the manifest covers the segment.
+TEST(ColdTierCompaction, RetentionWaitsForCompaction) {
+  const std::string dir = FreshDir("coldtier_retention");
+  const std::string base = dir + "/metric.log";
+  WalConfig config = SmallSegments(4);
+  config.max_segments = 2;
+
+  {
+    // Baseline (the latent bug this gate fixes): without a cold tier,
+    // retention drops acked rows once the cap is hit.
+    Archiver<Sample> ungated(dir + "/ungated.log", config);
+    AppendN(ungated, 0, 20);
+    EXPECT_LT(ungated.Count(), 20u);
+  }
+
+  Archiver<Sample> archiver(base, config);
+  ColdTier cold(base);
+  ASSERT_TRUE(cold.Open().ok());
+  archiver.AttachColdReader(&cold);
+  AppendN(archiver, 0, 20);
+  // Nothing compacted yet -> retention must hold every acked row even
+  // though the segment count is far past max_segments.
+  EXPECT_EQ(archiver.Count(), 20u);
+
+  // After compaction the same cap applies again: compacted segments are
+  // gone from the WAL (moved, not lost) and the union is still complete.
+  ASSERT_TRUE(cold.CompactOnce(archiver).ok());
+  EXPECT_EQ(cold.ColdRowCount() + archiver.Count(), 20u);
+  fs::remove_all(dir);
+}
+
+TEST(ColdTierCompaction, ReconcileSweepsCrashDebris) {
+  const std::string dir = FreshDir("coldtier_reconcile");
+  const std::string base = dir + "/metric.log";
+  Archiver<Sample> archiver(base, SmallSegments(4));
+  AppendN(archiver, 0, 10);
+
+  // Crash debris: an orphan tmp block and an unreferenced full block.
+  const std::string orphan_tmp = base + ".1.blk.tmp";
+  const std::string orphan_blk = base + ".9.blk";
+  for (const std::string& path : {orphan_tmp, orphan_blk}) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("debris", f);
+    std::fclose(f);
+  }
+
+  ColdTier cold(base);
+  ASSERT_TRUE(cold.Open().ok());
+  ASSERT_TRUE(cold.Reconcile(archiver).ok());
+  EXPECT_FALSE(fs::exists(orphan_tmp));
+  EXPECT_FALSE(fs::exists(orphan_blk));
+  // The WAL itself is untouched.
+  EXPECT_EQ(archiver.Count(), 10u);
+  fs::remove_all(dir);
+}
+
+// The full service stack: rows age out of the ring into the WAL, sealed
+// segments compact into blocks, the raw segments are deleted — and a
+// BETWEEN query over that evicted span still answers exactly, with
+// EXPLAIN ANALYZE attributing the rows to the cold tier and reporting
+// zone-map pruning.
+TEST(ColdTierService, TimeTravelQueryPastRingAndWal) {
+  const std::string dir = FreshDir("coldtier_service");
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  options.archive_dir = dir;
+  options.wal = SmallSegments(4);
+  options.coldtier_enabled = true;
+  ApolloService apollo(options);
+
+  FactDeployment deployment;
+  deployment.topic = "metric";
+  deployment.queue_capacity = 8;  // tiny ring: most rows evict
+  deployment.publish_only_on_change = false;
+  std::atomic<int> tick{0};
+  MonitorHook hook{"metric",
+                   [&tick](TimeNs) {
+                     return static_cast<double>(tick.fetch_add(1));
+                   },
+                   0};
+  ASSERT_TRUE(apollo.DeployFact(std::move(hook), deployment).ok());
+  ASSERT_TRUE(apollo.RunFor(Seconds(64)).ok());
+
+  // Evictions flush on query; then compaction drains the sealed tail.
+  auto total =
+      apollo.Query("SELECT COUNT(*) FROM metric WHERE Timestamp >= 0");
+  ASSERT_TRUE(total.ok());
+  const double published = total->rows[0].values[0];
+  ASSERT_GE(published, 32.0);
+
+  auto compacted = apollo.CompactNow();
+  ASSERT_TRUE(compacted.ok()) << compacted.error().message();
+  ASSERT_GT(compacted->blocks_written, 0u);
+  ColdTier* cold = apollo.cold_tier("metric");
+  ASSERT_NE(cold, nullptr);
+  ASSERT_GT(cold->ColdRowCount(), 0u);
+
+  // The queried span lives only in cold blocks now: it left the ring
+  // (capacity 8) and its WAL segments were deleted after the manifest
+  // committed.
+  TimeNs cold_min = 0, cold_max = 0;
+  cold->TsBounds(&cold_min, &cold_max);
+  ASSERT_GT(cold_max, cold_min);
+  std::ostringstream sql;
+  sql << "SELECT COUNT(*) FROM metric WHERE Timestamp BETWEEN "
+      << cold_min << " AND " << cold_max;
+  auto travel = apollo.Query(sql.str());
+  ASSERT_TRUE(travel.ok()) << travel.error().ToString();
+  EXPECT_FALSE(travel->degraded);
+  EXPECT_DOUBLE_EQ(travel->rows[0].values[0],
+                   static_cast<double>(cold->ColdRowCount()));
+
+  // COUNT over everything is still exact across all three tiers: no row
+  // lost to compaction, none double-counted at a tier boundary.
+  auto recount =
+      apollo.Query("SELECT COUNT(*) FROM metric WHERE Timestamp >= 0");
+  ASSERT_TRUE(recount.ok());
+  EXPECT_DOUBLE_EQ(recount->rows[0].values[0], published);
+
+  // EXPLAIN ANALYZE names the cold tier and accounts for pruning.
+  auto profile = apollo.Explain(sql.str(), /*analyze=*/true);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile->vertices.size(), 1u);
+  const aqe::VertexProfile& vertex = profile->vertices[0];
+  EXPECT_NE(vertex.strategy.find("+cold"), std::string::npos)
+      << vertex.strategy;
+  EXPECT_EQ(vertex.cold_rows, cold->ColdRowCount());
+  EXPECT_EQ(vertex.cold_blocks_scanned + vertex.cold_blocks_pruned,
+            cold->BlockCount());
+  const std::string text = profile->ToText();
+  EXPECT_NE(text.find("cold_blocks_scanned="), std::string::npos) << text;
+  fs::remove_all(dir);
+}
+
+// A restarted service recovers cold blocks through the manifest: the
+// report counts them and time-travel queries answer immediately.
+TEST(ColdTierService, RecoverReportsColdBlocks) {
+  const std::string dir = FreshDir("coldtier_recover");
+  std::uint64_t cold_rows = 0;
+  double expected_total = 0;
+  {
+    ApolloOptions options;
+    options.mode = ApolloOptions::Mode::kSimulated;
+    options.query_threads = 0;
+    options.archive_dir = dir;
+    options.wal = SmallSegments(4);
+    options.coldtier_enabled = true;
+    ApolloService apollo(options);
+    FactDeployment deployment;
+    deployment.topic = "metric";
+    deployment.queue_capacity = 4;
+    deployment.publish_only_on_change = false;
+    std::atomic<int> tick{0};
+    MonitorHook hook{"metric",
+                     [&tick](TimeNs) {
+                       return static_cast<double>(tick.fetch_add(1));
+                     },
+                     0};
+    ASSERT_TRUE(apollo.DeployFact(std::move(hook), deployment).ok());
+    ASSERT_TRUE(apollo.RunFor(Seconds(40)).ok());
+    auto flush =
+        apollo.Query("SELECT COUNT(*) FROM metric WHERE Timestamp >= 0");
+    ASSERT_TRUE(flush.ok());
+    expected_total = flush->rows[0].values[0];
+    auto compacted = apollo.CompactNow();
+    ASSERT_TRUE(compacted.ok());
+    cold_rows = apollo.cold_tier("metric")->ColdRowCount();
+    ASSERT_GT(cold_rows, 0u);
+  }
+
+  ApolloOptions options;
+  options.mode = ApolloOptions::Mode::kSimulated;
+  options.query_threads = 0;
+  options.archive_dir = dir;
+  options.wal = SmallSegments(4);
+  options.coldtier_enabled = true;
+  ApolloService apollo(options);
+  FactDeployment deployment;
+  deployment.topic = "metric";
+  deployment.queue_capacity = 4;
+  MonitorHook hook{"metric", [](TimeNs) { return 0.0; }, 0};
+  ASSERT_TRUE(apollo.DeployFact(std::move(hook), deployment).ok());
+  auto report = apollo.Recover();
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_GT(report->cold_blocks, 0u);
+  EXPECT_EQ(report->cold_rows, cold_rows);
+  EXPECT_EQ(report->cold_quarantined_blocks, 0u);
+
+  // Everything that ever left the ring survives the restart. The 4 rows
+  // still inside the ring when the first service died were never evicted
+  // into the WAL, so they are (by design) not durable.
+  auto count =
+      apollo.Query("SELECT COUNT(*) FROM metric WHERE Timestamp >= 0");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->rows[0].values[0], expected_total - 4);
+  fs::remove_all(dir);
+}
+
+// TSan leg: a publisher appending, a compactor draining, and two readers
+// (WAL range reads + cold scans) hammer the same archiver+tier. The test
+// asserts conservation at every read: rows observed never exceed rows
+// acked, and the final union is exact.
+TEST(ColdTierStress, CompactWhilePublishWhileQuery) {
+  const std::string dir = FreshDir("coldtier_stress");
+  const std::string base = dir + "/metric.log";
+  Archiver<Sample> archiver(base, SmallSegments(8));
+  ColdTier cold(base);
+  ASSERT_TRUE(cold.Open().ok());
+  archiver.AttachColdReader(&cold);
+
+  constexpr std::uint64_t kRows = 4000;
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<bool> done{false};
+
+  std::thread publisher([&] {
+    for (std::uint64_t i = 0; i < kRows; ++i) {
+      // Advance the counter before the append: a row becomes visible to
+      // the readers the instant Append lands, so "may be visible" must be
+      // declared first or the seen<=acked check races the store.
+      acked.store(i + 1, std::memory_order_release);
+      Status status =
+          archiver.Append(i, Seconds(static_cast<double>(i + 1)),
+                          Sample{Seconds(static_cast<double>(i + 1)),
+                                 static_cast<double>(i),
+                                 Provenance::kMeasured});
+      if (!status.ok()) {
+        acked.store(i, std::memory_order_release);
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread compactor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto result = cold.CompactOnce(archiver, 2);
+      if (!result.ok()) break;
+      std::this_thread::yield();
+    }
+    (void)cold.CompactOnce(archiver);  // drain the tail
+  });
+
+  std::thread scanner([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ColdScanStats stats;
+      std::uint64_t seen = 0;
+      (void)cold.ScanRange(0, Seconds(static_cast<double>(kRows + 1)),
+                           [&](std::uint64_t, TimeNs, const Sample&) {
+                             ++seen;
+                           },
+                           &stats);
+      // A scan can race a commit, but can never see more than was acked.
+      EXPECT_LE(seen, acked.load(std::memory_order_acquire));
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto rows = archiver.ReadRange(0, Seconds(static_cast<double>(kRows)));
+      if (rows.ok()) {
+        EXPECT_LE(rows->size(), acked.load(std::memory_order_acquire));
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  publisher.join();
+  compactor.join();
+  scanner.join();
+  reader.join();
+
+  ASSERT_EQ(acked.load(), kRows);
+  // Conservation after the dust settles: every acked row is in exactly
+  // one tier.
+  EXPECT_EQ(cold.ColdRowCount() + archiver.Count(), kRows);
+  std::vector<bool> present(kRows, false);
+  std::uint64_t dupes = 0;
+  ColdScanStats stats;
+  ASSERT_TRUE(cold.ScanRange(0, Seconds(static_cast<double>(kRows + 1)),
+                             [&](std::uint64_t id, TimeNs, const Sample&) {
+                               if (present[id]) ++dupes;
+                               present[id] = true;
+                             },
+                             &stats)
+                  .ok());
+  auto wal_rows =
+      archiver.ReadRange(0, Seconds(static_cast<double>(kRows + 1)));
+  ASSERT_TRUE(wal_rows.ok());
+  for (const auto& rec : *wal_rows) {
+    if (present[rec.id]) ++dupes;
+    present[rec.id] = true;
+  }
+  EXPECT_EQ(dupes, 0u);
+  std::uint64_t missing = 0;
+  for (bool p : present) missing += p ? 0 : 1;
+  EXPECT_EQ(missing, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace apollo

@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "aqe/executor.h"
+#include "coldtier/block_format.h"
 #include "cluster/device.h"
 #include "common/rng.h"
 #include "delphi/predictor.h"
@@ -255,6 +258,126 @@ TEST(StatsProperty, RmseDominatesMaeAndR2Consistency) {
     EXPECT_GE(rmse + 1e-12, mae);               // RMSE >= MAE always
     EXPECT_LE(RSquared(truth, pred), 1.0);      // R2 upper bound
     EXPECT_GE(RSquared(truth, truth), 1.0 - 1e-12);
+  }
+}
+
+// --- Cold-block codec invariants ---
+//
+// Random streams drawn from adversarial series families must round-trip
+// bit-exactly through the delta-of-delta timestamp codec, the XOR value
+// codec (including NaN payloads, infinities, denormals), and the RLE
+// provenance codec — and the zone map computed by the encoder must be
+// conservative for every row.
+
+namespace {
+
+std::uint64_t Bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// One random series from a named family. Ids are always strictly
+// increasing with random gaps; timestamps are non-decreasing-ish but may
+// jitter backwards (the codec must not assume monotonic time).
+std::vector<coldtier::BlockRow> RandomSeries(Rng& rng, int family,
+                                             std::size_t n) {
+  std::vector<coldtier::BlockRow> rows;
+  rows.reserve(n);
+  std::uint64_t id = 1 + rng.NextBounded(1000);
+  TimeNs ts = static_cast<TimeNs>(rng.NextBounded(1u << 30));
+  double walk = rng.Uniform(-100, 100);
+  const double constant = rng.Uniform(-1e9, 1e9);
+  for (std::size_t i = 0; i < n; ++i) {
+    coldtier::BlockRow row;
+    row.id = id;
+    id += 1 + rng.NextBounded(7);
+    switch (family) {
+      case 0:  // constant value, fixed cadence — the best case
+        ts += 1000000;
+        row.value = constant;
+        break;
+      case 1:  // monotonic ramp, fixed cadence
+        ts += 1000000;
+        row.value = static_cast<double>(i) * 0.1;
+        break;
+      case 2:  // adversarial jitter: random timestamps, random values
+        ts += static_cast<TimeNs>(rng.UniformInt(-5000, 500000));
+        row.value = rng.Uniform(-1e12, 1e12);
+        break;
+      case 3:  // special values: NaN payloads, infinities, denormals
+        ts += static_cast<TimeNs>(rng.NextBounded(1u << 20));
+        switch (rng.NextBounded(5)) {
+          case 0: row.value = std::nan("0x5ca1e"); break;
+          case 1: row.value = std::numeric_limits<double>::infinity(); break;
+          case 2: row.value = -std::numeric_limits<double>::infinity(); break;
+          case 3: row.value = std::numeric_limits<double>::denorm_min(); break;
+          default: row.value = -0.0; break;
+        }
+        break;
+      default:  // random walk with occasional large jumps
+        ts += static_cast<TimeNs>(rng.NextBounded(1u << 22));
+        walk += rng.Bernoulli(0.05) ? rng.Uniform(-1e9, 1e9)
+                                    : rng.Gaussian(0, 1);
+        row.value = walk;
+        break;
+    }
+    row.timestamp = ts;
+    row.sample_timestamp =
+        rng.Bernoulli(0.05)
+            ? ts - static_cast<TimeNs>(rng.NextBounded(1u << 16))
+            : ts;
+    row.provenance = rng.Bernoulli(0.3) ? 1 : 0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // anonymous helpers for cold-block properties
+
+TEST(ColdBlockProperty, RandomStreamsRoundTripBitExactly) {
+  Rng rng(0xB10CB10Cu);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int family = trial % 5;
+    const std::size_t n = 1 + rng.NextBounded(300);
+    const auto rows = RandomSeries(rng, family, n);
+    std::vector<std::uint8_t> image;
+    ASSERT_TRUE(coldtier::EncodeBlock(rows, image));
+    coldtier::DecodedBlock decoded;
+    ASSERT_TRUE(coldtier::DecodeBlock(image.data(), image.size(), &decoded))
+        << "family " << family << " n=" << n;
+    ASSERT_EQ(decoded.rows.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(decoded.rows[i].id, rows[i].id);
+      EXPECT_EQ(decoded.rows[i].timestamp, rows[i].timestamp);
+      EXPECT_EQ(decoded.rows[i].sample_timestamp, rows[i].sample_timestamp);
+      // Bit-pattern equality: NaN payloads and -0.0 must survive intact.
+      EXPECT_EQ(Bits(decoded.rows[i].value), Bits(rows[i].value))
+          << "family " << family << " row " << i;
+      EXPECT_EQ(decoded.rows[i].provenance, rows[i].provenance);
+    }
+  }
+}
+
+TEST(ColdBlockProperty, ZoneMapsAreAlwaysConservative) {
+  Rng rng(0x20EEFu);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int family = rng.NextBounded(5);
+    const std::size_t n = 1 + rng.NextBounded(200);
+    const auto rows = RandomSeries(rng, static_cast<int>(family), n);
+    const coldtier::ZoneMap zone = coldtier::ComputeZoneMap(rows);
+    EXPECT_EQ(zone.first_id, rows.front().id);
+    EXPECT_EQ(zone.last_id, rows.back().id);
+    for (const coldtier::BlockRow& row : rows) {
+      // Every row's timestamp inside the zone bounds: a pruned block can
+      // never have held a row the query wanted.
+      EXPECT_GE(row.timestamp, zone.min_ts);
+      EXPECT_LE(row.timestamp, zone.max_ts);
+      if (!std::isnan(row.value)) {
+        EXPECT_GE(row.value, zone.min_value());
+        EXPECT_LE(row.value, zone.max_value());
+      }
+    }
   }
 }
 
