@@ -29,8 +29,16 @@
 //     (delta-of-delta timestamps, XOR'd values) — compression ratio vs the
 //     raw WAL bytes drained (must clear 3x) plus compaction and zone-map
 //     pruned cold-scan rates.
+// (h) continuous-query fan-out: N subscriber connections each holding one
+//     registered CQ over a shared topic (the in-process mirror of
+//     tools/cq_loadgen) — aggregate push throughput and p99 push gap at
+//     100/1000 subscribers (plus 5000 in full mode), and the shed-mode
+//     query path (degraded cached answer for an over-quota tenant) vs the
+//     normally admitted path.
 //
 // Results are printed as tables and written to BENCH_hotpath.json.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -572,6 +580,192 @@ double MeasureShmLane(std::uint64_t total) {
   return static_cast<double>(total) / elapsed;
 }
 
+// ---- continuous-query fan-out (lane h) -----------------------------------
+
+double g_cq_duration_s = 3.0;  // publish window per subscriber count
+int g_cq_shed_queries = 2'000;
+
+struct CQFanoutPoint {
+  int clients;
+  std::uint64_t updates;
+  double push_events_per_sec;
+  double p99_push_gap_ns;
+};
+
+// Thousands of subscriber sockets (bench side + daemon side) need more
+// than the default 1024-fd ceiling.
+void RaiseFdLimit() {
+  struct rlimit lim;
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+CQFanoutPoint MeasureCQFanout(int clients) {
+  RaiseFdLimit();
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  const std::string topic = "cqbench.t0";
+  broker.CreateTopic(topic, kLocalNode, 4096);
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  net::DaemonConfig daemon_config;
+  daemon_config.cq.max_queries =
+      std::max<std::size_t>(8192, static_cast<std::size_t>(clients) * 2);
+  net::ApolloDaemon daemon(broker, executor, daemon_config);
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "cq fan-out daemon failed to start\n");
+    return {clients, 0, -1.0, -1.0};
+  }
+
+  const int threads = std::max(
+      1, std::min({clients, 16,
+                   static_cast<int>(std::thread::hardware_concurrency())}));
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<int> ready{0};
+  std::atomic<bool> stop{false};
+  std::atomic<TimeNs> last_recv{0};
+  std::vector<std::vector<double>> gaps(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      const int share =
+          clients / threads + (t < clients % threads ? 1 : 0);
+      std::vector<std::unique_ptr<net::ApolloClient>> swarm;
+      std::vector<TimeNs> last(static_cast<std::size_t>(share), 0);
+      for (int c = 0; c < share; ++c) {
+        net::ClientConfig config;
+        config.port = daemon.port();
+        config.client_name = "cq-bench";
+        auto client = std::make_unique<net::ApolloClient>(std::move(config));
+        char name[32];
+        std::snprintf(name, sizeof name, "b-%d-%d", t, c);
+        if (client->CQRegister(
+                       name, "SUBSCRIBE SELECT AVG(Metric) FROM " + topic)
+                .ok()) {
+          swarm.push_back(std::move(client));
+        }
+      }
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      auto& local_gaps = gaps[static_cast<std::size_t>(t)];
+      // Sweep until the publisher stops, then once more to drain what the
+      // last pump tick pushed.
+      bool final_pass = false;
+      while (!final_pass) {
+        final_pass = stop.load(std::memory_order_acquire);
+        for (std::size_t c = 0; c < swarm.size(); ++c) {
+          if (!swarm[c]->WaitForCQUpdates(500 * kNsPerUs)) continue;
+          const auto batch = swarm[c]->TakeCQUpdates();
+          const TimeNs now = clock.Now();
+          updates.fetch_add(batch.size(), std::memory_order_relaxed);
+          if (last[c] != 0) {
+            local_gaps.push_back(static_cast<double>(now - last[c]));
+          }
+          last[c] = now;
+          TimeNs prev = last_recv.load(std::memory_order_relaxed);
+          while (prev < now &&
+                 !last_recv.compare_exchange_weak(prev, now)) {
+          }
+        }
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+    std::this_thread::yield();
+  }
+  // Keep the shared topic moving for the measurement window; every
+  // publish dirties all N materialized CQs and the pump fans the refreshed
+  // row set out to every subscriber.
+  const TimeNs start = clock.Now();
+  const TimeNs publish_deadline = start + Seconds(g_cq_duration_s);
+  double v = 0.0;
+  while (clock.Now() < publish_deadline) {
+    const TimeNs now = clock.Now();
+    (void)broker.Publish(topic, kLocalNode, now,
+                         Sample{now, v += 1.0, Provenance::kMeasured});
+    std::this_thread::sleep_for(std::chrono::microseconds(1000));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& worker : pool) worker.join();
+  daemon.Stop();
+
+  std::vector<double> all_gaps;
+  for (auto& g : gaps) all_gaps.insert(all_gaps.end(), g.begin(), g.end());
+  const double elapsed =
+      ToSeconds(std::max<TimeNs>(1, last_recv.load() - start));
+  CQFanoutPoint point;
+  point.clients = clients;
+  point.updates = updates.load();
+  point.push_events_per_sec = static_cast<double>(point.updates) / elapsed;
+  point.p99_push_gap_ns = PercentileNs(all_gaps, 99.0);
+  return point;
+}
+
+struct ShedPoint {
+  double normal_rtt_ns = -1.0;
+  double shed_rtt_ns = -1.0;
+  double overhead_pct = 0.0;
+  bool degraded_ok = false;
+};
+
+// One-shot query RTT for a tenant inside quota vs one shedding to the
+// cached last-known-good answer — the admission layer's fast-path tax.
+ShedPoint MeasureShedOverhead(int queries) {
+  RealClock& clock = RealClock::Instance();
+  Broker broker(clock);
+  const std::string topic = "cqbench.shed";
+  broker.CreateTopic(topic, kLocalNode, 4096);
+  for (int i = 0; i < 64; ++i) {
+    const TimeNs ts = static_cast<TimeNs>(i);
+    (void)broker.Publish(topic, kLocalNode, ts,
+                         Sample{ts, 1.0, Provenance::kMeasured});
+  }
+  aqe::Executor executor(broker, /*pool=*/nullptr);
+  net::DaemonConfig daemon_config;
+  // Effectively one admitted query ever: enough to warm the answer cache,
+  // every later query sheds.
+  cq::TenantQuota quota;
+  quota.rate_per_sec = 1e-9;
+  quota.burst = 1;
+  daemon_config.admission.tenant_quotas["shed-bench"] = quota;
+  net::ApolloDaemon daemon(broker, executor, daemon_config);
+  if (!daemon.Start().ok()) {
+    std::fprintf(stderr, "shed bench daemon failed to start\n");
+    return {};
+  }
+  const std::string sql = "SELECT AVG(Metric) FROM " + topic;
+  const auto measure = [&](const std::string& tenant, bool expect_degraded,
+                           bool& degraded_ok) -> double {
+    net::ClientConfig config;
+    config.port = daemon.port();
+    config.client_name = "shed-bench";
+    config.tenant = tenant;
+    net::ApolloClient client(config);
+    auto warm = client.Query(sql);  // admitted; populates the cache
+    if (!warm.ok()) return -1.0;
+    degraded_ok = true;
+    Stopwatch watch;
+    for (int i = 0; i < queries; ++i) {
+      auto reply = client.Query(sql);
+      if (!reply.ok() || reply->result.degraded != expect_degraded) {
+        degraded_ok = false;
+      }
+    }
+    return watch.ElapsedSeconds() * 1e9 / queries;
+  };
+  ShedPoint point;
+  bool normal_ok = false;
+  point.normal_rtt_ns = measure("", false, normal_ok);
+  point.shed_rtt_ns = measure("shed-bench", true, point.degraded_ok);
+  point.degraded_ok = point.degraded_ok && normal_ok;
+  daemon.Stop();
+  if (point.normal_rtt_ns > 0.0 && point.shed_rtt_ns > 0.0) {
+    point.overhead_pct =
+        (point.shed_rtt_ns / point.normal_rtt_ns - 1.0) * 100.0;
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -594,6 +788,8 @@ int main(int argc, char** argv) {
     g_net_queries = 400;
     g_batch_events = 20'000;
     g_cold_records = 20'000;
+    g_cq_duration_s = 1.5;
+    g_cq_shed_queries = 400;
     std::printf("quick mode: %llu events, best of %d, %d query iters\n",
                 static_cast<unsigned long long>(g_total_events),
                 g_publish_reps, g_query_iters);
@@ -766,6 +962,35 @@ int main(int argc, char** argv) {
       cold.compression_ratio,
       cold.compression_ratio >= 3.0 ? "PASS" : "FAIL");
 
+  PrintHeader("Hot path (h)",
+              "continuous-query fan-out: N subscribers each holding one "
+              "registered CQ over a shared topic (in-process mirror of "
+              "tools/cq_loadgen); pushes are materialized-delta frames, "
+              "never re-executions");
+  PrintRow({"clients", "updates", "push ev/s", "p99 gap ms"});
+  std::vector<CQFanoutPoint> cq_points;
+  {
+    std::vector<int> cq_clients = {100, 1000};
+    if (!quick) cq_clients.push_back(5000);
+    for (int clients : cq_clients) {
+      const CQFanoutPoint point = MeasureCQFanout(clients);
+      cq_points.push_back(point);
+      PrintRow({std::to_string(clients), std::to_string(point.updates),
+                Fmt("%.0f", point.push_events_per_sec),
+                Fmt("%.1f", point.p99_push_gap_ns / 1e6)});
+    }
+  }
+  const ShedPoint shed = MeasureShedOverhead(g_cq_shed_queries);
+  PrintRow({"shed", Fmt("%.0f ns normal", shed.normal_rtt_ns),
+            Fmt("%.0f ns shed", shed.shed_rtt_ns),
+            Fmt("%+.1f%%", shed.overhead_pct) +
+                (shed.degraded_ok ? " (degraded ok)" : " (FLAG MISMATCH)")});
+  std::printf(
+      "expected shape: push throughput grows with fan-out until the pump "
+      "tick saturates writing N frames; the shed path answers from the "
+      "last-known-good cache without touching the executor, so its RTT "
+      "tracks the admitted path\n");
+
   std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"host_hw_threads\": %u,\n",
@@ -846,10 +1071,26 @@ int main(int argc, char** argv) {
                  "  \"cold_tier\": {\"records\": %llu, "
                  "\"compression_ratio\": %.3f, "
                  "\"compact_rows_per_sec\": %.0f, "
-                 "\"scan_rows_per_sec\": %.0f}\n",
+                 "\"scan_rows_per_sec\": %.0f},\n",
                  static_cast<unsigned long long>(cold.records),
                  cold.compression_ratio, cold.compact_rows_per_sec,
                  cold.scan_rows_per_sec);
+    std::fprintf(json, "  \"cq_fanout\": [\n");
+    for (std::size_t i = 0; i < cq_points.size(); ++i) {
+      const auto& p = cq_points[i];
+      std::fprintf(json,
+                   "    {\"clients\": %d, \"updates\": %llu, "
+                   "\"push_events_per_sec\": %.0f, \"p99_push_gap_ns\": "
+                   "%.0f}%s\n",
+                   p.clients, static_cast<unsigned long long>(p.updates),
+                   p.push_events_per_sec, p.p99_push_gap_ns,
+                   i + 1 < cq_points.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"cq_shed\": {\"normal_query_rtt_ns\": %.0f, "
+                 "\"shed_query_rtt_ns\": %.0f, \"shed_overhead_pct\": "
+                 "%.2f}\n",
+                 shed.normal_rtt_ns, shed.shed_rtt_ns, shed.overhead_pct);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_hotpath.json\n");

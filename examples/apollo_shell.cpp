@@ -96,8 +96,8 @@ int RunRemoteShell(const std::string& target, bool use_shm) {
     return 1;
   }
   std::printf("connected to %s (%s). commands: query <sql> | explain <sql> "
-              "| topics | publish <topic> <value> | \\metrics | ping | "
-              "quit\n",
+              "| topics | publish <topic> <value> | \\watch <sql> | "
+              "\\poll [sec] | \\unwatch <id> | \\metrics | ping | quit\n",
               target.c_str(), client.server_name().c_str());
 
   if (use_shm) {
@@ -128,6 +128,7 @@ int RunRemoteShell(const std::string& target, bool use_shm) {
   }
 
   std::string line;
+  int watch_counter = 0;
   while (std::getline(std::cin, line)) {
     std::istringstream input(line);
     std::string command;
@@ -179,6 +180,51 @@ int RunRemoteShell(const std::string& target, bool use_shm) {
           std::printf("error: %s\n", id.error().ToString().c_str());
         }
       }
+    } else if (command == "\\watch" || command == "watch") {
+      // Register a continuous query; the daemon pushes incremental result
+      // sets as the underlying aggregates change. Drain them with \poll.
+      std::string sql;
+      std::getline(input, sql);
+      const std::size_t start = sql.find_first_not_of(" \t");
+      if (start != std::string::npos) sql.erase(0, start);
+      // Accept a bare SELECT: the wire form is SUBSCRIBE SELECT ...
+      if (sql.rfind("SUBSCRIBE", 0) != 0 && sql.rfind("subscribe", 0) != 0) {
+        sql = "SUBSCRIBE " + sql;
+      }
+      char name[32];
+      std::snprintf(name, sizeof name, "watch-%d", ++watch_counter);
+      auto ack = client.CQRegister(name, sql);
+      if (ack.ok()) {
+        std::printf("watching as cq %llu (%s) epoch=%llu — \\poll to drain, "
+                    "\\unwatch %llu to stop\n",
+                    static_cast<unsigned long long>(ack->cq_id), name,
+                    static_cast<unsigned long long>(ack->epoch),
+                    static_cast<unsigned long long>(ack->cq_id));
+      } else {
+        std::printf("error: %s\n", ack.error().ToString().c_str());
+      }
+    } else if (command == "\\poll" || command == "poll") {
+      double seconds = 1.0;
+      input >> seconds;
+      (void)client.WaitForCQUpdates(Seconds(seconds));
+      auto updates = client.TakeCQUpdates();
+      if (updates.empty()) {
+        std::printf("(no updates)\n");
+      }
+      for (const net::CQUpdateMsg& update : updates) {
+        std::printf("cq %llu epoch=%llu seq=%llu%s\n",
+                    static_cast<unsigned long long>(update.cq_id),
+                    static_cast<unsigned long long>(update.epoch),
+                    static_cast<unsigned long long>(update.seq),
+                    update.result.degraded ? " (degraded)" : "");
+        PrintResult(update.result);
+      }
+    } else if (command == "\\unwatch" || command == "unwatch") {
+      unsigned long long id = 0;
+      input >> id;
+      Status status = client.CQCancel(id);
+      std::printf("%s\n", status.ok() ? "cancelled"
+                                      : status.ToString().c_str());
     } else if (command == "\\metrics" || command == "metrics") {
       auto text = client.FetchMetricsText();
       if (text.ok()) {
@@ -191,7 +237,8 @@ int RunRemoteShell(const std::string& target, bool use_shm) {
       std::printf("%s\n", status.ok() ? "pong" : status.ToString().c_str());
     } else {
       std::printf("remote commands: query <sql> | explain <sql> | topics | "
-                  "publish <topic> <value> | \\metrics | ping | quit\n");
+                  "publish <topic> <value> | \\watch <sql> | \\poll [sec] | "
+                  "\\unwatch <id> | \\metrics | ping | quit\n");
     }
   }
   return 0;

@@ -59,6 +59,28 @@ bool ParseClusterList(const std::string& list,
   return !peers.empty();
 }
 
+// "tenant=rate[:burst[:weight]]" (tenant "*" sets the default quota).
+bool ParseTenantQuota(const std::string& spec, net::DaemonConfig& config) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string tenant = spec.substr(0, eq);
+  cq::TenantQuota quota;
+  char* end = nullptr;
+  quota.rate_per_sec = std::strtod(spec.c_str() + eq + 1, &end);
+  if (end == spec.c_str() + eq + 1) return false;
+  if (*end == ':') {
+    quota.burst = std::strtod(end + 1, &end);
+    if (*end == ':') quota.weight = std::strtod(end + 1, &end);
+  }
+  if (*end != '\0') return false;
+  if (tenant == "*") {
+    config.admission.default_quota = quota;
+  } else {
+    config.admission.tenant_quotas[tenant] = quota;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +115,16 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       config.cluster.write_quorum =
           static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--tenant-quota") == 0 && i + 1 < argc) {
+      if (!ParseTenantQuota(argv[++i], config)) {
+        std::fprintf(stderr,
+                     "--tenant-quota expects tenant=rate[:burst[:weight]] "
+                     "(tenant '*' sets the default), got '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cq-eval-cost") == 0 && i + 1 < argc) {
+      // Tokens one CQ evaluation charges against its tenant's bucket.
+      config.cq.eval_cost = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--name NAME]\n"
@@ -100,7 +132,9 @@ int main(int argc, char** argv) {
                    "          [--wal-segment-bytes N]\n"
                    "          [--cluster host:port,...]"
                    " [--cluster-self host:port]\n"
-                   "          [--cluster-rf N] [--cluster-quorum N]\n",
+                   "          [--cluster-rf N] [--cluster-quorum N]\n"
+                   "          [--tenant-quota tenant=rate[:burst[:weight]]]"
+                   "...\n",
                    argv[0]);
       return 2;
     }

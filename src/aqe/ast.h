@@ -59,6 +59,12 @@ struct Query {
   // UNION of per-table selects — each resolves independently (and in
   // parallel) against its vertex.
   std::vector<Select> selects;
+  // SUBSCRIBE ... [EVERY n unit]: a continuous query. Instead of one
+  // answer, the daemon pushes an incremental update whenever the
+  // materialized row changes, at most once per `every_ns` (0 = on every
+  // publish tick).
+  bool continuous = false;
+  std::int64_t every_ns = 0;
 };
 
 const char* AggregateName(Aggregate agg);

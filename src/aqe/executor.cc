@@ -56,12 +56,6 @@ bool MatchesAll(const std::vector<Condition>& where,
   return true;
 }
 
-std::string LabelOf(const SelectItem& item) {
-  if (item.aggregate == Aggregate::kNone) return ColumnName(item.column);
-  return std::string(AggregateName(item.aggregate)) + "(" +
-         ColumnName(item.column) + ")";
-}
-
 // Sum / min / max of a column over the window, read off the rolling index.
 double IndexSum(Column column, const StreamAggregates& agg) {
   switch (column) {
@@ -105,8 +99,16 @@ double IndexMax(Column column, const StreamAggregates& agg) {
   return 0.0;
 }
 
-double IndexCell(const SelectItem& item,
-                 const std::optional<StreamAggregates>& agg) {
+}  // namespace
+
+std::string SelectItemLabel(const SelectItem& item) {
+  if (item.aggregate == Aggregate::kNone) return ColumnName(item.column);
+  return std::string(AggregateName(item.aggregate)) + "(" +
+         ColumnName(item.column) + ")";
+}
+
+double IndexAggregateCell(const SelectItem& item,
+                          const std::optional<StreamAggregates>& agg) {
   if (!agg.has_value()) {
     return item.aggregate == Aggregate::kCount ? 0.0 : kNan;
   }
@@ -127,8 +129,6 @@ double IndexCell(const SelectItem& item,
   }
   return kNan;
 }
-
-}  // namespace
 
 Executor::Executor(Broker& broker, ThreadPool* pool, ExecutorOptions options)
     : broker_(broker),
@@ -336,7 +336,7 @@ Expected<ResultSet> Executor::ExecutePlan(const Plan& plan,
   }
   ResultSet result;
   for (const SelectItem& item : query.selects.front().items) {
-    result.columns.push_back(LabelOf(item));
+    result.columns.push_back(SelectItemLabel(item));
   }
   if (profile != nullptr) {
     profile->vertices.assign(query.selects.size(), VertexProfile{});
@@ -491,7 +491,7 @@ Expected<std::vector<ResultRow>> Executor::ExecuteSelect(
         ResultRow row;
         row.source = select.table;
         for (const SelectItem& item : select.items) {
-          row.values.push_back(IndexCell(item, agg));
+          row.values.push_back(IndexAggregateCell(item, agg));
         }
         if (vp != nullptr) {
           vp->strategy = "index";

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,16 @@
 #include "pubsub/broker.h"
 
 namespace apollo::aqe {
+
+// Column label for a select item, e.g. "MAX(timestamp)" or "metric".
+std::string SelectItemLabel(const SelectItem& item);
+
+// Evaluates one select item against a stream's O(1) rolling-aggregate
+// index snapshot (std::nullopt = empty window). This is the cell the
+// executor's "index" strategy emits; the continuous-query engine reuses it
+// to maintain materialized rows on publish without re-executing the query.
+double IndexAggregateCell(const SelectItem& item,
+                          const std::optional<StreamAggregates>& agg);
 
 struct ResultRow {
   std::string source;  // topic the row came from

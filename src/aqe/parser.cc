@@ -133,6 +133,8 @@ class Parser {
 
   Expected<Query> Run() {
     Query query;
+    // SUBSCRIBE SELECT ... [EVERY n unit]; — the continuous-query form.
+    if (MatchKeyword("SUBSCRIBE")) query.continuous = true;
     for (;;) {
       auto select = ParseSelect();
       if (!select.ok()) return select.error();
@@ -143,6 +145,33 @@ class Parser {
         continue;
       }
       break;
+    }
+    if (MatchKeyword("EVERY")) {
+      if (!query.continuous) {
+        return Error(ErrorCode::kParseError,
+                     "EVERY is only valid after SUBSCRIBE");
+      }
+      if (Peek().kind != TokKind::kNumber) {
+        return Error(ErrorCode::kParseError, "expected number after EVERY");
+      }
+      const double n = Advance().number;
+      if (n < 0) {
+        return Error(ErrorCode::kParseError, "EVERY interval must be >= 0");
+      }
+      std::int64_t scale = 0;
+      if (MatchKeyword("NS")) scale = 1;
+      else if (MatchKeyword("US")) scale = 1000;
+      else if (MatchKeyword("MS")) scale = 1000 * 1000;
+      else if (MatchKeyword("S") || MatchKeyword("SEC") ||
+               MatchKeyword("SECONDS")) {
+        scale = 1000 * 1000 * 1000;
+      } else {
+        return Error(ErrorCode::kParseError,
+                     "expected time unit (ns|us|ms|s) near '" + Peek().raw +
+                         "'");
+      }
+      query.every_ns = static_cast<std::int64_t>(n *
+                                                 static_cast<double>(scale));
     }
     MatchSymbol(";");
     if (Peek().kind != TokKind::kEnd) {

@@ -93,9 +93,13 @@ void AppendSelect(std::string& out, const Select& select) {
 
 std::string ToString(const Query& query) {
   std::string out;
+  if (query.continuous) out += "SUBSCRIBE ";
   for (std::size_t i = 0; i < query.selects.size(); ++i) {
     if (i > 0) out += " UNION ";
     AppendSelect(out, query.selects[i]);
+  }
+  if (query.continuous && query.every_ns > 0) {
+    out += " EVERY " + std::to_string(query.every_ns) + " ns";
   }
   return out;
 }

@@ -54,7 +54,17 @@ Status ApolloClient::Connect() {
   Status last(ErrorCode::kUnavailable, "connect not attempted");
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     last = ConnectOnce();
-    if (last.ok()) return last;
+    if (last.ok()) {
+      // Reconnect audit: a fresh connection knows nothing about this
+      // client's push subscriptions or continuous queries — replay them
+      // before the caller's next request, or pushes silently stop.
+      if (!reestablishing_) {
+        reestablishing_ = true;
+        ReestablishSessions();
+        reestablishing_ = false;
+      }
+      return last;
+    }
     if (!RetryableError(last.code())) return last;
     if (attempt == policy.max_attempts) break;
     const TimeNs backoff = JitteredBackoffForAttempt(policy, attempt);
@@ -123,6 +133,7 @@ Status ApolloClient::ConnectOnce() {
 
   HelloMsg hello;
   hello.client_name = config_.client_name;
+  hello.tenant = config_.tenant;
   Payload payload;
   hello.Encode(payload);
   auto reply = Roundtrip(MsgType::kHello, payload, MsgType::kHelloAck);
@@ -186,7 +197,10 @@ Status ApolloClient::SendRequest(MsgType type, std::uint32_t request_id,
   const TimeNs deadline = clock_.Now() + config_.request_timeout;
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    // MSG_NOSIGNAL: a daemon-side drop between poll and write must
+    // surface as EPIPE (-> FailClose + reconnect), not kill the process.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
@@ -270,7 +284,31 @@ Status ApolloClient::ReadSome(TimeNs deadline) {
     if (frame.type == MsgType::kDeliver && frame.request_id == 0) {
       DeliverMsg deliver;
       if (DeliverMsg::Decode(frame.payload, deliver)) {
+        // Advance the session cursor past what we buffered, so a
+        // post-reconnect re-subscribe resumes exactly there.
+        if (!deliver.entries.empty()) {
+          for (SubSession& session : sub_sessions_) {
+            if (session.sub_id == deliver.subscription_id) {
+              session.cursor = deliver.entries.back().id + 1;
+              break;
+            }
+          }
+        }
         deliveries_.push_back(std::move(deliver));
+      }
+      continue;
+    }
+    if (frame.type == MsgType::kCQUpdate && frame.request_id == 0) {
+      CQUpdateMsg update;
+      if (CQUpdateMsg::Decode(frame.payload, update)) {
+        for (CQSession& session : cq_sessions_) {
+          if (session.cq_id == update.cq_id) {
+            session.epoch = update.epoch;
+            session.seq = update.seq;
+            break;
+          }
+        }
+        cq_updates_.push_back(std::move(update));
       }
       continue;
     }
@@ -297,8 +335,8 @@ Expected<Frame> ApolloClient::WaitFrame(std::uint32_t request_id,
       if (request_id != 0 && frame.request_id == request_id) return frame;
       // Stale response to a request that already timed out: drop it.
     }
-    if (request_id == 0 && !deliveries_.empty()) {
-      return Frame{};  // sentinel: caller only wanted deliveries
+    if (request_id == 0 && (!deliveries_.empty() || !cq_updates_.empty())) {
+      return Frame{};  // sentinel: caller only wanted pushes
     }
     if (!connected()) {
       return Error(ErrorCode::kUnavailable, "not connected");
@@ -533,7 +571,126 @@ Expected<SubscribeAckMsg> ApolloClient::Subscribe(const std::string& topic,
   if (!SubscribeAckMsg::Decode(reply->payload, ack)) {
     return Error(ErrorCode::kParseError, "bad subscribe ack");
   }
+  // Track the session for reconnect replay. A replayed subscribe (same
+  // topic) refreshes its session in place instead of adding another.
+  SubSession* session = nullptr;
+  for (SubSession& s : sub_sessions_) {
+    if (s.topic == topic) {
+      session = &s;
+      break;
+    }
+  }
+  if (session == nullptr) {
+    sub_sessions_.emplace_back();
+    session = &sub_sessions_.back();
+    session->topic = topic;
+  }
+  session->sub_id = ack.subscription_id;
+  session->cursor = ack.start_cursor;
   return ack;
+}
+
+Expected<CQRegisterAckMsg> ApolloClient::CQRegisterInternal(
+    const std::string& name, const std::string& sql,
+    std::uint64_t resume_epoch, std::uint64_t resume_seq) {
+  CQRegisterMsg msg;
+  msg.name = name;
+  msg.sql = sql;
+  msg.resume_epoch = resume_epoch;
+  msg.resume_seq = resume_seq;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply =
+      Roundtrip(MsgType::kCQRegister, payload, MsgType::kCQRegisterAck);
+  if (!reply.ok()) return reply.error();
+  CQRegisterAckMsg ack;
+  if (!CQRegisterAckMsg::Decode(reply->payload, ack)) {
+    return Error(ErrorCode::kParseError, "bad cq register ack");
+  }
+  CQSession* session = nullptr;
+  for (CQSession& s : cq_sessions_) {
+    if (s.name == name) {
+      session = &s;
+      break;
+    }
+  }
+  if (session == nullptr) {
+    cq_sessions_.emplace_back();
+    session = &cq_sessions_.back();
+    session->name = name;
+  }
+  session->sql = sql;
+  session->cq_id = ack.cq_id;
+  session->epoch = ack.epoch;
+  session->seq = ack.seq;
+  return ack;
+}
+
+Expected<CQRegisterAckMsg> ApolloClient::CQRegister(const std::string& name,
+                                                    const std::string& sql) {
+  std::uint64_t resume_epoch = 0;
+  std::uint64_t resume_seq = 0;
+  for (const CQSession& s : cq_sessions_) {
+    if (s.name == name && s.sql == sql) {
+      resume_epoch = s.epoch;
+      resume_seq = s.seq;
+      break;
+    }
+  }
+  return CQRegisterInternal(name, sql, resume_epoch, resume_seq);
+}
+
+Status ApolloClient::CQCancel(std::uint64_t cq_id) {
+  CQCancelMsg msg;
+  msg.cq_id = cq_id;
+  Payload payload;
+  msg.Encode(payload);
+  auto reply = Roundtrip(MsgType::kCQCancel, payload, MsgType::kCQCancelAck);
+  if (!reply.ok()) return reply.status();
+  for (auto it = cq_sessions_.begin(); it != cq_sessions_.end(); ++it) {
+    if (it->cq_id == cq_id) {
+      cq_sessions_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<CQUpdateMsg> ApolloClient::TakeCQUpdates() {
+  std::vector<CQUpdateMsg> out;
+  out.swap(cq_updates_);
+  return out;
+}
+
+bool ApolloClient::WaitForCQUpdates(TimeNs timeout) {
+  const TimeNs deadline = clock_.Now() + timeout;
+  while (cq_updates_.empty()) {
+    // ReadSome directly (not WaitFrame): its push sentinel would return
+    // immediately while unrelated deliveries sit buffered, spinning here.
+    if (!connected() || clock_.Now() >= deadline) return false;
+    if (!ReadSome(deadline).ok()) return false;
+  }
+  return true;
+}
+
+void ApolloClient::ReestablishSessions() {
+  // Replay push subscriptions from the cursor after the last buffered
+  // delivery: nothing re-delivered, nothing skipped (entries evicted from
+  // the stream window in between are gone either way).
+  std::vector<SubSession> subs;
+  subs.swap(sub_sessions_);
+  for (SubSession& session : subs) {
+    (void)Subscribe(session.topic, session.cursor);
+  }
+  // Replay CQ registrations with resume (epoch, seq): the daemon either
+  // resumes delivery exactly past seq or bumps the epoch and restarts
+  // from a fresh snapshot — the client detects which from the ack.
+  std::vector<CQSession> cqs;
+  cqs.swap(cq_sessions_);
+  for (CQSession& session : cqs) {
+    (void)CQRegisterInternal(session.name, session.sql, session.epoch,
+                             session.seq);
+  }
 }
 
 Expected<WindowMsg> ApolloClient::FetchWindow(const std::string& topic,
@@ -652,11 +809,14 @@ std::vector<DeliverMsg> ApolloClient::TakeDeliveries() {
 }
 
 bool ApolloClient::WaitForDeliveries(TimeNs timeout) {
-  if (!deliveries_.empty()) return true;
-  if (!connected()) return false;
-  auto frame = WaitFrame(0, clock_.Now() + timeout);
-  (void)frame;
-  return !deliveries_.empty();
+  const TimeNs deadline = clock_.Now() + timeout;
+  while (deliveries_.empty()) {
+    // ReadSome directly (not WaitFrame): its push sentinel also fires
+    // for buffered CQ updates, which would spin this loop.
+    if (!connected() || clock_.Now() >= deadline) return false;
+    if (!ReadSome(deadline).ok()) return false;
+  }
+  return true;
 }
 
 }  // namespace apollo::net

@@ -49,6 +49,9 @@ struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::string client_name = "apollo-client";
+  // Admission-control identity carried in the hello handshake. Empty maps
+  // to the daemon's "default" tenant.
+  std::string tenant;
   // Deadline for one request/response round trip.
   TimeNs request_timeout = 5 * kNsPerSec;
   // Deadline for one TCP connect attempt; attempts retry per connect_retry.
@@ -121,6 +124,24 @@ class ApolloClient {
 
   Expected<SubscribeAckMsg> Subscribe(const std::string& topic,
                                       std::uint64_t cursor = kCursorTail);
+
+  // --- continuous queries ---
+
+  // Registers `sql` (SUBSCRIBE SELECT ... [EVERY n unit]) under `name`.
+  // If this client already holds a registration with that name, its last
+  // received (epoch, seq) is echoed so the daemon resumes instead of
+  // restarting — which is also how reconnect resume works.
+  Expected<CQRegisterAckMsg> CQRegister(const std::string& name,
+                                        const std::string& sql);
+  // Cancels a continuous query by the id CQRegister returned. The
+  // daemon-side record (and resume history) is discarded.
+  Status CQCancel(std::uint64_t cq_id);
+  // Drains kCQUpdate pushes buffered so far (each carries the full
+  // materialized row set at its (epoch, seq); replace, don't merge).
+  std::vector<CQUpdateMsg> TakeCQUpdates();
+  // Reads the socket until at least one CQ update is buffered or
+  // `timeout` elapses.
+  bool WaitForCQUpdates(TimeNs timeout);
   Expected<WindowMsg> FetchWindow(const std::string& topic,
                                   std::uint64_t cursor,
                                   std::uint64_t max_entries = UINT64_MAX);
@@ -168,6 +189,16 @@ class ApolloClient {
   };
 
   Status ConnectOnce();
+  // Replays this client's sessions (push subscriptions from their
+  // client-side cursors, CQ registrations with resume epoch/seq) on a
+  // fresh connection. Best-effort per session: one failed replay (e.g. a
+  // topic that no longer exists) drops that session without failing the
+  // connect.
+  void ReestablishSessions();
+  Expected<CQRegisterAckMsg> CQRegisterInternal(const std::string& name,
+                                                const std::string& sql,
+                                                std::uint64_t resume_epoch,
+                                                std::uint64_t resume_seq);
   // Flushes the first min(queue size, kMaxBatchSamples) queued samples.
   Status FlushChunk();
   // Reports `error` through the callback for each sample in `samples`.
@@ -195,8 +226,31 @@ class ApolloClient {
   FrameParser parser_;
   std::deque<Frame> pending_;
   std::vector<DeliverMsg> deliveries_;
+  std::vector<CQUpdateMsg> cq_updates_;
   std::optional<cluster::ClusterMap> pushed_map_;
   std::string server_name_;
+
+  // Session state surviving disconnects, replayed by ReestablishSessions.
+  // Subscription cursors advance as deliveries are buffered, so a replayed
+  // subscribe picks up exactly past the last entry this client saw.
+  struct SubSession {
+    std::string topic;
+    std::uint64_t cursor = 0;
+    std::uint64_t sub_id = 0;
+  };
+  std::vector<SubSession> sub_sessions_;
+  // CQ registrations track the last (epoch, seq) buffered, echoed on
+  // re-register so the daemon resumes without duplicate or missed
+  // updates.
+  struct CQSession {
+    std::string name;
+    std::string sql;
+    std::uint64_t cq_id = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<CQSession> cq_sessions_;
+  bool reestablishing_ = false;
   std::atomic<FaultInjector*> fault_{nullptr};
   obs::Histogram rtt_;
 

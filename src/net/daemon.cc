@@ -1,5 +1,6 @@
 #include "net/daemon.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -18,7 +19,9 @@ ApolloDaemon::ApolloDaemon(Broker& broker, aqe::Executor& executor,
       executor_(executor),
       config_(std::move(config)),
       loop_(RealClock::Instance()),
-      server_(loop_, config_.server, *this) {
+      server_(loop_, config_.server, *this),
+      cq_engine_(broker, config_.cq),
+      admission_(config_.admission) {
   if (config_.cluster.enabled) {
     // Shm-lane samples skip the frame path, so they would land on this
     // replica only — refuse offers and keep every publish on RouteBatch.
@@ -26,9 +29,15 @@ ApolloDaemon::ApolloDaemon(Broker& broker, aqe::Executor& executor,
     controller_ =
         std::make_unique<ClusterController>(broker_, config_.cluster);
   }
+  // Publish-path hook: every append (wire, shm lane, in-process vertex)
+  // flips the CQ engine's per-topic dirty bit.
+  broker_.AttachPublishObserver(&cq_engine_);
 }
 
-ApolloDaemon::~ApolloDaemon() { Stop(); }
+ApolloDaemon::~ApolloDaemon() {
+  Stop();
+  broker_.AttachPublishObserver(nullptr);
+}
 
 Status ApolloDaemon::Start() {
   if (running_) {
@@ -112,6 +121,8 @@ void ApolloDaemon::Stop() {
   subs_.clear();
   shm_lanes_.clear();
   conns_.clear();
+  conn_tenants_.clear();
+  last_good_.clear();
 }
 
 void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
@@ -141,6 +152,12 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
     case MsgType::kQuery:
       HandleQuery(conn, frame);
       return;
+    case MsgType::kCQRegister:
+      HandleCQRegister(conn, frame);
+      return;
+    case MsgType::kCQCancel:
+      HandleCQCancel(conn, frame);
+      return;
     case MsgType::kListTopics:
       HandleListTopics(conn, frame);
       return;
@@ -169,6 +186,10 @@ void ApolloDaemon::OnFrame(Connection& conn, const Frame& frame) {
 void ApolloDaemon::OnClose(Connection& conn) {
   conns_.erase(conn.id());
   subs_.erase(conn.id());
+  conn_tenants_.erase(conn.id());
+  // CQ registrations survive the connection (detached) so the client can
+  // reconnect and resume at its last (epoch, seq).
+  cq_engine_.DetachConn(conn.id());
   // A closing connection is when a same-host producer most plausibly
   // just died — sweep for lanes whose owning pid is gone.
   ReapOrphanShmLanes();
@@ -196,10 +217,24 @@ void ApolloDaemon::HandleHello(Connection& conn, const Frame& frame) {
     conn.Close();
     return;
   }
+  conn_tenants_[conn.id()] =
+      hello.tenant.empty() ? std::string("default") : hello.tenant;
   HelloAckMsg ack;
   ack.server_name = config_.server.server_name;
   ack.topic_count = broker_.ListTopics().size();
   SendMsg(conn, MsgType::kHelloAck, frame.request_id, ack);
+}
+
+const std::string& ApolloDaemon::TenantOf(const Connection& conn) const {
+  static const std::string kDefault = "default";
+  auto it = conn_tenants_.find(conn.id());
+  return it == conn_tenants_.end() ? kDefault : it->second;
+}
+
+void ApolloDaemon::RefreshIdleExempt(Connection& conn) {
+  const auto subs = subs_.find(conn.id());
+  const bool has_subs = subs != subs_.end() && !subs->second.empty();
+  conn.set_idle_exempt(has_subs || cq_engine_.OwnedCount(conn.id()) > 0);
 }
 
 void ApolloDaemon::HandlePublish(Connection& conn, const Frame& frame) {
@@ -420,6 +455,7 @@ void ApolloDaemon::HandleSubscribe(Connection& conn, const Frame& frame) {
   ack.subscription_id = sub.id;
   ack.start_cursor = sub.cursor;
   subs_[conn.id()].push_back(std::move(sub));
+  RefreshIdleExempt(conn);
   SendMsg(conn, MsgType::kSubscribeAck, frame.request_id, ack);
 }
 
@@ -481,6 +517,33 @@ void ApolloDaemon::HandleQuery(Connection& conn, const Frame& frame) {
       }
     }
   }
+  // Admission gate. EXPLAIN (plan inspection) is always free; a real
+  // execution charges the connection's tenant and, over quota, degrades
+  // to the cached last-known-good answer for this query text instead of
+  // executing — the same graceful-degradation surface a failed node
+  // presents, except here the node is protecting itself.
+  std::string_view bare = text;
+  bool analyze = false;
+  const bool is_explain = aqe::Executor::StripExplainPrefix(text, bare, analyze);
+  const std::string& tenant = TenantOf(conn);
+  const TimeNs now = RealClock::Instance().Now();
+  if (!is_explain && !admission_.Admit(tenant, now)) {
+    auto cached = last_good_.find(text);
+    if (cached == last_good_.end() ||
+        now - cached->second.at > config_.shed_answer_max_age) {
+      SendError(conn, frame.request_id, ErrorCode::kResourceExhausted,
+                "tenant '" + tenant +
+                    "' over query quota and no cached answer to degrade to");
+      return;
+    }
+    reply.result = cached->second.result;
+    // Stamp every row degraded with at least the cached answer's age, so
+    // the client can see exactly how stale its shed answer is.
+    aqe::MarkDegraded(reply.result,
+                      std::max<TimeNs>(0, now - cached->second.at));
+    SendMsg(conn, MsgType::kResult, frame.request_id, reply);
+    return;
+  }
   auto result = executor_.Execute(text);
   if (!result.ok()) {
     SendError(conn, frame.request_id, result.error().code(),
@@ -488,7 +551,67 @@ void ApolloDaemon::HandleQuery(Connection& conn, const Frame& frame) {
     return;
   }
   reply.result = std::move(*result);
+  if (!is_explain) {
+    if (last_good_.size() >= 256) last_good_.clear();
+    CachedAnswer& cached = last_good_[text];
+    cached.result = reply.result;
+    cached.at = now;
+  } else if (analyze) {
+    // EXPLAIN ANALYZE: append the tenant's admission accounting to the
+    // plan rows, so overload behavior is inspectable per tenant.
+    const cq::TenantAdmissionStats stats = admission_.Stats(tenant);
+    aqe::ResultRow row;
+    row.source = "admission: tenant=" + tenant +
+                 " admitted=" + std::to_string(stats.admitted) +
+                 " shed=" + std::to_string(stats.shed) + " rate=" +
+                 (stats.rate_per_sec > 0.0
+                      ? std::to_string(stats.rate_per_sec) + "/s"
+                      : std::string("unlimited")) +
+                 " weight=" + std::to_string(stats.weight) +
+                 " active_cqs=" + std::to_string(cq_engine_.ActiveCount());
+    reply.result.rows.push_back(std::move(row));
+  }
   SendMsg(conn, MsgType::kResult, frame.request_id, reply);
+}
+
+void ApolloDaemon::HandleCQRegister(Connection& conn, const Frame& frame) {
+  CQRegisterMsg msg;
+  if (!CQRegisterMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError,
+              "bad cq register");
+    return;
+  }
+  auto reg = cq_engine_.Register(conn.id(), TenantOf(conn), msg.name, msg.sql,
+                                 msg.resume_epoch, msg.resume_seq,
+                                 RealClock::Instance().Now());
+  if (!reg.ok()) {
+    SendError(conn, frame.request_id, reg.error().code(),
+              reg.error().message());
+    return;
+  }
+  RefreshIdleExempt(conn);
+  CQRegisterAckMsg ack;
+  ack.cq_id = reg->cq_id;
+  ack.epoch = reg->epoch;
+  ack.seq = reg->last_seq;
+  SendMsg(conn, MsgType::kCQRegisterAck, frame.request_id, ack);
+}
+
+void ApolloDaemon::HandleCQCancel(Connection& conn, const Frame& frame) {
+  CQCancelMsg msg;
+  if (!CQCancelMsg::Decode(frame.payload, msg)) {
+    SendError(conn, frame.request_id, ErrorCode::kParseError, "bad cq cancel");
+    return;
+  }
+  Status status = cq_engine_.Cancel(msg.cq_id, conn.id());
+  if (!status.ok()) {
+    SendError(conn, frame.request_id, status.code(), status.message());
+    return;
+  }
+  RefreshIdleExempt(conn);
+  CQCancelAckMsg ack;
+  ack.cq_id = msg.cq_id;
+  SendMsg(conn, MsgType::kCQCancelAck, frame.request_id, ack);
 }
 
 void ApolloDaemon::HandleListTopics(Connection& conn, const Frame& frame) {
@@ -608,6 +731,26 @@ void ApolloDaemon::PumpSubscriptions() {
     }
     conn->Uncork();
   }
+  PumpCQ();
+}
+
+void ApolloDaemon::PumpCQ() {
+  const TimeNs now = RealClock::Instance().Now();
+  cq_engine_.Pump(
+      now, &admission_,
+      [this](const cq::CQInfo& info, const cq::CQUpdate& update) {
+        Connection* conn = server_.FindConnection(info.conn_id);
+        if (conn == nullptr) return false;
+        CQUpdateMsg msg;
+        msg.cq_id = info.cq_id;
+        msg.epoch = update.epoch;
+        msg.seq = update.seq;
+        msg.result = update.result;
+        // Droppable: a backpressured push is not delivered, so the
+        // engine keeps delivered_seq and re-sends next pump.
+        return SendMsg(*conn, MsgType::kCQUpdate, /*request_id=*/0, msg,
+                       /*droppable=*/true);
+      });
 }
 
 void ApolloDaemon::DrainShmLanes() {

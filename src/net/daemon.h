@@ -39,6 +39,8 @@
 #include "aqe/executor.h"
 #include "common/clock.h"
 #include "common/expected.h"
+#include "cq/admission.h"
+#include "cq/cq_engine.h"
 #include "eventloop/event_loop.h"
 #include "net/cluster_controller.h"
 #include "net/messages.h"
@@ -69,6 +71,17 @@ struct DaemonConfig {
   // and membership changes are pushed to every connected client as
   // kClusterMap frames.
   ClusterNodeConfig cluster;
+  // Continuous-query engine (resume ring depth, registration cap,
+  // per-evaluation admission cost).
+  cq::CQOptions cq;
+  // Per-tenant admission quotas. The default quota is unlimited, so a
+  // daemon with no configured quotas admits everything; setting
+  // rate_per_sec on a tenant (or the default) turns on shedding for
+  // one-shot queries and CQ evaluation.
+  cq::AdmissionOptions admission;
+  // Shed one-shot answers older than this are refused (kUnavailable)
+  // instead of served degraded.
+  TimeNs shed_answer_max_age = 60 * kNsPerSec;
 };
 
 class ApolloDaemon final : public FrameHandler {
@@ -116,6 +129,8 @@ class ApolloDaemon final : public FrameHandler {
   void HandleSubscribe(Connection& conn, const Frame& frame);
   void HandleFetchWindow(Connection& conn, const Frame& frame);
   void HandleQuery(Connection& conn, const Frame& frame);
+  void HandleCQRegister(Connection& conn, const Frame& frame);
+  void HandleCQCancel(Connection& conn, const Frame& frame);
   void HandleListTopics(Connection& conn, const Frame& frame);
   void HandleMetrics(Connection& conn, const Frame& frame);
   void HandleHeartbeat(Connection& conn, const Frame& frame);
@@ -140,7 +155,14 @@ class ApolloDaemon final : public FrameHandler {
   void RouteLoop();
 
   void PumpSubscriptions();
+  void PumpCQ();
   void DrainShmLanes();
+  // Tenant bound to a connection at hello time ("default" before/without
+  // one).
+  const std::string& TenantOf(const Connection& conn) const;
+  // Recomputes the idle-reaper exemption: a connection stays exempt
+  // while it holds any push subscription or continuous query.
+  void RefreshIdleExempt(Connection& conn);
   void SendError(Connection& conn, std::uint32_t request_id, ErrorCode code,
                  const std::string& message);
   template <typename Msg>
@@ -164,10 +186,25 @@ class ApolloDaemon final : public FrameHandler {
   std::deque<std::function<void()>> route_q_;
   bool route_stop_ = false;
 
+  // Continuous queries + admission. The engine is attached to the broker
+  // as its publish observer for the daemon's lifetime, so in-process
+  // publishes (ApolloService vertices) dirty CQs exactly like wire
+  // publishes.
+  cq::CQEngine cq_engine_;
+  cq::AdmissionController admission_;
+
   // Loop-thread state.
   std::uint64_t next_sub_id_ = 1;
   std::map<std::uint64_t, std::vector<Subscription>> subs_;  // by conn id
   std::map<std::uint64_t, ShmLane> shm_lanes_;               // by conn id
+  std::map<std::uint64_t, std::string> conn_tenants_;        // by conn id
+  // Last-known-good answers for shed one-shot queries, keyed by query
+  // text. Bounded: cleared when full, like the executor's plan cache.
+  struct CachedAnswer {
+    aqe::ResultSet result;
+    TimeNs at = 0;
+  };
+  std::map<std::string, CachedAnswer> last_good_;
   // Connections seen since start (inserted on first frame, erased on
   // close): the Server exposes no iteration, and map pushes must reach
   // every client, not just subscribers.

@@ -68,6 +68,16 @@ const char* MsgTypeName(MsgType type) {
       return "resync_pull";
     case MsgType::kResyncChunk:
       return "resync_chunk";
+    case MsgType::kCQRegister:
+      return "cq_register";
+    case MsgType::kCQRegisterAck:
+      return "cq_register_ack";
+    case MsgType::kCQCancel:
+      return "cq_cancel";
+    case MsgType::kCQCancelAck:
+      return "cq_cancel_ack";
+    case MsgType::kCQUpdate:
+      return "cq_update";
   }
   return "unknown";
 }

@@ -68,6 +68,12 @@ enum class MsgType : std::uint8_t {
   kReplicateAck,     // secondary -> primary: applied, or lag/ahead verdict
   kResyncPull,       // joining node -> peer: WAL-tail catch-up request
   kResyncChunk,      // peer -> joining node: entries [from_id, high_water)
+  kCQRegister,       // client -> server: register a continuous query
+  kCQRegisterAck,    // server -> client: cq id + current epoch/seq
+  kCQCancel,         // client -> server: cancel a continuous query
+  kCQCancelAck,      // server -> client
+  kCQUpdate,         // server -> client: incremental result push
+                     // (request_id 0)
 };
 
 const char* MsgTypeName(MsgType type);

@@ -40,18 +40,64 @@ bool DecodeEntries(WireReader& r,
 
 bool Finish(const WireReader& r) { return r.ok() && r.AtEnd(); }
 
+void EncodeResultSet(WireWriter& w, const aqe::ResultSet& result) {
+  w.U8(result.degraded ? 1 : 0);
+  w.I64(result.max_staleness_ns);
+  w.U32(static_cast<std::uint32_t>(result.columns.size()));
+  for (const std::string& column : result.columns) w.Str(column);
+  w.U32(static_cast<std::uint32_t>(result.rows.size()));
+  for (const aqe::ResultRow& row : result.rows) {
+    w.Str(row.source);
+    w.U8(row.degraded ? 1 : 0);
+    w.I64(row.staleness_ns);
+    w.U32(static_cast<std::uint32_t>(row.values.size()));
+    for (double v : row.values) w.F64(v);
+  }
+}
+
+bool DecodeResultSet(WireReader& r, aqe::ResultSet& result) {
+  result = aqe::ResultSet{};
+  result.degraded = r.U8() != 0;
+  result.max_staleness_ns = r.I64();
+  const std::uint32_t columns = r.U32();
+  if (columns > kMaxWireEntries) return false;
+  for (std::uint32_t i = 0; i < columns && r.ok(); ++i) {
+    result.columns.push_back(r.Str());
+  }
+  const std::uint32_t rows = r.U32();
+  if (rows > kMaxWireEntries) return false;
+  result.rows.reserve(rows);
+  for (std::uint32_t i = 0; i < rows && r.ok(); ++i) {
+    aqe::ResultRow row;
+    row.source = r.Str();
+    row.degraded = r.U8() != 0;
+    row.staleness_ns = r.I64();
+    const std::uint32_t values = r.U32();
+    if (values > kMaxWireEntries) return false;
+    row.values.reserve(values);
+    for (std::uint32_t j = 0; j < values && r.ok(); ++j) {
+      row.values.push_back(r.F64());
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return r.ok();
+}
+
 }  // namespace
 
 void HelloMsg::Encode(Payload& out) const {
   WireWriter w(out);
   w.U32(protocol_version);
   w.Str(client_name);
+  w.Str(tenant);
 }
 
 bool HelloMsg::Decode(const Payload& in, HelloMsg& msg) {
   WireReader r(in);
   msg.protocol_version = r.U32();
   msg.client_name = r.Str();
+  // Tenant was appended later; a hello without it is a pre-CQ client.
+  msg.tenant = r.ok() && !r.AtEnd() ? r.Str() : std::string();
   return Finish(r);
 }
 
@@ -299,49 +345,15 @@ bool QueryMsg::Decode(const Payload& in, QueryMsg& msg) {
 
 void ResultMsg::Encode(Payload& out) const {
   WireWriter w(out);
-  w.U8(result.degraded ? 1 : 0);
-  w.I64(result.max_staleness_ns);
-  w.U32(static_cast<std::uint32_t>(result.columns.size()));
-  for (const std::string& column : result.columns) w.Str(column);
-  w.U32(static_cast<std::uint32_t>(result.rows.size()));
-  for (const aqe::ResultRow& row : result.rows) {
-    w.Str(row.source);
-    w.U8(row.degraded ? 1 : 0);
-    w.I64(row.staleness_ns);
-    w.U32(static_cast<std::uint32_t>(row.values.size()));
-    for (double v : row.values) w.F64(v);
-  }
+  EncodeResultSet(w, result);
   w.U32(static_cast<std::uint32_t>(served_tables.size()));
   for (const std::string& table : served_tables) w.Str(table);
 }
 
 bool ResultMsg::Decode(const Payload& in, ResultMsg& msg) {
   WireReader r(in);
-  msg.result = aqe::ResultSet{};
   msg.served_tables.clear();
-  msg.result.degraded = r.U8() != 0;
-  msg.result.max_staleness_ns = r.I64();
-  const std::uint32_t columns = r.U32();
-  if (columns > kMaxWireEntries) return false;
-  for (std::uint32_t i = 0; i < columns && r.ok(); ++i) {
-    msg.result.columns.push_back(r.Str());
-  }
-  const std::uint32_t rows = r.U32();
-  if (rows > kMaxWireEntries) return false;
-  msg.result.rows.reserve(rows);
-  for (std::uint32_t i = 0; i < rows && r.ok(); ++i) {
-    aqe::ResultRow row;
-    row.source = r.Str();
-    row.degraded = r.U8() != 0;
-    row.staleness_ns = r.I64();
-    const std::uint32_t values = r.U32();
-    if (values > kMaxWireEntries) return false;
-    row.values.reserve(values);
-    for (std::uint32_t j = 0; j < values && r.ok(); ++j) {
-      row.values.push_back(r.F64());
-    }
-    msg.result.rows.push_back(std::move(row));
-  }
+  if (!DecodeResultSet(r, msg.result)) return false;
   const std::uint32_t tables = r.U32();
   if (tables > kMaxWireEntries) return false;
   for (std::uint32_t i = 0; i < tables && r.ok(); ++i) {
@@ -523,6 +535,77 @@ bool ResyncChunkMsg::Decode(const Payload& in, ResyncChunkMsg& msg) {
   msg.high_water = r.U64();
   msg.first_id = r.U64();
   if (!DecodeEntries(r, msg.entries)) return false;
+  return Finish(r);
+}
+
+void CQRegisterMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.Str(name);
+  w.Str(sql);
+  w.U64(resume_epoch);
+  w.U64(resume_seq);
+}
+
+bool CQRegisterMsg::Decode(const Payload& in, CQRegisterMsg& msg) {
+  WireReader r(in);
+  msg.name = r.Str();
+  msg.sql = r.Str();
+  msg.resume_epoch = r.U64();
+  msg.resume_seq = r.U64();
+  return Finish(r);
+}
+
+void CQRegisterAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(cq_id);
+  w.U64(epoch);
+  w.U64(seq);
+}
+
+bool CQRegisterAckMsg::Decode(const Payload& in, CQRegisterAckMsg& msg) {
+  WireReader r(in);
+  msg.cq_id = r.U64();
+  msg.epoch = r.U64();
+  msg.seq = r.U64();
+  return Finish(r);
+}
+
+void CQCancelMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(cq_id);
+}
+
+bool CQCancelMsg::Decode(const Payload& in, CQCancelMsg& msg) {
+  WireReader r(in);
+  msg.cq_id = r.U64();
+  return Finish(r);
+}
+
+void CQCancelAckMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(cq_id);
+}
+
+bool CQCancelAckMsg::Decode(const Payload& in, CQCancelAckMsg& msg) {
+  WireReader r(in);
+  msg.cq_id = r.U64();
+  return Finish(r);
+}
+
+void CQUpdateMsg::Encode(Payload& out) const {
+  WireWriter w(out);
+  w.U64(cq_id);
+  w.U64(epoch);
+  w.U64(seq);
+  EncodeResultSet(w, result);
+}
+
+bool CQUpdateMsg::Decode(const Payload& in, CQUpdateMsg& msg) {
+  WireReader r(in);
+  msg.cq_id = r.U64();
+  msg.epoch = r.U64();
+  msg.seq = r.U64();
+  if (!DecodeResultSet(r, msg.result)) return false;
   return Finish(r);
 }
 

@@ -23,6 +23,10 @@ using Payload = std::vector<std::uint8_t>;
 struct HelloMsg {
   std::uint32_t protocol_version = kProtocolVersion;
   std::string client_name;
+  // Admission-control identity. Appended after the original fields and
+  // decoded tolerantly (absent on old clients -> empty -> the daemon's
+  // default tenant), so v1 handshakes stay wire-compatible.
+  std::string tenant;
 
   void Encode(Payload& out) const;
   static bool Decode(const Payload& in, HelloMsg& msg);
@@ -290,6 +294,62 @@ struct ResyncChunkMsg {
 
   void Encode(Payload& out) const;
   static bool Decode(const Payload& in, ResyncChunkMsg& msg);
+};
+
+// --- continuous-query messages (see src/cq) ---
+
+// Registers a SUBSCRIBE query. `name` is the client's stable handle for
+// this CQ within its tenant — the resume key after a reconnect. A fresh
+// registration sends resume_epoch 0; a resuming client echoes the epoch
+// and sequence number of the last kCQUpdate it received, and the daemon
+// either replays the missed updates from its ring (same epoch, no
+// duplicates) or bumps the epoch and restarts from a full snapshot.
+struct CQRegisterMsg {
+  std::string name;
+  std::string sql;  // SUBSCRIBE SELECT ... [EVERY n unit]
+  std::uint64_t resume_epoch = 0;
+  std::uint64_t resume_seq = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, CQRegisterMsg& msg);
+};
+
+struct CQRegisterAckMsg {
+  std::uint64_t cq_id = 0;
+  std::uint64_t epoch = 0;
+  // Last sequence number already delivered (resume) or 0 (snapshot
+  // follows as seq 1).
+  std::uint64_t seq = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, CQRegisterAckMsg& msg);
+};
+
+struct CQCancelMsg {
+  std::uint64_t cq_id = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, CQCancelMsg& msg);
+};
+
+struct CQCancelAckMsg {
+  std::uint64_t cq_id = 0;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, CQCancelAckMsg& msg);
+};
+
+// Incremental result push (request_id 0). Carries the full materialized
+// row set of the CQ at (epoch, seq) — rows are per UNION branch, so the
+// set is small and self-describing; clients replace, not merge.
+struct CQUpdateMsg {
+  std::uint64_t cq_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  aqe::ResultSet result;
+
+  void Encode(Payload& out) const;
+  static bool Decode(const Payload& in, CQUpdateMsg& msg);
 };
 
 struct ErrorMsg {

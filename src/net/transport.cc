@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 #include "obs/trace.h"
@@ -132,6 +133,12 @@ Status Server::Start() {
   if (listen_fd_ >= 0) {
     return Status(ErrorCode::kFailedPrecondition, "server already started");
   }
+  // The push path writev()s to sockets whose peer may have vanished
+  // between poll and write; without this a dead subscriber would kill
+  // the whole daemon with SIGPIPE (writev has no MSG_NOSIGNAL
+  // equivalent). EPIPE still surfaces as a write error and closes the
+  // connection.
+  ::signal(SIGPIPE, SIG_IGN);
   std::uint16_t bound = 0;
   auto fd = TcpListen(config_.bind_address, config_.port, bound);
   if (!fd.ok()) return fd.status();
@@ -324,6 +331,10 @@ void Server::DestroyConn(std::uint64_t conn_id) {
 void Server::SweepIdle(TimeNs now) {
   std::vector<std::uint64_t> idle;
   for (auto& [id, conn] : conns_) {
+    // Connections carrying active server-side sessions (subscriptions,
+    // continuous queries) are push-only from the client's perspective;
+    // inbound silence is their normal state, not idleness.
+    if (conn->idle_exempt_) continue;
     if (now - conn->last_activity_ >= config_.idle_timeout) idle.push_back(id);
   }
   for (std::uint64_t id : idle) {

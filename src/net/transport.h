@@ -99,6 +99,14 @@ class Connection {
   }
   const std::shared_ptr<void>& user_data() const { return user_data_; }
 
+  // Idle-reaper exemption. A connection holding server-side sessions
+  // (push subscriptions, continuous queries) is intentionally quiet on
+  // the inbound side — it must not be reaped as idle while those
+  // sessions are active. The daemon sets this on subscribe/CQ-register
+  // and clears it when the last session on the connection ends.
+  void set_idle_exempt(bool exempt) { idle_exempt_ = exempt; }
+  bool idle_exempt() const { return idle_exempt_; }
+
  private:
   friend class Server;
   Connection(Server& server, std::uint64_t id, int fd)
@@ -118,6 +126,7 @@ class Connection {
   int cork_depth_ = 0;
   bool want_write_ = false;
   bool closing_ = false;
+  bool idle_exempt_ = false;
   TimeNs last_activity_ = 0;
   std::shared_ptr<void> user_data_;
 };

@@ -144,7 +144,9 @@ Expected<std::uint64_t> Broker::Publish(TopicHandle& handle, NodeId from_node,
     return Error(status.code(), status.message());
   }
   ChargeLatency(from_node, handle.home_);
-  return handle.stream_->Append(timestamp, sample);
+  auto id = handle.stream_->Append(timestamp, sample);
+  NotifyPublish(handle.name_, 1);
+  return id;
 }
 
 Expected<Broker::BatchPublishResult> Broker::PublishBatch(
@@ -162,6 +164,7 @@ Expected<Broker::BatchPublishResult> Broker::PublishBatch(
   if (fault_.load(std::memory_order_acquire) == nullptr) {
     result.last_entry_id = handle.stream_->AppendBatch(entries, n);
     result.accepted = n;
+    NotifyPublish(handle.name_, n);
     return result;
   }
   // Injector attached: evaluate kPublish per entry (exact chaos
@@ -187,6 +190,7 @@ Expected<Broker::BatchPublishResult> Broker::PublishBatch(
   if (!accepted.empty()) {
     result.last_entry_id =
         handle.stream_->AppendBatch(accepted.data(), accepted.size());
+    NotifyPublish(handle.name_, accepted.size());
   }
   result.accepted = accepted.size();
   return result;
@@ -200,7 +204,9 @@ Expected<std::uint64_t> Broker::AppendReplicated(
   if (!status.ok()) return Error(status.code(), status.message());
   publishes_.fetch_add(n, std::memory_order_relaxed);
   if (n == 0) return handle.stream_->NextId();
-  return handle.stream_->AppendBatch(entries, n);
+  auto last = handle.stream_->AppendBatch(entries, n);
+  NotifyPublish(handle.name_, n);
+  return last;
 }
 
 Expected<std::vector<TelemetryStream::Entry>> Broker::Fetch(
@@ -329,6 +335,12 @@ Status Broker::Refresh(TopicHandle& handle) {
   }
   handle = std::move(resolved.value());
   return Status::Ok();
+}
+
+void Broker::NotifyPublish(const std::string& topic, std::size_t n) {
+  PublishObserver* observer =
+      publish_observer_.load(std::memory_order_acquire);
+  if (observer != nullptr) observer->OnPublish(topic, n);
 }
 
 void Broker::ChargeLatency(NodeId a, NodeId b) {

@@ -60,6 +60,16 @@ struct TopicInfo {
   NodeId home_node = kLocalNode;  // node hosting the stream
 };
 
+// Publish-path hook: notified after entries land in a stream, from the
+// publisher's thread. Implementations must be cheap and thread-safe (the
+// continuous-query engine just flips a per-topic dirty flag); anything
+// heavier belongs on the observer's own thread.
+class PublishObserver {
+ public:
+  virtual ~PublishObserver() = default;
+  virtual void OnPublish(const std::string& topic, std::size_t n) = 0;
+};
+
 // Stable reference to a topic: the stream pointer plus its cached home node,
 // resolved once instead of per-publish. A handle records the registry
 // version it was resolved under; broker accessors revalidate (one relaxed
@@ -229,6 +239,13 @@ class Broker {
     return fault_.load(std::memory_order_acquire);
   }
 
+  // Attaches a publish observer, notified after every successful append
+  // (all three append paths: Publish, PublishBatch, AppendReplicated).
+  // Null detaches. Not owned; must outlive its attachment.
+  void AttachPublishObserver(PublishObserver* observer) {
+    publish_observer_.store(observer, std::memory_order_release);
+  }
+
   // Publish/fetch with retry-and-exponential-backoff: transient failures
   // (injected drops/timeouts, kUnavailable) retry up to the policy's
   // attempt budget, charging backoff to the clock so simulated runs account
@@ -294,8 +311,13 @@ class Broker {
   // every publish (it shares the same registry cell, so the facade and
   // Prometheus exposition see every increment).
   obs::Counter publishes_;
+  // Notifies the attached publish observer (if any) that `n` entries
+  // landed in `topic`. One relaxed load when nothing is attached.
+  void NotifyPublish(const std::string& topic, std::size_t n);
+
   std::atomic<std::uint64_t> version_{1};
   std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<PublishObserver*> publish_observer_{nullptr};
   mutable std::array<Stripe, kStripes> stripes_;
 };
 

@@ -143,7 +143,11 @@ TEST_F(NetLoopbackTest, ExplainAnalyzeMatchesRowCounts) {
   auto remote = client.Query(sql);
   ASSERT_TRUE(remote.ok()) << remote.error().ToString();
   ASSERT_EQ(remote->result.columns, std::vector<std::string>{"plan"});
-  ASSERT_EQ(remote->result.rows.size(), local->rows.size());
+  // The daemon appends one profile row the local executor can't know:
+  // the requesting tenant's admission accounting.
+  ASSERT_EQ(remote->result.rows.size(), local->rows.size() + 1);
+  EXPECT_EQ(remote->result.rows.back().source.rfind("admission: tenant=", 0),
+            0u);
   // The plan text must agree on every row-count token; only timing differs.
   const std::regex rows_token("rows[a-z_]*=[0-9]+");
   for (std::size_t i = 0; i < local->rows.size(); ++i) {
